@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the capacity model (§3.1 machinery): zone
+//! table construction, full-drive capacity accounting and LBA mapping.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use diskgeom::{DriveGeometry, Platter, RecordingTech, ZoneTable};
+use units::{BitsPerInch, Inches, TracksPerInch};
+
+fn tech_2002() -> RecordingTech {
+    RecordingTech::new(
+        BitsPerInch::from_kbpi(593.19),
+        TracksPerInch::from_ktpi(67.5),
+    )
+}
+
+fn bench_zone_table(c: &mut Criterion) {
+    let platter = Platter::new(Inches::new(2.6));
+    let tech = tech_2002();
+    let mut group = c.benchmark_group("zone_table");
+    for zones in [10u32, 30, 50, 100] {
+        group.bench_function(format!("build_{zones}_zones"), |b| {
+            b.iter(|| ZoneTable::new(black_box(platter), black_box(tech), zones).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let drive = DriveGeometry::new(Platter::new(Inches::new(2.6)), tech_2002(), 4, 50).unwrap();
+    c.bench_function("capacity_breakdown", |b| {
+        b.iter(|| black_box(&drive).capacity_breakdown())
+    });
+    c.bench_function("table1_validation_sweep", |b| {
+        b.iter(|| {
+            for row in &thermodisk::drives::TABLE1 {
+                black_box(row.model_capacity().unwrap());
+                black_box(row.model_idr().unwrap());
+            }
+        })
+    });
+}
+
+fn bench_lba_mapping(c: &mut Criterion) {
+    let drive = DriveGeometry::new(Platter::new(Inches::new(2.6)), tech_2002(), 4, 50).unwrap();
+    let total = drive.total_sectors().get();
+    let mut group = c.benchmark_group("lba_mapping");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("locate_1024_random", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                let lba = i.wrapping_mul(0x9E3779B97F4A7C15) % total;
+                acc += drive.locate(black_box(lba)).unwrap().cylinder as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("round_trip_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                let lba = i.wrapping_mul(0x2545F4914F6CDD1D) % total;
+                let loc = drive.locate(lba).unwrap();
+                acc += drive.lba_of(loc).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zone_table, bench_capacity, bench_lba_mapping);
+criterion_main!(benches);

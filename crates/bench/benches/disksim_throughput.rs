@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the storage simulator (§5.1 machinery):
+//! request throughput through single disks and RAID-5 arrays, and the
+//! cost of each queue scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use disksim::{DiskSpec, Request, RequestKind, Scheduler, StorageSystem, SystemConfig};
+use units::{Rpm, Seconds};
+
+const BATCH: u64 = 2_000;
+
+fn make_trace(capacity: u64) -> Vec<Request> {
+    (0..BATCH)
+        .map(|i| {
+            Request::new(
+                i,
+                Seconds::from_millis(i as f64 * 1.5),
+                0,
+                i.wrapping_mul(6_364_136_223_846_793_005) % (capacity - 64),
+                16,
+                if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read },
+            )
+        })
+        .collect()
+}
+
+fn run(cfg: SystemConfig, trace: &[Request]) -> usize {
+    let mut sys = StorageSystem::new(cfg).unwrap();
+    for r in trace {
+        sys.submit(*r).unwrap();
+    }
+    sys.drain().len()
+}
+
+fn bench_single_disk(c: &mut Criterion) {
+    let spec = DiskSpec::era_2001(Rpm::new(10_000.0));
+    let capacity = StorageSystem::new(SystemConfig::single_disk(spec.clone()))
+        .unwrap()
+        .logical_sectors();
+    let trace = make_trace(capacity);
+    let mut group = c.benchmark_group("single_disk");
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("2000_requests", |b| {
+        b.iter(|| run(SystemConfig::single_disk(spec.clone()), black_box(&trace)))
+    });
+    group.finish();
+}
+
+fn bench_raid5(c: &mut Criterion) {
+    let spec = DiskSpec::era_2001(Rpm::new(10_000.0));
+    let cfg = SystemConfig::raid5(spec, 8, 16).unwrap();
+    let capacity = StorageSystem::new(cfg.clone()).unwrap().logical_sectors();
+    let trace = make_trace(capacity);
+    let mut group = c.benchmark_group("raid5_8_disks");
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("2000_requests", |b| {
+        b.iter(|| run(cfg.clone(), black_box(&trace)))
+    });
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let spec = DiskSpec::era_2001(Rpm::new(10_000.0));
+    let capacity = StorageSystem::new(SystemConfig::single_disk(spec.clone()))
+        .unwrap()
+        .logical_sectors();
+    // All-at-once arrivals build deep queues, stressing the pick logic.
+    let trace: Vec<Request> = (0..BATCH)
+        .map(|i| {
+            Request::new(
+                i,
+                Seconds::ZERO,
+                0,
+                i.wrapping_mul(0x9E3779B97F4A7C15) % (capacity - 64),
+                8,
+                RequestKind::Read,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("scheduler_under_backlog");
+    group.throughput(Throughput::Elements(BATCH));
+    for sched in [Scheduler::Fcfs, Scheduler::Sstf, Scheduler::Elevator] {
+        group.bench_function(format!("{sched:?}"), |b| {
+            b.iter(|| {
+                run(
+                    SystemConfig::single_disk(spec.clone()).with_scheduler(sched),
+                    black_box(&trace),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let preset = workloads::tpcc();
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("tpcc_10k_requests", |b| {
+        b.iter(|| preset.generate(10_000, black_box(1)).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_disk,
+    bench_raid5,
+    bench_schedulers,
+    bench_workload_generation
+);
+criterion_main!(benches);

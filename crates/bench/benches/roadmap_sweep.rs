@@ -1,0 +1,30 @@
+//! Criterion benchmarks of the roadmap generators (§4 machinery): the
+//! Table 3 sweep and the full Figure 2 envelope roadmap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtm::{slack_table, SlackConfig};
+use roadmap::{envelope_roadmap, required_rpm_table, RoadmapConfig};
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = RoadmapConfig::default();
+    c.bench_function("table3_required_rpm_sweep", |b| {
+        b.iter(|| required_rpm_table(black_box(&cfg)).len())
+    });
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let cfg = RoadmapConfig::default();
+    c.bench_function("figure2_envelope_roadmap", |b| {
+        b.iter(|| envelope_roadmap(black_box(&cfg)).len())
+    });
+}
+
+fn bench_slack(c: &mut Criterion) {
+    let cfg = SlackConfig::default();
+    c.bench_function("figure5_slack_table", |b| {
+        b.iter(|| slack_table(black_box(&cfg)).len())
+    });
+}
+
+criterion_group!(benches, bench_table3, bench_figure2, bench_slack);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the thermal model (§3.3 machinery):
+//! steady-state solves, transient stepping and envelope inversion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use diskthermal::{
+    max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, Integrator, OperatingPoint,
+    ThermalModel, TransientSim, THERMAL_ENVELOPE,
+};
+use units::{Inches, Rpm, Seconds};
+
+fn model() -> ThermalModel {
+    ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1))
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let m = model();
+    let op = OperatingPoint::seeking(Rpm::new(24_534.0));
+    c.bench_function("steady_state_solve", |b| {
+        b.iter(|| black_box(&m).steady_state(black_box(op)))
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let m = model();
+    let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+    let mut group = c.benchmark_group("transient_minute");
+    // One simulated minute at the paper's 600 steps/min.
+    group.throughput(Throughput::Elements(600));
+    for (label, integrator) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("forward_euler", Integrator::ForwardEuler),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = TransientSim::from_ambient(&m).with_integrator(integrator);
+                sim.advance(&m, op, Seconds::new(60.0));
+                sim.temps()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_envelope_search(c: &mut Criterion) {
+    let m = model();
+    c.bench_function("max_rpm_within_envelope", |b| {
+        b.iter(|| {
+            max_rpm_within_envelope(
+                black_box(&m),
+                1.0,
+                THERMAL_ENVELOPE,
+                EnvelopeSearch::default(),
+            )
+        })
+    });
+}
+
+fn bench_warmup_to_steady(c: &mut Criterion) {
+    // The Figure 1 experiment end to end.
+    let m = model();
+    let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+    c.bench_function("figure1_warmup_to_steady", |b| {
+        b.iter(|| {
+            let mut sim = TransientSim::from_ambient(&m).with_step(Seconds::new(0.5));
+            sim.run_to_steady(&m, op, 0.01)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_transient,
+    bench_envelope_search,
+    bench_warmup_to_steady
+);
+criterion_main!(benches);

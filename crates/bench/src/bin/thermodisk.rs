@@ -1,0 +1,255 @@
+//! `thermodisk` — command-line front end to the integrated drive model.
+//!
+//! ```text
+//! thermodisk capacity --diameter 2.6 --platters 1 --kbpi 593.19 --ktpi 67.5 [--zones 30]
+//! thermodisk thermal  --diameter 2.6 --platters 1 --rpm 15000 [--duty 1.0] [--ambient 28]
+//! thermodisk design   --year 2005 --diameter 1.6 --platters 2 [--zones 50]
+//! thermodisk roadmap  [--ambient 28]
+//! thermodisk analyze  <trace.jsonl | trace.ascii>
+//! thermodisk workloads
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency tree at zero.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use thermodisk::prelude::*;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_f64(flags: &HashMap<String, String>, name: &str, default: Option<f64>) -> Result<f64, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad number `{v}`")),
+        None => default.ok_or(format!("missing required flag --{name}")),
+    }
+}
+
+fn get_u32(flags: &HashMap<String, String>, name: &str, default: Option<u32>) -> Result<u32, String> {
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad integer `{v}`")),
+        None => default.ok_or(format!("missing required flag --{name}")),
+    }
+}
+
+fn cmd_capacity(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dia = get_f64(flags, "diameter", None)?;
+    let platters = get_u32(flags, "platters", None)?;
+    let kbpi = get_f64(flags, "kbpi", None)?;
+    let ktpi = get_f64(flags, "ktpi", None)?;
+    let zones = get_u32(flags, "zones", Some(30))?;
+    let rpm = get_f64(flags, "rpm", Some(10_000.0))?;
+
+    let tech = RecordingTech::new(
+        units::BitsPerInch::from_kbpi(kbpi),
+        units::TracksPerInch::from_ktpi(ktpi),
+    );
+    let geom = DriveGeometry::new(Platter::new(Inches::new(dia)), tech, platters, zones)
+        .map_err(|e| e.to_string())?;
+    let b = geom.capacity_breakdown();
+    println!("geometry : {geom}");
+    println!("capacity : {b}");
+    println!(
+        "zones    : {} of {} tracks, {} sectors/track outer vs {} inner",
+        geom.zones().zone_count(),
+        geom.zones().zones()[0].cylinders(),
+        geom.zones().outermost().sectors_per_track().get(),
+        geom.zones().innermost().sectors_per_track().get(),
+    );
+    println!(
+        "peak IDR : {:.1} MB/s at {:.0} RPM (sustained {:.1})",
+        idr(geom.zones(), Rpm::new(rpm)).get(),
+        rpm,
+        thermodisk::perf::sustained_idr(geom.zones(), Rpm::new(rpm)).get(),
+    );
+    Ok(())
+}
+
+fn cmd_thermal(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dia = get_f64(flags, "diameter", None)?;
+    let platters = get_u32(flags, "platters", None)?;
+    let rpm = get_f64(flags, "rpm", None)?;
+    let duty = get_f64(flags, "duty", Some(1.0))?;
+    let ambient = get_f64(flags, "ambient", Some(28.0))?;
+
+    let spec = DriveThermalSpec::new(Inches::new(dia), platters)
+        .with_ambient(Celsius::new(ambient));
+    let model = ThermalModel::new(spec);
+    let op = OperatingPoint::new(Rpm::new(rpm), duty);
+    let t = model.steady_state(op);
+    let p = model.power_breakdown(op);
+    println!("operating point  : {op}");
+    println!("steady state     : {t}");
+    println!(
+        "viscous windage  : {:.2} W ({:.1}\" x{platters})",
+        p.viscous.get(),
+        dia
+    );
+    println!(
+        "within envelope  : {} (envelope {THERMAL_ENVELOPE})",
+        t.air <= THERMAL_ENVELOPE
+    );
+    if let Some(max) = thermodisk::thermal::max_rpm_within_envelope(
+        &model,
+        duty,
+        THERMAL_ENVELOPE,
+        thermodisk::thermal::EnvelopeSearch::default(),
+    ) {
+        println!("max in-envelope  : {:.0} RPM at this duty", max.get());
+    } else {
+        println!("max in-envelope  : infeasible at any speed");
+    }
+    let rel = thermodisk::thermal::reliability::assess(&model, op);
+    println!(
+        "reliability      : {:.2}x failure rate vs ambient (2x per {:.0} C)",
+        rel.acceleration_vs_ambient,
+        thermodisk::thermal::reliability::DOUBLING_RISE.get()
+    );
+    Ok(())
+}
+
+fn cmd_design(flags: &HashMap<String, String>) -> Result<(), String> {
+    let year = get_u32(flags, "year", None)? as i32;
+    let dia = get_f64(flags, "diameter", None)?;
+    let platters = get_u32(flags, "platters", None)?;
+    let zones = get_u32(flags, "zones", Some(50))?;
+
+    let mut builder = DriveDesign::builder()
+        .platter_diameter(Inches::new(dia))
+        .platters(platters)
+        .zones(zones)
+        .densities_of_year(year);
+    builder = match flags.get("rpm") {
+        Some(v) => builder.rpm(Rpm::new(
+            v.parse().map_err(|_| format!("--rpm: bad number `{v}`"))?,
+        )),
+        None => {
+            // Default to the fastest envelope-respecting speed.
+            let probe = DriveDesign::builder()
+                .platter_diameter(Inches::new(dia))
+                .platters(platters)
+                .zones(zones)
+                .densities_of_year(year)
+                .rpm(Rpm::new(10_000.0))
+                .build()
+                .map_err(|e| e.to_string())?;
+            let max = probe
+                .max_rpm_within(THERMAL_ENVELOPE)
+                .ok_or("no envelope-respecting speed exists")?;
+            builder.rpm(max)
+        }
+    };
+    let design = builder.build().map_err(|e| e.to_string())?;
+    println!("{design}");
+    println!(
+        "target for {year}: {:.1} MB/s -> {}",
+        TechnologyTrend::default().idr_target(year).get(),
+        if design.max_idr().get()
+            >= 0.985 * TechnologyTrend::default().idr_target(year).get()
+        {
+            "MET"
+        } else {
+            "missed"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_roadmap(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ambient = get_f64(flags, "ambient", Some(28.0))?;
+    let cfg = RoadmapConfig::default().with_ambient(Celsius::new(ambient));
+    for y in roadmap::plan_roadmap(&cfg) {
+        println!(
+            "{} {:<13} {:>4.1}\" x{} {:>8.0} RPM  {:>8.1}/{:>8.1} MB/s  {:>7.1} GB{}",
+            y.year,
+            format!("{:?}", y.step),
+            y.diameter.get(),
+            y.platters,
+            y.rpm.get(),
+            y.idr.get(),
+            y.idr_target.get(),
+            y.capacity.gigabytes(),
+            if y.meets_target() { "" } else { "  <- off the 40% curve" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(path: &str) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let trace = if path.ends_with(".ascii") || path.ends_with(".txt") {
+        workloads::read_ascii_trace(reader).map_err(|e| e.to_string())?
+    } else {
+        workloads::read_trace(reader).map_err(|e| e.to_string())?
+    };
+    match workloads::analyze(&trace) {
+        Some(profile) => println!("{profile}"),
+        None => println!("empty trace"),
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    for p in presets() {
+        println!(
+            "{:<18} {:>2} disks{}  base {:>6.0} RPM  ~{:>4.0} req/s  paper mean {:>5.2} ms  ({} trace requests)",
+            p.name,
+            p.disks,
+            if p.raid.is_some() { " RAID-5" } else { "       " },
+            p.base_rpm.get(),
+            p.arrivals.mean_rate(),
+            p.paper_mean_response_ms,
+            p.paper_requests,
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "\
+usage: thermodisk <command> [flags]
+  capacity  --diameter D --platters N --kbpi K --ktpi K [--zones 30] [--rpm 10000]
+  thermal   --diameter D --platters N --rpm R [--duty 1.0] [--ambient 28]
+  design    --year Y --diameter D --platters N [--zones 50] [--rpm R]
+  roadmap   [--ambient 28]
+  analyze   <trace.jsonl | trace.ascii>
+  workloads";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("capacity") => parse_flags(&args[1..]).and_then(|f| cmd_capacity(&f)),
+        Some("thermal") => parse_flags(&args[1..]).and_then(|f| cmd_thermal(&f)),
+        Some("design") => parse_flags(&args[1..]).and_then(|f| cmd_design(&f)),
+        Some("roadmap") => parse_flags(&args[1..]).and_then(|f| cmd_roadmap(&f)),
+        Some("analyze") => match args.get(1) {
+            Some(path) => cmd_analyze(path),
+            None => Err("analyze needs a trace path".into()),
+        },
+        Some("workloads") => cmd_workloads(),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

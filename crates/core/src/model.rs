@@ -1,0 +1,446 @@
+//! The integrated drive design: one description, three models.
+
+use diskgeom::{DriveGeometry, GeometryError, Platter, RecordingTech};
+use diskperf::{idr, sustained_idr, SeekProfile};
+use disksim::DiskSpec;
+use diskthermal::{
+    max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, FormFactor, NodeTemps,
+    OperatingPoint, ThermalModel, ThermalParams,
+};
+use roadmap::TechnologyTrend;
+use serde::{Deserialize, Serialize};
+use units::{BitsPerInch, Capacity, Celsius, DataRate, Inches, Rpm, TracksPerInch};
+
+/// Errors from assembling a [`DriveDesign`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// The recorded geometry was invalid.
+    Geometry(GeometryError),
+    /// A required builder field was missing.
+    MissingField {
+        /// The field that was not set.
+        field: &'static str,
+    },
+    /// The platter does not fit the chosen enclosure.
+    DoesNotFit {
+        /// Platter diameter requested.
+        platter: Inches,
+        /// Enclosure chosen.
+        form_factor: FormFactor,
+    },
+}
+
+impl core::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Geometry(e) => write!(f, "geometry error: {e}"),
+            Self::MissingField { field } => write!(f, "builder field `{field}` was not set"),
+            Self::DoesNotFit {
+                platter,
+                form_factor,
+            } => write!(f, "a {platter} platter does not fit a {form_factor}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for DesignError {
+    fn from(e: GeometryError) -> Self {
+        Self::Geometry(e)
+    }
+}
+
+/// A complete drive design, integrating the capacity, performance and
+/// thermal models over a single parameter set.
+///
+/// Construct with [`DriveDesign::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use thermodisk::DriveDesign;
+/// use units::{Inches, Rpm};
+///
+/// let d = DriveDesign::builder()
+///     .platter_diameter(Inches::new(2.1))
+///     .platters(2)
+///     .zones(50)
+///     .rpm(Rpm::new(18_692.0)) // Table 3's 2002 requirement
+///     .densities_of_year(2002)
+///     .build()?;
+/// assert!((d.worst_case_temp().get() - 43.56).abs() < 1.0);
+/// # Ok::<(), thermodisk::DesignError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveDesign {
+    geometry: DriveGeometry,
+    rpm: Rpm,
+    thermal_spec: DriveThermalSpec,
+    thermal_params: ThermalParams,
+    seek: SeekProfile,
+}
+
+impl DriveDesign {
+    /// Starts a builder.
+    pub fn builder() -> DriveDesignBuilder {
+        DriveDesignBuilder::default()
+    }
+
+    /// The recorded geometry.
+    pub fn geometry(&self) -> &DriveGeometry {
+        &self.geometry
+    }
+
+    /// Spindle speed of the design point.
+    pub fn rpm(&self) -> Rpm {
+        self.rpm
+    }
+
+    /// The seek profile.
+    pub fn seek(&self) -> &SeekProfile {
+        &self.seek
+    }
+
+    /// User capacity (§3.1, eq. 3).
+    pub fn capacity(&self) -> Capacity {
+        self.geometry.capacity()
+    }
+
+    /// Peak internal data rate at the design RPM (§3.2, eq. 4).
+    pub fn max_idr(&self) -> DataRate {
+        idr(self.geometry.zones(), self.rpm)
+    }
+
+    /// Capacity-weighted whole-drive scan rate.
+    pub fn sustained_idr(&self) -> DataRate {
+        sustained_idr(self.geometry.zones(), self.rpm)
+    }
+
+    /// The assembled thermal model.
+    pub fn thermal_model(&self) -> ThermalModel {
+        ThermalModel::with_params(self.thermal_spec, self.thermal_params)
+    }
+
+    /// Steady-state internal-air temperature with the actuator always
+    /// busy — the worst case that defines the envelope.
+    pub fn worst_case_temp(&self) -> Celsius {
+        self.thermal_model()
+            .steady_air_temp(OperatingPoint::seeking(self.rpm))
+    }
+
+    /// Steady-state node temperatures at an arbitrary operating point.
+    pub fn steady_temps(&self, vcm_duty: f64) -> NodeTemps {
+        self.thermal_model()
+            .steady_state(OperatingPoint::new(self.rpm, vcm_duty))
+    }
+
+    /// Whether the design's worst case stays within `envelope`.
+    pub fn fits_envelope(&self, envelope: Celsius) -> bool {
+        self.worst_case_temp() <= envelope
+    }
+
+    /// The fastest this mechanical configuration could spin while
+    /// respecting `envelope` in the worst case.
+    pub fn max_rpm_within(&self, envelope: Celsius) -> Option<Rpm> {
+        max_rpm_within_envelope(
+            &self.thermal_model(),
+            1.0,
+            envelope,
+            EnvelopeSearch::default(),
+        )
+    }
+
+    /// Converts to a simulator disk at the design RPM.
+    pub fn to_disk_spec(&self) -> DiskSpec {
+        DiskSpec::new(self.geometry.clone(), self.rpm)
+    }
+
+    /// Reliability impact of running at the given actuator duty: the
+    /// paper's 2×-per-15 °C failure-rate law evaluated at this design's
+    /// steady temperature (§1, §6).
+    pub fn reliability(&self, vcm_duty: f64) -> diskthermal::reliability::ReliabilityReport {
+        diskthermal::reliability::assess(
+            &self.thermal_model(),
+            OperatingPoint::new(self.rpm, vcm_duty),
+        )
+    }
+}
+
+impl core::fmt::Display for DriveDesign {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} @ {:.0} RPM: {}, {:.1} MB/s peak, {:.2} C worst case",
+            self.geometry,
+            self.rpm.get(),
+            self.capacity(),
+            self.max_idr().get(),
+            self.worst_case_temp().get()
+        )
+    }
+}
+
+/// Builder for [`DriveDesign`].
+#[derive(Debug, Clone, Default)]
+pub struct DriveDesignBuilder {
+    platter_diameter: Option<Inches>,
+    platters: Option<u32>,
+    zones: Option<u32>,
+    rpm: Option<Rpm>,
+    tech: Option<RecordingTech>,
+    form_factor: FormFactor,
+    ambient: Option<Celsius>,
+    thermal_params: Option<ThermalParams>,
+}
+
+impl DriveDesignBuilder {
+    /// Sets the platter media diameter (required).
+    pub fn platter_diameter(mut self, diameter: Inches) -> Self {
+        self.platter_diameter = Some(diameter);
+        self
+    }
+
+    /// Sets the platter count (required).
+    pub fn platters(mut self, platters: u32) -> Self {
+        self.platters = Some(platters);
+        self
+    }
+
+    /// Sets the ZBR zone count (required).
+    pub fn zones(mut self, zones: u32) -> Self {
+        self.zones = Some(zones);
+        self
+    }
+
+    /// Sets the spindle speed (required).
+    pub fn rpm(mut self, rpm: Rpm) -> Self {
+        self.rpm = Some(rpm);
+        self
+    }
+
+    /// Sets the recording technology explicitly.
+    pub fn recording(mut self, tech: RecordingTech) -> Self {
+        self.tech = Some(tech);
+        self
+    }
+
+    /// Sets the recording technology from the paper's scaling model for
+    /// a given year (alternative to [`Self::recording`]).
+    pub fn densities_of_year(mut self, year: i32) -> Self {
+        self.tech = Some(TechnologyTrend::default().tech(year));
+        self
+    }
+
+    /// Sets the recording densities directly in KBPI/KTPI.
+    pub fn densities(mut self, kbpi: f64, ktpi: f64) -> Self {
+        self.tech = Some(RecordingTech::new(
+            BitsPerInch::from_kbpi(kbpi),
+            TracksPerInch::from_ktpi(ktpi),
+        ));
+        self
+    }
+
+    /// Sets the enclosure (default 3.5″).
+    pub fn form_factor(mut self, form_factor: FormFactor) -> Self {
+        self.form_factor = form_factor;
+        self
+    }
+
+    /// Sets the external ambient temperature (default 28 °C wet bulb).
+    pub fn ambient(mut self, ambient: Celsius) -> Self {
+        self.ambient = Some(ambient);
+        self
+    }
+
+    /// Overrides the thermal coefficients (default: calibrated).
+    pub fn thermal_params(mut self, params: ThermalParams) -> Self {
+        self.thermal_params = Some(params);
+        self
+    }
+
+    /// Assembles the design.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::MissingField`] when a required field is unset,
+    /// [`DesignError::DoesNotFit`] when the platter exceeds the
+    /// enclosure, or a wrapped [`GeometryError`].
+    pub fn build(self) -> Result<DriveDesign, DesignError> {
+        let diameter = self
+            .platter_diameter
+            .ok_or(DesignError::MissingField {
+                field: "platter_diameter",
+            })?;
+        let platters = self.platters.ok_or(DesignError::MissingField {
+            field: "platters",
+        })?;
+        let zones = self.zones.ok_or(DesignError::MissingField { field: "zones" })?;
+        let rpm = self.rpm.ok_or(DesignError::MissingField { field: "rpm" })?;
+        let tech = self.tech.ok_or(DesignError::MissingField {
+            field: "recording technology",
+        })?;
+        if diameter > self.form_factor.max_platter() {
+            return Err(DesignError::DoesNotFit {
+                platter: diameter,
+                form_factor: self.form_factor,
+            });
+        }
+
+        let geometry = DriveGeometry::new(Platter::new(diameter), tech, platters, zones)?;
+        let mut thermal_spec =
+            DriveThermalSpec::new(diameter, platters).with_form_factor(self.form_factor);
+        if let Some(ambient) = self.ambient {
+            thermal_spec = thermal_spec.with_ambient(ambient);
+        }
+        let seek = SeekProfile::for_platter(diameter, geometry.used_cylinders());
+        Ok(DriveDesign {
+            geometry,
+            rpm,
+            thermal_spec,
+            thermal_params: self.thermal_params.unwrap_or_default(),
+            seek,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskthermal::THERMAL_ENVELOPE;
+
+    fn design_2002() -> DriveDesign {
+        DriveDesign::builder()
+            .platter_diameter(Inches::new(2.6))
+            .platters(1)
+            .zones(50)
+            .rpm(Rpm::new(15_020.0))
+            .densities_of_year(2002)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn integrated_design_reproduces_table3_anchor() {
+        let d = design_2002();
+        assert!(d.fits_envelope(THERMAL_ENVELOPE));
+        // At the paper's required 15,098 RPM the design just exceeds it.
+        let hot = DriveDesign::builder()
+            .platter_diameter(Inches::new(2.6))
+            .platters(1)
+            .zones(50)
+            .rpm(Rpm::new(15_098.0))
+            .densities_of_year(2002)
+            .build()
+            .unwrap();
+        assert!((hot.worst_case_temp().get() - 45.24).abs() < 0.5);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let err = DriveDesign::builder().build().unwrap_err();
+        assert!(matches!(err, DesignError::MissingField { .. }));
+        let err = DriveDesign::builder()
+            .platter_diameter(Inches::new(2.6))
+            .platters(1)
+            .zones(50)
+            .rpm(Rpm::new(10_000.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DesignError::MissingField {
+                field: "recording technology"
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_platter_rejected() {
+        let err = DriveDesign::builder()
+            .platter_diameter(Inches::new(3.3))
+            .platters(1)
+            .zones(30)
+            .rpm(Rpm::new(10_000.0))
+            .densities_of_year(2002)
+            .form_factor(FormFactor::Small25)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DesignError::DoesNotFit { .. }));
+    }
+
+    #[test]
+    fn three_faces_are_consistent() {
+        let d = design_2002();
+        // Capacity equals the geometry's; IDR follows eq. 4; thermal
+        // model sees the same platter count.
+        assert_eq!(d.capacity(), d.geometry().capacity());
+        assert!(d.sustained_idr() < d.max_idr());
+        assert_eq!(d.thermal_model().spec().platters(), 1);
+        let disk = d.to_disk_spec();
+        assert_eq!(disk.rpm(), d.rpm());
+        assert_eq!(
+            disk.geometry().total_sectors(),
+            d.geometry().total_sectors()
+        );
+    }
+
+    #[test]
+    fn max_rpm_within_matches_envelope_check() {
+        let d = design_2002();
+        let max = d.max_rpm_within(THERMAL_ENVELOPE).expect("feasible");
+        assert!((max.get() - 15_020.0).abs() < 400.0, "max {max}");
+    }
+
+    #[test]
+    fn ambient_override_threads_through() {
+        let cool = DriveDesign::builder()
+            .platter_diameter(Inches::new(2.6))
+            .platters(1)
+            .zones(50)
+            .rpm(Rpm::new(15_020.0))
+            .densities_of_year(2002)
+            .ambient(Celsius::new(23.0))
+            .build()
+            .unwrap();
+        let base = design_2002();
+        let dt = base.worst_case_temp() - cool.worst_case_temp();
+        assert!((dt.get() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reliability_follows_temperature() {
+        let cool = design_2002();
+        let hot = DriveDesign::builder()
+            .platter_diameter(Inches::new(2.6))
+            .platters(1)
+            .zones(50)
+            .rpm(Rpm::new(24_534.0))
+            .densities_of_year(2005)
+            .build()
+            .unwrap();
+        let r_cool = cool.reliability(1.0);
+        let r_hot = hot.reliability(1.0);
+        assert!(r_hot.acceleration_vs_ambient > r_cool.acceleration_vs_ambient);
+        // Idling the actuator always helps longevity.
+        assert!(
+            hot.reliability(0.0).acceleration_vs_ambient < r_hot.acceleration_vs_ambient
+        );
+    }
+
+    #[test]
+    fn display_summarizes_design() {
+        let text = design_2002().to_string();
+        assert!(text.contains("RPM"));
+        assert!(text.contains("GB"));
+        assert!(text.contains("MB/s"));
+    }
+}

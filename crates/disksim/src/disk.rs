@@ -1,0 +1,465 @@
+//! The mechanical disk service model.
+
+use crate::cache::{CacheConfig, CacheOutcome, DiskCache};
+use crate::error::SimError;
+use crate::request::RequestKind;
+use diskgeom::{DriveGeometry, Platter, RecordingTech};
+use diskperf::SeekProfile;
+use serde::{Deserialize, Serialize};
+use units::{BitsPerInch, Inches, Rpm, Seconds, TracksPerInch};
+
+/// Full description of one simulated disk.
+///
+/// # Examples
+///
+/// ```
+/// use disksim::DiskSpec;
+/// use units::Rpm;
+///
+/// let spec = DiskSpec::era_2001(Rpm::new(10_000.0));
+/// assert!(spec.geometry().capacity().gigabytes() > 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    geometry: DriveGeometry,
+    rpm: Rpm,
+    seek: SeekProfile,
+    cache: CacheConfig,
+    /// Fixed controller/firmware overhead charged to every request.
+    controller_overhead: Seconds,
+    /// Interface transfer rate for cache hits, bytes per second.
+    bus_bytes_per_sec: f64,
+}
+
+impl DiskSpec {
+    /// Builds a spec from explicit geometry and spindle speed; seek times
+    /// come from the platter-size interpolation, the cache defaults to
+    /// 4 MB / 16 segments and the controller overhead to 0.3 ms over a
+    /// 160 MB/s bus (Ultra160 SCSI, the era's interface).
+    pub fn new(geometry: DriveGeometry, rpm: Rpm) -> Self {
+        let seek =
+            SeekProfile::for_platter(geometry.platter().diameter(), geometry.used_cylinders());
+        Self {
+            geometry,
+            rpm,
+            seek,
+            cache: CacheConfig::default(),
+            controller_overhead: Seconds::from_millis(0.3),
+            bus_bytes_per_sec: 160e6,
+        }
+    }
+
+    /// A representative 2001 server disk: 3.3″ platters at
+    /// 480 KBPI × 27.3 KTPI with 30 zones (the Ultrastar 73LZX / Cheetah
+    /// 73LP class of Table 1), two platters ≈ 23 GB.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the era parameters are statically valid.
+    pub fn era_2001(rpm: Rpm) -> Self {
+        Self::era(2001, 2, rpm)
+    }
+
+    /// A disk of roughly year-`year` technology with the given platter
+    /// count, 3.3″ media, 30 zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `year` is before 1995 or the configuration is
+    /// geometrically invalid (it is valid for all supported years).
+    pub fn era(year: i32, platters: u32, rpm: Rpm) -> Self {
+        assert!(year >= 1995, "era constructor supports 1995 onward");
+        // Densities follow the 30%/50% CGRs anchored at 1999.
+        let dy = year - 1999;
+        let bpi = 270e3 * 1.3f64.powi(dy);
+        let tpi = 20e3 * 1.5f64.powi(dy);
+        let tech = RecordingTech::new(BitsPerInch::new(bpi), TracksPerInch::new(tpi));
+        let geometry = DriveGeometry::new(Platter::new(Inches::new(3.3)), tech, platters, 30)
+            .expect("era parameters are valid");
+        Self::new(geometry, rpm)
+    }
+
+    /// Replaces the spindle speed (the Figure 4 sweep variable).
+    pub fn with_rpm(mut self, rpm: Rpm) -> Self {
+        self.rpm = rpm;
+        self
+    }
+
+    /// Replaces the cache configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the seek profile.
+    pub fn with_seek(mut self, seek: SeekProfile) -> Self {
+        self.seek = seek;
+        self
+    }
+
+    /// The drive geometry.
+    pub fn geometry(&self) -> &DriveGeometry {
+        &self.geometry
+    }
+
+    /// The spindle speed.
+    pub fn rpm(&self) -> Rpm {
+        self.rpm
+    }
+
+    /// The seek profile.
+    pub fn seek(&self) -> &SeekProfile {
+        &self.seek
+    }
+}
+
+/// Where a request's service time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceBreakdown {
+    /// Controller/firmware overhead.
+    pub overhead: Seconds,
+    /// Arm movement.
+    pub seek: Seconds,
+    /// Rotational wait for the first sector.
+    pub rotation: Seconds,
+    /// Media/bus transfer.
+    pub transfer: Seconds,
+    /// `true` when served from the cache without touching the medium.
+    pub cache_hit: bool,
+    /// Cylinders the arm moved.
+    pub seek_distance: u32,
+}
+
+impl ServiceBreakdown {
+    /// Total service time.
+    pub fn total(&self) -> Seconds {
+        self.overhead + self.seek + self.rotation + self.transfer
+    }
+}
+
+/// Mechanical state of one disk during simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    spec: DiskSpec,
+    cache: DiskCache,
+    head_cylinder: u32,
+    /// Accumulated busy time (for utilization and DTM duty estimation).
+    busy_time: Seconds,
+    /// Accumulated time the actuator spent seeking.
+    seek_time: Seconds,
+    /// Requests served.
+    served: u64,
+    /// Requests that required arm movement.
+    moved_arm: u64,
+    /// Total cylinders traveled.
+    total_seek_distance: u64,
+}
+
+impl Disk {
+    /// Creates a disk with the head parked at cylinder 0.
+    pub fn new(spec: DiskSpec) -> Self {
+        let cache = DiskCache::new(spec.cache);
+        Self {
+            spec,
+            cache,
+            head_cylinder: 0,
+            busy_time: Seconds::ZERO,
+            seek_time: Seconds::ZERO,
+            served: 0,
+            moved_arm: 0,
+            total_seek_distance: 0,
+        }
+    }
+
+    /// The disk's specification.
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// Changes the spindle speed in place (multi-speed disks; used by
+    /// the DTM throttling policies). The cache survives, the mechanical
+    /// position is kept.
+    pub fn set_rpm(&mut self, rpm: Rpm) {
+        self.spec.rpm = rpm;
+    }
+
+    /// Current cylinder under the heads.
+    pub fn head_cylinder(&self) -> u32 {
+        self.head_cylinder
+    }
+
+    /// Total time this disk spent serving requests.
+    pub fn busy_time(&self) -> Seconds {
+        self.busy_time
+    }
+
+    /// Total time the actuator spent seeking — the paper's VCM-duty
+    /// signal for DTM.
+    pub fn seek_time(&self) -> Seconds {
+        self.seek_time
+    }
+
+    /// Requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fraction of served requests that moved the arm (the paper quotes
+    /// 86 % for OpenMail).
+    pub fn arm_movement_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.moved_arm as f64 / self.served as f64
+        }
+    }
+
+    /// Mean seek distance in cylinders over served requests.
+    pub fn mean_seek_distance(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_seek_distance as f64 / self.served as f64
+        }
+    }
+
+    /// Cache hit statistics.
+    pub fn cache(&self) -> &DiskCache {
+        &self.cache
+    }
+
+    /// Serves a request beginning at `start`, returning when it finishes
+    /// and where the time went.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfRange`] when the request runs past the end of
+    /// the medium.
+    pub fn service(
+        &mut self,
+        lba: u64,
+        sectors: u32,
+        kind: RequestKind,
+        start: Seconds,
+    ) -> Result<(Seconds, ServiceBreakdown), SimError> {
+        let total = self.spec.geometry.total_sectors().get();
+        if lba + sectors as u64 > total {
+            return Err(SimError::OutOfRange {
+                lba,
+                sectors,
+                capacity: total,
+            });
+        }
+
+        let overhead = self.spec.controller_overhead;
+        self.served += 1;
+
+        // Cache: reads served from a segment never touch the medium.
+        if kind.is_read() && self.cache.lookup(lba, sectors) == CacheOutcome::Hit {
+            let bus = Seconds::new(sectors as f64 * 512.0 / self.spec.bus_bytes_per_sec);
+            let breakdown = ServiceBreakdown {
+                overhead,
+                transfer: bus,
+                cache_hit: true,
+                ..ServiceBreakdown::default()
+            };
+            let finish = start + breakdown.total();
+            self.busy_time += breakdown.total();
+            return Ok((finish, breakdown));
+        }
+        if !kind.is_read() {
+            // Writes always pay the medium (write-through) but leave the
+            // data cached for subsequent reads.
+            let _ = self.cache.lookup(lba, sectors);
+        }
+
+        let loc = self
+            .spec
+            .geometry
+            .locate(lba)
+            .expect("range checked above");
+        let zone = &self.spec.geometry.zones().zones()[loc.zone as usize];
+        let spt = zone.sectors_per_track().get();
+        let period = self.spec.rpm.rotation_period();
+
+        // Seek.
+        let distance = self.head_cylinder.abs_diff(loc.cylinder);
+        let seek = self.spec.seek.seek_time(distance);
+        if distance > 0 {
+            self.moved_arm += 1;
+            self.total_seek_distance += distance as u64;
+        }
+
+        // Rotational wait: the platter's angle advances in real time.
+        let ready = start + overhead + seek;
+        let target_angle = loc.sector as f64 / spt as f64;
+        let current_angle = (ready.get() / period.get()).fract();
+        let wait_frac = (target_angle - current_angle).rem_euclid(1.0);
+        let rotation = period * wait_frac;
+
+        // Transfer: stream `sectors`, paying a head/track switch each
+        // time the run crosses a track boundary.
+        let track_crossings = (loc.sector as u64 + sectors as u64 - 1) / spt;
+        let transfer = period * (sectors as f64 / spt as f64)
+            + self.spec.seek.track_to_track() * track_crossings as f64;
+
+        // Read-ahead: the drive keeps reading to the end of the track
+        // after a medium read; the tail lands in the cache for free.
+        let readahead = if kind.is_read() {
+            let end_sector = (loc.sector as u64 + sectors as u64) % spt;
+            if end_sector == 0 {
+                0
+            } else {
+                spt - end_sector
+            }
+        } else {
+            0
+        };
+        self.cache.fill(lba, sectors as u64 + readahead);
+
+        // The head ends at the last sector's cylinder.
+        let last = self
+            .spec
+            .geometry
+            .locate(lba + sectors as u64 - 1)
+            .expect("range checked above");
+        self.head_cylinder = last.cylinder;
+
+        let breakdown = ServiceBreakdown {
+            overhead,
+            seek,
+            rotation,
+            transfer,
+            cache_hit: false,
+            seek_distance: distance,
+        };
+        self.busy_time += breakdown.total();
+        self.seek_time += seek;
+        Ok((start + breakdown.total(), breakdown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(rpm: f64) -> Disk {
+        Disk::new(DiskSpec::era_2001(Rpm::new(rpm)))
+    }
+
+    #[test]
+    fn era_2001_capacity_is_plausible() {
+        let d = disk(10_000.0);
+        let gb = d.spec().geometry().capacity().gigabytes();
+        assert!(gb > 15.0 && gb < 60.0, "got {gb:.1} GB");
+    }
+
+    #[test]
+    fn first_request_pays_rotation_but_no_seek() {
+        let mut d = disk(10_000.0);
+        let (_, b) = d.service(0, 8, RequestKind::Read, Seconds::ZERO).unwrap();
+        assert_eq!(b.seek, Seconds::ZERO, "head starts at cylinder 0");
+        assert!(b.rotation.get() >= 0.0);
+        assert!(b.transfer.get() > 0.0);
+        assert!(!b.cache_hit);
+    }
+
+    #[test]
+    fn sequential_read_hits_readahead_cache() {
+        let mut d = disk(10_000.0);
+        let (t1, b1) = d.service(0, 8, RequestKind::Read, Seconds::ZERO).unwrap();
+        let (_, b2) = d.service(8, 8, RequestKind::Read, t1).unwrap();
+        assert!(!b1.cache_hit);
+        assert!(b2.cache_hit, "read-ahead should catch the next sectors");
+        assert!(b2.total() < b1.total() / 5.0);
+    }
+
+    #[test]
+    fn far_seek_costs_more_than_near_seek() {
+        let total = disk(10_000.0).spec().geometry().total_sectors().get();
+        let mut d = disk(10_000.0);
+        let (_, near) = d.service(0, 8, RequestKind::Read, Seconds::ZERO).unwrap();
+        let (_, far) = d
+            .service(total - 16, 8, RequestKind::Read, Seconds::new(1.0))
+            .unwrap();
+        assert!(far.seek > near.seek);
+        assert!(far.seek_distance > 10_000);
+    }
+
+    #[test]
+    fn faster_spindle_cuts_rotation_and_transfer() {
+        // Compare expected rotational latency + transfer across RPMs.
+        let mut slow = disk(10_000.0);
+        let mut fast = disk(20_000.0);
+        let (_, b_slow) = slow.service(0, 64, RequestKind::Read, Seconds::ZERO).unwrap();
+        let (_, b_fast) = fast.service(0, 64, RequestKind::Read, Seconds::ZERO).unwrap();
+        assert!(
+            b_fast.transfer.get() < b_slow.transfer.get() * 0.6,
+            "transfer should halve: {} vs {}",
+            b_fast.transfer.to_millis(),
+            b_slow.transfer.to_millis()
+        );
+    }
+
+    #[test]
+    fn writes_pay_medium_but_populate_cache() {
+        let mut d = disk(10_000.0);
+        let (t1, w) = d.service(100, 8, RequestKind::Write, Seconds::ZERO).unwrap();
+        assert!(!w.cache_hit, "write-through pays the medium");
+        let (_, r) = d.service(100, 8, RequestKind::Read, t1).unwrap();
+        assert!(r.cache_hit, "read-after-write hits");
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut d = disk(10_000.0);
+        let total = d.spec().geometry().total_sectors().get();
+        let err = d
+            .service(total - 4, 8, RequestKind::Read, Seconds::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn activity_counters_accumulate() {
+        let mut d = disk(10_000.0);
+        let mut t = Seconds::ZERO;
+        for i in 0..10u64 {
+            let (f, _) = d
+                .service(i * 1_000_000 % 20_000_000, 8, RequestKind::Read, t)
+                .unwrap();
+            t = f;
+        }
+        assert_eq!(d.served(), 10);
+        assert!(d.busy_time().get() > 0.0);
+        assert!(d.seek_time().get() > 0.0);
+        assert!(d.arm_movement_rate() > 0.5);
+        assert!(d.mean_seek_distance() > 0.0);
+    }
+
+    #[test]
+    fn rpm_change_preserves_state() {
+        let mut d = disk(10_000.0);
+        let (t1, _) = d.service(5_000_000, 8, RequestKind::Read, Seconds::ZERO).unwrap();
+        let cyl = d.head_cylinder();
+        d.set_rpm(Rpm::new(20_000.0));
+        assert_eq!(d.head_cylinder(), cyl);
+        let (_, b) = d.service(5_000_100, 8, RequestKind::Read, t1).unwrap();
+        // Still near the same cylinder: tiny seek.
+        assert!(b.seek_distance < 10, "distance {}", b.seek_distance);
+    }
+
+    #[test]
+    fn rotational_wait_is_bounded_by_one_revolution() {
+        let mut d = disk(10_000.0);
+        let period = Rpm::new(10_000.0).rotation_period();
+        for i in 0..50u64 {
+            let (_, b) = d
+                .service((i * 777_777) % 10_000_000, 4, RequestKind::Read, Seconds::new(i as f64))
+                .unwrap();
+            if !b.cache_hit {
+                assert!(b.rotation <= period, "wait {} > period", b.rotation.to_millis());
+            }
+        }
+    }
+}

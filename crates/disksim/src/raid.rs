@@ -1,0 +1,529 @@
+//! RAID-0/RAID-5 striping and request mapping.
+
+use crate::error::SimError;
+use crate::request::RequestKind;
+use serde::{Deserialize, Serialize};
+
+/// RAID organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaidLevel {
+    /// Striping without redundancy.
+    Raid0,
+    /// Rotating-parity striping (left-asymmetric layout). Small writes
+    /// pay the read-modify-write penalty: read old data + old parity,
+    /// write new data + new parity.
+    Raid5,
+}
+
+/// A striped array layout.
+///
+/// # Examples
+///
+/// ```
+/// use disksim::{RaidConfig, RaidLevel};
+///
+/// // The paper's RAID-5 systems use a 16-sector (8 KB) stripe unit.
+/// let raid = RaidConfig::new(RaidLevel::Raid5, 8, 16)?;
+/// assert_eq!(raid.data_disks(), 7);
+/// # Ok::<(), disksim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RaidConfig {
+    level: RaidLevel,
+    disks: u32,
+    stripe_sectors: u32,
+    write_back: bool,
+}
+
+/// One physical operation the array issues to a member disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysOp {
+    /// Member disk index.
+    pub disk: u32,
+    /// Physical LBA on that disk.
+    pub lba: u64,
+    /// Sectors.
+    pub sectors: u32,
+    /// Read or write at the physical level.
+    pub kind: RequestKind,
+    /// Whether the logical request's completion waits for this
+    /// operation. Parity maintenance (the old-parity read and the new-
+    /// parity write) is deferred work the controller performs after
+    /// acknowledging the host — standard for battery-backed array
+    /// controllers of the era — so those operations occupy the disks
+    /// but do not gate the response time.
+    pub gates_completion: bool,
+}
+
+impl RaidConfig {
+    /// Creates a layout.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] when there are too few disks for the
+    /// level (2 for RAID-0, 3 for RAID-5) or the stripe unit is zero.
+    pub fn new(level: RaidLevel, disks: u32, stripe_sectors: u32) -> Result<Self, SimError> {
+        let min = match level {
+            RaidLevel::Raid0 => 2,
+            RaidLevel::Raid5 => 3,
+        };
+        if disks < min {
+            return Err(SimError::BadConfig(format!(
+                "{level:?} needs at least {min} disks, got {disks}"
+            )));
+        }
+        if stripe_sectors == 0 {
+            return Err(SimError::BadConfig("stripe unit must be positive".into()));
+        }
+        Ok(Self {
+            level,
+            disks,
+            stripe_sectors,
+            write_back: false,
+        })
+    }
+
+    /// Enables write-back caching: the controller acknowledges writes
+    /// from battery-backed NVRAM immediately and destages the data and
+    /// parity in the background. Writes then have near-zero response
+    /// time while their physical work still occupies the member disks.
+    pub fn with_write_back(mut self, write_back: bool) -> Self {
+        self.write_back = write_back;
+        self
+    }
+
+    /// Whether write-back caching is enabled.
+    pub fn write_back(&self) -> bool {
+        self.write_back
+    }
+
+    /// The RAID level.
+    pub fn level(&self) -> RaidLevel {
+        self.level
+    }
+
+    /// Member disk count.
+    pub fn disks(&self) -> u32 {
+        self.disks
+    }
+
+    /// Stripe unit in sectors.
+    pub fn stripe_sectors(&self) -> u32 {
+        self.stripe_sectors
+    }
+
+    /// Disks carrying data in each stripe row.
+    pub fn data_disks(&self) -> u32 {
+        match self.level {
+            RaidLevel::Raid0 => self.disks,
+            RaidLevel::Raid5 => self.disks - 1,
+        }
+    }
+
+    /// Logical capacity in sectors given each member's physical capacity.
+    pub fn logical_sectors(&self, per_disk: u64) -> u64 {
+        let rows = per_disk / self.stripe_sectors as u64;
+        rows * self.stripe_sectors as u64 * self.data_disks() as u64
+    }
+
+    /// Locates a logical stripe unit: returns `(row, data_index)`.
+    fn unit_of(&self, logical_lba: u64) -> (u64, u32, u32) {
+        let unit = logical_lba / self.stripe_sectors as u64;
+        let offset = (logical_lba % self.stripe_sectors as u64) as u32;
+        let row = unit / self.data_disks() as u64;
+        let data_index = (unit % self.data_disks() as u64) as u32;
+        (row, data_index, offset)
+    }
+
+    /// Parity disk of a stripe row (RAID-5 left-asymmetric rotation).
+    pub fn parity_disk(&self, row: u64) -> u32 {
+        debug_assert!(matches!(self.level, RaidLevel::Raid5));
+        (self.disks - 1) - (row % self.disks as u64) as u32
+    }
+
+    /// Physical member disk holding data index `d` of a row.
+    fn data_disk(&self, row: u64, data_index: u32) -> u32 {
+        match self.level {
+            RaidLevel::Raid0 => data_index,
+            RaidLevel::Raid5 => {
+                let parity = self.parity_disk(row);
+                if data_index < parity {
+                    data_index
+                } else {
+                    data_index + 1
+                }
+            }
+        }
+    }
+
+    /// Maps a logical request to the physical operations it induces.
+    ///
+    /// Reads touch only the data units. RAID-5 writes perform
+    /// read-modify-write per stripe unit: read old data, read old
+    /// parity, write new data, write new parity.
+    pub fn map(&self, logical_lba: u64, sectors: u32, kind: RequestKind) -> Vec<PhysOp> {
+        self.map_degraded(logical_lba, sectors, kind, None)
+    }
+
+    /// Like [`RaidConfig::map`], but with an optional failed member.
+    ///
+    /// In degraded mode (RAID-5 only):
+    /// - a read whose data unit lives on the dead disk is reconstructed
+    ///   by reading the same stripe offset from *every* surviving member
+    ///   and XOR-ing — one medium read per survivor;
+    /// - a write whose data unit lives on the dead disk updates parity
+    ///   only (reconstruct-write: read the surviving data units, write
+    ///   the new parity);
+    /// - a write whose *parity* lives on the dead disk degenerates to a
+    ///   bare data write (the redundancy is simply lost);
+    /// - operations that do not touch the dead disk map as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` names a member outside the array or if
+    /// degraded mapping is requested for RAID-0 (which has no
+    /// redundancy to reconstruct from).
+    pub fn map_degraded(
+        &self,
+        logical_lba: u64,
+        sectors: u32,
+        kind: RequestKind,
+        failed: Option<u32>,
+    ) -> Vec<PhysOp> {
+        if let Some(f) = failed {
+            assert!(f < self.disks, "failed disk {f} outside the array");
+            assert!(
+                matches!(self.level, RaidLevel::Raid5),
+                "only RAID-5 supports degraded operation"
+            );
+        }
+        let mut ops = Vec::new();
+        let mut lba = logical_lba;
+        let mut remaining = sectors;
+        while remaining > 0 {
+            let (row, data_index, offset) = self.unit_of(lba);
+            let in_unit = (self.stripe_sectors - offset).min(remaining);
+            let disk = self.data_disk(row, data_index);
+            let plba = row * self.stripe_sectors as u64 + offset as u64;
+
+            if let Some(dead) = failed {
+                let parity = self.parity_disk(row);
+                let advance = in_unit;
+                match kind {
+                    RequestKind::Read if disk == dead => {
+                        // Reconstruct from every surviving member.
+                        for survivor in 0..self.disks {
+                            if survivor == dead {
+                                continue;
+                            }
+                            ops.push(PhysOp {
+                                disk: survivor,
+                                lba: plba,
+                                sectors: in_unit,
+                                kind: RequestKind::Read,
+                                gates_completion: true,
+                            });
+                        }
+                        lba += advance as u64;
+                        remaining -= advance;
+                        continue;
+                    }
+                    RequestKind::Write if disk == dead => {
+                        // Reconstruct-write: read surviving data units,
+                        // write the new parity.
+                        let data_gates = !self.write_back;
+                        for survivor in 0..self.disks {
+                            if survivor == dead || survivor == parity {
+                                continue;
+                            }
+                            ops.push(PhysOp {
+                                disk: survivor,
+                                lba: plba,
+                                sectors: in_unit,
+                                kind: RequestKind::Read,
+                                gates_completion: data_gates,
+                            });
+                        }
+                        ops.push(PhysOp {
+                            disk: parity,
+                            lba: plba,
+                            sectors: in_unit,
+                            kind: RequestKind::Write,
+                            gates_completion: data_gates,
+                        });
+                        lba += advance as u64;
+                        remaining -= advance;
+                        continue;
+                    }
+                    RequestKind::Write if parity == dead => {
+                        // Parity lost: a bare data write.
+                        ops.push(PhysOp {
+                            disk,
+                            lba: plba,
+                            sectors: in_unit,
+                            kind: RequestKind::Write,
+                            gates_completion: !self.write_back,
+                        });
+                        lba += advance as u64;
+                        remaining -= advance;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+
+            match (self.level, kind) {
+                (_, RequestKind::Read) | (RaidLevel::Raid0, RequestKind::Write) => {
+                    ops.push(PhysOp {
+                        disk,
+                        lba: plba,
+                        sectors: in_unit,
+                        kind,
+                        gates_completion: true,
+                    });
+                }
+                (RaidLevel::Raid5, RequestKind::Write) => {
+                    let parity = self.parity_disk(row);
+                    // Read-modify-write: old data, old parity, new data,
+                    // new parity. The parity pair is deferred controller
+                    // work and does not gate the host response; under
+                    // write-back caching nothing does.
+                    let data_gates = !self.write_back;
+                    ops.push(PhysOp {
+                        disk,
+                        lba: plba,
+                        sectors: in_unit,
+                        kind: RequestKind::Read,
+                        gates_completion: data_gates,
+                    });
+                    ops.push(PhysOp {
+                        disk: parity,
+                        lba: plba,
+                        sectors: in_unit,
+                        kind: RequestKind::Read,
+                        gates_completion: false,
+                    });
+                    ops.push(PhysOp {
+                        disk,
+                        lba: plba,
+                        sectors: in_unit,
+                        kind: RequestKind::Write,
+                        gates_completion: data_gates,
+                    });
+                    ops.push(PhysOp {
+                        disk: parity,
+                        lba: plba,
+                        sectors: in_unit,
+                        kind: RequestKind::Write,
+                        gates_completion: false,
+                    });
+                }
+            }
+            lba += in_unit as u64;
+            remaining -= in_unit;
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raid5() -> RaidConfig {
+        RaidConfig::new(RaidLevel::Raid5, 4, 16).unwrap()
+    }
+
+    fn raid0() -> RaidConfig {
+        RaidConfig::new(RaidLevel::Raid0, 4, 16).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RaidConfig::new(RaidLevel::Raid0, 1, 16).is_err());
+        assert!(RaidConfig::new(RaidLevel::Raid5, 2, 16).is_err());
+        assert!(RaidConfig::new(RaidLevel::Raid5, 3, 0).is_err());
+        assert!(RaidConfig::new(RaidLevel::Raid5, 3, 16).is_ok());
+    }
+
+    #[test]
+    fn raid0_round_robin() {
+        let r = raid0();
+        // Units 0,1,2,3 land on disks 0,1,2,3; unit 4 wraps to disk 0.
+        for unit in 0..8u64 {
+            let ops = r.map(unit * 16, 16, RequestKind::Read);
+            assert_eq!(ops.len(), 1);
+            assert_eq!(ops[0].disk, (unit % 4) as u32);
+            assert_eq!(ops[0].lba, (unit / 4) * 16);
+        }
+    }
+
+    #[test]
+    fn raid5_parity_rotates() {
+        let r = raid5();
+        let seen: std::collections::HashSet<u32> =
+            (0..4u64).map(|row| r.parity_disk(row)).collect();
+        assert_eq!(seen.len(), 4, "parity must visit every disk");
+    }
+
+    #[test]
+    fn raid5_read_is_single_op() {
+        let r = raid5();
+        let ops = r.map(0, 16, RequestKind::Read);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, RequestKind::Read);
+    }
+
+    #[test]
+    fn raid5_small_write_is_rmw() {
+        let r = raid5();
+        let ops = r.map(0, 8, RequestKind::Write);
+        assert_eq!(ops.len(), 4, "read-modify-write touches 4 ops");
+        let reads = ops.iter().filter(|o| o.kind == RequestKind::Read).count();
+        let writes = ops.iter().filter(|o| o.kind == RequestKind::Write).count();
+        assert_eq!((reads, writes), (2, 2));
+        // Data and parity live on different disks.
+        let disks: std::collections::HashSet<u32> = ops.iter().map(|o| o.disk).collect();
+        assert_eq!(disks.len(), 2);
+    }
+
+    #[test]
+    fn data_never_lands_on_parity_disk() {
+        let r = raid5();
+        for unit in 0..64u64 {
+            let ops = r.map(unit * 16, 16, RequestKind::Read);
+            let row = unit / 3; // 3 data disks per row
+            assert_ne!(
+                ops[0].disk,
+                r.parity_disk(row),
+                "unit {unit} mapped onto its parity disk"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_unit_request_splits() {
+        let r = raid0();
+        // 40 sectors from LBA 8: units 0 (8 left), 1 (16), 2 (16).
+        let ops = r.map(8, 40, RequestKind::Read);
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].sectors, 8);
+        assert_eq!(ops[1].sectors, 16);
+        assert_eq!(ops[2].sectors, 16);
+        let total: u32 = ops.iter().map(|o| o.sectors).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn mapping_conserves_sectors_raid5_write() {
+        let r = raid5();
+        let ops = r.map(100, 60, RequestKind::Write);
+        let written: u32 = ops
+            .iter()
+            .filter(|o| o.kind == RequestKind::Write && o.disk != 99)
+            .map(|o| o.sectors)
+            .sum();
+        // Data writes + parity writes = 2x the logical sectors.
+        assert_eq!(written, 120);
+    }
+
+    #[test]
+    fn degraded_read_fans_out_to_survivors() {
+        let r = raid5(); // 4 disks
+        // Find a unit living on disk 0 and fail disk 0.
+        let mut lba = 0;
+        loop {
+            let ops = r.map(lba, 16, RequestKind::Read);
+            if ops[0].disk == 0 {
+                break;
+            }
+            lba += 16;
+        }
+        let ops = r.map_degraded(lba, 16, RequestKind::Read, Some(0));
+        assert_eq!(ops.len(), 3, "read every survivor");
+        assert!(ops.iter().all(|o| o.disk != 0));
+        assert!(ops.iter().all(|o| o.kind == RequestKind::Read));
+        assert!(ops.iter().all(|o| o.gates_completion));
+    }
+
+    #[test]
+    fn degraded_read_elsewhere_is_unchanged() {
+        let r = raid5();
+        let mut lba = 0;
+        loop {
+            let ops = r.map(lba, 16, RequestKind::Read);
+            if ops[0].disk != 0 {
+                break;
+            }
+            lba += 16;
+        }
+        let healthy = r.map(lba, 16, RequestKind::Read);
+        let degraded = r.map_degraded(lba, 16, RequestKind::Read, Some(0));
+        assert_eq!(healthy, degraded);
+    }
+
+    #[test]
+    fn degraded_write_to_dead_data_updates_parity_only() {
+        let r = raid5();
+        let mut lba = 0;
+        loop {
+            let ops = r.map(lba, 16, RequestKind::Read);
+            if ops[0].disk == 2 {
+                break;
+            }
+            lba += 16;
+        }
+        let ops = r.map_degraded(lba, 16, RequestKind::Write, Some(2));
+        // 2 surviving data reads + 1 parity write on a 4-disk array.
+        assert_eq!(ops.len(), 3);
+        let writes: Vec<&PhysOp> =
+            ops.iter().filter(|o| o.kind == RequestKind::Write).collect();
+        assert_eq!(writes.len(), 1);
+        assert!(ops.iter().all(|o| o.disk != 2));
+    }
+
+    #[test]
+    fn degraded_write_with_dead_parity_is_bare() {
+        let r = raid5();
+        // Unit whose parity disk is 1.
+        let mut lba = 0;
+        loop {
+            let (unit, _, _) = (lba / 16, 0, 0);
+            let row = unit / 3;
+            if r.parity_disk(row) == 1 {
+                // ensure the data itself is not on disk 1
+                let ops = r.map(lba, 16, RequestKind::Read);
+                if ops[0].disk != 1 {
+                    break;
+                }
+            }
+            lba += 16;
+        }
+        let ops = r.map_degraded(lba, 16, RequestKind::Write, Some(1));
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, RequestKind::Write);
+        assert_ne!(ops[0].disk, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the array")]
+    fn degraded_bad_member_panics() {
+        let _ = raid5().map_degraded(0, 8, RequestKind::Read, Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "RAID-5")]
+    fn degraded_raid0_panics() {
+        let _ = raid0().map_degraded(0, 8, RequestKind::Read, Some(0));
+    }
+
+    #[test]
+    fn logical_capacity_excludes_parity() {
+        let r5 = raid5();
+        let r0 = raid0();
+        let per_disk = 1_000_000;
+        assert!(r5.logical_sectors(per_disk) < r0.logical_sectors(per_disk));
+        let ratio = r5.logical_sectors(per_disk) as f64 / r0.logical_sectors(per_disk) as f64;
+        assert!((ratio - 0.75).abs() < 1e-9, "3 of 4 disks carry data");
+    }
+}

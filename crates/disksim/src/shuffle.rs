@@ -1,0 +1,293 @@
+//! Disk shuffling: popularity-based block placement.
+//!
+//! §5.4 points at Ruemmler and Wilkes' *disk shuffling* as a DTM
+//! enhancer: "techniques for co-locating data items to reduce seek
+//! overheads can reduce VCM power, and further enhance the potential of
+//! throttling." This module implements the classical organ-pipe
+//! arrangement — hottest extents in the middle of the address space,
+//! alternating outward by falling popularity — as an LBA remapping layer
+//! a trace can be passed through before simulation.
+
+use crate::request::Request;
+use serde::{Deserialize, Serialize};
+
+/// Access counts over fixed-size extents of the logical address space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessHistogram {
+    extent_sectors: u64,
+    total_sectors: u64,
+    counts: Vec<u64>,
+}
+
+impl AccessHistogram {
+    /// Creates an empty histogram over `total_sectors`, bucketed into
+    /// `extent_sectors`-sized extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or the device has fewer sectors
+    /// than one extent.
+    pub fn new(total_sectors: u64, extent_sectors: u64) -> Self {
+        assert!(extent_sectors > 0, "zero extent size");
+        assert!(
+            total_sectors >= extent_sectors,
+            "device smaller than one extent"
+        );
+        let extents = total_sectors.div_ceil(extent_sectors) as usize;
+        Self {
+            extent_sectors,
+            total_sectors,
+            counts: vec![0; extents],
+        }
+    }
+
+    /// Extent size in sectors.
+    pub fn extent_sectors(&self) -> u64 {
+        self.extent_sectors
+    }
+
+    /// Number of extents.
+    pub fn extents(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one request (every extent it touches counts once).
+    pub fn record(&mut self, request: &Request) {
+        let first = request.lba / self.extent_sectors;
+        let last = (request.end_lba().saturating_sub(1)) / self.extent_sectors;
+        for e in first..=last.min(self.counts.len() as u64 - 1) {
+            self.counts[e as usize] += 1;
+        }
+    }
+
+    /// Builds a histogram from a whole trace.
+    pub fn from_trace(trace: &[Request], total_sectors: u64, extent_sectors: u64) -> Self {
+        let mut h = Self::new(total_sectors, extent_sectors);
+        for r in trace {
+            h.record(r);
+        }
+        h
+    }
+
+    /// Fraction of accesses landing in the hottest `k` extents.
+    pub fn concentration(&self, k: usize) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: u64 = sorted.iter().take(k).sum();
+        hot as f64 / total as f64
+    }
+}
+
+/// An extent-granular LBA permutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleMap {
+    extent_sectors: u64,
+    total_sectors: u64,
+    /// `forward[old_extent] = new_extent`.
+    forward: Vec<u32>,
+}
+
+impl ShuffleMap {
+    /// Builds the organ-pipe arrangement from an access histogram: the
+    /// most popular extent moves to the middle of the address space and
+    /// successively less popular extents alternate left and right of it,
+    /// which minimizes the expected arm travel for independent accesses.
+    pub fn organ_pipe(histogram: &AccessHistogram) -> Self {
+        let n = histogram.extents();
+        // Rank extents by popularity (stable: ties keep address order).
+        let mut by_popularity: Vec<usize> = (0..n).collect();
+        by_popularity.sort_by_key(|&e| std::cmp::Reverse(histogram.counts[e]));
+
+        // Organ-pipe slot order: middle, middle+1, middle-1, ...
+        let mut slots = Vec::with_capacity(n);
+        let middle = n / 2;
+        slots.push(middle);
+        for offset in 1..=n {
+            if slots.len() == n {
+                break;
+            }
+            if middle + offset < n {
+                slots.push(middle + offset);
+            }
+            if slots.len() == n {
+                break;
+            }
+            if offset <= middle {
+                slots.push(middle - offset);
+            }
+        }
+        debug_assert_eq!(slots.len(), n);
+
+        let mut forward = vec![0u32; n];
+        for (rank, &old_extent) in by_popularity.iter().enumerate() {
+            forward[old_extent] = slots[rank] as u32;
+        }
+        Self {
+            extent_sectors: histogram.extent_sectors,
+            total_sectors: histogram.total_sectors,
+            forward,
+        }
+    }
+
+    /// The identity placement (for control experiments).
+    pub fn identity(total_sectors: u64, extent_sectors: u64) -> Self {
+        let h = AccessHistogram::new(total_sectors, extent_sectors);
+        let n = h.extents();
+        Self {
+            extent_sectors,
+            total_sectors,
+            forward: (0..n as u32).collect(),
+        }
+    }
+
+    /// Remaps one LBA. Requests are assumed not to straddle extents
+    /// (the remapped offset stays within the extent); LBAs past the end
+    /// of the mapped space pass through unchanged.
+    pub fn remap(&self, lba: u64) -> u64 {
+        let extent = lba / self.extent_sectors;
+        if extent as usize >= self.forward.len() {
+            return lba;
+        }
+        let offset = lba % self.extent_sectors;
+        self.forward[extent as usize] as u64 * self.extent_sectors + offset
+    }
+
+    /// Remaps a whole trace, clamping any request whose remapped extent
+    /// sits at the end of the device so it stays in range.
+    pub fn apply(&self, trace: &[Request]) -> Vec<Request> {
+        trace
+            .iter()
+            .map(|r| {
+                let mut out = *r;
+                out.lba = self
+                    .remap(r.lba)
+                    .min(self.total_sectors.saturating_sub(r.sectors as u64));
+                out
+            })
+            .collect()
+    }
+
+    /// `true` when the extent mapping is a bijection.
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.forward.len()];
+        for &t in &self.forward {
+            let t = t as usize;
+            if t >= seen.len() || seen[t] {
+                return false;
+            }
+            seen[t] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+    use units::Seconds;
+
+    fn skewed_trace(total: u64, n: u64) -> Vec<Request> {
+        // 80% of accesses hit two extents at opposite ends of the disk;
+        // the rest scatter.
+        (0..n)
+            .map(|i| {
+                let lba = match i % 10 {
+                    0..=3 => 100,                         // hot head
+                    4..=7 => total - 5_000,               // hot tail
+                    _ => (i.wrapping_mul(48_271) * 4_096) % (total - 64),
+                };
+                Request::new(i, Seconds::new(i as f64 / 100.0), 0, lba, 8, RequestKind::Read)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn histogram_counts_and_concentration() {
+        let total = 1_000_000;
+        let trace = skewed_trace(total, 1_000);
+        let h = AccessHistogram::from_trace(&trace, total, 4_096);
+        assert!(h.concentration(2) >= 0.8, "two extents carry 80%");
+        assert!(h.concentration(h.extents()) > 0.999);
+    }
+
+    #[test]
+    fn organ_pipe_is_a_permutation_centering_hot_data() {
+        let total = 1_000_000;
+        let trace = skewed_trace(total, 2_000);
+        let h = AccessHistogram::from_trace(&trace, total, 4_096);
+        let map = ShuffleMap::organ_pipe(&h);
+        assert!(map.is_permutation());
+        // The two hot extents land adjacent to the middle of the space.
+        let middle_extent = (h.extents() / 2) as u64 * 4_096;
+        let hot_head = map.remap(100);
+        let hot_tail = map.remap(total - 5_000);
+        for hot in [hot_head, hot_tail] {
+            let distance = hot.abs_diff(middle_extent);
+            assert!(
+                distance <= 2 * 4_096,
+                "hot extent should sit by the middle: {distance} sectors away"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffling_reduces_arm_travel() {
+        use crate::{DiskSpec, StorageSystem, SystemConfig};
+        use units::Rpm;
+
+        let spec = DiskSpec::era(2001, 2, Rpm::new(10_000.0));
+        let total = StorageSystem::new(SystemConfig::single_disk(spec.clone()))
+            .unwrap()
+            .logical_sectors();
+        let trace = skewed_trace(total, 3_000);
+
+        let run = |trace: &[Request]| {
+            let mut sys =
+                StorageSystem::new(SystemConfig::single_disk(spec.clone())).unwrap();
+            for r in trace {
+                sys.submit(*r).unwrap();
+            }
+            let _ = sys.drain();
+            (
+                sys.disks()[0].mean_seek_distance(),
+                sys.disks()[0].seek_time().get(),
+            )
+        };
+
+        let (base_dist, base_seek) = run(&trace);
+        let h = AccessHistogram::from_trace(&trace, total, 4_096);
+        let shuffled = ShuffleMap::organ_pipe(&h).apply(&trace);
+        let (new_dist, new_seek) = run(&shuffled);
+
+        assert!(
+            new_dist < base_dist * 0.5,
+            "organ-pipe should at least halve arm travel: {base_dist:.0} -> {new_dist:.0} cylinders"
+        );
+        assert!(new_seek < base_seek, "less travel, less actuator time");
+    }
+
+    #[test]
+    fn identity_map_changes_nothing() {
+        let total = 1_000_000;
+        let trace = skewed_trace(total, 200);
+        let id = ShuffleMap::identity(total, 4_096);
+        assert!(id.is_permutation());
+        assert_eq!(id.apply(&trace), trace);
+    }
+
+    #[test]
+    fn remap_preserves_intra_extent_offsets() {
+        let total = 1_000_000;
+        let trace = skewed_trace(total, 500);
+        let h = AccessHistogram::from_trace(&trace, total, 4_096);
+        let map = ShuffleMap::organ_pipe(&h);
+        for lba in [0u64, 1, 4_095, 4_096, 123_456] {
+            assert_eq!(map.remap(lba) % 4_096, lba % 4_096);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Response-time statistics with the paper's CDF buckets.
+
+use crate::request::Completion;
+use serde::{Deserialize, Serialize};
+use units::Seconds;
+
+/// The bucket edges (in milliseconds) of the Figure 4 CDF plots:
+/// 5, 10, 20, 40, 60, 90, 120, 150, 200, and "200+".
+pub const CDF_BUCKETS_MS: [f64; 9] = [5.0, 10.0, 20.0, 40.0, 60.0, 90.0, 120.0, 150.0, 200.0];
+
+/// Aggregated response-time statistics.
+///
+/// # Examples
+///
+/// ```
+/// use disksim::ResponseStats;
+/// use units::Seconds;
+///
+/// let mut stats = ResponseStats::new();
+/// for ms in [2.0, 8.0, 15.0, 300.0] {
+///     stats.record(Seconds::from_millis(ms));
+/// }
+/// assert_eq!(stats.count(), 4);
+/// assert!((stats.mean().to_millis() - 81.25).abs() < 1e-9);
+/// // 3 of 4 requests finished within 20 ms.
+/// let cdf = stats.cdf();
+/// assert!((cdf[2].1 - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResponseStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    max: f64,
+    /// Count of samples ≤ each bucket edge, plus a final overflow count.
+    bucket_counts: [u64; CDF_BUCKETS_MS.len() + 1],
+    /// Reservoir of samples for percentile estimation.
+    samples: Vec<f64>,
+}
+
+/// Reservoir size for percentile estimation.
+const RESERVOIR: usize = 65_536;
+
+impl ResponseStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response time.
+    pub fn record(&mut self, response: Seconds) {
+        let ms = response.to_millis();
+        self.count += 1;
+        self.sum += ms;
+        self.sum_sq += ms * ms;
+        self.max = self.max.max(ms);
+        let idx = CDF_BUCKETS_MS
+            .iter()
+            .position(|&edge| ms <= edge)
+            .unwrap_or(CDF_BUCKETS_MS.len());
+        self.bucket_counts[idx] += 1;
+        if self.samples.len() < RESERVOIR {
+            self.samples.push(ms);
+        } else {
+            // Deterministic reservoir replacement keyed on the count.
+            let slot = (self.count.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize
+                % RESERVOIR;
+            if self.count.is_multiple_of(2) {
+                self.samples[slot] = ms;
+            }
+        }
+    }
+
+    /// Folds a batch of completions in.
+    pub fn record_all<'a>(&mut self, completions: impl IntoIterator<Item = &'a Completion>) {
+        for c in completions {
+            self.record(c.response_time());
+        }
+    }
+
+    /// Builds statistics from a completion slice.
+    pub fn from_completions(completions: &[Completion]) -> Self {
+        let mut s = Self::new();
+        s.record_all(completions);
+        s
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean response time.
+    pub fn mean(&self) -> Seconds {
+        if self.count == 0 {
+            Seconds::ZERO
+        } else {
+            Seconds::from_millis(self.sum / self.count as f64)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Seconds {
+        if self.count < 2 {
+            return Seconds::ZERO;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq - self.sum * self.sum / n) / (n - 1.0);
+        Seconds::from_millis(var.max(0.0).sqrt())
+    }
+
+    /// Largest observed response time.
+    pub fn max(&self) -> Seconds {
+        Seconds::from_millis(self.max)
+    }
+
+    /// Cumulative distribution at the Figure 4 bucket edges: pairs of
+    /// `(edge_ms, fraction_at_or_below)`. A final `(f64::INFINITY, 1.0)`
+    /// entry closes the distribution ("200+").
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(CDF_BUCKETS_MS.len() + 1);
+        let total = self.count.max(1) as f64;
+        let mut acc = 0u64;
+        for (i, &edge) in CDF_BUCKETS_MS.iter().enumerate() {
+            acc += self.bucket_counts[i];
+            out.push((edge, acc as f64 / total));
+        }
+        out.push((f64::INFINITY, 1.0));
+        out
+    }
+
+    /// Approximate percentile (0–100) from the sample reservoir.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Seconds {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return Seconds::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Seconds::from_millis(sorted[idx])
+    }
+}
+
+impl core::fmt::Display for ResponseStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} requests, mean {:.2} ms, p95 {:.2} ms, max {:.2} ms",
+            self.count,
+            self.mean().to_millis(),
+            self.percentile(95.0).to_millis(),
+            self.max().to_millis()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(values_ms: &[f64]) -> ResponseStats {
+        let mut s = ResponseStats::new();
+        for &v in values_ms {
+            s.record(Seconds::from_millis(v));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ResponseStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Seconds::ZERO);
+        assert_eq!(s.percentile(50.0), Seconds::ZERO);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = stats_of(&[10.0, 20.0, 30.0]);
+        assert!((s.mean().to_millis() - 20.0).abs() < 1e-12);
+        assert!((s.std_dev().to_millis() - 10.0).abs() < 1e-9);
+        assert!((s.max().to_millis() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let s = stats_of(&[1.0, 7.0, 15.0, 55.0, 500.0]);
+        let cdf = s.cdf();
+        let mut prev = 0.0;
+        for &(_, frac) in &cdf {
+            assert!(frac >= prev);
+            prev = frac;
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        // 1/5 <= 5ms, 2/5 <= 10ms, 3/5 <= 20ms.
+        assert!((cdf[0].1 - 0.2).abs() < 1e-12);
+        assert!((cdf[1].1 - 0.4).abs() < 1e-12);
+        assert!((cdf[2].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_edges_match_figure4() {
+        assert_eq!(
+            CDF_BUCKETS_MS,
+            [5.0, 10.0, 20.0, 40.0, 60.0, 90.0, 120.0, 150.0, 200.0]
+        );
+    }
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = stats_of(&values);
+        assert!((s.percentile(50.0).to_millis() - 50.0).abs() <= 1.0);
+        assert!((s.percentile(95.0).to_millis() - 95.0).abs() <= 1.0);
+        assert!((s.percentile(0.0).to_millis() - 1.0).abs() < 1e-9);
+        assert!((s.percentile(100.0).to_millis() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        let _ = stats_of(&[1.0]).percentile(150.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = stats_of(&[5.0, 10.0]);
+        let text = s.to_string();
+        assert!(text.contains("2 requests"));
+        assert!(text.contains("mean 7.50 ms"));
+    }
+}

@@ -1,0 +1,831 @@
+//! The event-driven storage-system engine.
+
+use crate::disk::{Disk, DiskSpec};
+use crate::error::SimError;
+use crate::raid::RaidConfig;
+use crate::request::{Completion, Request, RequestKind};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use units::Seconds;
+
+/// Queue-dispatch policy at each disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// First-come-first-served.
+    Fcfs,
+    /// Shortest-seek-time-first (era SCSI firmware default; ours too).
+    #[default]
+    Sstf,
+    /// Circular elevator (C-LOOK): sweep outward, wrap to the lowest
+    /// pending cylinder.
+    Elevator,
+}
+
+/// Configuration of a whole storage system.
+///
+/// # Examples
+///
+/// ```
+/// use disksim::{DiskSpec, RaidConfig, RaidLevel, SystemConfig};
+/// use units::Rpm;
+///
+/// // The paper's RAID-5 systems: stripe of 16 512-byte blocks.
+/// let cfg = SystemConfig::raid5(DiskSpec::era_2001(Rpm::new(10_000.0)), 8, 16)?;
+/// assert_eq!(cfg.disks.len(), 8);
+/// # Ok::<(), disksim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Member disk specifications.
+    pub disks: Vec<DiskSpec>,
+    /// Optional striping layer over the members.
+    pub raid: Option<RaidConfig>,
+    /// Dispatch policy.
+    pub scheduler: Scheduler,
+}
+
+impl SystemConfig {
+    /// One stand-alone disk.
+    pub fn single_disk(spec: DiskSpec) -> Self {
+        Self {
+            disks: vec![spec],
+            raid: None,
+            scheduler: Scheduler::default(),
+        }
+    }
+
+    /// `n` independent disks (no striping): requests address each disk
+    /// by its device index.
+    pub fn jbod(spec: DiskSpec, n: u32) -> Self {
+        Self {
+            disks: vec![spec; n as usize],
+            raid: None,
+            scheduler: Scheduler::default(),
+        }
+    }
+
+    /// `n` identical disks striped as RAID-5.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::BadConfig`] for fewer than three disks or
+    /// a zero stripe.
+    pub fn raid5(spec: DiskSpec, n: u32, stripe_sectors: u32) -> Result<Self, SimError> {
+        Ok(Self {
+            disks: vec![spec; n as usize],
+            raid: Some(RaidConfig::new(crate::raid::RaidLevel::Raid5, n, stripe_sectors)?),
+            scheduler: Scheduler::default(),
+        })
+    }
+
+    /// `n` identical disks striped as RAID-0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::BadConfig`] for fewer than two disks or a
+    /// zero stripe.
+    pub fn raid0(spec: DiskSpec, n: u32, stripe_sectors: u32) -> Result<Self, SimError> {
+        Ok(Self {
+            disks: vec![spec; n as usize],
+            raid: Some(RaidConfig::new(crate::raid::RaidLevel::Raid0, n, stripe_sectors)?),
+            scheduler: Scheduler::default(),
+        })
+    }
+
+    /// Replaces the scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables controller write-back caching on the RAID layer (no-op
+    /// for JBOD systems).
+    pub fn with_write_back(mut self, write_back: bool) -> Self {
+        if let Some(raid) = self.raid.take() {
+            self.raid = Some(raid.with_write_back(write_back));
+        }
+        self
+    }
+}
+
+/// A physical sub-request in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PhysRequest {
+    parent: u64,
+    disk: u32,
+    lba: u64,
+    sectors: u32,
+    kind: RequestKind,
+    gates_completion: bool,
+}
+
+/// Book-keeping for a logical request split across members.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Parent {
+    request: Request,
+    remaining: u32,
+    first_start: Option<Seconds>,
+}
+
+/// Orders floats in a heap (arrival times are always finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64, u64);
+
+impl Eq for TimeKey {}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated storage system.
+///
+/// Drive it either in one shot ([`StorageSystem::drain`]) or
+/// incrementally ([`StorageSystem::advance_to`]) — the incremental form
+/// is what the DTM policies use to interleave thermal decisions with I/O.
+#[derive(Debug)]
+pub struct StorageSystem {
+    disks: Vec<Disk>,
+    scheduler: Scheduler,
+    raid: Option<RaidConfig>,
+    logical_sectors: u64,
+    arrivals: BinaryHeap<Reverse<(TimeKey, Request)>>,
+    queues: Vec<Vec<PhysRequest>>,
+    in_service: Vec<Option<(Seconds, PhysRequest)>>,
+    parents: HashMap<u64, Parent>,
+    clock: Seconds,
+    completions: Vec<Completion>,
+    seq: u64,
+    submitted: u64,
+    finished: u64,
+    failed_disk: Option<u32>,
+}
+
+// Requests inside the arrival heap are ordered by TimeKey only; Request
+// itself carries no ordering. Wrap ordering is total via TimeKey.
+impl PartialOrd for Request {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Eq for Request {}
+impl Ord for Request {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl StorageSystem {
+    /// Assembles a system.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] when the RAID layout disagrees with the
+    /// member count or the members differ in capacity.
+    pub fn new(config: SystemConfig) -> Result<Self, SimError> {
+        if config.disks.is_empty() {
+            return Err(SimError::BadConfig("no disks".into()));
+        }
+        let per_disk = config.disks[0].geometry().total_sectors().get();
+        if let Some(raid) = &config.raid {
+            if raid.disks() as usize != config.disks.len() {
+                return Err(SimError::BadConfig(format!(
+                    "raid expects {} disks, {} configured",
+                    raid.disks(),
+                    config.disks.len()
+                )));
+            }
+            for d in &config.disks {
+                if d.geometry().total_sectors().get() != per_disk {
+                    return Err(SimError::BadConfig(
+                        "raid members must have equal capacity".into(),
+                    ));
+                }
+            }
+        }
+        let logical_sectors = match &config.raid {
+            Some(raid) => raid.logical_sectors(per_disk),
+            None => per_disk,
+        };
+        let n = config.disks.len();
+        Ok(Self {
+            disks: config.disks.into_iter().map(Disk::new).collect(),
+            scheduler: config.scheduler,
+            raid: config.raid,
+            logical_sectors,
+            arrivals: BinaryHeap::new(),
+            queues: vec![Vec::new(); n],
+            in_service: vec![None; n],
+            parents: HashMap::new(),
+            clock: Seconds::ZERO,
+            completions: Vec::new(),
+            seq: 0,
+            submitted: 0,
+            finished: 0,
+            failed_disk: None,
+        })
+    }
+
+    /// Marks a RAID-5 member as failed: subsequent requests map through
+    /// degraded-mode reconstruction. Requests already queued or in
+    /// service on the member complete normally (the failure takes effect
+    /// at the mapping layer).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] when the system is not RAID-5 or the
+    /// index is out of range.
+    pub fn fail_disk(&mut self, disk: u32) -> Result<(), SimError> {
+        match &self.raid {
+            Some(raid) if matches!(raid.level(), crate::raid::RaidLevel::Raid5) => {
+                if disk >= raid.disks() {
+                    return Err(SimError::NoSuchDevice {
+                        device: disk,
+                        available: raid.disks(),
+                    });
+                }
+                self.failed_disk = Some(disk);
+                Ok(())
+            }
+            _ => Err(SimError::BadConfig(
+                "degraded mode requires a RAID-5 system".into(),
+            )),
+        }
+    }
+
+    /// The failed member, if any.
+    pub fn failed_disk(&self) -> Option<u32> {
+        self.failed_disk
+    }
+
+    /// Addressable sectors of the logical volume (or of each member for
+    /// a JBOD system).
+    pub fn logical_sectors(&self) -> u64 {
+        self.logical_sectors
+    }
+
+    /// The member disks (for inspecting activity counters).
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// Mutable access to the member disks (multi-speed DTM control).
+    pub fn disks_mut(&mut self) -> &mut [Disk] {
+        &mut self.disks
+    }
+
+    /// Current simulated time.
+    pub fn clock(&self) -> Seconds {
+        self.clock
+    }
+
+    /// Requests submitted and finished so far.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.finished
+    }
+
+    /// Queues a request for arrival. Arrivals earlier than the current
+    /// clock are treated as arriving now.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchDevice`] / [`SimError::OutOfRange`] when the
+    /// request does not fit the system.
+    pub fn submit(&mut self, request: Request) -> Result<(), SimError> {
+        if self.raid.is_some() {
+            if request.device != 0 {
+                return Err(SimError::NoSuchDevice {
+                    device: request.device,
+                    available: 1,
+                });
+            }
+        } else if request.device as usize >= self.disks.len() {
+            return Err(SimError::NoSuchDevice {
+                device: request.device,
+                available: self.disks.len() as u32,
+            });
+        }
+        if request.end_lba() > self.logical_sectors {
+            return Err(SimError::OutOfRange {
+                lba: request.lba,
+                sectors: request.sectors,
+                capacity: self.logical_sectors,
+            });
+        }
+        self.seq += 1;
+        self.submitted += 1;
+        self.arrivals
+            .push(Reverse((TimeKey(request.arrival.get(), self.seq), request)));
+        Ok(())
+    }
+
+    /// Advances the simulation until every queued event at or before
+    /// `target` has been processed, returning the completions produced.
+    pub fn advance_to(&mut self, target: Seconds) -> Vec<Completion> {
+        loop {
+            let next_completion = self
+                .in_service
+                .iter()
+                .enumerate()
+                .filter_map(|(d, s)| s.map(|(finish, _)| (finish, d)))
+                .min_by(|a, b| a.0.get().total_cmp(&b.0.get()));
+            let next_arrival = self.arrivals.peek().map(|Reverse((k, _))| k.0);
+
+            // Completions win ties so the disk frees up before the
+            // simultaneous arrival is routed.
+            let take_completion = match (next_completion, next_arrival) {
+                (Some((f, _)), Some(a)) => f.get() <= a,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+
+            if take_completion {
+                let (finish, d) = next_completion.expect("checked above");
+                if finish > target {
+                    break;
+                }
+                self.clock = self.clock.max(finish);
+                self.on_completion(d);
+            } else {
+                let arrival = next_arrival.expect("checked above");
+                if arrival > target.get() {
+                    break;
+                }
+                let Reverse((_, request)) = self.arrivals.pop().expect("peeked");
+                self.clock = self.clock.max(Seconds::new(arrival));
+                self.on_arrival(request);
+            }
+        }
+        // Advance the clock to the target, but never to the infinite
+        // horizon drain() uses — the clock must remain a meaningful
+        // denominator for utilization after a full drain.
+        if target.get().is_finite() {
+            self.clock = self.clock.max(target);
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Runs until every submitted request has completed.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        loop {
+            let batch = self.advance_to(Seconds::new(f64::INFINITY));
+            out.extend(batch);
+            if self.arrivals.is_empty() && self.in_service.iter().all(Option::is_none) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Earliest pending event time, if any.
+    pub fn next_event_time(&self) -> Option<Seconds> {
+        let completion = self
+            .in_service
+            .iter()
+            .filter_map(|s| s.map(|(f, _)| f.get()))
+            .fold(f64::INFINITY, f64::min);
+        let arrival = self
+            .arrivals
+            .peek()
+            .map(|Reverse((k, _))| k.0)
+            .unwrap_or(f64::INFINITY);
+        let t = completion.min(arrival);
+        t.is_finite().then(|| Seconds::new(t))
+    }
+
+    fn on_arrival(&mut self, request: Request) {
+        let phys: Vec<PhysRequest> = match &self.raid {
+            Some(raid) => raid
+                .map_degraded(request.lba, request.sectors, request.kind, self.failed_disk)
+                .into_iter()
+                .map(|op| PhysRequest {
+                    parent: request.id,
+                    disk: op.disk,
+                    lba: op.lba,
+                    sectors: op.sectors,
+                    kind: op.kind,
+                    gates_completion: op.gates_completion,
+                })
+                .collect(),
+            None => vec![PhysRequest {
+                parent: request.id,
+                disk: request.device,
+                lba: request.lba,
+                sectors: request.sectors,
+                kind: request.kind,
+                gates_completion: true,
+            }],
+        };
+        let gating = phys.iter().filter(|p| p.gates_completion).count() as u32;
+        if gating == 0 {
+            // Write-back caching: the controller acknowledges the host
+            // immediately; the physical work proceeds in the background.
+            self.finished += 1;
+            self.completions.push(Completion {
+                request,
+                start: self.clock,
+                finish: self.clock,
+            });
+        } else {
+            self.parents.insert(
+                request.id,
+                Parent {
+                    request,
+                    remaining: gating,
+                    first_start: None,
+                },
+            );
+        }
+        let mut touched: Vec<u32> = phys.iter().map(|p| p.disk).collect();
+        touched.dedup();
+        for p in phys {
+            self.queues[p.disk as usize].push(p);
+        }
+        for d in touched {
+            self.try_dispatch(d as usize);
+        }
+    }
+
+    fn on_completion(&mut self, d: usize) {
+        let (finish, phys) = self.in_service[d].take().expect("disk was busy");
+        self.clock = self.clock.max(finish);
+        if phys.gates_completion {
+            let parent = self
+                .parents
+                .get_mut(&phys.parent)
+                .expect("parent outlives its gating subs");
+            parent.remaining -= 1;
+            if parent.remaining == 0 {
+                let parent = self.parents.remove(&phys.parent).expect("present");
+                self.finished += 1;
+                self.completions.push(Completion {
+                    request: parent.request,
+                    start: parent.first_start.unwrap_or(finish),
+                    finish,
+                });
+            }
+        }
+        self.try_dispatch(d);
+    }
+
+    fn try_dispatch(&mut self, d: usize) {
+        if self.in_service[d].is_some() || self.queues[d].is_empty() {
+            return;
+        }
+        let idx = self.pick(d);
+        // Order-preserving removal: the queue's push order is arrival
+        // order, which FCFS (and tie-breaking in the other policies)
+        // depends on.
+        let phys = self.queues[d].remove(idx);
+        let start = self.clock;
+        let (finish, _breakdown) = self.disks[d]
+            .service(phys.lba, phys.sectors, phys.kind, start)
+            .expect("physical requests are range-checked at submit");
+        if phys.gates_completion {
+            // Deferred parity work can outlive its parent; only gating
+            // operations contribute to the parent's service window.
+            if let Some(parent) = self.parents.get_mut(&phys.parent) {
+                parent.first_start = Some(parent.first_start.unwrap_or(start).min(start));
+            }
+        }
+        self.in_service[d] = Some((finish, phys));
+    }
+
+    /// Chooses which queued request the disk serves next.
+    fn pick(&self, d: usize) -> usize {
+        let queue = &self.queues[d];
+        if queue.len() == 1 {
+            return 0;
+        }
+        match self.scheduler {
+            Scheduler::Fcfs => 0,
+            Scheduler::Sstf => {
+                let head = self.disks[d].head_cylinder();
+                queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, p)| {
+                        self.cylinder(d, p.lba).abs_diff(head)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("queue non-empty")
+            }
+            Scheduler::Elevator => {
+                let head = self.disks[d].head_cylinder();
+                // C-LOOK: nearest cylinder at or past the head, else wrap
+                // to the lowest pending cylinder.
+                let ahead = queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| self.cylinder(d, p.lba) >= head)
+                    .min_by_key(|(_, p)| self.cylinder(d, p.lba));
+                match ahead {
+                    Some((i, _)) => i,
+                    None => queue
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, p)| self.cylinder(d, p.lba))
+                        .map(|(i, _)| i)
+                        .expect("queue non-empty"),
+                }
+            }
+        }
+    }
+
+    fn cylinder(&self, d: usize, lba: u64) -> u32 {
+        self.disks[d]
+            .spec()
+            .geometry()
+            .cylinder_of(lba)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::Rpm;
+
+    fn spec() -> DiskSpec {
+        DiskSpec::era_2001(Rpm::new(10_000.0))
+    }
+
+    fn read(id: u64, at_ms: f64, lba: u64) -> Request {
+        Request::new(id, Seconds::from_millis(at_ms), 0, lba, 8, RequestKind::Read)
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(spec())).unwrap();
+        sys.submit(read(1, 0.0, 1_000)).unwrap();
+        let done = sys.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request.id, 1);
+        assert!(done[0].finish > done[0].start);
+    }
+
+    #[test]
+    fn no_request_lost_or_duplicated() {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(spec())).unwrap();
+        let n = 500;
+        for i in 0..n {
+            sys.submit(read(i, i as f64 * 0.5, (i * 997_123) % 10_000_000))
+                .unwrap();
+        }
+        let done = sys.drain();
+        assert_eq!(done.len(), n as usize);
+        let mut ids: Vec<u64> = done.iter().map(|c| c.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n as usize, "every id exactly once");
+    }
+
+    #[test]
+    fn response_times_are_positive_and_causal() {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(spec())).unwrap();
+        for i in 0..100 {
+            sys.submit(read(i, i as f64, (i * 5_000_321) % 20_000_000))
+                .unwrap();
+        }
+        for c in sys.drain() {
+            assert!(c.start >= c.request.arrival, "service precedes arrival");
+            assert!(c.finish > c.start);
+            assert!(c.response_time().get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn queueing_shows_under_load() {
+        // Saturate a single disk: response times must exceed pure
+        // service times for later requests.
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(spec())).unwrap();
+        for i in 0..50 {
+            // All arrive at t=0; they must queue.
+            sys.submit(read(i, 0.0, (i * 3_333_337) % 20_000_000)).unwrap();
+        }
+        let done = sys.drain();
+        let max_response = done
+            .iter()
+            .map(|c| c.response_time().to_millis())
+            .fold(0.0, f64::max);
+        assert!(
+            max_response > 50.0,
+            "50 queued random requests should take >50 ms, got {max_response:.1}"
+        );
+    }
+
+    #[test]
+    fn jbod_devices_are_independent() {
+        let mut sys = StorageSystem::new(SystemConfig::jbod(spec(), 4)).unwrap();
+        for d in 0..4u32 {
+            sys.submit(Request::new(
+                d as u64,
+                Seconds::ZERO,
+                d,
+                9_999_999,
+                8,
+                RequestKind::Read,
+            ))
+            .unwrap();
+        }
+        let done = sys.drain();
+        assert_eq!(done.len(), 4);
+        // All four served in parallel: finish times are equal (same
+        // geometry, same LBA, same start).
+        let finishes: Vec<f64> = done.iter().map(|c| c.finish.get()).collect();
+        for f in &finishes {
+            assert!((f - finishes[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bad_device_and_range_rejected() {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(spec())).unwrap();
+        let err = sys
+            .submit(Request::new(1, Seconds::ZERO, 7, 0, 8, RequestKind::Read))
+            .unwrap_err();
+        assert!(matches!(err, SimError::NoSuchDevice { .. }));
+
+        let total = sys.logical_sectors();
+        let err = sys
+            .submit(Request::new(2, Seconds::ZERO, 0, total, 8, RequestKind::Read))
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn raid5_write_touches_two_disks() {
+        let mut sys =
+            StorageSystem::new(SystemConfig::raid5(spec(), 4, 16).unwrap()).unwrap();
+        sys.submit(Request::new(1, Seconds::ZERO, 0, 0, 8, RequestKind::Write))
+            .unwrap();
+        let done = sys.drain();
+        assert_eq!(done.len(), 1);
+        let busy: Vec<bool> = sys
+            .disks()
+            .iter()
+            .map(|d| d.busy_time().get() > 0.0)
+            .collect();
+        assert_eq!(busy.iter().filter(|b| **b).count(), 2, "data + parity disks");
+    }
+
+    #[test]
+    fn raid0_spreads_load() {
+        let mut sys =
+            StorageSystem::new(SystemConfig::raid0(spec(), 4, 16).unwrap()).unwrap();
+        // 64 requests covering consecutive stripe units.
+        for i in 0..64u64 {
+            sys.submit(Request::new(i, Seconds::ZERO, 0, i * 16, 16, RequestKind::Read))
+                .unwrap();
+        }
+        let done = sys.drain();
+        assert_eq!(done.len(), 64);
+        for d in sys.disks() {
+            assert!(d.served() >= 8, "striping should hit every member");
+        }
+    }
+
+    #[test]
+    fn sstf_beats_fcfs_on_random_load() {
+        let run = |sched: Scheduler| -> f64 {
+            let cfg = SystemConfig::single_disk(spec()).with_scheduler(sched);
+            let mut sys = StorageSystem::new(cfg).unwrap();
+            for i in 0..200u64 {
+                sys.submit(read(i, 0.0, (i * 7_777_783) % 20_000_000)).unwrap();
+            }
+            let done = sys.drain();
+            done.iter().map(|c| c.response_time().get()).sum::<f64>() / done.len() as f64
+        };
+        let fcfs = run(Scheduler::Fcfs);
+        let sstf = run(Scheduler::Sstf);
+        assert!(
+            sstf < fcfs,
+            "SSTF should cut mean response under backlog: {sstf:.4} vs {fcfs:.4}"
+        );
+    }
+
+    #[test]
+    fn elevator_also_beats_fcfs() {
+        let run = |sched: Scheduler| -> f64 {
+            let cfg = SystemConfig::single_disk(spec()).with_scheduler(sched);
+            let mut sys = StorageSystem::new(cfg).unwrap();
+            for i in 0..200u64 {
+                sys.submit(read(i, 0.0, (i * 9_999_991) % 20_000_000)).unwrap();
+            }
+            let done = sys.drain();
+            done.iter().map(|c| c.response_time().get()).sum::<f64>() / done.len() as f64
+        };
+        assert!(run(Scheduler::Elevator) < run(Scheduler::Fcfs));
+    }
+
+    #[test]
+    fn advance_to_is_incremental() {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(spec())).unwrap();
+        for i in 0..10 {
+            sys.submit(read(i, i as f64 * 100.0, (i * 3_000_000) % 20_000_000))
+                .unwrap();
+        }
+        // Advance half-way: only the early requests are done.
+        let first = sys.advance_to(Seconds::from_millis(450.0));
+        assert!(!first.is_empty() && first.len() < 10);
+        let rest = sys.drain();
+        assert_eq!(first.len() + rest.len(), 10);
+        assert_eq!(sys.in_flight(), 0);
+    }
+
+    #[test]
+    fn mismatched_raid_member_count_rejected() {
+        let cfg = SystemConfig {
+            disks: vec![spec(); 3],
+            raid: Some(
+                RaidConfig::new(crate::raid::RaidLevel::Raid5, 4, 16).unwrap(),
+            ),
+            scheduler: Scheduler::default(),
+        };
+        assert!(StorageSystem::new(cfg).is_err());
+    }
+
+    #[test]
+    fn degraded_array_still_serves_everything_but_slower() {
+        let run = |fail: bool| {
+            let mut sys =
+                StorageSystem::new(SystemConfig::raid5(spec(), 4, 16).unwrap()).unwrap();
+            if fail {
+                sys.fail_disk(1).unwrap();
+            }
+            for i in 0..400u64 {
+                sys.submit(Request::new(
+                    i,
+                    Seconds::from_millis(i as f64 * 4.0),
+                    0,
+                    (i * 1_234_577) % (sys.logical_sectors() - 64),
+                    16,
+                    if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read },
+                ))
+                .unwrap();
+            }
+            let done = sys.drain();
+            assert_eq!(done.len(), 400);
+            done.iter().map(|c| c.response_time().get()).sum::<f64>() / done.len() as f64
+        };
+        let healthy = run(false);
+        let degraded = run(true);
+        assert!(
+            degraded > healthy,
+            "reconstruction work must slow the array: {healthy:.5} vs {degraded:.5}"
+        );
+    }
+
+    #[test]
+    fn fail_disk_guards() {
+        let mut jbod = StorageSystem::new(SystemConfig::jbod(spec(), 4)).unwrap();
+        assert!(jbod.fail_disk(0).is_err(), "JBOD has no redundancy");
+        let mut raid = StorageSystem::new(SystemConfig::raid5(spec(), 4, 16).unwrap()).unwrap();
+        assert!(raid.fail_disk(7).is_err());
+        assert!(raid.fail_disk(3).is_ok());
+        assert_eq!(raid.failed_disk(), Some(3));
+    }
+
+    #[test]
+    fn higher_rpm_improves_mean_response() {
+        // The Figure 4 effect in miniature.
+        let run = |rpm: f64| -> f64 {
+            let mut sys = StorageSystem::new(SystemConfig::single_disk(
+                DiskSpec::era_2001(Rpm::new(rpm)),
+            ))
+            .unwrap();
+            for i in 0..300u64 {
+                sys.submit(Request::new(
+                    i,
+                    Seconds::from_millis(i as f64 * 2.0),
+                    0,
+                    (i * 6_151_111) % 20_000_000,
+                    32,
+                    if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read },
+                ))
+                .unwrap();
+            }
+            let done = sys.drain();
+            done.iter().map(|c| c.response_time().to_millis()).sum::<f64>()
+                / done.len() as f64
+        };
+        let slow = run(10_000.0);
+        let fast = run(20_000.0);
+        assert!(
+            fast < slow,
+            "20K RPM should beat 10K RPM: {fast:.2} vs {slow:.2} ms"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the storage-system engine.
+
+use disksim::{DiskSpec, Request, RequestKind, Scheduler, StorageSystem, SystemConfig};
+use proptest::prelude::*;
+use units::{Rpm, Seconds};
+
+/// A random but valid request stream against a known capacity.
+fn request_stream(
+    capacity: u64,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<(f64, u64, u16, bool)>> {
+    prop::collection::vec(
+        (
+            0.0f64..10_000.0,          // arrival ms
+            0u64..capacity - 256,      // lba
+            1u16..128,                 // sectors
+            any::<bool>(),             // read?
+        ),
+        1..max_len,
+    )
+}
+
+fn build_requests(raw: &[(f64, u64, u16, bool)]) -> Vec<Request> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(ms, lba, sectors, read))| {
+            Request::new(
+                i as u64,
+                Seconds::from_millis(ms),
+                0,
+                lba,
+                sectors as u32,
+                if read { RequestKind::Read } else { RequestKind::Write },
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_no_loss_no_duplication(
+        raw in request_stream(10_000_000, 120),
+        scheduler in prop_oneof![
+            Just(Scheduler::Fcfs),
+            Just(Scheduler::Sstf),
+            Just(Scheduler::Elevator)
+        ],
+    ) {
+        let cfg = SystemConfig::single_disk(DiskSpec::era_2001(Rpm::new(10_000.0)))
+            .with_scheduler(scheduler);
+        let mut sys = StorageSystem::new(cfg).unwrap();
+        let reqs = build_requests(&raw);
+        for r in &reqs {
+            sys.submit(*r).unwrap();
+        }
+        let done = sys.drain();
+        prop_assert_eq!(done.len(), reqs.len());
+        let mut ids: Vec<u64> = done.iter().map(|c| c.request.id).collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(i as u64, *id);
+        }
+    }
+
+    #[test]
+    fn causality_and_positivity(raw in request_stream(10_000_000, 80)) {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(
+            DiskSpec::era_2001(Rpm::new(15_000.0)),
+        ))
+        .unwrap();
+        for r in build_requests(&raw) {
+            sys.submit(r).unwrap();
+        }
+        for c in sys.drain() {
+            prop_assert!(c.start >= c.request.arrival);
+            prop_assert!(c.finish > c.start);
+        }
+    }
+
+    #[test]
+    fn raid5_conserves_requests(raw in request_stream(20_000_000, 60)) {
+        let cfg = SystemConfig::raid5(DiskSpec::era_2001(Rpm::new(10_000.0)), 5, 16).unwrap();
+        let mut sys = StorageSystem::new(cfg).unwrap();
+        let reqs = build_requests(&raw);
+        for r in &reqs {
+            sys.submit(*r).unwrap();
+        }
+        let done = sys.drain();
+        prop_assert_eq!(done.len(), reqs.len());
+        prop_assert_eq!(sys.in_flight(), 0);
+    }
+
+    #[test]
+    fn incremental_advance_equals_drain(raw in request_stream(10_000_000, 60)) {
+        let make = || {
+            let mut sys = StorageSystem::new(SystemConfig::single_disk(
+                DiskSpec::era_2001(Rpm::new(10_000.0)),
+            ))
+            .unwrap();
+            for r in build_requests(&raw) {
+                sys.submit(r).unwrap();
+            }
+            sys
+        };
+
+        let mut oneshot = make();
+        let mut all = oneshot.drain();
+
+        let mut stepped = make();
+        let mut collected = Vec::new();
+        let mut t = 0.0;
+        while stepped.next_event_time().is_some() {
+            t += 500.0; // 0.5 s slabs
+            collected.extend(stepped.advance_to(Seconds::from_millis(t)));
+            if t > 1e7 {
+                break;
+            }
+        }
+        collected.extend(stepped.drain());
+
+        let key = |c: &disksim::Completion| (c.request.id, c.finish.get().to_bits());
+        all.sort_by_key(key);
+        collected.sort_by_key(key);
+        prop_assert_eq!(all.len(), collected.len());
+        for (a, b) in all.iter().zip(&collected) {
+            prop_assert_eq!(a.request.id, b.request.id);
+            prop_assert!((a.finish.get() - b.finish.get()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilization_never_exceeds_elapsed_time(raw in request_stream(10_000_000, 80)) {
+        let mut sys = StorageSystem::new(SystemConfig::single_disk(
+            DiskSpec::era_2001(Rpm::new(10_000.0)),
+        ))
+        .unwrap();
+        for r in build_requests(&raw) {
+            sys.submit(r).unwrap();
+        }
+        let _ = sys.drain();
+        let clock = sys.clock().get();
+        for d in sys.disks() {
+            prop_assert!(d.busy_time().get() <= clock + 1e-9);
+            prop_assert!(d.seek_time() <= d.busy_time());
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Closed-loop DTM: thermal-aware request admission over the
+//! trace-driven simulator.
+//!
+//! The paper evaluates its two mechanisms analytically and leaves the
+//! control-policy evaluation to future work; this module provides that
+//! loop. A [`DtmController`] advances the storage simulation in fixed
+//! windows, measures the actuator duty the served requests actually
+//! produced, feeds it to the thermal transient model, and applies a
+//! [`DtmPolicy`] — gating admission (and optionally dropping the spindle
+//! speed) near the envelope, or ramping a multi-speed disk up when slack
+//! is available.
+
+use crate::throttle::ThrottlePolicy;
+use disksim::{Completion, EnergyMeter, EnergyModel, EnergyReport, Request, ResponseStats, SimError, StorageSystem};
+use diskthermal::{NodeTemps, OperatingPoint, TempSensor, ThermalModel, TransientSim};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use units::{Celsius, Rpm, Seconds, TempDelta};
+
+/// The control policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DtmPolicy {
+    /// No thermal control — the baseline that may violate the envelope.
+    None,
+    /// Stop admitting requests when the air temperature crosses
+    /// `envelope - guard`; resume once it falls `resume_margin` below
+    /// that trip point. With [`ThrottlePolicy::VcmAndRpm`] the spindle
+    /// also drops while throttled.
+    Throttle {
+        /// The throttle mechanism (VCM-only or VCM + RPM drop).
+        mechanism: ThrottlePolicy,
+        /// Safety margin below the envelope at which to trip.
+        guard: TempDelta,
+        /// Hysteresis below the trip point before resuming.
+        resume_margin: TempDelta,
+    },
+    /// Exploit thermal slack on a two-speed disk: run at `high` RPM
+    /// while the air stays `slack_margin` below the envelope, fall back
+    /// to `base` RPM otherwise. Service continues in both modes.
+    SlackRamp {
+        /// Baseline (envelope-design) speed.
+        base: Rpm,
+        /// Boosted speed while slack lasts.
+        high: Rpm,
+        /// Required margin below the envelope to stay boosted.
+        slack_margin: TempDelta,
+    },
+    /// DRPM-style speed scaling on a full multi-speed disk (the paper
+    /// cites its own DRPM work as the enabling mechanism): near the
+    /// envelope the spindle drops to `low` but *keeps serving requests*
+    /// — no admission gating at all — and returns to `high` once the
+    /// temperature recedes.
+    SpeedScale {
+        /// Full-performance speed (may exceed the worst-case envelope).
+        high: Rpm,
+        /// Reduced speed near the envelope.
+        low: Rpm,
+        /// Safety margin below the envelope at which to downshift.
+        guard: TempDelta,
+        /// Hysteresis below the trip point before upshifting.
+        resume_margin: TempDelta,
+    },
+}
+
+/// Outcome of a closed-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtmReport {
+    /// Response-time statistics of all completed requests.
+    pub stats: ResponseStats,
+    /// Hottest internal-air temperature observed.
+    pub max_air: Celsius,
+    /// Total simulated time.
+    pub total_time: Seconds,
+    /// Time spent with admission gated (throttle policies).
+    pub time_throttled: Seconds,
+    /// Time spent boosted above the base speed (slack policy).
+    pub time_boosted: Seconds,
+    /// Time the air spent above the envelope.
+    pub time_over_envelope: Seconds,
+    /// Mean actuator duty measured over the run.
+    pub mean_vcm_duty: f64,
+    /// Time-weighted mean internal-air temperature.
+    pub mean_air: Celsius,
+    /// Failure-rate acceleration at the mean temperature relative to
+    /// ambient (the paper's 2×-per-15 °C law) — the §6 reliability
+    /// argument for DTM in one number.
+    pub failure_acceleration: f64,
+    /// Energy consumed over the run (all member disks).
+    pub energy: EnergyReport,
+}
+
+/// The closed-loop controller.
+pub struct DtmController {
+    system: StorageSystem,
+    model: ThermalModel,
+    sim: TransientSim,
+    policy: DtmPolicy,
+    envelope: Celsius,
+    window: Seconds,
+    service_rpm: Rpm,
+    sensor: TempSensor,
+}
+
+impl DtmController {
+    /// Builds a controller around an assembled storage system and
+    /// thermal model. The thermal transient starts at ambient; use
+    /// [`Self::with_initial_temps`] to start hot (e.g. at the envelope).
+    pub fn new(
+        system: StorageSystem,
+        model: ThermalModel,
+        policy: DtmPolicy,
+        envelope: Celsius,
+    ) -> Self {
+        let service_rpm = system.disks()[0].spec().rpm();
+        let sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        Self {
+            system,
+            model,
+            sim,
+            policy,
+            envelope,
+            window: Seconds::from_millis(250.0),
+            service_rpm,
+            sensor: TempSensor::ideal(),
+        }
+    }
+
+    /// Observes temperature through a realistic sensor instead of the
+    /// model's continuous state (e.g. [`TempSensor::smart_style`] for a
+    /// SMART-like whole-degree, once-a-second reading). Policy trip
+    /// points then need margins covering the sensor's under-reporting.
+    pub fn with_sensor(mut self, sensor: TempSensor) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Starts the thermal state from explicit node temperatures.
+    pub fn with_initial_temps(mut self, temps: NodeTemps) -> Self {
+        self.sim = TransientSim::with_initial(temps).with_step(Seconds::new(0.05));
+        self
+    }
+
+    /// Overrides the control window (default 250 ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not positive.
+    pub fn with_window(mut self, window: Seconds) -> Self {
+        assert!(window.get() > 0.0, "control window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Runs the whole trace under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors (bad devices or ranges in the
+    /// trace).
+    pub fn run(mut self, trace: Vec<Request>) -> Result<DtmReport, SimError> {
+        let mut pending: VecDeque<Request> = trace.into();
+        let mut completions: Vec<Completion> = Vec::new();
+        let disks = self.system.disks().len() as f64;
+
+        let mut throttled = false;
+        let mut boosted = false;
+        let mut scaled_down = false;
+        let mut time_throttled = Seconds::ZERO;
+        let mut time_boosted = Seconds::ZERO;
+        let mut time_over = Seconds::ZERO;
+        let mut max_air = self.sim.temps().air;
+        let mut air_integral = 0.0;
+        let mut duty_acc = 0.0;
+        let mut windows = 0u64;
+        let mut prev_seek: f64 = 0.0;
+        let mut now = Seconds::ZERO;
+        let mut meter = EnergyMeter::new(EnergyModel {
+            vcm_watts: self.model.spec().vcm_power().get(),
+            ..EnergyModel::default()
+        });
+
+        // Apply the starting speed of speed-modulating policies.
+        match self.policy {
+            DtmPolicy::SlackRamp { high, .. } => {
+                // Start boosted: the drive is presumed cold.
+                self.set_all_rpm(high);
+                boosted = true;
+            }
+            DtmPolicy::SpeedScale { high, .. } => self.set_all_rpm(high),
+            _ => {}
+        }
+
+        loop {
+            let window_end = now + self.window;
+
+            // 1. Admission: release pending arrivals up to the window
+            //    end unless gated.
+            if !throttled {
+                while let Some(front) = pending.front() {
+                    if front.arrival <= window_end {
+                        let r = *front;
+                        pending.pop_front();
+                        // The original arrival timestamp is preserved:
+                        // time spent waiting at the admission gate is
+                        // part of the response time the policy costs.
+                        self.system.submit(r)?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+
+            // 2. Serve the window.
+            completions.extend(self.system.advance_to(window_end));
+
+            // 3. Measure actuator duty over the window.
+            let seek_now: f64 = self
+                .system
+                .disks()
+                .iter()
+                .map(|d| d.seek_time().get())
+                .sum();
+            let duty = ((seek_now - prev_seek) / (self.window.get() * disks)).clamp(0.0, 1.0);
+            prev_seek = seek_now;
+            duty_acc += duty;
+            windows += 1;
+
+            // 4. Thermal step at the measured operating point.
+            let rpm = self.system.disks()[0].spec().rpm();
+            meter.accumulate(
+                rpm,
+                self.window * (duty * disks),
+                self.window * disks,
+            );
+            self.sim
+                .advance(&self.model, OperatingPoint::new(rpm, duty), self.window);
+            let true_air = self.sim.temps().air;
+            max_air = max_air.max(true_air);
+            air_integral += true_air.get() * self.window.get();
+            if true_air > self.envelope {
+                time_over += self.window;
+            }
+            // Policies act on the *sensed* temperature.
+            let air = self.sensor.read(window_end, true_air);
+            if throttled {
+                time_throttled += self.window;
+            }
+            if boosted {
+                time_boosted += self.window;
+            }
+
+            // 5. Policy.
+            match self.policy {
+                DtmPolicy::None => {}
+                DtmPolicy::Throttle {
+                    mechanism,
+                    guard,
+                    resume_margin,
+                } => {
+                    let trip = self.envelope - guard;
+                    if !throttled && air >= trip {
+                        throttled = true;
+                        if let ThrottlePolicy::VcmAndRpm { low, .. } = mechanism {
+                            self.set_all_rpm(low);
+                        }
+                    } else if throttled && air <= trip - resume_margin {
+                        throttled = false;
+                        self.set_all_rpm(self.service_rpm);
+                    }
+                }
+                DtmPolicy::SlackRamp {
+                    base,
+                    high,
+                    slack_margin,
+                } => {
+                    let boost_ok = air <= self.envelope - slack_margin;
+                    if boosted && !boost_ok {
+                        self.set_all_rpm(base);
+                        boosted = false;
+                    } else if !boosted && air <= self.envelope - slack_margin * 1.5 {
+                        self.set_all_rpm(high);
+                        boosted = true;
+                    }
+                    let _ = boost_ok;
+                }
+                DtmPolicy::SpeedScale {
+                    high,
+                    low,
+                    guard,
+                    resume_margin,
+                } => {
+                    let trip = self.envelope - guard;
+                    if !scaled_down && air >= trip {
+                        self.set_all_rpm(low);
+                        scaled_down = true;
+                    } else if scaled_down && air <= trip - resume_margin {
+                        self.set_all_rpm(high);
+                        scaled_down = false;
+                    }
+                }
+            }
+            if scaled_down {
+                time_throttled += self.window;
+            }
+
+            now = window_end;
+
+            // Exit once the trace is fully served and the queues drained.
+            if pending.is_empty() && self.system.in_flight() == 0 {
+                break;
+            }
+            // Safety cap: a trace gated forever (policy too strict)
+            // still terminates.
+            if now.get() > 24.0 * 3600.0 {
+                break;
+            }
+        }
+
+        let mean_air = if now.get() > 0.0 {
+            Celsius::new(air_integral / now.get())
+        } else {
+            self.sim.temps().air
+        };
+        Ok(DtmReport {
+            stats: ResponseStats::from_completions(&completions),
+            max_air,
+            total_time: now,
+            time_throttled,
+            time_boosted,
+            time_over_envelope: time_over,
+            mean_vcm_duty: if windows == 0 { 0.0 } else { duty_acc / windows as f64 },
+            mean_air,
+            failure_acceleration: diskthermal::reliability::failure_acceleration(
+                mean_air,
+                self.model.spec().ambient(),
+            ),
+            energy: meter.report(),
+        })
+    }
+
+    fn set_all_rpm(&mut self, rpm: Rpm) {
+        for d in self.system.disks_mut() {
+            d.set_rpm(rpm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskthermal::{DriveThermalSpec, ThermalParams, THERMAL_ENVELOPE};
+    use disksim::{DiskSpec, RequestKind, SystemConfig};
+    use units::Inches;
+
+    /// A hot drive: 24,534 RPM 2.6" single platter (2005's requirement),
+    /// worst-case steady state 48.26 C > envelope.
+    fn hot_setup(rpm: f64) -> (StorageSystem, ThermalModel) {
+        let spec = DiskSpec::era(2002, 1, Rpm::new(rpm));
+        let system = StorageSystem::new(SystemConfig::single_disk(spec)).unwrap();
+        let model = ThermalModel::with_params(
+            DriveThermalSpec::new(Inches::new(2.6), 1),
+            ThermalParams::default(),
+        );
+        (system, model)
+    }
+
+    /// A seek-heavy trace that keeps the actuator busy.
+    fn heavy_trace(n: usize, rate_per_sec: f64, capacity: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    i as u64,
+                    Seconds::new(i as f64 / rate_per_sec),
+                    0,
+                    (i as u64).wrapping_mul(7_777_777) % (capacity - 64),
+                    8,
+                    if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_overheats_hot_drive() {
+        let (system, model) = hot_setup(24_534.0);
+        let cap = system.logical_sectors();
+        let hot_start = model.steady_state(OperatingPoint::seeking(Rpm::new(24_534.0)));
+        let report = DtmController::new(system, model, DtmPolicy::None, THERMAL_ENVELOPE)
+            .with_initial_temps(hot_start)
+            .run(heavy_trace(2_000, 120.0, cap))
+            .unwrap();
+        assert!(
+            report.max_air > THERMAL_ENVELOPE,
+            "uncontrolled hot drive must exceed the envelope, got {}",
+            report.max_air
+        );
+        assert_eq!(report.stats.count(), 2_000);
+    }
+
+    #[test]
+    fn throttling_caps_temperature() {
+        let (system, model) = hot_setup(24_534.0);
+        let cap = system.logical_sectors();
+        // Start just below the envelope.
+        let start = NodeTemps::uniform(Celsius::new(44.5));
+        let policy = DtmPolicy::Throttle {
+            mechanism: ThrottlePolicy::VcmOnly {
+                rpm: Rpm::new(24_534.0),
+            },
+            guard: TempDelta::new(0.1),
+            resume_margin: TempDelta::new(0.2),
+        };
+        let report = DtmController::new(system, model, policy, THERMAL_ENVELOPE)
+            .with_initial_temps(start)
+            .run(heavy_trace(2_000, 120.0, cap))
+            .unwrap();
+        assert!(
+            report.max_air <= THERMAL_ENVELOPE + TempDelta::new(0.3),
+            "throttled run peaked at {}",
+            report.max_air
+        );
+        assert_eq!(report.stats.count(), 2_000, "all requests still complete");
+    }
+
+    #[test]
+    fn throttling_trades_latency_for_temperature() {
+        let trace_len = 1_500;
+        let run = |policy: DtmPolicy| {
+            let (system, model) = hot_setup(24_534.0);
+            let cap = system.logical_sectors();
+            let start = NodeTemps::uniform(Celsius::new(44.8));
+            DtmController::new(system, model, policy, THERMAL_ENVELOPE)
+                .with_initial_temps(start)
+                .run(heavy_trace(trace_len, 150.0, cap))
+                .unwrap()
+        };
+        let baseline = run(DtmPolicy::None);
+        let throttled = run(DtmPolicy::Throttle {
+            mechanism: ThrottlePolicy::VcmOnly {
+                rpm: Rpm::new(24_534.0),
+            },
+            guard: TempDelta::new(0.1),
+            resume_margin: TempDelta::new(0.2),
+        });
+        assert!(throttled.max_air < baseline.max_air);
+        assert!(
+            throttled.stats.mean() >= baseline.stats.mean(),
+            "gating cannot make requests faster"
+        );
+        assert!(throttled.time_throttled.get() > 0.0);
+    }
+
+    #[test]
+    fn slack_ramp_boosts_while_cool_and_respects_envelope() {
+        let (system, model) = hot_setup(15_020.0);
+        let cap = system.logical_sectors();
+        let policy = DtmPolicy::SlackRamp {
+            base: Rpm::new(15_020.0),
+            high: Rpm::new(24_000.0),
+            slack_margin: TempDelta::new(0.5),
+        };
+        let report = DtmController::new(system, model, policy, THERMAL_ENVELOPE)
+            .run(heavy_trace(2_000, 100.0, cap))
+            .unwrap();
+        assert!(report.time_boosted.get() > 0.0, "cold drive should boost");
+        assert!(
+            report.max_air <= THERMAL_ENVELOPE + TempDelta::new(0.3),
+            "slack ramp peaked at {}",
+            report.max_air
+        );
+    }
+
+    #[test]
+    fn slack_ramp_improves_response_over_base() {
+        let trace = |cap: u64| heavy_trace(2_500, 140.0, cap);
+        let (system, model) = hot_setup(15_020.0);
+        let cap = system.logical_sectors();
+        let base_report = DtmController::new(system, model, DtmPolicy::None, THERMAL_ENVELOPE)
+            .run(trace(cap))
+            .unwrap();
+
+        let (system, model) = hot_setup(15_020.0);
+        let boost_report = DtmController::new(
+            system,
+            model,
+            DtmPolicy::SlackRamp {
+                base: Rpm::new(15_020.0),
+                high: Rpm::new(26_000.0),
+                slack_margin: TempDelta::new(0.5),
+            },
+            THERMAL_ENVELOPE,
+        )
+        .run(trace(cap))
+        .unwrap();
+
+        assert!(
+            boost_report.stats.mean() < base_report.stats.mean(),
+            "slack boost should cut mean response: {} vs {}",
+            boost_report.stats.mean().to_millis(),
+            base_report.stats.mean().to_millis()
+        );
+    }
+
+    #[test]
+    fn speed_scale_never_gates_and_trims_heat() {
+        let trace_len = 2_000;
+        let run = |policy: DtmPolicy| {
+            let (system, model) = hot_setup(24_534.0);
+            let cap = system.logical_sectors();
+            DtmController::new(system, model, policy, THERMAL_ENVELOPE)
+                .with_initial_temps(NodeTemps::uniform(Celsius::new(44.9)))
+                .run(heavy_trace(trace_len, 140.0, cap))
+                .unwrap()
+        };
+        let baseline = run(DtmPolicy::None);
+        let scaled = run(DtmPolicy::SpeedScale {
+            high: Rpm::new(24_534.0),
+            low: Rpm::new(15_020.0),
+            guard: TempDelta::new(0.1),
+            resume_margin: TempDelta::new(0.2),
+        });
+        assert_eq!(scaled.stats.count(), trace_len as u64);
+        assert!(scaled.max_air <= baseline.max_air);
+        assert!(scaled.time_throttled.get() > 0.0, "the downshift must engage");
+        // Unlike gating, service continues: the run finishes in
+        // comparable wall-clock time.
+        assert!(scaled.total_time.get() < baseline.total_time.get() * 2.0);
+    }
+
+    #[test]
+    fn report_carries_reliability_summary() {
+        let (system, model) = hot_setup(15_020.0);
+        let cap = system.logical_sectors();
+        let report = DtmController::new(system, model, DtmPolicy::None, THERMAL_ENVELOPE)
+            .run(heavy_trace(500, 100.0, cap))
+            .unwrap();
+        assert!(report.mean_air.get() >= 28.0);
+        assert!(report.failure_acceleration >= 1.0);
+        // The doubling law ties the two fields together.
+        let expected = 2f64.powf((report.mean_air.get() - 28.0) / 15.0);
+        assert!((report.failure_acceleration - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_scaling_saves_energy() {
+        // The DRPM heritage: serving at a reduced speed near the
+        // envelope burns less spindle energy than running flat out.
+        let run = |policy: DtmPolicy| {
+            let (system, model) = hot_setup(24_534.0);
+            let cap = system.logical_sectors();
+            DtmController::new(system, model, policy, THERMAL_ENVELOPE)
+                .with_initial_temps(NodeTemps::uniform(Celsius::new(44.9)))
+                .run(heavy_trace(1_500, 120.0, cap))
+                .unwrap()
+        };
+        let flat = run(DtmPolicy::None);
+        let scaled = run(DtmPolicy::SpeedScale {
+            high: Rpm::new(24_534.0),
+            low: Rpm::new(15_020.0),
+            guard: TempDelta::new(0.1),
+            resume_margin: TempDelta::new(0.2),
+        });
+        let flat_w = flat.energy.total_j() / flat.energy.elapsed.get();
+        let scaled_w = scaled.energy.total_j() / scaled.energy.elapsed.get();
+        assert!(
+            scaled_w < flat_w,
+            "speed scaling should cut mean power: {scaled_w:.1} vs {flat_w:.1} W"
+        );
+        assert!(flat.energy.total_j() > 0.0);
+    }
+
+    #[test]
+    fn smart_sensor_needs_a_guard_matching_its_resolution() {
+        use diskthermal::TempSensor;
+        let trace_len = 2_000;
+        let run = |sensor: TempSensor, guard: f64| {
+            let (system, model) = hot_setup(24_534.0);
+            let cap = system.logical_sectors();
+            DtmController::new(
+                system,
+                model,
+                DtmPolicy::Throttle {
+                    mechanism: ThrottlePolicy::VcmOnly {
+                        rpm: Rpm::new(24_534.0),
+                    },
+                    guard: TempDelta::new(guard),
+                    resume_margin: TempDelta::new(0.2),
+                },
+                THERMAL_ENVELOPE,
+            )
+            .with_sensor(sensor)
+            .with_initial_temps(NodeTemps::uniform(Celsius::new(43.5)))
+            .run(heavy_trace(trace_len, 120.0, cap))
+            .unwrap()
+        };
+        // With a guard covering the sensor's worst-case under-reporting
+        // (1 C quantization) plus drift headroom, the envelope holds.
+        let sensed = run(TempSensor::smart_style(), 1.3);
+        assert_eq!(sensed.stats.count(), trace_len as u64);
+        assert!(
+            sensed.max_air <= THERMAL_ENVELOPE + TempDelta::new(0.35),
+            "sensed control peaked at {}",
+            sensed.max_air
+        );
+        // A guard thinner than the quantization lets the true
+        // temperature slip past the sensed trip point.
+        let thin = run(TempSensor::smart_style(), 0.05);
+        assert!(thin.max_air >= sensed.max_air);
+    }
+
+    #[test]
+    fn duty_measurement_is_sane() {
+        let (system, model) = hot_setup(15_020.0);
+        let cap = system.logical_sectors();
+        let report = DtmController::new(system, model, DtmPolicy::None, THERMAL_ENVELOPE)
+            .run(heavy_trace(1_000, 100.0, cap))
+            .unwrap();
+        assert!(report.mean_vcm_duty > 0.0, "seeky trace has actuator activity");
+        assert!(report.mean_vcm_duty <= 1.0);
+    }
+}

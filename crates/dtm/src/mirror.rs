@@ -1,0 +1,314 @@
+//! Mirrored-pair DTM (§5.4): "it is also possible to use mirrored disks
+//! (i.e. writes propagate to both) while reads are directed to one for a
+//! while, and then sent to another during the cool down period."
+//!
+//! Two identical drives hold the same data. Writes go to both; reads go
+//! to the *active* member only, so the standby member's actuator idles
+//! and its temperature falls. When the active member nears the envelope
+//! and the standby has cooled, the read stream switches sides — the
+//! throttling idea of §5.3 without ever gating reads.
+
+use disksim::{Completion, Request, RequestKind, SimError, StorageSystem, SystemConfig};
+use disksim::{DiskSpec, ResponseStats};
+use diskthermal::{OperatingPoint, ThermalModel, TransientSim};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use units::{Celsius, Seconds, TempDelta};
+
+/// Outcome of a mirrored-pair run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MirrorReport {
+    /// Response-time statistics over all logical requests.
+    pub stats: ResponseStats,
+    /// Hottest internal-air temperature either member reached.
+    pub max_air: Celsius,
+    /// Time either member spent above the envelope.
+    pub time_over_envelope: Seconds,
+    /// Number of read-target switches performed.
+    pub switches: u32,
+    /// Total simulated time.
+    pub total_time: Seconds,
+}
+
+/// A mirrored pair of identical drives under thermal read steering.
+pub struct MirroredPair {
+    members: [StorageSystem; 2],
+    sims: [TransientSim; 2],
+    model: ThermalModel,
+    envelope: Celsius,
+    /// Trip margin below the envelope for switching away.
+    guard: TempDelta,
+    /// The standby must be at least this much cooler to take over.
+    min_gap: TempDelta,
+    window: Seconds,
+    active: usize,
+}
+
+impl MirroredPair {
+    /// Builds a pair of single-disk members from one spec, sharing one
+    /// thermal model (the members are physically identical).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator configuration errors.
+    pub fn new(
+        spec: DiskSpec,
+        model: ThermalModel,
+        envelope: Celsius,
+    ) -> Result<Self, SimError> {
+        let a = StorageSystem::new(SystemConfig::single_disk(spec.clone()))?;
+        let b = StorageSystem::new(SystemConfig::single_disk(spec))?;
+        let sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        Ok(Self {
+            members: [a, b],
+            sims: [sim.clone(), sim],
+            model,
+            envelope,
+            guard: TempDelta::new(0.1),
+            min_gap: TempDelta::new(0.3),
+            window: Seconds::from_millis(250.0),
+            active: 0,
+        })
+    }
+
+    /// Overrides the switch thresholds.
+    pub fn with_thresholds(mut self, guard: TempDelta, min_gap: TempDelta) -> Self {
+        self.guard = guard;
+        self.min_gap = min_gap;
+        self
+    }
+
+    /// Starts both members' thermal state at the given temperature.
+    pub fn with_initial_air(mut self, temp: Celsius) -> Self {
+        let temps = diskthermal::NodeTemps::uniform(temp);
+        self.sims = [
+            TransientSim::with_initial(temps).with_step(Seconds::new(0.05)),
+            TransientSim::with_initial(temps).with_step(Seconds::new(0.05)),
+        ];
+        self
+    }
+
+    /// Runs a logical trace through the pair.
+    ///
+    /// Reads complete when the active member finishes them; writes
+    /// complete when *both* members have them on the medium.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors.
+    pub fn run(mut self, trace: Vec<Request>) -> Result<MirrorReport, SimError> {
+        let mut pending: VecDeque<Request> = trace.into();
+        // Logical completion tracking for mirrored writes.
+        let mut outstanding: HashMap<u64, (Request, u32, Seconds)> = HashMap::new();
+        let mut stats = ResponseStats::new();
+        let mut completed = 0u64;
+        let mut max_air = self.sims[0].temps().air;
+        let mut time_over = Seconds::ZERO;
+        let mut switches = 0u32;
+        let mut prev_seek = [0.0f64; 2];
+        let mut now = Seconds::ZERO;
+
+        loop {
+            let window_end = now + self.window;
+
+            // Admit logical arrivals.
+            while let Some(front) = pending.front() {
+                if front.arrival > window_end {
+                    break;
+                }
+                let r = *front;
+                pending.pop_front();
+                match r.kind {
+                    RequestKind::Read => {
+                        outstanding.insert(r.id, (r, 1, Seconds::ZERO));
+                        self.members[self.active].submit(r)?;
+                    }
+                    RequestKind::Write => {
+                        outstanding.insert(r.id, (r, 2, Seconds::ZERO));
+                        self.members[0].submit(r)?;
+                        self.members[1].submit(r)?;
+                    }
+                }
+            }
+
+            // Serve the window on both members and fold completions.
+            for m in 0..2 {
+                for c in self.members[m].advance_to(window_end) {
+                    let done = {
+                        let entry = outstanding
+                            .get_mut(&c.request.id)
+                            .expect("completion matches an outstanding request");
+                        entry.1 -= 1;
+                        entry.2 = entry.2.max(c.finish);
+                        entry.1 == 0
+                    };
+                    if done {
+                        let (req, _, finish) = outstanding
+                            .remove(&c.request.id)
+                            .expect("entry present");
+                        stats.record(finish - req.arrival);
+                        completed += 1;
+                        let _ = Completion {
+                            request: req,
+                            start: req.arrival,
+                            finish,
+                        };
+                    }
+                }
+            }
+
+            // Thermal step per member with its measured actuator duty.
+            let mut airs = [Celsius::new(0.0); 2];
+            for m in 0..2 {
+                let seek_now = self.members[m].disks()[0].seek_time().get();
+                let duty =
+                    ((seek_now - prev_seek[m]) / self.window.get()).clamp(0.0, 1.0);
+                prev_seek[m] = seek_now;
+                let rpm = self.members[m].disks()[0].spec().rpm();
+                self.sims[m].advance(
+                    &self.model,
+                    OperatingPoint::new(rpm, duty),
+                    self.window,
+                );
+                airs[m] = self.sims[m].temps().air;
+                max_air = max_air.max(airs[m]);
+                if airs[m] > self.envelope {
+                    time_over += self.window;
+                }
+            }
+
+            // Steering: switch reads to the cooler member when the
+            // active one nears the envelope.
+            let standby = 1 - self.active;
+            if airs[self.active] >= self.envelope - self.guard
+                && airs[standby] + self.min_gap <= airs[self.active]
+            {
+                self.active = standby;
+                switches += 1;
+            }
+
+            now = window_end;
+            if pending.is_empty() && outstanding.is_empty() {
+                break;
+            }
+            if now.get() > 24.0 * 3600.0 {
+                break;
+            }
+        }
+
+        debug_assert_eq!(outstanding.len(), 0);
+        let _ = completed;
+        Ok(MirrorReport {
+            stats,
+            max_air,
+            time_over_envelope: time_over,
+            switches,
+            total_time: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskthermal::{DriveThermalSpec, THERMAL_ENVELOPE};
+    use units::{Inches, Rpm};
+
+    fn read_heavy_trace(capacity: u64, n: u64, rate: f64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    i,
+                    Seconds::new(i as f64 / rate),
+                    0,
+                    i.wrapping_mul(7_777_777) % (capacity - 64),
+                    8,
+                    if i % 10 == 0 { RequestKind::Write } else { RequestKind::Read },
+                )
+            })
+            .collect()
+    }
+
+    fn pair(rpm: f64) -> MirroredPair {
+        let spec = DiskSpec::era(2002, 1, Rpm::new(rpm));
+        let model = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+        MirroredPair::new(spec, model, THERMAL_ENVELOPE).unwrap()
+    }
+
+    #[test]
+    fn all_requests_complete_and_writes_hit_both() {
+        let p = pair(15_020.0);
+        let capacity = p.members[0].logical_sectors();
+        let report = p.run(read_heavy_trace(capacity, 2_000, 150.0)).unwrap();
+        assert_eq!(report.stats.count(), 2_000);
+        assert!(report.total_time.get() > 0.0);
+    }
+
+    #[test]
+    fn steering_switches_under_thermal_pressure() {
+        // Run hot: start both members just below the envelope at an
+        // average-case (over-envelope) design speed.
+        let p = pair(24_534.0)
+            .with_initial_air(THERMAL_ENVELOPE - TempDelta::new(0.3))
+            .with_thresholds(TempDelta::new(0.1), TempDelta::new(0.05));
+        let capacity = p.members[0].logical_sectors();
+        let report = p.run(read_heavy_trace(capacity, 8_000, 140.0)).unwrap();
+        assert!(report.switches > 0, "thermal pressure should steer reads");
+        assert_eq!(report.stats.count(), 8_000);
+    }
+
+    #[test]
+    fn mirror_runs_cooler_than_single_disk_under_same_reads() {
+        // The §5.4 claim: spreading the seek heat over two spindles
+        // halves each actuator's duty, so the pair peaks cooler than one
+        // drive absorbing the whole stream.
+        let single = {
+            let spec = DiskSpec::era(2002, 1, Rpm::new(24_534.0));
+            let model = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+            let system = StorageSystem::new(SystemConfig::single_disk(spec)).unwrap();
+            let capacity = system.logical_sectors();
+            let trace = read_heavy_trace(capacity, 6_000, 140.0);
+            crate::DtmController::new(system, model, crate::DtmPolicy::None, THERMAL_ENVELOPE)
+                .with_initial_temps(diskthermal::NodeTemps::uniform(
+                    THERMAL_ENVELOPE - TempDelta::new(0.5),
+                ))
+                .run(trace)
+                .unwrap()
+        };
+
+        let p = pair(24_534.0).with_initial_air(THERMAL_ENVELOPE - TempDelta::new(0.5));
+        let capacity = p.members[0].logical_sectors();
+        let report = p.run(read_heavy_trace(capacity, 6_000, 140.0)).unwrap();
+
+        assert!(
+            report.max_air <= single.max_air,
+            "pair peaked at {} vs single {}",
+            report.max_air,
+            single.max_air
+        );
+    }
+
+    #[test]
+    fn write_completion_waits_for_both_members() {
+        let p = pair(15_020.0);
+        let capacity = p.members[0].logical_sectors();
+        // A pure-write trace: every completion is mirrored.
+        let trace: Vec<Request> = (0..200u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    Seconds::new(i as f64 / 100.0),
+                    0,
+                    i.wrapping_mul(5_000_011) % (capacity - 8),
+                    8,
+                    RequestKind::Write,
+                )
+            })
+            .collect();
+        let report = p.run(trace).unwrap();
+        assert_eq!(report.stats.count(), 200);
+        // Mirrored writes cannot beat the slower member's service time.
+        assert!(report.stats.mean().to_millis() > 1.0);
+    }
+}

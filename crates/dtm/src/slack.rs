@@ -1,0 +1,219 @@
+//! Thermal-slack analysis (§5.2, Figure 5).
+
+use diskthermal::{
+    max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, ThermalModel, ThermalParams,
+    THERMAL_ENVELOPE,
+};
+use roadmap::{RoadmapConfig, TechnologyTrend};
+use diskgeom::{DriveGeometry, Platter};
+use diskperf::idr;
+use serde::{Deserialize, Serialize};
+use units::{Celsius, DataRate, Inches, Power, Rpm};
+
+/// Parameters of the slack study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackConfig {
+    /// Platter sizes to analyze (the roadmap's, largest first).
+    pub platter_sizes: Vec<Inches>,
+    /// Platter count (the paper's Figure 5 uses one platter).
+    pub platters: u32,
+    /// Thermal envelope.
+    pub envelope: Celsius,
+    /// Thermal coefficients.
+    pub thermal: ThermalParams,
+    /// Roadmap configuration for the revised IDR roadmap.
+    pub roadmap: RoadmapConfig,
+}
+
+impl Default for SlackConfig {
+    fn default() -> Self {
+        Self {
+            platter_sizes: vec![Inches::new(2.6), Inches::new(2.1), Inches::new(1.6)],
+            platters: 1,
+            envelope: THERMAL_ENVELOPE,
+            thermal: ThermalParams::default(),
+            roadmap: RoadmapConfig::default(),
+        }
+    }
+}
+
+/// Slack available to one platter size (Figure 5a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlackRow {
+    /// Platter diameter.
+    pub diameter: Inches,
+    /// Envelope-design maximum RPM (VCM always on).
+    pub envelope_rpm: Rpm,
+    /// Maximum RPM when the VCM is off — the slack-exploiting speed a
+    /// multi-speed disk could ramp to.
+    pub slack_rpm: Rpm,
+    /// VCM power of this platter size (the source of the slack).
+    pub vcm_power: Power,
+}
+
+impl SlackRow {
+    /// Extra spindle speed the slack buys.
+    pub fn rpm_gain(&self) -> Rpm {
+        self.slack_rpm - self.envelope_rpm
+    }
+}
+
+/// Computes Figure 5(a): envelope-design vs. VCM-off maximum RPM per
+/// platter size.
+///
+/// # Panics
+///
+/// Panics if a configuration is infeasible even at the search floor,
+/// which cannot happen for the paper's sizes.
+pub fn slack_table(cfg: &SlackConfig) -> Vec<SlackRow> {
+    cfg.platter_sizes
+        .iter()
+        .map(|&diameter| {
+            let spec = DriveThermalSpec::new(diameter, cfg.platters);
+            let model = ThermalModel::with_params(spec, cfg.thermal);
+            let search = EnvelopeSearch::default();
+            let envelope_rpm = max_rpm_within_envelope(&model, 1.0, cfg.envelope, search)
+                .expect("roadmap sizes are feasible");
+            let slack_rpm = max_rpm_within_envelope(&model, 0.0, cfg.envelope, search)
+                .expect("VCM-off is at least as feasible");
+            SlackRow {
+                diameter,
+                envelope_rpm,
+                slack_rpm,
+                vcm_power: spec.vcm_power(),
+            }
+        })
+        .collect()
+}
+
+/// One year of the revised IDR roadmap (Figure 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlackRoadmapPoint {
+    /// Roadmap year.
+    pub year: i32,
+    /// Platter diameter.
+    pub diameter: Inches,
+    /// Best IDR under the envelope design (VCM always on).
+    pub envelope_idr: DataRate,
+    /// Best IDR when the slack is exploited (VCM off).
+    pub slack_idr: DataRate,
+    /// The 40 %-CGR target.
+    pub idr_target: DataRate,
+}
+
+/// Computes Figure 5(b): the envelope-design and VCM-off IDR roadmaps
+/// side by side.
+pub fn slack_roadmap(cfg: &SlackConfig) -> Vec<SlackRoadmapPoint> {
+    let trend: &TechnologyTrend = &cfg.roadmap.trend;
+    let rows = slack_table(cfg);
+    let mut out = Vec::new();
+    for row in &rows {
+        for year in cfg.roadmap.years() {
+            let geom = DriveGeometry::new(
+                Platter::new(row.diameter),
+                trend.tech(year),
+                cfg.platters,
+                cfg.roadmap.n_zones,
+            )
+            .expect("roadmap-era geometry is valid");
+            out.push(SlackRoadmapPoint {
+                year,
+                diameter: row.diameter,
+                envelope_idr: idr(geom.zones(), row.envelope_rpm),
+                slack_idr: idr(geom.zones(), row.slack_rpm),
+                idr_target: trend.idr_target(year),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_matches_section_5_2() {
+        let rows = slack_table(&SlackConfig::default());
+        let r26 = rows
+            .iter()
+            .find(|r| (r.diameter.get() - 2.6).abs() < 1e-9)
+            .unwrap();
+        // Paper: 15,020 -> 26,750 RPM for the 2.6" drive.
+        assert!(
+            (r26.envelope_rpm.get() - 15_020.0).abs() < 400.0,
+            "envelope RPM {}",
+            r26.envelope_rpm
+        );
+        assert!(
+            (r26.slack_rpm.get() - 26_750.0).abs() / 26_750.0 < 0.05,
+            "slack RPM {}",
+            r26.slack_rpm
+        );
+    }
+
+    #[test]
+    fn slack_shrinks_with_platter_size() {
+        // §5.2: smaller platters have less VCM power, hence less slack.
+        let rows = slack_table(&SlackConfig::default());
+        assert!(rows[0].vcm_power > rows[1].vcm_power);
+        assert!(rows[1].vcm_power > rows[2].vcm_power);
+        // Relative RPM gain shrinks too.
+        let rel_gain = |r: &SlackRow| r.rpm_gain().get() / r.envelope_rpm.get();
+        assert!(rel_gain(&rows[0]) > rel_gain(&rows[1]));
+        assert!(rel_gain(&rows[1]) > rel_gain(&rows[2]));
+    }
+
+    #[test]
+    fn slack_roadmap_dominates_envelope_roadmap() {
+        for p in slack_roadmap(&SlackConfig::default()) {
+            assert!(
+                p.slack_idr > p.envelope_idr,
+                "{} {}: slack must help",
+                p.year,
+                p.diameter
+            );
+        }
+    }
+
+    #[test]
+    fn slack_extends_26_inch_roadmap_to_2005ish() {
+        // §5.2: the 2.6" slack design exceeds the 40% CGR curve until
+        // the 2005-2006 time frame.
+        let points = slack_roadmap(&SlackConfig::default());
+        let last_met = points
+            .iter()
+            .filter(|p| {
+                (p.diameter.get() - 2.6).abs() < 1e-9
+                    && p.slack_idr.get() >= 0.985 * p.idr_target.get()
+            })
+            .map(|p| p.year)
+            .max()
+            .expect("meets the target in early years");
+        assert!(
+            (2004..=2006).contains(&last_met),
+            "2.6\" slack roadmap holds through {last_met}"
+        );
+    }
+
+    #[test]
+    fn slack_26_beats_envelope_21() {
+        // §5.2: "the slack for the 2.6in drive allows it to surpass a
+        // non-slack 2.1in configuration" — better speed AND capacity.
+        let cfg = SlackConfig::default();
+        let points = slack_roadmap(&cfg);
+        for year in cfg.roadmap.years() {
+            let slack26 = points
+                .iter()
+                .find(|p| p.year == year && (p.diameter.get() - 2.6).abs() < 1e-9)
+                .unwrap()
+                .slack_idr;
+            let env21 = points
+                .iter()
+                .find(|p| p.year == year && (p.diameter.get() - 2.1).abs() < 1e-9)
+                .unwrap()
+                .envelope_idr;
+            assert!(slack26 > env21, "{year}: {slack26} vs {env21}");
+        }
+    }
+}

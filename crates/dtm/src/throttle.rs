@@ -1,0 +1,291 @@
+//! Dynamic-throttling analysis (§5.3, Figures 6 and 7).
+//!
+//! A drive designed for average-case behaviour runs at an RPM whose
+//! worst-case (VCM-always-on) temperature *exceeds* the envelope. When
+//! the internal air nears the limit, the controller stops issuing
+//! requests for `t_cool` seconds — turning the VCM off, and in the more
+//! aggressive variant also dropping the spindle to a lower speed — then
+//! resumes and measures how long (`t_heat`) the drive can serve requests
+//! before hitting the envelope again. The figure of merit is the
+//! *throttling ratio* `t_heat / t_cool`; a ratio above 1 keeps the disk
+//! busy more than half the time.
+
+use diskthermal::{
+    DriveThermalSpec, OperatingPoint, ThermalModel, ThermalParams, TransientSim,
+    THERMAL_ENVELOPE,
+};
+use serde::{Deserialize, Serialize};
+use units::{Celsius, Inches, Rpm, Seconds};
+
+/// What the drive does during the cooling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThrottlePolicy {
+    /// Figure 6(a): stop issuing requests (VCM off); the spindle keeps
+    /// running at full speed.
+    VcmOnly {
+        /// Operating (and only) spindle speed.
+        rpm: Rpm,
+    },
+    /// Figure 6(b): stop issuing requests *and* drop to a lower spindle
+    /// speed; service always resumes at the high speed (a two-speed
+    /// disk, like the Hitachi drive the paper cites).
+    VcmAndRpm {
+        /// Full-service speed.
+        high: Rpm,
+        /// Cool-down speed.
+        low: Rpm,
+    },
+}
+
+impl ThrottlePolicy {
+    /// The speed at which requests are served.
+    pub fn service_rpm(&self) -> Rpm {
+        match *self {
+            Self::VcmOnly { rpm } => rpm,
+            Self::VcmAndRpm { high, .. } => high,
+        }
+    }
+
+    /// The operating point during the cooling interval.
+    pub fn cooling_point(&self) -> OperatingPoint {
+        match *self {
+            Self::VcmOnly { rpm } => OperatingPoint::idle_vcm(rpm),
+            Self::VcmAndRpm { low, .. } => OperatingPoint::idle_vcm(low),
+        }
+    }
+
+    /// The operating point during active service (worst case: seeking
+    /// continuously).
+    pub fn heating_point(&self) -> OperatingPoint {
+        OperatingPoint::seeking(self.service_rpm())
+    }
+}
+
+/// A throttling experiment on one drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottleExperiment {
+    /// Drive under test.
+    pub spec: DriveThermalSpec,
+    /// Thermal coefficients.
+    pub thermal: ThermalParams,
+    /// The envelope to respect.
+    pub envelope: Celsius,
+}
+
+impl ThrottleExperiment {
+    /// The paper's Figure 7(a) setup: a single 2.6″ platter pushed to
+    /// 24,534 RPM (the 2005 requirement), VCM-only throttling.
+    pub fn figure7a() -> (Self, ThrottlePolicy) {
+        (
+            Self {
+                spec: DriveThermalSpec::new(Inches::new(2.6), 1),
+                thermal: ThermalParams::default(),
+                envelope: THERMAL_ENVELOPE,
+            },
+            ThrottlePolicy::VcmOnly {
+                rpm: Rpm::new(24_534.0),
+            },
+        )
+    }
+
+    /// The paper's Figure 7(b) setup: the same platter pushed to
+    /// 37,001 RPM (the 2007 requirement) with a 22,001 RPM low speed.
+    pub fn figure7b() -> (Self, ThrottlePolicy) {
+        (
+            Self {
+                spec: DriveThermalSpec::new(Inches::new(2.6), 1),
+                thermal: ThermalParams::default(),
+                envelope: THERMAL_ENVELOPE,
+            },
+            ThrottlePolicy::VcmAndRpm {
+                high: Rpm::new(37_001.0),
+                low: Rpm::new(22_001.0),
+            },
+        )
+    }
+
+    fn model(&self) -> ThermalModel {
+        ThermalModel::with_params(self.spec, self.thermal)
+    }
+
+    /// Steady-state internal-air temperature at an arbitrary operating
+    /// point of the experiment's drive (for reporting the Figure 6
+    /// feasibility boundaries).
+    pub fn model_steady(&self, op: OperatingPoint) -> Celsius {
+        self.model().steady_air_temp(op)
+    }
+
+    /// Whether the policy can cool at all: its cooling-point steady
+    /// temperature must sit below the envelope (Figure 6's feasibility
+    /// condition).
+    pub fn is_feasible(&self, policy: ThrottlePolicy) -> bool {
+        self.model().steady_air_temp(policy.cooling_point()) < self.envelope
+    }
+
+    /// Runs one throttle cycle and returns the throttling ratio
+    /// `t_heat / t_cool`, or `None` when the policy cannot cool the
+    /// drive below the envelope (ratio undefined) or the service point
+    /// would never re-reach the envelope (no throttling needed).
+    ///
+    /// The drive warms from ambient under full service until the air
+    /// first touches the envelope ("we set the initial temperature to
+    /// the thermal envelope"), cools for `t_cool`, then serves again
+    /// until the envelope is hit.
+    pub fn throttling_ratio(&self, policy: ThrottlePolicy, t_cool: Seconds) -> Option<f64> {
+        if !self.is_feasible(policy) {
+            return None;
+        }
+        let model = self.model();
+        let heat_op = policy.heating_point();
+        if model.steady_air_temp(heat_op) <= self.envelope {
+            return None; // never reaches the envelope: no need to throttle
+        }
+
+        // Warm up from a cold start to the envelope.
+        let mut sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        sim.time_to_reach(&model, heat_op, self.envelope)
+            .expect("service point exceeds the envelope");
+
+        // Cool with the policy's idle point.
+        sim.advance(&model, policy.cooling_point(), t_cool);
+
+        // If the interval was too short to pull the air below the
+        // envelope at all, no service time was bought: ratio zero.
+        if sim.temps().air >= self.envelope {
+            return Some(0.0);
+        }
+
+        // Serve until the envelope is reached again.
+        let t_heat = sim
+            .time_to_reach(&model, heat_op, self.envelope)
+            .expect("heating resumes past the envelope");
+        Some(t_heat.get() / t_cool.get())
+    }
+}
+
+/// Sweeps `t_cool` and returns `(t_cool_seconds, ratio)` pairs — the
+/// Figure 7 curves. Infeasible points are skipped.
+pub fn throttling_curve(
+    experiment: &ThrottleExperiment,
+    policy: ThrottlePolicy,
+    t_cools: &[f64],
+) -> Vec<(f64, f64)> {
+    t_cools
+        .iter()
+        .filter_map(|&t| {
+            experiment
+                .throttling_ratio(policy, Seconds::new(t))
+                .map(|r| (t, r))
+        })
+        .collect()
+}
+
+/// Convenience wrapper: the ratio for one `(experiment, policy, t_cool)`
+/// triple.
+pub fn throttling_ratio(
+    experiment: &ThrottleExperiment,
+    policy: ThrottlePolicy,
+    t_cool: Seconds,
+) -> Option<f64> {
+    experiment.throttling_ratio(policy, t_cool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7a_setup_is_feasible() {
+        let (exp, policy) = ThrottleExperiment::figure7a();
+        // §5.3: at 24,534 RPM the VCM-off temperature is 44.07 C, below
+        // the envelope, so VCM-only throttling works.
+        assert!(exp.is_feasible(policy));
+        let model = ThermalModel::with_params(exp.spec, exp.thermal);
+        let cool = model.steady_air_temp(policy.cooling_point());
+        assert!((cool.get() - 44.07).abs() < 0.5, "VCM-off steady {cool}");
+    }
+
+    #[test]
+    fn vcm_only_infeasible_at_37k() {
+        // §5.3: at 37,001 RPM even the VCM-off temperature (53.04 C) is
+        // above the envelope; VCM-only throttling cannot work there.
+        let (exp, _) = ThrottleExperiment::figure7b();
+        let policy = ThrottlePolicy::VcmOnly {
+            rpm: Rpm::new(37_001.0),
+        };
+        assert!(!exp.is_feasible(policy));
+        assert!(exp.throttling_ratio(policy, Seconds::new(1.0)).is_none());
+    }
+
+    #[test]
+    fn figure7b_rpm_drop_restores_feasibility() {
+        let (exp, policy) = ThrottleExperiment::figure7b();
+        assert!(exp.is_feasible(policy));
+    }
+
+    #[test]
+    fn ratio_declines_with_longer_cooling() {
+        // The Figure 7 shape: short throttle intervals amortize best.
+        let (exp, policy) = ThrottleExperiment::figure7a();
+        let curve = throttling_curve(&exp, policy, &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(curve.len(), 6);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-9,
+                "ratio must not grow with t_cool: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_second_granularity_keeps_utilization_half() {
+        // §5.3's conclusion: ratio >= 1 needs throttling at a fine
+        // (sub-second) granularity, and long cool-downs fall below 1.
+        let (exp, policy) = ThrottleExperiment::figure7a();
+        let fine = exp
+            .throttling_ratio(policy, Seconds::new(0.2))
+            .expect("feasible");
+        let coarse = exp
+            .throttling_ratio(policy, Seconds::new(8.0))
+            .expect("feasible");
+        assert!(fine > 0.8, "fine-grained ratio {fine:.2}");
+        assert!(coarse < 1.0, "coarse ratio {coarse:.2}");
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn no_throttling_needed_within_envelope() {
+        let exp = ThrottleExperiment {
+            spec: DriveThermalSpec::new(Inches::new(2.6), 1),
+            thermal: ThermalParams::default(),
+            envelope: THERMAL_ENVELOPE,
+        };
+        // 15,000 RPM never exceeds the envelope: ratio undefined.
+        let policy = ThrottlePolicy::VcmOnly {
+            rpm: Rpm::new(15_000.0),
+        };
+        assert!(exp.throttling_ratio(policy, Seconds::new(1.0)).is_none());
+    }
+
+    #[test]
+    fn rpm_drop_cools_better_than_vcm_alone() {
+        // At a speed where both policies are feasible, adding the RPM
+        // drop buys a higher ratio for the same t_cool.
+        let spec = DriveThermalSpec::new(Inches::new(2.6), 1);
+        let exp = ThrottleExperiment {
+            spec,
+            thermal: ThermalParams::default(),
+            envelope: THERMAL_ENVELOPE,
+        };
+        let rpm = Rpm::new(24_534.0);
+        let vcm_only = ThrottlePolicy::VcmOnly { rpm };
+        let with_drop = ThrottlePolicy::VcmAndRpm {
+            high: rpm,
+            low: Rpm::new(15_000.0),
+        };
+        let t = Seconds::new(2.0);
+        let a = exp.throttling_ratio(vcm_only, t).unwrap();
+        let b = exp.throttling_ratio(with_drop, t).unwrap();
+        assert!(b > a, "RPM drop should cool harder: {a:.2} vs {b:.2}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Capacity accounting: raw (eq. `C_max`), ZBR-adjusted, and fully
+//! derated (eq. 3) capacities, with the losses itemized.
+
+use crate::{Platter, RecordingTech, ZoneTable, STROKE_EFFICIENCY};
+use serde::{Deserialize, Serialize};
+use units::{Bits, Capacity, SectorCount, RAW_BITS_PER_SECTOR};
+
+/// Itemized capacity of a drive, from raw media bits down to user bytes.
+///
+/// # Examples
+///
+/// ```
+/// use diskgeom::{CapacityBreakdown, Platter, RecordingTech, ZoneTable};
+/// use units::{BitsPerInch, Inches, TracksPerInch};
+///
+/// let tech = RecordingTech::new(
+///     BitsPerInch::from_kbpi(256.0),
+///     TracksPerInch::from_ktpi(13.0),
+/// );
+/// let platter = Platter::new(Inches::new(3.3));
+/// let table = ZoneTable::new(platter, tech, 30)?;
+/// let cap = CapacityBreakdown::compute(&platter, &tech, &table, 12);
+/// // Every derating stage can only lose capacity.
+/// assert!(cap.zbr_capacity() <= cap.raw_capacity_bytes());
+/// assert!(cap.derated_capacity().bytes() as f64 <= cap.zbr_capacity().bytes() as f64);
+/// # Ok::<(), diskgeom::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityBreakdown {
+    surfaces: u32,
+    raw_bits: Bits,
+    zbr_sectors: SectorCount,
+    derated_sectors: SectorCount,
+}
+
+impl CapacityBreakdown {
+    /// Computes the breakdown for a drive with `surfaces` recording
+    /// surfaces sharing one zone table.
+    pub fn compute(
+        platter: &Platter,
+        tech: &RecordingTech,
+        table: &ZoneTable,
+        surfaces: u32,
+    ) -> Self {
+        // C_max = eta * n_surf * pi * (ro^2 - ri^2) * BPI * TPI
+        let raw_bits = STROKE_EFFICIENCY
+            * surfaces as f64
+            * platter.recordable_area()
+            * tech.areal_density().get();
+
+        // ZBR loss alone: every track gets its zone's min-track budget,
+        // split into bare 4096-bit sectors (no servo/ECC derating yet).
+        let zbr_per_surface: u64 = table
+            .zones()
+            .iter()
+            .map(|z| z.cylinders() as u64 * z.raw_bits_per_track().whole_sectors())
+            .sum();
+
+        let derated_per_surface = table.sectors_per_surface();
+
+        Self {
+            surfaces,
+            raw_bits: Bits::new(raw_bits),
+            zbr_sectors: SectorCount::new(zbr_per_surface * surfaces as u64),
+            derated_sectors: derated_per_surface * surfaces as u64,
+        }
+    }
+
+    /// Number of recording surfaces.
+    pub fn surfaces(&self) -> u32 {
+        self.surfaces
+    }
+
+    /// Raw media bits, `C_max` of §3.1.
+    pub fn raw_bits(&self) -> Bits {
+        self.raw_bits
+    }
+
+    /// Raw capacity expressed as bytes (before any loss).
+    pub fn raw_capacity_bytes(&self) -> Capacity {
+        Capacity::from_bytes(self.raw_bits.to_bytes() as u64)
+    }
+
+    /// Capacity after the ZBR min-track allocation, before servo/ECC.
+    pub fn zbr_capacity(&self) -> Capacity {
+        self.zbr_sectors.to_capacity()
+    }
+
+    /// User sectors after all deratings (eq. 3).
+    pub fn derated_sectors(&self) -> SectorCount {
+        self.derated_sectors
+    }
+
+    /// User capacity after all deratings — the number a datasheet quotes.
+    pub fn derated_capacity(&self) -> Capacity {
+        self.derated_sectors.to_capacity()
+    }
+
+    /// Fraction of raw bits lost to the ZBR equal-allocation scheme.
+    pub fn zbr_loss_fraction(&self) -> f64 {
+        let zbr_bits = (self.zbr_sectors.get() * RAW_BITS_PER_SECTOR) as f64;
+        1.0 - zbr_bits / self.raw_bits.get()
+    }
+
+    /// Fraction of ZBR capacity further lost to servo + ECC overheads.
+    pub fn overhead_loss_fraction(&self) -> f64 {
+        if self.zbr_sectors.get() == 0 {
+            return 0.0;
+        }
+        1.0 - self.derated_sectors.get() as f64 / self.zbr_sectors.get() as f64
+    }
+}
+
+impl core::fmt::Display for CapacityBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "raw {:.2} GB -> ZBR {:.2} GB -> derated {:.2} GB",
+            self.raw_capacity_bytes().gigabytes(),
+            self.zbr_capacity().gigabytes(),
+            self.derated_capacity().gigabytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::{BitsPerInch, Inches, TracksPerInch};
+
+    fn breakdown(kbpi: f64, ktpi: f64, dia: f64, surfaces: u32) -> CapacityBreakdown {
+        let tech = RecordingTech::new(
+            BitsPerInch::from_kbpi(kbpi),
+            TracksPerInch::from_ktpi(ktpi),
+        );
+        let platter = Platter::new(Inches::new(dia));
+        let table = ZoneTable::new(platter, tech, 30).unwrap();
+        CapacityBreakdown::compute(&platter, &tech, &table, surfaces)
+    }
+
+    #[test]
+    fn derating_chain_is_monotone() {
+        let cap = breakdown(256.0, 13.0, 3.3, 12);
+        assert!(cap.zbr_capacity() <= cap.raw_capacity_bytes());
+        assert!(cap.derated_capacity() <= cap.zbr_capacity());
+    }
+
+    #[test]
+    fn atlas_10k_capacity_near_datasheet() {
+        // Quantum Atlas 10K datasheet: 18 GB; paper's model: 17.6 GB.
+        // Our formulation lands within ~12% of the datasheet, the paper's
+        // own stated error bound for its model.
+        let cap = breakdown(256.0, 13.0, 3.3, 12);
+        let gb = cap.derated_capacity().gigabytes();
+        assert!((gb - 18.0).abs() / 18.0 < 0.12, "got {gb:.1} GB");
+    }
+
+    #[test]
+    fn ultrastar_36lzx_capacity_near_datasheet() {
+        // IBM Ultrastar 36LZX: 36 GB datasheet, paper model 30.8 GB.
+        let cap = breakdown(352.0, 20.0, 3.0, 12);
+        let gb = cap.derated_capacity().gigabytes();
+        assert!((gb - 33.0).abs() < 3.0, "got {gb:.1} GB");
+    }
+
+    #[test]
+    fn capacity_scales_linearly_with_surfaces() {
+        let one = breakdown(256.0, 13.0, 3.3, 2);
+        let six = breakdown(256.0, 13.0, 3.3, 12);
+        let ratio =
+            six.derated_capacity().bytes() as f64 / one.derated_capacity().bytes() as f64;
+        assert!((ratio - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_fraction_matches_ecc_plus_servo() {
+        let cap = breakdown(256.0, 13.0, 3.3, 12);
+        // Effective sector = 4096/(1 - 416/4096) + 13 = 4572 bits ->
+        // ~10.4% overhead loss (plus per-track floor quantization).
+        let expected = 1.0 - 4096.0 / 4572.0;
+        assert!((cap.overhead_loss_fraction() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn zbr_loss_is_small_but_positive() {
+        let cap = breakdown(256.0, 13.0, 3.3, 12);
+        let loss = cap.zbr_loss_fraction();
+        assert!(loss > 0.0, "ZBR always wastes something");
+        assert!(loss < 0.10, "30 zones keep ZBR loss under 10%, got {loss}");
+    }
+
+    #[test]
+    fn display_shows_chain() {
+        let s = breakdown(256.0, 13.0, 3.3, 12).to_string();
+        assert!(s.contains("raw") && s.contains("ZBR") && s.contains("derated"));
+    }
+}

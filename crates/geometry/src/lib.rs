@@ -1,0 +1,52 @@
+//! Disk geometry and capacity model (§3.1 of the paper).
+//!
+//! This crate models the *recorded* geometry of a hard disk drive:
+//!
+//! - [`RecordingTech`] — linear density (BPI), track density (TPI), the
+//!   derived areal density and bit aspect ratio, and the ECC strength the
+//!   paper ties to areal density (416 bits/sector below 1 Tb/in²,
+//!   1440 bits/sector at terabit densities).
+//! - [`Platter`] — a platter of a given diameter with the paper's
+//!   `r_i = r_o / 2` rule and 2/3 stroke efficiency, yielding the cylinder
+//!   count and per-track radii/perimeters (eq. 1).
+//! - [`ZoneTable`] — Zoned Bit Recording: equal-track-count zones where
+//!   every track is allocated the bit budget of the zone's innermost
+//!   track, then derated by embedded-servo and ECC overheads.
+//! - [`DriveGeometry`] — a whole drive (platter × count × recording),
+//!   raw/ZBR/derated capacities (eq. 3) and a bijective LBA ↔ physical
+//!   location mapping used by the `disksim` crate.
+//!
+//! # Examples
+//!
+//! Reproduce the zone-0 sector count that feeds the paper's IDR equation:
+//!
+//! ```
+//! use diskgeom::{DriveGeometry, Platter, RecordingTech};
+//! use units::{BitsPerInch, Inches, TracksPerInch};
+//!
+//! let tech = RecordingTech::new(
+//!     BitsPerInch::from_kbpi(593.19), // 2002 projection
+//!     TracksPerInch::from_ktpi(67.5),
+//! );
+//! let drive = DriveGeometry::new(Platter::new(Inches::new(2.6)), tech, 1, 50)?;
+//! let zone0 = drive.zones().outermost();
+//! assert!(zone0.sectors_per_track().get() > 1000);
+//! # Ok::<(), diskgeom::GeometryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod drive;
+mod error;
+mod platter;
+mod recording;
+mod zones;
+
+pub use capacity::CapacityBreakdown;
+pub use drive::{DriveGeometry, Location};
+pub use error::GeometryError;
+pub use platter::{Platter, STROKE_EFFICIENCY};
+pub use recording::{EccPolicy, RecordingTech, ECC_BITS_STANDARD, ECC_BITS_TERABIT};
+pub use zones::{Zone, ZoneTable};

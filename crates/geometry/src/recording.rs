@@ -1,0 +1,201 @@
+//! Recording technology: densities and error-correction overhead.
+
+use serde::{Deserialize, Serialize};
+use units::{ArealDensity, BitAspectRatio, BitsPerInch, TracksPerInch};
+
+/// ECC overhead per sector for sub-terabit areal densities, in raw bits.
+///
+/// The paper cites ~10 % of capacity for current disks, modeled as a flat
+/// 416 bits on a 4096-bit sector.
+pub const ECC_BITS_STANDARD: u32 = 416;
+
+/// ECC overhead per sector for terabit-class areal densities, in raw
+/// bits (~35 % of capacity per Wood's feasibility study).
+pub const ECC_BITS_TERABIT: u32 = 1440;
+
+/// How the per-sector ECC budget is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EccPolicy {
+    /// The paper's model: 416 bits/sector below 1 Tb/in², 1440 at or
+    /// above it (§3.1, "Capacity Adjustments due to Error-Correcting
+    /// Codes").
+    #[default]
+    ArealDensityStep,
+    /// A fixed override, for sensitivity studies of the ECC transition.
+    Fixed(u32),
+}
+
+/// A recording technology point: linear and track density.
+///
+/// # Examples
+///
+/// ```
+/// use diskgeom::RecordingTech;
+/// use units::{BitsPerInch, TracksPerInch};
+///
+/// // The 1999 roadmap anchor: 270 KBPI x 20 KTPI.
+/// let tech = RecordingTech::new(
+///     BitsPerInch::from_kbpi(270.0),
+///     TracksPerInch::from_ktpi(20.0),
+/// );
+/// assert!((tech.areal_density().to_gb_per_sq_in() - 5.4).abs() < 1e-9);
+/// assert!((tech.bit_aspect_ratio().get() - 13.5).abs() < 1e-9);
+/// assert_eq!(tech.ecc_bits_per_sector(), 416);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecordingTech {
+    bpi: BitsPerInch,
+    tpi: TracksPerInch,
+    ecc_policy: EccPolicy,
+}
+
+impl RecordingTech {
+    /// Creates a technology point with the default areal-density-stepped
+    /// ECC policy.
+    pub fn new(bpi: BitsPerInch, tpi: TracksPerInch) -> Self {
+        Self {
+            bpi,
+            tpi,
+            ecc_policy: EccPolicy::default(),
+        }
+    }
+
+    /// Creates a technology point with an explicit ECC policy.
+    pub fn with_ecc_policy(bpi: BitsPerInch, tpi: TracksPerInch, ecc_policy: EccPolicy) -> Self {
+        Self {
+            bpi,
+            tpi,
+            ecc_policy,
+        }
+    }
+
+    /// Linear density along a track.
+    pub fn bpi(&self) -> BitsPerInch {
+        self.bpi
+    }
+
+    /// Radial track density.
+    pub fn tpi(&self) -> TracksPerInch {
+        self.tpi
+    }
+
+    /// The ECC policy in force.
+    pub fn ecc_policy(&self) -> EccPolicy {
+        self.ecc_policy
+    }
+
+    /// Areal density: `BPI × TPI`.
+    pub fn areal_density(&self) -> ArealDensity {
+        self.bpi * self.tpi
+    }
+
+    /// Bit aspect ratio: `BPI / TPI`.
+    pub fn bit_aspect_ratio(&self) -> BitAspectRatio {
+        self.bpi / self.tpi
+    }
+
+    /// ECC overhead in raw bits per sector under the active policy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diskgeom::{EccPolicy, RecordingTech};
+    /// use units::{BitsPerInch, TracksPerInch};
+    ///
+    /// let terabit = RecordingTech::new(
+    ///     BitsPerInch::new(1.85e6),
+    ///     TracksPerInch::from_ktpi(540.0),
+    /// );
+    /// assert_eq!(terabit.ecc_bits_per_sector(), 1440);
+    /// ```
+    pub fn ecc_bits_per_sector(&self) -> u32 {
+        match self.ecc_policy {
+            EccPolicy::ArealDensityStep => {
+                if self.areal_density().is_terabit_class() {
+                    ECC_BITS_TERABIT
+                } else {
+                    ECC_BITS_STANDARD
+                }
+            }
+            EccPolicy::Fixed(bits) => bits,
+        }
+    }
+
+    /// `true` when both densities are positive and finite.
+    pub fn is_valid(&self) -> bool {
+        self.bpi.is_finite()
+            && self.tpi.is_finite()
+            && self.bpi.get() > 0.0
+            && self.tpi.get() > 0.0
+    }
+}
+
+impl core::fmt::Display for RecordingTech {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:.0} KBPI x {:.1} KTPI ({:.1} Gb/in^2)",
+            self.bpi.to_kbpi(),
+            self.tpi.to_ktpi(),
+            self.areal_density().to_gb_per_sq_in()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kk(kbpi: f64, ktpi: f64) -> RecordingTech {
+        RecordingTech::new(BitsPerInch::from_kbpi(kbpi), TracksPerInch::from_ktpi(ktpi))
+    }
+
+    #[test]
+    fn ecc_steps_at_terabit() {
+        assert_eq!(kk(570.0, 64.0).ecc_bits_per_sector(), ECC_BITS_STANDARD);
+        assert_eq!(kk(1850.0, 540.0).ecc_bits_per_sector(), ECC_BITS_TERABIT);
+    }
+
+    #[test]
+    fn fixed_policy_overrides_step() {
+        let t = RecordingTech::with_ecc_policy(
+            BitsPerInch::from_kbpi(1850.0),
+            TracksPerInch::from_ktpi(540.0),
+            EccPolicy::Fixed(416),
+        );
+        assert_eq!(t.ecc_bits_per_sector(), 416);
+    }
+
+    #[test]
+    fn standard_ecc_is_ten_percent_of_sector() {
+        // The paper cites ~10% ECC overhead for sub-terabit drives.
+        let frac = ECC_BITS_STANDARD as f64 / 4096.0;
+        assert!((frac - 0.10).abs() < 0.01);
+        // ...and ~35% for terabit drives.
+        let frac = ECC_BITS_TERABIT as f64 / 4096.0;
+        assert!((frac - 0.35).abs() < 0.002);
+    }
+
+    #[test]
+    fn bar_declines_with_technology() {
+        // 2002-era disks have BAR ~6-9; the terabit point is ~3.4.
+        let now = kk(570.0, 64.0).bit_aspect_ratio();
+        let terabit = kk(1850.0, 540.0).bit_aspect_ratio();
+        assert!(now.get() > terabit.get());
+        assert!((terabit.get() - 3.4259).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(kk(270.0, 20.0).is_valid());
+        assert!(!kk(0.0, 20.0).is_valid());
+        assert!(!kk(270.0, -1.0).is_valid());
+    }
+
+    #[test]
+    fn display_mentions_densities() {
+        let s = kk(270.0, 20.0).to_string();
+        assert!(s.contains("270"));
+        assert!(s.contains("20.0"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over the geometry and capacity model.
+
+use diskgeom::{DriveGeometry, Platter, RecordingTech, ZoneTable};
+use proptest::prelude::*;
+use units::{BitsPerInch, Inches, TracksPerInch};
+
+/// Strategy producing a plausible recording technology (1990s–2010s era).
+fn tech_strategy() -> impl Strategy<Value = RecordingTech> {
+    (50.0f64..2_000.0, 5.0f64..600.0).prop_map(|(kbpi, ktpi)| {
+        RecordingTech::new(
+            BitsPerInch::from_kbpi(kbpi),
+            TracksPerInch::from_ktpi(ktpi),
+        )
+    })
+}
+
+/// Strategy producing a plausible platter diameter.
+fn platter_strategy() -> impl Strategy<Value = Platter> {
+    (1.0f64..4.0).prop_map(|d| Platter::new(Inches::new(d)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacity_monotone_in_bpi(
+        platter in platter_strategy(),
+        ktpi in 5.0f64..600.0,
+        kbpi_lo in 50.0f64..1_000.0,
+        bump in 1.0f64..500.0,
+    ) {
+        let tpi = TracksPerInch::from_ktpi(ktpi);
+        let lo = RecordingTech::new(BitsPerInch::from_kbpi(kbpi_lo), tpi);
+        let hi = RecordingTech::new(BitsPerInch::from_kbpi(kbpi_lo + bump), tpi);
+        // Only compare within the same ECC regime: the terabit ECC step
+        // deliberately makes capacity non-monotone across it.
+        prop_assume!(lo.areal_density().is_terabit_class()
+            == hi.areal_density().is_terabit_class());
+        let d_lo = DriveGeometry::new(platter, lo, 1, 30);
+        let d_hi = DriveGeometry::new(platter, hi, 1, 30);
+        if let (Ok(d_lo), Ok(d_hi)) = (d_lo, d_hi) {
+            prop_assert!(d_hi.capacity() >= d_lo.capacity(),
+                "more BPI must not lose capacity: {} vs {}",
+                d_hi.capacity(), d_lo.capacity());
+        }
+    }
+
+    #[test]
+    fn capacity_scales_with_platters(
+        platter in platter_strategy(),
+        tech in tech_strategy(),
+        n in 1u32..6,
+    ) {
+        let one = DriveGeometry::new(platter, tech, 1, 30);
+        let many = DriveGeometry::new(platter, tech, n, 30);
+        if let (Ok(one), Ok(many)) = (one, many) {
+            prop_assert_eq!(
+                many.total_sectors().get(),
+                one.total_sectors().get() * n as u64
+            );
+        }
+    }
+
+    #[test]
+    fn derating_chain_never_gains(
+        platter in platter_strategy(),
+        tech in tech_strategy(),
+        platters in 1u32..5,
+    ) {
+        if let Ok(drive) = DriveGeometry::new(platter, tech, platters, 30) {
+            let b = drive.capacity_breakdown();
+            prop_assert!(b.zbr_capacity() <= b.raw_capacity_bytes());
+            prop_assert!(b.derated_capacity() <= b.zbr_capacity());
+            prop_assert!(b.zbr_loss_fraction() >= 0.0);
+            prop_assert!(b.overhead_loss_fraction() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lba_round_trip_samples(
+        platter in platter_strategy(),
+        tech in tech_strategy(),
+        platters in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        if let Ok(drive) = DriveGeometry::new(platter, tech, platters, 30) {
+            let total = drive.total_sectors().get();
+            prop_assume!(total > 0);
+            // Sample a spread of LBAs deterministically from the seed.
+            for k in 0..64u64 {
+                let lba = (seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(k.wrapping_mul(0x9E3779B97F4A7C15)))
+                    % total;
+                let loc = drive.locate(lba).expect("lba in range");
+                prop_assert_eq!(drive.lba_of(loc), Some(lba));
+            }
+            // Boundary LBAs.
+            for lba in [0, total / 2, total - 1] {
+                let loc = drive.locate(lba).expect("lba in range");
+                prop_assert_eq!(drive.lba_of(loc), Some(lba));
+            }
+            prop_assert!(drive.locate(total).is_none());
+        }
+    }
+
+    #[test]
+    fn zone_table_covers_cylinders_in_order(
+        platter in platter_strategy(),
+        tech in tech_strategy(),
+        n_zones in 1u32..60,
+    ) {
+        if let Ok(table) = ZoneTable::new(platter, tech, n_zones) {
+            let mut next = 0;
+            for z in table.zones() {
+                prop_assert_eq!(z.first_cylinder(), next);
+                next = z.end_cylinder();
+            }
+            prop_assert!(next <= table.total_cylinders());
+            // Sectors per track never increase inward.
+            let mut prev = u64::MAX;
+            for z in table.zones() {
+                prop_assert!(z.sectors_per_track().get() <= prev);
+                prev = z.sectors_per_track().get();
+            }
+        }
+    }
+
+    #[test]
+    fn outer_zone_rate_advantage(
+        platter in platter_strategy(),
+        tech in tech_strategy(),
+    ) {
+        // ZBR's reason to exist: the outermost zone should hold strictly
+        // more sectors per track than the innermost for any realistic
+        // geometry with enough zones.
+        if let Ok(table) = ZoneTable::new(platter, tech, 30) {
+            let outer = table.outermost().sectors_per_track().get();
+            let inner = table.innermost().sectors_per_track().get();
+            prop_assert!(outer >= inner);
+            // With ri = ro/2 the outer budget is nearly 2x the inner.
+            if inner > 20 {
+                let ratio = outer as f64 / inner as f64;
+                prop_assert!(ratio > 1.5 && ratio < 2.2, "ratio {ratio}");
+            }
+        }
+    }
+}

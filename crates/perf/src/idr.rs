@@ -1,0 +1,175 @@
+//! Internal data rate (eq. 4) and its inverse.
+
+use diskgeom::{Zone, ZoneTable};
+use units::{DataRate, Rpm};
+
+/// Bytes per sector over one binary megabyte — the constant factor of
+/// eq. 4: `IDR = (rpm / 60) · (n_tz0 · 512 / 2^20)`.
+const SECTOR_MB: f64 = 512.0 / (1u64 << 20) as f64;
+
+/// Maximum internal data rate of the drive (eq. 4): the rate at which
+/// bits stream under the head on the *outermost* zone.
+///
+/// # Examples
+///
+/// ```
+/// use diskgeom::{Platter, RecordingTech, ZoneTable};
+/// use diskperf::idr;
+/// use units::{BitsPerInch, Inches, Rpm, TracksPerInch};
+///
+/// let tech = RecordingTech::new(
+///     BitsPerInch::from_kbpi(533.0), // Cheetah 15K.3, Table 1
+///     TracksPerInch::from_ktpi(64.0),
+/// );
+/// let zones = ZoneTable::new(Platter::new(Inches::new(2.6)), tech, 30)?;
+/// let rate = idr(&zones, Rpm::new(15_000.0));
+/// assert!((rate.get() - 114.4).abs() < 3.0); // paper's model: 114.4 MB/s
+/// # Ok::<(), diskgeom::GeometryError>(())
+/// ```
+pub fn idr(zones: &ZoneTable, rpm: Rpm) -> DataRate {
+    idr_at_zone(zones.outermost(), rpm)
+}
+
+/// Data rate while reading a specific zone at the given spindle speed.
+pub fn idr_at_zone(zone: &Zone, rpm: Rpm) -> DataRate {
+    DataRate::new(rpm.rev_per_sec() * zone.sectors_per_track().get() as f64 * SECTOR_MB)
+}
+
+/// Capacity-weighted mean data rate across all zones — the sustained
+/// rate of a whole-drive scan, useful as a secondary metric alongside
+/// the peak IDR the paper reports.
+pub fn sustained_idr(zones: &ZoneTable, rpm: Rpm) -> DataRate {
+    let mut sectors = 0u64;
+    let mut weighted = 0.0;
+    for z in zones.zones() {
+        let s = z.sectors_per_surface().get();
+        sectors += s;
+        weighted += idr_at_zone(z, rpm).get() * s as f64;
+    }
+    if sectors == 0 {
+        DataRate::ZERO
+    } else {
+        DataRate::new(weighted / sectors as f64)
+    }
+}
+
+/// Inverse of eq. 4: the spindle speed required for this geometry to
+/// deliver `target` at the outermost zone.
+///
+/// This is step 2 of the roadmap methodology (§4): when density growth
+/// alone cannot reach the year's IDR target, solve for the RPM that can.
+///
+/// # Examples
+///
+/// ```
+/// use diskgeom::{Platter, RecordingTech, ZoneTable};
+/// use diskperf::{idr, required_rpm};
+/// use units::{BitsPerInch, DataRate, Inches, Rpm, TracksPerInch};
+///
+/// let tech = RecordingTech::new(
+///     BitsPerInch::from_kbpi(593.19),
+///     TracksPerInch::from_ktpi(67.5),
+/// );
+/// let zones = ZoneTable::new(Platter::new(Inches::new(2.6)), tech, 50)?;
+/// let rpm = required_rpm(&zones, DataRate::new(128.97)); // 2002 target
+/// assert!((idr(&zones, rpm).get() - 128.97).abs() < 1e-9);
+/// assert!((rpm.get() - 15_098.0).abs() < 300.0); // Table 3: 15,098 RPM
+/// # Ok::<(), diskgeom::GeometryError>(())
+/// ```
+pub fn required_rpm(zones: &ZoneTable, target: DataRate) -> Rpm {
+    let spt = zones.outermost().sectors_per_track().get() as f64;
+    debug_assert!(spt > 0.0, "zone table guarantees at least one sector/track");
+    Rpm::new(target.get() * 60.0 / (spt * SECTOR_MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskgeom::{Platter, RecordingTech};
+    use units::{BitsPerInch, Inches, TracksPerInch};
+
+    fn zones(kbpi: f64, ktpi: f64, dia: f64, n_zones: u32) -> ZoneTable {
+        let tech = RecordingTech::new(
+            BitsPerInch::from_kbpi(kbpi),
+            TracksPerInch::from_ktpi(ktpi),
+        );
+        ZoneTable::new(Platter::new(Inches::new(dia)), tech, n_zones).unwrap()
+    }
+
+    /// Table 1 rows: (KBPI, KTPI, diameter, RPM, paper-model IDR MB/s).
+    const TABLE1: [(f64, f64, f64, f64, f64); 8] = [
+        (256.0, 13.0, 3.3, 10_000.0, 46.5),  // Quantum Atlas 10K
+        (352.0, 20.0, 3.0, 10_000.0, 58.1),  // IBM Ultrastar 36LZX
+        (343.0, 21.4, 2.6, 15_000.0, 73.6),  // Seagate Cheetah X15
+        (341.0, 14.2, 3.3, 10_000.0, 61.9),  // Quantum Atlas 10K II
+        (480.0, 27.3, 3.3, 10_000.0, 85.2),  // IBM Ultrastar 73LZX
+        (490.0, 31.2, 3.7, 7_200.0, 71.8),   // Seagate Barracuda 180
+        (570.0, 64.0, 3.3, 10_000.0, 103.5), // Seagate Cheetah 10K.6
+        (533.0, 64.0, 2.6, 15_000.0, 114.4), // Seagate Cheetah 15K.3
+    ];
+
+    #[test]
+    fn reproduces_table1_model_idr() {
+        for &(kbpi, ktpi, dia, rpm, expected) in &TABLE1 {
+            let z = zones(kbpi, ktpi, dia, 30);
+            let got = idr(&z, Rpm::new(rpm)).get();
+            let err = (got - expected).abs() / expected;
+            // The paper quotes its own model within 15% of datasheets;
+            // our formulation reproduces the paper's *model* numbers to
+            // within 5% (most rows land under 2%).
+            assert!(
+                err < 0.05,
+                "{kbpi} KBPI {dia}\" disk: model {got:.1} vs paper {expected:.1} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn idr_is_linear_in_rpm() {
+        let z = zones(256.0, 13.0, 3.3, 30);
+        let a = idr(&z, Rpm::new(10_000.0));
+        let b = idr(&z, Rpm::new(20_000.0));
+        assert!((b.get() / a.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_rpm_inverts_idr() {
+        let z = zones(480.0, 27.3, 3.3, 30);
+        for target in [40.0, 85.2, 250.0, 1_000.0] {
+            let rpm = required_rpm(&z, DataRate::new(target));
+            assert!((idr(&z, rpm).get() - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sustained_is_below_peak() {
+        let z = zones(256.0, 13.0, 3.3, 30);
+        let rpm = Rpm::new(10_000.0);
+        let peak = idr(&z, rpm);
+        let sustained = sustained_idr(&z, rpm);
+        assert!(sustained < peak);
+        // With ri = ro/2 the mean zone rate is ~3/4 of the peak.
+        let ratio = sustained.get() / peak.get();
+        assert!(ratio > 0.6 && ratio < 0.9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn inner_zone_is_slowest() {
+        let z = zones(256.0, 13.0, 3.3, 30);
+        let rpm = Rpm::new(10_000.0);
+        let outer = idr_at_zone(z.outermost(), rpm);
+        let inner = idr_at_zone(z.innermost(), rpm);
+        assert!(inner < outer);
+    }
+
+    #[test]
+    fn table3_anchor_2002() {
+        // §4: a 2.6" single-platter drive with the 2002 densities and 50
+        // zones needs ~15,098 RPM for the 128.97 MB/s target.
+        let z = zones(593.19, 67.5, 2.6, 50);
+        let rpm = required_rpm(&z, DataRate::new(128.97));
+        let err = (rpm.get() - 15_098.0).abs() / 15_098.0;
+        assert!(err < 0.02, "required RPM {:.0} vs paper 15,098", rpm.get());
+    }
+}

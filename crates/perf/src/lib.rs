@@ -1,0 +1,42 @@
+//! Disk performance model (§3.2 of the paper): seek time and internal
+//! data rate.
+//!
+//! Two facets, deliberately small because the paper reuses prior art:
+//!
+//! - [`SeekProfile`] — the three-parameter seek-time model of
+//!   Worthington et al.: track-to-track, average and full-stroke times
+//!   with linear interpolation between them, plus an interpolation table
+//!   over platter sizes built from real devices of the era.
+//! - [`idr`] and friends — the internal data rate of eq. 4, computed from
+//!   the outermost-zone sector count, and its inverse (the RPM required
+//!   to reach a target IDR), which drives the roadmap of §4.
+//!
+//! # Examples
+//!
+//! ```
+//! use diskgeom::{DriveGeometry, Platter, RecordingTech};
+//! use diskperf::{idr, required_rpm};
+//! use units::{BitsPerInch, DataRate, Inches, Rpm, TracksPerInch};
+//!
+//! let tech = RecordingTech::new(
+//!     BitsPerInch::from_kbpi(256.0),
+//!     TracksPerInch::from_ktpi(13.0),
+//! );
+//! let drive = DriveGeometry::new(Platter::new(Inches::new(3.3)), tech, 6, 30)?;
+//! let rate = idr(drive.zones(), Rpm::new(10_000.0));
+//! assert!((rate.get() - 46.5).abs() < 1.0); // Quantum Atlas 10K, Table 1
+//!
+//! // Inverse: what RPM reaches 60 MB/s on this geometry?
+//! let rpm = required_rpm(drive.zones(), DataRate::new(60.0));
+//! assert!((idr(drive.zones(), rpm).get() - 60.0).abs() < 1e-9);
+//! # Ok::<(), diskgeom::GeometryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod idr;
+mod seek;
+
+pub use idr::{idr, idr_at_zone, required_rpm, sustained_idr};
+pub use seek::{SeekProfile, SEEK_REFERENCE_DEVICES};

@@ -1,0 +1,370 @@
+//! Three-parameter seek-time model.
+//!
+//! Worthington, Ganger, Patt and Wilkes showed that, except for very
+//! short seeks, disk seek time is captured well by linear interpolation
+//! over three datasheet numbers: the track-to-track time, the average
+//! seek time (reached at roughly one third of the full stroke — the mean
+//! distance between two uniformly random cylinders) and the full-stroke
+//! time. The paper adopts that model and derives parameters for future
+//! platter sizes by interpolating over real devices.
+
+use serde::{Deserialize, Serialize};
+use units::{Inches, Seconds};
+
+/// Fraction of the full stroke at which the *average* seek time occurs.
+///
+/// For two independent uniform positions on a line the expected distance
+/// is 1/3 of the line, so datasheet "average seek" corresponds to a seek
+/// of one third of the data band.
+const AVERAGE_SEEK_FRACTION: f64 = 1.0 / 3.0;
+
+/// Reference devices used to interpolate seek parameters over platter
+/// size: `(diameter_in, track_to_track_ms, average_ms, full_stroke_ms)`.
+///
+/// Values are representative of the 1999–2002 server drives in Table 1
+/// (Cheetah X15 family at 2.6″, Cheetah 73LP class at 3.3″, Barracuda 180
+/// at 3.7″), with the sub-2.6″ points extrapolated the way the paper
+/// extrapolates from actual devices of different platter sizes.
+pub const SEEK_REFERENCE_DEVICES: [(f64, f64, f64, f64); 5] = [
+    (1.6, 0.30, 2.4, 4.6),
+    (2.1, 0.35, 3.0, 5.8),
+    (2.6, 0.40, 3.6, 7.0),
+    (3.3, 0.60, 4.9, 10.5),
+    (3.7, 0.80, 7.4, 16.0),
+];
+
+/// Seek-time profile of a drive.
+///
+/// # Examples
+///
+/// ```
+/// use diskperf::SeekProfile;
+/// use units::{Inches, Seconds};
+///
+/// let seek = SeekProfile::for_platter(Inches::new(2.6), 18_000);
+/// // Track-to-track seeks are fast...
+/// assert!(seek.seek_time(1).to_millis() < 1.0);
+/// // ...full-stroke seeks hit the datasheet number...
+/// assert!((seek.seek_time(17_999).to_millis() - 7.0).abs() < 1e-9);
+/// // ...and no seek at all costs nothing.
+/// assert_eq!(seek.seek_time(0), Seconds::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeekProfile {
+    track_to_track: Seconds,
+    average: Seconds,
+    full_stroke: Seconds,
+    max_distance: u32,
+    /// Below this distance the arm never reaches cruise velocity and
+    /// seek time follows `a + b·√d` (Worthington et al. observe the
+    /// linear interpolation holds "except for very short seeks", which
+    /// they bound at about ten cylinders). Zero disables the refinement.
+    short_seek_cutoff: u32,
+}
+
+impl SeekProfile {
+    /// Builds a profile from the three datasheet times and the number of
+    /// cylinders in the data band (`max_distance = cylinders − 1` is the
+    /// longest possible seek).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not ordered
+    /// `0 < track_to_track <= average <= full_stroke` or if
+    /// `cylinders == 0`.
+    pub fn new(
+        track_to_track: Seconds,
+        average: Seconds,
+        full_stroke: Seconds,
+        cylinders: u32,
+    ) -> Self {
+        assert!(
+            track_to_track.get() > 0.0
+                && track_to_track <= average
+                && average <= full_stroke,
+            "seek times must satisfy 0 < t2t <= avg <= full"
+        );
+        assert!(cylinders > 0, "a drive has at least one cylinder");
+        Self {
+            track_to_track,
+            average,
+            full_stroke,
+            max_distance: cylinders.saturating_sub(1).max(1),
+            short_seek_cutoff: 0,
+        }
+    }
+
+    /// Enables the short-seek refinement: below `cutoff` cylinders the
+    /// arm is still accelerating and seek time follows `a + b·√d`, fit
+    /// so it matches the track-to-track time at distance 1 and joins the
+    /// linear profile continuously at the cutoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is 0 or 1 (there is nothing to refine).
+    pub fn with_short_seek_model(mut self, cutoff: u32) -> Self {
+        assert!(cutoff > 1, "short-seek cutoff must cover at least 2 cylinders");
+        self.short_seek_cutoff = cutoff;
+        self
+    }
+
+    /// Builds a profile for a platter diameter by interpolating the
+    /// [`SEEK_REFERENCE_DEVICES`] table (clamping beyond its ends), for a
+    /// drive whose data band spans `cylinders` cylinders.
+    pub fn for_platter(diameter: Inches, cylinders: u32) -> Self {
+        let d = diameter.get();
+        let table = &SEEK_REFERENCE_DEVICES;
+        let (t2t, avg, full) = if d <= table[0].0 {
+            (table[0].1, table[0].2, table[0].3)
+        } else if d >= table[table.len() - 1].0 {
+            let last = table[table.len() - 1];
+            (last.1, last.2, last.3)
+        } else {
+            // Find the bracketing pair and interpolate linearly.
+            let mut result = (table[0].1, table[0].2, table[0].3);
+            for pair in table.windows(2) {
+                let (lo, hi) = (pair[0], pair[1]);
+                if d >= lo.0 && d <= hi.0 {
+                    let t = (d - lo.0) / (hi.0 - lo.0);
+                    result = (
+                        lo.1 + t * (hi.1 - lo.1),
+                        lo.2 + t * (hi.2 - lo.2),
+                        lo.3 + t * (hi.3 - lo.3),
+                    );
+                    break;
+                }
+            }
+            result
+        };
+        Self::new(
+            Seconds::from_millis(t2t),
+            Seconds::from_millis(avg),
+            Seconds::from_millis(full),
+            cylinders,
+        )
+    }
+
+    /// Track-to-track (single-cylinder) seek time.
+    pub fn track_to_track(&self) -> Seconds {
+        self.track_to_track
+    }
+
+    /// Datasheet average seek time.
+    pub fn average(&self) -> Seconds {
+        self.average
+    }
+
+    /// Full-stroke seek time.
+    pub fn full_stroke(&self) -> Seconds {
+        self.full_stroke
+    }
+
+    /// Longest possible seek distance in cylinders.
+    pub fn max_distance(&self) -> u32 {
+        self.max_distance
+    }
+
+    /// Seek time for a move of `distance` cylinders.
+    ///
+    /// Zero distance costs nothing; one cylinder costs the track-to-track
+    /// time; beyond that the time interpolates linearly up to the average
+    /// at one third of the stroke and on to the full-stroke time.
+    /// Distances past the physical maximum are clamped to it.
+    pub fn seek_time(&self, distance: u32) -> Seconds {
+        if distance == 0 {
+            return Seconds::ZERO;
+        }
+        let clamped = distance.min(self.max_distance);
+        // Short-seek refinement: a + b*sqrt(d), anchored at the
+        // track-to-track time for d = 1 and joining the linear profile
+        // continuously at the cutoff.
+        if self.short_seek_cutoff > 1 && clamped < self.short_seek_cutoff {
+            let cutoff = self.short_seek_cutoff.min(self.max_distance);
+            let at_cutoff = self.linear_seek(cutoff as f64);
+            let b = (at_cutoff - self.track_to_track).get()
+                / ((cutoff as f64).sqrt() - 1.0);
+            let t = self.track_to_track.get() + b * ((clamped as f64).sqrt() - 1.0);
+            return Seconds::new(t);
+        }
+        self.linear_seek(clamped as f64)
+    }
+
+    /// The three-point linear interpolation itself.
+    fn linear_seek(&self, distance: f64) -> Seconds {
+        let knee = (self.max_distance as f64 * AVERAGE_SEEK_FRACTION).max(2.0);
+        if distance <= 1.0 {
+            self.track_to_track
+        } else if distance <= knee {
+            let t = (distance - 1.0) / (knee - 1.0);
+            self.track_to_track + (self.average - self.track_to_track) * t
+        } else {
+            let t = (distance - knee) / (self.max_distance as f64 - knee);
+            self.average + (self.full_stroke - self.average) * t
+        }
+    }
+
+    /// Mean seek time under a uniformly random cylinder workload,
+    /// estimated by integrating the profile over the triangular seek
+    /// distance distribution.
+    pub fn expected_random_seek(&self) -> Seconds {
+        // Distance between two uniform points has density
+        // f(d) = 2 (1 - d/D) / D; integrate numerically over 1024 steps.
+        let d_max = self.max_distance as f64;
+        let steps = 1024;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let d = (i as f64 + 0.5) / steps as f64 * d_max;
+            let density = 2.0 * (1.0 - d / d_max) / d_max;
+            acc += self.seek_time(d as u32).get() * density * (d_max / steps as f64);
+        }
+        Seconds::new(acc)
+    }
+}
+
+impl core::fmt::Display for SeekProfile {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "seek t2t {:.2} ms / avg {:.2} ms / full {:.2} ms over {} cyl",
+            self.track_to_track.to_millis(),
+            self.average.to_millis(),
+            self.full_stroke.to_millis(),
+            self.max_distance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheetah_like() -> SeekProfile {
+        SeekProfile::new(
+            Seconds::from_millis(0.4),
+            Seconds::from_millis(3.6),
+            Seconds::from_millis(7.0),
+            18_000,
+        )
+    }
+
+    #[test]
+    fn endpoints_hit_datasheet_numbers() {
+        let s = cheetah_like();
+        assert_eq!(s.seek_time(0), Seconds::ZERO);
+        assert_eq!(s.seek_time(1), Seconds::from_millis(0.4));
+        assert!((s.seek_time(17_999).to_millis() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_occurs_at_one_third_stroke() {
+        let s = cheetah_like();
+        let third = 17_999 / 3;
+        assert!((s.seek_time(third).to_millis() - 3.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn seek_time_is_monotone_in_distance() {
+        let s = cheetah_like();
+        let mut prev = Seconds::ZERO;
+        for d in 0..18_000 {
+            let t = s.seek_time(d);
+            assert!(t >= prev, "seek time dipped at distance {d}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn distances_past_max_are_clamped() {
+        let s = cheetah_like();
+        assert_eq!(s.seek_time(u32::MAX), s.seek_time(17_999));
+    }
+
+    #[test]
+    fn platter_interpolation_brackets() {
+        let small = SeekProfile::for_platter(Inches::new(1.6), 10_000);
+        let mid = SeekProfile::for_platter(Inches::new(2.35), 10_000);
+        let big = SeekProfile::for_platter(Inches::new(3.7), 10_000);
+        assert!(small.average() < mid.average());
+        assert!(mid.average() < big.average());
+        // 2.35" lies midway between the 2.1 and 2.6 anchors.
+        assert!((mid.average().to_millis() - 3.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn platter_interpolation_clamps_outside_table() {
+        let tiny = SeekProfile::for_platter(Inches::new(1.0), 10_000);
+        let anchor = SeekProfile::for_platter(Inches::new(1.6), 10_000);
+        assert_eq!(tiny.average(), anchor.average());
+        let huge = SeekProfile::for_platter(Inches::new(5.0), 10_000);
+        let top = SeekProfile::for_platter(Inches::new(3.7), 10_000);
+        assert_eq!(huge.full_stroke(), top.full_stroke());
+    }
+
+    #[test]
+    fn smaller_platters_seek_faster() {
+        // The roadmap's step 3 relies on this: shrinking the platter
+        // shortens seeks (and cuts VCM power).
+        let d26 = SeekProfile::for_platter(Inches::new(2.6), 29_250);
+        let d16 = SeekProfile::for_platter(Inches::new(1.6), 18_000);
+        assert!(d16.expected_random_seek() < d26.expected_random_seek());
+    }
+
+    #[test]
+    fn expected_random_seek_is_near_datasheet_average() {
+        let s = cheetah_like();
+        let e = s.expected_random_seek().to_millis();
+        // The triangular-weighted mean of the piecewise-linear profile
+        // lands close to (slightly below) the datasheet average.
+        assert!((e - 3.6).abs() < 0.8, "expected ~3.6 ms, got {e:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "seek times")]
+    fn unordered_times_rejected() {
+        let _ = SeekProfile::new(
+            Seconds::from_millis(5.0),
+            Seconds::from_millis(3.0),
+            Seconds::from_millis(7.0),
+            1000,
+        );
+    }
+
+    #[test]
+    fn short_seek_model_is_continuous_and_concave() {
+        let linear = cheetah_like();
+        let refined = cheetah_like().with_short_seek_model(10);
+        // Distance 1 still hits the track-to-track time.
+        assert_eq!(refined.seek_time(1), linear.seek_time(1));
+        // The curve joins the linear profile at the cutoff.
+        let a = refined.seek_time(10);
+        let b = linear.seek_time(10);
+        assert!((a - b).abs().get() < 1e-12);
+        // Beyond the cutoff they are identical.
+        assert_eq!(refined.seek_time(500), linear.seek_time(500));
+        // Within, sqrt growth sits above the chord (concave): the
+        // 4-cylinder seek is more than 4/10 of the way to the cutoff
+        // time.
+        let frac = (refined.seek_time(4) - refined.seek_time(1)).get()
+            / (refined.seek_time(10) - refined.seek_time(1)).get();
+        assert!(frac > 0.4, "sqrt profile should be concave, got {frac:.2}");
+        // And still monotone.
+        let mut prev = Seconds::ZERO;
+        for d in 0..20 {
+            let t = refined.seek_time(d);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn degenerate_cutoff_rejected() {
+        let _ = cheetah_like().with_short_seek_model(1);
+    }
+
+    #[test]
+    fn display_mentions_all_three_times() {
+        let s = cheetah_like().to_string();
+        assert!(s.contains("0.40") && s.contains("3.60") && s.contains("7.00"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Roadmap study configuration.
+
+use crate::scaling::TechnologyTrend;
+use diskthermal::{FormFactor, ThermalParams, THERMAL_ENVELOPE};
+use serde::{Deserialize, Serialize};
+use units::{Celsius, Inches, Rpm};
+
+/// Everything that parameterizes a roadmap run.
+///
+/// The defaults reproduce the paper's §4 setup: 2002–2012, platter sizes
+/// {2.6″, 2.1″, 1.6″}, counts {1, 2, 4}, 50 zones, a 3.5″ enclosure, the
+/// 45.22 °C envelope at 28 °C ambient, and a 15,000 RPM seed drive in the
+/// year before the roadmap starts.
+///
+/// # Examples
+///
+/// ```
+/// use roadmap::RoadmapConfig;
+/// use units::Celsius;
+///
+/// // The Figure 3 "5 C cooler" configuration:
+/// let cooled = RoadmapConfig::default().with_ambient(Celsius::new(23.0));
+/// assert_eq!(cooled.ambient, Celsius::new(23.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadmapConfig {
+    /// Density and IDR-target growth model.
+    pub trend: TechnologyTrend,
+    /// First roadmap year.
+    pub start_year: i32,
+    /// Last roadmap year (inclusive).
+    pub end_year: i32,
+    /// Candidate platter diameters, largest first.
+    pub platter_sizes: Vec<Inches>,
+    /// Candidate platter counts (low / medium / high capacity segments).
+    pub platter_counts: Vec<u32>,
+    /// ZBR zones per surface (the paper uses 50 for the roadmap).
+    pub n_zones: u32,
+    /// Enclosure form factor.
+    pub form_factor: FormFactor,
+    /// The thermal envelope every design point must respect.
+    pub envelope: Celsius,
+    /// External ambient temperature the cooling system maintains.
+    pub ambient: Celsius,
+    /// Thermal model coefficients.
+    pub thermal: ThermalParams,
+    /// Spindle speed of the (start_year − 1) seed drive, used to compute
+    /// the `IDR_density` column of Table 3.
+    pub seed_rpm: Rpm,
+}
+
+impl Default for RoadmapConfig {
+    fn default() -> Self {
+        Self {
+            trend: TechnologyTrend::default(),
+            start_year: 2002,
+            end_year: 2012,
+            platter_sizes: vec![Inches::new(2.6), Inches::new(2.1), Inches::new(1.6)],
+            platter_counts: vec![1, 2, 4],
+            n_zones: 50,
+            form_factor: FormFactor::Standard35,
+            envelope: THERMAL_ENVELOPE,
+            ambient: Celsius::new(28.0),
+            thermal: ThermalParams::default(),
+            seed_rpm: Rpm::new(15_000.0),
+        }
+    }
+}
+
+impl RoadmapConfig {
+    /// Returns the configuration with a different ambient temperature
+    /// (the Figure 3 cooling study).
+    pub fn with_ambient(mut self, ambient: Celsius) -> Self {
+        self.ambient = ambient;
+        self
+    }
+
+    /// Returns the configuration with a different enclosure (the §4.2.2
+    /// form-factor study).
+    pub fn with_form_factor(mut self, form_factor: FormFactor) -> Self {
+        self.form_factor = form_factor;
+        self
+    }
+
+    /// The years the roadmap covers.
+    pub fn years(&self) -> impl Iterator<Item = i32> {
+        self.start_year..=self.end_year
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.start_year > self.end_year {
+            return Err(format!(
+                "start_year {} after end_year {}",
+                self.start_year, self.end_year
+            ));
+        }
+        if self.platter_sizes.is_empty() {
+            return Err("no platter sizes".into());
+        }
+        if self.platter_counts.is_empty() || self.platter_counts.contains(&0) {
+            return Err("platter counts must be non-empty and positive".into());
+        }
+        if self.n_zones == 0 {
+            return Err("n_zones must be positive".into());
+        }
+        for d in &self.platter_sizes {
+            if *d > self.form_factor.max_platter() {
+                return Err(format!("{d} platter does not fit {}", self.form_factor));
+            }
+        }
+        if self.envelope <= self.ambient {
+            return Err("envelope must exceed ambient".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = RoadmapConfig::default();
+        c.validate().expect("default config is valid");
+        assert_eq!(c.start_year, 2002);
+        assert_eq!(c.end_year, 2012);
+        assert_eq!(c.platter_counts, vec![1, 2, 4]);
+        assert_eq!(c.n_zones, 50);
+        assert_eq!(c.envelope.get(), 45.22);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let c = RoadmapConfig {
+            start_year: 2013,
+            ..RoadmapConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RoadmapConfig {
+            platter_counts: vec![0],
+            ..RoadmapConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RoadmapConfig {
+            ambient: Celsius::new(50.0),
+            ..RoadmapConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RoadmapConfig::default().with_form_factor(FormFactor::Small25);
+        // 2.6" still fits a 2.5" enclosure, so this remains valid.
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn years_iterator_covers_range() {
+        let c = RoadmapConfig::default();
+        let years: Vec<i32> = c.years().collect();
+        assert_eq!(years.len(), 11);
+        assert_eq!(years[0], 2002);
+        assert_eq!(*years.last().unwrap(), 2012);
+    }
+}

@@ -1,0 +1,489 @@
+//! Roadmap generation: Table 3, Figure 2, Figure 3 and the §4.2.2
+//! form-factor study.
+
+use crate::config::RoadmapConfig;
+use diskgeom::{DriveGeometry, GeometryError, Platter};
+use diskperf::{idr, required_rpm};
+use diskthermal::{
+    ambient_for_envelope, max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch,
+    OperatingPoint, ThermalModel,
+};
+use serde::{Deserialize, Serialize};
+use units::{Capacity, Celsius, DataRate, Inches, Power, Rpm};
+
+/// One row of the Table 3 reproduction: the RPM a platter size needs in
+/// a given year to hold the 40 % IDR target, and its thermal cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequiredRpmRow {
+    /// Roadmap year.
+    pub year: i32,
+    /// Platter diameter.
+    pub diameter: Inches,
+    /// The year's IDR target (`IDR_Required`).
+    pub idr_target: DataRate,
+    /// IDR obtainable from density growth alone, at the constant seed
+    /// spindle speed (`IDR_density`).
+    pub idr_density: DataRate,
+    /// Spindle speed required to reach the target.
+    pub required_rpm: Rpm,
+    /// Steady-state internal-air temperature at that speed (single
+    /// platter, VCM always on).
+    pub steady_temp: Celsius,
+    /// Viscous dissipation at that speed.
+    pub viscous_power: Power,
+}
+
+/// Builds the drive geometry for a roadmap year and platter size.
+fn geometry_for(
+    cfg: &RoadmapConfig,
+    year: i32,
+    diameter: Inches,
+    platters: u32,
+) -> Result<DriveGeometry, GeometryError> {
+    DriveGeometry::new(Platter::new(diameter), cfg.trend.tech(year), platters, cfg.n_zones)
+}
+
+/// Reproduces Table 3: for each year and platter size, the spindle speed
+/// needed to meet the IDR target and the temperature it would reach.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`RoadmapConfig::validate`]).
+pub fn required_rpm_table(cfg: &RoadmapConfig) -> Vec<RequiredRpmRow> {
+    cfg.validate().expect("invalid roadmap configuration");
+    let mut rows = Vec::new();
+    for &diameter in &cfg.platter_sizes {
+        for year in cfg.years() {
+            let geom = geometry_for(cfg, year, diameter, 1)
+                .expect("roadmap-era densities yield valid geometries");
+            let target = cfg.trend.idr_target(year);
+            // "IDR obtainable with just the density growth without any
+            // RPM changes": evaluated at the constant seed speed (the
+            // 15,000 RPM drive of the year before the roadmap starts) —
+            // this reproduces the paper's IDR_density column, including
+            // its drop at the 2010 ECC transition.
+            let density_only = idr(geom.zones(), cfg.seed_rpm);
+            let rpm = required_rpm(geom.zones(), target);
+
+            let spec = DriveThermalSpec::new(diameter, 1)
+                .with_form_factor(cfg.form_factor)
+                .with_ambient(cfg.ambient);
+            let model = ThermalModel::with_params(spec, cfg.thermal);
+            let steady = model.steady_air_temp(OperatingPoint::seeking(rpm));
+            let power = model.power_breakdown(OperatingPoint::seeking(rpm)).viscous;
+
+            rows.push(RequiredRpmRow {
+                year,
+                diameter,
+                idr_target: target,
+                idr_density: density_only,
+                required_rpm: rpm,
+                steady_temp: steady,
+                viscous_power: power,
+            });
+        }
+    }
+    rows
+}
+
+/// One point of the envelope-constrained roadmap (Figure 2): the best a
+/// configuration can do in a year without leaving the envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoadmapPoint {
+    /// Roadmap year.
+    pub year: i32,
+    /// Platter diameter.
+    pub diameter: Inches,
+    /// Platter count.
+    pub platters: u32,
+    /// Highest spindle speed inside the envelope (constant across years
+    /// for a fixed mechanical configuration).
+    pub max_rpm: Rpm,
+    /// Maximum IDR at that speed with the year's recording density.
+    pub max_idr: DataRate,
+    /// The year's IDR target, for fall-off comparison.
+    pub idr_target: DataRate,
+    /// User capacity of the configuration in that year.
+    pub capacity: Capacity,
+    /// Ambient temperature used (after any cooling credit).
+    pub ambient: Celsius,
+}
+
+impl RoadmapPoint {
+    /// Whether the configuration meets the year's target within the
+    /// envelope, to a 1.5 % tolerance.
+    ///
+    /// The tolerance reflects the paper's own rounding: Table 3's
+    /// 2.6″/2002 entry runs 15,098 RPM against a ~15,020 RPM envelope
+    /// limit (a 0.5 % IDR shortfall) yet Figure 2 counts 2002 as met.
+    /// The next roadmap year's shortfall is ~8 %, so the tolerance
+    /// cannot misclassify a genuine fall-off.
+    pub fn meets_target(&self) -> bool {
+        self.max_idr.get() >= 0.985 * self.idr_target.get()
+    }
+}
+
+/// The external-cooling credit granted to multi-platter configurations:
+/// the ambient temperature at which an `n`-platter stack of the *largest*
+/// roadmap platter matches the envelope at the roadmap's seed speed, so
+/// every platter count starts the roadmap at the same thermal envelope
+/// (§4: "we provide different external cooling budgets for each of the
+/// three platter counts").
+pub fn cooling_credit(cfg: &RoadmapConfig, platters: u32) -> Celsius {
+    let diameter = cfg
+        .platter_sizes
+        .iter()
+        .copied()
+        .fold(Inches::new(0.0), Inches::max);
+    let spec = DriveThermalSpec::new(diameter, platters)
+        .with_form_factor(cfg.form_factor)
+        .with_ambient(cfg.ambient);
+    let model = ThermalModel::with_params(spec, cfg.thermal);
+    let ambient =
+        ambient_for_envelope(&model, OperatingPoint::seeking(cfg.seed_rpm), cfg.envelope);
+    // Credits only: never *heat* the single-platter baseline.
+    ambient.min(cfg.ambient)
+}
+
+/// Roadmap for one mechanical configuration (platter size × count) under
+/// an explicit ambient temperature.
+pub fn roadmap_for(
+    cfg: &RoadmapConfig,
+    diameter: Inches,
+    platters: u32,
+    ambient: Celsius,
+) -> Vec<RoadmapPoint> {
+    let spec = DriveThermalSpec::new(diameter, platters)
+        .with_form_factor(cfg.form_factor)
+        .with_ambient(ambient);
+    let model = ThermalModel::with_params(spec, cfg.thermal);
+    let max_rpm =
+        max_rpm_within_envelope(&model, 1.0, cfg.envelope, EnvelopeSearch::default());
+
+    cfg.years()
+        .map(|year| {
+            let geom = geometry_for(cfg, year, diameter, platters)
+                .expect("roadmap-era densities yield valid geometries");
+            let target = cfg.trend.idr_target(year);
+            let (rpm, max_idr) = match max_rpm {
+                Some(rpm) => (rpm, idr(geom.zones(), rpm)),
+                None => (Rpm::ZERO, DataRate::ZERO),
+            };
+            RoadmapPoint {
+                year,
+                diameter,
+                platters,
+                max_rpm: rpm,
+                max_idr,
+                idr_target: target,
+                capacity: geom.capacity(),
+                ambient,
+            }
+        })
+        .collect()
+}
+
+/// Reproduces Figure 2: every (platter size × platter count × year)
+/// point of the envelope-constrained roadmap, with multi-platter
+/// configurations granted their cooling credit.
+pub fn envelope_roadmap(cfg: &RoadmapConfig) -> Vec<RoadmapPoint> {
+    cfg.validate().expect("invalid roadmap configuration");
+    let mut points = Vec::new();
+    for &platters in &cfg.platter_counts {
+        let ambient = cooling_credit(cfg, platters);
+        for &diameter in &cfg.platter_sizes {
+            points.extend(roadmap_for(cfg, diameter, platters, ambient));
+        }
+    }
+    points
+}
+
+/// First year a configuration's best in-envelope IDR falls below the
+/// target, or `None` if it holds through the whole roadmap.
+pub fn falloff_year(points: &[RoadmapPoint]) -> Option<i32> {
+    points
+        .iter()
+        .filter(|p| !p.meets_target())
+        .map(|p| p.year)
+        .min()
+}
+
+/// Result of the §4.2.2 form-factor study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormFactorStudy {
+    /// Roadmap of the 2.6″ single-platter drive in the small enclosure.
+    pub small_points: Vec<RoadmapPoint>,
+    /// Fall-off year in the small enclosure.
+    pub small_falloff: Option<i32>,
+    /// Fall-off year in the baseline 3.5″ enclosure.
+    pub baseline_falloff: Option<i32>,
+    /// Extra ambient cooling (°C below the baseline ambient) the small
+    /// enclosure needs before its fall-off year matches the baseline's.
+    pub cooling_needed: f64,
+}
+
+/// Reproduces §4.2.2: moving the 2.6″ platter into a 2.5″ enclosure
+/// shrinks the heat-rejection area enough to fall off the roadmap
+/// immediately; quantifies the extra cooling needed to recover.
+pub fn form_factor_study(cfg: &RoadmapConfig) -> FormFactorStudy {
+    let diameter = Inches::new(2.6);
+    let small_cfg = cfg
+        .clone()
+        .with_form_factor(diskthermal::FormFactor::Small25);
+
+    let baseline = roadmap_for(cfg, diameter, 1, cfg.ambient);
+    let small = roadmap_for(&small_cfg, diameter, 1, small_cfg.ambient);
+    let baseline_falloff = falloff_year(&baseline);
+    let small_falloff = falloff_year(&small);
+
+    // Sweep extra cooling in 1 C steps until the small enclosure lasts
+    // at least as long on the roadmap as the 3.5" baseline (the
+    // transition is steep, so demanding the exact same fall-off year can
+    // skip past it between integer steps).
+    let mut cooling_needed = 0.0;
+    for extra in 1..=40 {
+        let ambient = Celsius::new(cfg.ambient.get() - extra as f64);
+        let pts = roadmap_for(&small_cfg, diameter, 1, ambient);
+        if falloff_year(&pts) >= baseline_falloff {
+            cooling_needed = extra as f64;
+            break;
+        }
+    }
+
+    FormFactorStudy {
+        small_points: small,
+        small_falloff,
+        baseline_falloff,
+        cooling_needed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RoadmapConfig {
+        RoadmapConfig::default()
+    }
+
+    fn row(rows: &[RequiredRpmRow], year: i32, dia: f64) -> RequiredRpmRow {
+        *rows
+            .iter()
+            .find(|r| r.year == year && (r.diameter.get() - dia).abs() < 1e-9)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn table3_2002_anchors() {
+        let rows = required_rpm_table(&cfg());
+        // Paper: 15,098 / 18,692 / 24,533 RPM for 2.6 / 2.1 / 1.6".
+        for (dia, rpm, temp) in [
+            (2.6, 15_098.0, 45.24),
+            (2.1, 18_692.0, 43.56),
+            (1.6, 24_533.0, 41.64),
+        ] {
+            let r = row(&rows, 2002, dia);
+            let rpm_err = (r.required_rpm.get() - rpm).abs() / rpm;
+            assert!(rpm_err < 0.02, "{dia}\": rpm {} vs {rpm}", r.required_rpm);
+            assert!(
+                (r.steady_temp.get() - temp).abs() < 1.0,
+                "{dia}\": temp {} vs {temp}",
+                r.steady_temp
+            );
+        }
+    }
+
+    #[test]
+    fn table3_rpm_grows_every_year() {
+        let rows = required_rpm_table(&cfg());
+        for dia in [2.6, 2.1, 1.6] {
+            let mut prev = 0.0;
+            for year in 2002..=2012 {
+                let r = row(&rows, year, dia);
+                assert!(
+                    r.required_rpm.get() > prev,
+                    "required RPM must grow ({dia}\", {year})"
+                );
+                prev = r.required_rpm.get();
+            }
+        }
+    }
+
+    #[test]
+    fn table3_terabit_transition_spikes_rpm() {
+        let rows = required_rpm_table(&cfg());
+        // Paper: "a sudden 70% increase in RPM" from 2009 to 2010 due to
+        // the ECC step. Years around it grow at ~23%.
+        let r2009 = row(&rows, 2009, 2.6);
+        let r2010 = row(&rows, 2010, 2.6);
+        let jump = r2010.required_rpm.get() / r2009.required_rpm.get();
+        assert!(jump > 1.5, "terabit ECC step should spike RPM, got {jump:.2}");
+        let r2008 = row(&rows, 2008, 2.6);
+        let normal = r2009.required_rpm.get() / r2008.required_rpm.get();
+        assert!((normal - 1.23).abs() < 0.04, "steady growth ~23%, got {normal:.3}");
+    }
+
+    #[test]
+    fn table3_smaller_platters_run_cooler() {
+        let rows = required_rpm_table(&cfg());
+        for year in [2002, 2005, 2008, 2012] {
+            let t26 = row(&rows, year, 2.6).steady_temp;
+            let t21 = row(&rows, year, 2.1).steady_temp;
+            let t16 = row(&rows, year, 1.6).steady_temp;
+            assert!(t26 > t21 && t21 > t16, "{year}: {t26} / {t21} / {t16}");
+        }
+    }
+
+    #[test]
+    fn table3_2012_temperatures_are_extreme() {
+        // Paper: 602.98 C for the 2.6" drive in 2012.
+        let rows = required_rpm_table(&cfg());
+        let t = row(&rows, 2012, 2.6).steady_temp.get();
+        assert!(
+            (t - 602.98).abs() / 602.98 < 0.15,
+            "2012 2.6\" temperature {t:.0} C vs paper's 602.98"
+        );
+    }
+
+    #[test]
+    fn figure2_single_platter_falloff_years() {
+        let c = cfg();
+        let all = envelope_roadmap(&c);
+        let for_config = |dia: f64, n: u32| -> Vec<RoadmapPoint> {
+            all.iter()
+                .filter(|p| (p.diameter.get() - dia).abs() < 1e-9 && p.platters == n)
+                .copied()
+                .collect()
+        };
+        // Paper: 2.6" falls off from 2003; 2.1" holds to ~2004-2005;
+        // 1.6" holds to ~2006-2007.
+        let f26 = falloff_year(&for_config(2.6, 1)).expect("2.6 falls off");
+        let f21 = falloff_year(&for_config(2.1, 1)).expect("2.1 falls off");
+        let f16 = falloff_year(&for_config(1.6, 1)).expect("1.6 falls off");
+        assert!((2003..=2004).contains(&f26), "2.6\" fall-off {f26}");
+        assert!((2004..=2006).contains(&f21), "2.1\" fall-off {f21}");
+        assert!((2006..=2008).contains(&f16), "1.6\" fall-off {f16}");
+        assert!(f26 < f21 && f21 < f16, "smaller platters last longer");
+    }
+
+    #[test]
+    fn figure2_max_rpm_constant_across_years() {
+        let all = envelope_roadmap(&cfg());
+        let rpms: Vec<f64> = all
+            .iter()
+            .filter(|p| (p.diameter.get() - 2.6).abs() < 1e-9 && p.platters == 1)
+            .map(|p| p.max_rpm.get())
+            .collect();
+        for w in rpms.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1.0);
+        }
+        // ~15,020 RPM for the 2.6" single-platter drive (§5.3).
+        assert!((rpms[0] - 15_020.0).abs() < 300.0, "got {}", rpms[0]);
+    }
+
+    #[test]
+    fn figure2_capacity_grows_until_terabit_dip() {
+        let all = envelope_roadmap(&cfg());
+        let caps: Vec<(i32, f64)> = all
+            .iter()
+            .filter(|p| (p.diameter.get() - 2.6).abs() < 1e-9 && p.platters == 1)
+            .map(|p| (p.year, p.capacity.gigabytes()))
+            .collect();
+        for w in caps.windows(2) {
+            let ((y0, c0), (y1, c1)) = (w[0], w[1]);
+            if y1 == 2010 {
+                // The ECC step eats ~22% of the sector; density growth
+                // (+14/+28%) does not fully cover it for IDR, but
+                // capacity may still dip or stall.
+                let _ = (y0, c0, c1);
+            } else {
+                assert!(c1 > c0, "capacity should grow {y0}->{y1}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_idr_dips_at_terabit_transition() {
+        let all = envelope_roadmap(&cfg());
+        let pts: Vec<&RoadmapPoint> = all
+            .iter()
+            .filter(|p| (p.diameter.get() - 1.6).abs() < 1e-9 && p.platters == 1)
+            .collect();
+        let idr_2009 = pts.iter().find(|p| p.year == 2009).unwrap().max_idr;
+        let idr_2010 = pts.iter().find(|p| p.year == 2010).unwrap().max_idr;
+        assert!(
+            idr_2010 < idr_2009,
+            "ECC step must dent IDR: {idr_2009} -> {idr_2010}"
+        );
+    }
+
+    #[test]
+    fn multi_platter_gets_cooling_credit() {
+        let c = cfg();
+        let a1 = cooling_credit(&c, 1);
+        let a2 = cooling_credit(&c, 2);
+        let a4 = cooling_credit(&c, 4);
+        assert!(a1.get() <= 28.0 + 1e-9);
+        assert!(a2 < a1, "2 platters need more cooling");
+        assert!(a4 < a2, "4 platters need even more");
+    }
+
+    #[test]
+    fn multi_platter_roadmap_same_shape() {
+        // With its cooling credit, the 4-platter roadmap starts at the
+        // same envelope and falls off no later than slightly after the
+        // 1-platter one (the paper: "slightly steeper").
+        let c = cfg();
+        let all = envelope_roadmap(&c);
+        let f = |n: u32| {
+            let pts: Vec<RoadmapPoint> = all
+                .iter()
+                .filter(|p| (p.diameter.get() - 1.6).abs() < 1e-9 && p.platters == n)
+                .copied()
+                .collect();
+            falloff_year(&pts).expect("falls off eventually")
+        };
+        let f1 = f(1);
+        let f4 = f(4);
+        // Higher platter counts incur more viscous dissipation, so they
+        // fall off no later than the single-platter drive ("slightly
+        // steeper" in the paper); our surrogate's air-to-case coupling
+        // does not grow with stack height, which steepens the penalty to
+        // up to two years.
+        assert!(f4 <= f1, "more platters cannot last longer: {f1} vs {f4}");
+        assert!(f1 - f4 <= 2, "1-platter {f1} vs 4-platter {f4}");
+    }
+
+    #[test]
+    fn cooling_extends_the_roadmap() {
+        // Figure 3: 5 C and 10 C cooler ambients push fall-off later.
+        let base = cfg();
+        let cool5 = cfg().with_ambient(Celsius::new(23.0));
+        let cool10 = cfg().with_ambient(Celsius::new(18.0));
+        let falloff = |c: &RoadmapConfig| {
+            let pts = roadmap_for(c, Inches::new(1.6), 1, c.ambient);
+            falloff_year(&pts).expect("falls off")
+        };
+        let f0 = falloff(&base);
+        let f5 = falloff(&cool5);
+        let f10 = falloff(&cool10);
+        assert!(f5 >= f0, "5 C cooler cannot hurt: {f0} -> {f5}");
+        assert!(f10 >= f5, "10 C cooler cannot hurt: {f5} -> {f10}");
+        assert!(f10 > f0, "10 C of cooling should buy at least a year");
+    }
+
+    #[test]
+    fn form_factor_study_matches_section_4_2_2() {
+        let study = form_factor_study(&cfg());
+        // Paper: the 2.5" enclosure falls off the roadmap already at 2002.
+        assert_eq!(study.small_falloff, Some(2002));
+        assert!(study.baseline_falloff > Some(2002));
+        // Paper: ~15 C of extra cooling is needed to make it comparable.
+        assert!(
+            study.cooling_needed >= 8.0 && study.cooling_needed <= 25.0,
+            "cooling needed: {}",
+            study.cooling_needed
+        );
+    }
+}

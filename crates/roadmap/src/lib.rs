@@ -1,0 +1,48 @@
+//! Thermal-envelope-constrained disk technology roadmap (§4).
+//!
+//! Combines the capacity ([`diskgeom`]), performance ([`diskperf`]) and
+//! thermal ([`diskthermal`]) models to chart how internal data rate and
+//! capacity can evolve from 2002 to 2012 when every design point must
+//! stay inside a fixed thermal envelope:
+//!
+//! - [`TechnologyTrend`] — BPI/TPI compound annual growth rates with the
+//!   post-2003 slowdown and the terabit ECC step, plus the 40 % IDR
+//!   growth target.
+//! - [`required_rpm_table`] — Table 3: the spindle speed each platter
+//!   size needs every year to hold the 40 % target, and the steady-state
+//!   temperature that speed would reach.
+//! - [`envelope_roadmap`] — Figure 2: the maximum IDR (and corresponding
+//!   capacity) attainable *within* the envelope, for every platter size
+//!   and count.
+//! - [`cooling_credit`] / cooling sweeps — Figure 3 and §4.2.
+//!
+//! # Examples
+//!
+//! ```
+//! use roadmap::{RoadmapConfig, required_rpm_table};
+//!
+//! let rows = required_rpm_table(&RoadmapConfig::default());
+//! // 2002, 2.6": the paper's Table 3 reports 15,098 RPM at 45.24 C.
+//! let r = rows
+//!     .iter()
+//!     .find(|r| r.year == 2002 && (r.diameter.get() - 2.6).abs() < 1e-9)
+//!     .unwrap();
+//! assert!((r.required_rpm.get() - 15_098.0).abs() / 15_098.0 < 0.02);
+//! assert!((r.steady_temp.get() - 45.24).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod generator;
+mod planner;
+mod scaling;
+
+pub use config::RoadmapConfig;
+pub use planner::{plan_roadmap, PlanStep, YearPlan};
+pub use generator::{
+    cooling_credit, envelope_roadmap, falloff_year, form_factor_study, required_rpm_table,
+    roadmap_for, FormFactorStudy, RequiredRpmRow, RoadmapPoint,
+};
+pub use scaling::TechnologyTrend;

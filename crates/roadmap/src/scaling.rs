@@ -1,0 +1,183 @@
+//! Technology scaling: recording-density growth and the IDR target.
+
+use diskgeom::RecordingTech;
+use serde::{Deserialize, Serialize};
+use units::{BitsPerInch, DataRate, TracksPerInch};
+
+/// Compound-annual-growth model for BPI, TPI and the IDR target.
+///
+/// Anchored at the 1999 values Hitachi published (270 KBPI, 20 KTPI,
+/// 47 MB/s). Densities grow at 30 %/50 % per year through 2003, then slow
+/// to 14 %/28 % (the head-design, coercivity and superparamagnetic
+/// stumbling blocks of §4), reaching ~1 Tb/in² in 2010 with a bit aspect
+/// ratio of ~3.4. The IDR target compounds at 40 % throughout.
+///
+/// # Examples
+///
+/// ```
+/// use roadmap::TechnologyTrend;
+///
+/// let trend = TechnologyTrend::default();
+/// // The terabit transition lands in 2010, as the industry projected.
+/// assert!(!trend.tech(2009).areal_density().is_terabit_class());
+/// assert!(trend.tech(2010).areal_density().is_terabit_class());
+/// // Table 3's IDR_Required column: 128.97 MB/s in 2002.
+/// assert!((trend.idr_target(2002).get() - 128.97).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyTrend {
+    /// Anchor year for all three series.
+    pub anchor_year: i32,
+    /// Linear density at the anchor year.
+    pub bpi_anchor: BitsPerInch,
+    /// Track density at the anchor year.
+    pub tpi_anchor: TracksPerInch,
+    /// IDR target at the anchor year.
+    pub idr_anchor: DataRate,
+    /// BPI CGR before the slowdown (fractional, 0.30 = 30 %).
+    pub bpi_cgr_early: f64,
+    /// TPI CGR before the slowdown.
+    pub tpi_cgr_early: f64,
+    /// Last year the early CGRs apply (the paper's 2003).
+    pub slowdown_year: i32,
+    /// BPI CGR from `slowdown_year + 1` on.
+    pub bpi_cgr_late: f64,
+    /// TPI CGR from `slowdown_year + 1` on.
+    pub tpi_cgr_late: f64,
+    /// IDR target CGR (the 40 % the industry charted).
+    pub idr_cgr: f64,
+}
+
+impl Default for TechnologyTrend {
+    fn default() -> Self {
+        Self {
+            anchor_year: 1999,
+            bpi_anchor: BitsPerInch::from_kbpi(270.0),
+            tpi_anchor: TracksPerInch::from_ktpi(20.0),
+            idr_anchor: DataRate::new(47.0),
+            bpi_cgr_early: 0.30,
+            tpi_cgr_early: 0.50,
+            slowdown_year: 2003,
+            bpi_cgr_late: 0.14,
+            tpi_cgr_late: 0.28,
+            idr_cgr: 0.40,
+        }
+    }
+}
+
+impl TechnologyTrend {
+    /// Years of early growth and late growth elapsed by `year`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `year` precedes the anchor year.
+    fn phase_years(&self, year: i32) -> (i32, i32) {
+        assert!(
+            year >= self.anchor_year,
+            "the trend starts at {}; {year} is before it",
+            self.anchor_year
+        );
+        let early = (year - self.anchor_year).min(self.slowdown_year - self.anchor_year);
+        let late = (year - self.slowdown_year).max(0);
+        (early, late)
+    }
+
+    /// Projected linear density for a year.
+    pub fn bpi(&self, year: i32) -> BitsPerInch {
+        let (early, late) = self.phase_years(year);
+        self.bpi_anchor
+            * (1.0 + self.bpi_cgr_early).powi(early)
+            * (1.0 + self.bpi_cgr_late).powi(late)
+    }
+
+    /// Projected track density for a year.
+    pub fn tpi(&self, year: i32) -> TracksPerInch {
+        let (early, late) = self.phase_years(year);
+        self.tpi_anchor
+            * (1.0 + self.tpi_cgr_early).powi(early)
+            * (1.0 + self.tpi_cgr_late).powi(late)
+    }
+
+    /// The recording technology point for a year (with the default
+    /// areal-density-stepped ECC policy).
+    pub fn tech(&self, year: i32) -> RecordingTech {
+        RecordingTech::new(self.bpi(year), self.tpi(year))
+    }
+
+    /// The 40 %-CGR internal-data-rate target for a year.
+    pub fn idr_target(&self, year: i32) -> DataRate {
+        let years = year - self.anchor_year;
+        assert!(years >= 0, "the trend starts at {}", self.anchor_year);
+        self.idr_anchor * (1.0 + self.idr_cgr).powi(years)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_1999() {
+        let t = TechnologyTrend::default();
+        assert!((t.bpi(1999).to_kbpi() - 270.0).abs() < 1e-9);
+        assert!((t.tpi(1999).to_ktpi() - 20.0).abs() < 1e-9);
+        assert!((t.idr_target(1999).get() - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_growth_matches_hitachi_rates() {
+        let t = TechnologyTrend::default();
+        // 2002 = three years of 30%/50% growth.
+        assert!((t.bpi(2002).to_kbpi() - 270.0 * 1.3f64.powi(3)).abs() < 1e-6);
+        assert!((t.tpi(2002).to_ktpi() - 20.0 * 1.5f64.powi(3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slowdown_kicks_in_after_2003() {
+        let t = TechnologyTrend::default();
+        let g_2003 = t.bpi(2003) / t.bpi(2002);
+        let g_2004 = t.bpi(2004) / t.bpi(2003);
+        assert!((g_2003 - 1.30).abs() < 1e-9);
+        assert!((g_2004 - 1.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terabit_lands_in_2010_with_low_bar() {
+        let t = TechnologyTrend::default();
+        let tech = t.tech(2010);
+        assert!(tech.areal_density().is_terabit_class());
+        assert!(!t.tech(2009).areal_density().is_terabit_class());
+        // BAR has fallen from ~13 in 1999 toward the ~3.4 design point.
+        assert!(tech.bit_aspect_ratio().get() < 4.0);
+        // The paper's target: ~1.85 MBPI and ~540 KTPI.
+        assert!((tech.bpi().get() / 1.85e6 - 1.0).abs() < 0.1);
+        assert!((tech.tpi().to_ktpi() / 540.0 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn idr_target_compounds_at_forty_percent() {
+        let t = TechnologyTrend::default();
+        assert!((t.idr_target(2002).get() - 128.97).abs() < 0.01);
+        assert!((t.idr_target(2012).get() - 47.0 * 1.4f64.powi(13)).abs() < 1e-6);
+        // The 2012 target from Table 3: 3730.46 MB/s.
+        assert!((t.idr_target(2012).get() - 3730.46).abs() < 1.0);
+    }
+
+    #[test]
+    fn ecc_step_makes_areal_density_jump_but_not_user_bits() {
+        let t = TechnologyTrend::default();
+        // Densities grow smoothly across the terabit transition...
+        let g = t.bpi(2010) / t.bpi(2009);
+        assert!((g - 1.14).abs() < 1e-9);
+        // ...the capacity/IDR discontinuity comes from the ECC policy,
+        // exercised in the generator tests.
+        assert_eq!(t.tech(2009).ecc_bits_per_sector(), 416);
+        assert_eq!(t.tech(2010).ecc_bits_per_sector(), 1440);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts at")]
+    fn pre_anchor_year_panics() {
+        let _ = TechnologyTrend::default().bpi(1990);
+    }
+}

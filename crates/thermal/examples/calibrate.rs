@@ -1,0 +1,124 @@
+//! Regenerates the calibrated thermal coefficients baked into
+//! `ThermalParams::default()`.
+//!
+//! Run with: `cargo run -p diskthermal --example calibrate --release`
+
+use diskthermal::calibrate::{
+    calibrate_capacity_scale, calibrate_steady_frozen_split, figure7a_score, report,
+    steady_objective, transient_metrics, TransientTargets,
+};
+use diskthermal::ThermalParams;
+
+fn main() {
+    let start = ThermalParams::default();
+    let incumbent = steady_objective(start);
+    println!("incumbent objective: {incumbent:.6}");
+
+    // Two-stage fit. The steady anchors cannot identify how much of the
+    // VCM's power reaches the air *directly* (only the total influence
+    // is observable at steady state), but that split sets the
+    // throttling time scale of Figure 7. Scan candidate splits, fit the
+    // remaining coefficients to the steady anchors for each, and keep
+    // the candidate whose Figure 7(a) ratios land closest to the paper.
+    let mut best = start;
+    let mut f_best = f64::INFINITY;
+    let mut best_combo = f64::INFINITY;
+    // Warm-start each split candidate from the previous one's fit (the
+    // steady surface varies smoothly with the frozen split).
+    let mut chain = start;
+    for split in [0.01, 0.02, 0.035, 0.06, 0.1, 0.18] {
+        let mut seed_a = chain;
+        seed_a.vcm_air_split = split;
+        let mut seed_b = ThermalParams::initial_guess();
+        seed_b.vcm_air_split = split;
+        let (pa, fa) = calibrate_steady_frozen_split(seed_a, 10, split);
+        let (pb, fb) = calibrate_steady_frozen_split(seed_b, 10, split);
+        let (p, f) = if fa <= fb { (pa, fa) } else { (pb, fb) };
+        chain = p;
+        let shape = figure7a_score(p);
+        let combo = f * 50.0 + shape;
+        println!(
+            "split {split:.3}: steady {f:.5}, fig7a score {shape:.3}, combo {combo:.3}"
+        );
+        if combo < best_combo {
+            best_combo = combo;
+            best = p;
+            f_best = f;
+        }
+    }
+    println!("calibrated objective: {f_best:.6}");
+
+    best.capacity_scale = calibrate_capacity_scale(best, TransientTargets::default());
+    let (t1, minutes) = transient_metrics(best);
+    println!(
+        "transient: {t1:.2} C after 1 min (target 33), steady after {minutes:.0} min (target ~48)"
+    );
+
+    println!("\nPer-anchor fit:");
+    println!(
+        "{:>5} {:>9} {:>5} {:>9} {:>9} {:>8}",
+        "dia", "rpm", "vcm", "paper C", "model C", "err %"
+    );
+    for r in report(best) {
+        println!(
+            "{:>5.1} {:>9.0} {:>5.1} {:>9.2} {:>9.2} {:>8.2}",
+            r.anchor.diameter,
+            r.anchor.rpm,
+            r.anchor.vcm_duty,
+            r.anchor.temp,
+            r.model,
+            r.rel_error * 100.0
+        );
+    }
+
+    println!("\nPaste into ThermalParams::default():");
+    println!("        Self {{");
+    println!("            g_spindle_air: {:.15},", best.g_spindle_air);
+    println!("            g_air_base: {:.15},", best.g_air_base);
+    println!("            p_air_base_rpm: {:.15},", best.p_air_base_rpm);
+    println!("            p_air_base_dia: {:.15},", best.p_air_base_dia);
+    println!("            g_vcm_air: {:.15},", best.g_vcm_air);
+    println!("            g_vcm_base: {:.15},", best.g_vcm_base);
+    println!("            g_spindle_base: {:.15},", best.g_spindle_base);
+    println!("            g_base_ambient: {:.15},", best.g_base_ambient);
+    println!("            beta_spm_loss: {:.15},", best.beta_spm_loss);
+    println!("            p_bearing_ref: {:.15},", best.p_bearing_ref);
+    println!("            capacity_scale: {:.15},", best.capacity_scale);
+    println!("            vcm_air_split: {:.15},", best.vcm_air_split);
+    println!("            visc_air_split: {:.15},", best.visc_air_split);
+    println!("            c_ext_rpm: {:.15},", best.c_ext_rpm);
+    println!("            p_ext_rpm: {:.15},", best.p_ext_rpm);
+    println!("        }}");
+
+    // Figure 7(a) shape preview: throttling ratio vs t_cool for the
+    // 24,534 RPM VCM-only experiment (paper: ~1.7 at small t_cool,
+    // falling below 1 past ~1 s).
+    use diskthermal::{DriveThermalSpec, OperatingPoint, ThermalModel, TransientSim};
+    use units::{Celsius, Inches, Rpm, Seconds};
+    let model = ThermalModel::with_params(
+        DriveThermalSpec::new(Inches::new(2.6), 1),
+        best,
+    );
+    let heat = OperatingPoint::seeking(Rpm::new(24_534.0));
+    let cool = OperatingPoint::idle_vcm(Rpm::new(24_534.0));
+    let envelope = Celsius::new(45.22);
+    println!("\nFigure 7(a) preview (t_cool -> ratio):");
+    for t_cool in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        if sim.time_to_reach(&model, heat, envelope).is_none() {
+            println!("  (never reaches envelope)");
+            break;
+        }
+        sim.advance(&model, cool, Seconds::new(t_cool));
+        if sim.temps().air >= envelope {
+            println!("  {t_cool:>5.2} s -> 0.00 (no headroom bought)");
+            continue;
+        }
+        match sim.time_to_reach(&model, heat, envelope) {
+            Some(t_heat) => {
+                println!("  {t_cool:>5.2} s -> {:.2}", t_heat.get() / t_cool)
+            }
+            None => println!("  {t_cool:>5.2} s -> (heating never returns)"),
+        }
+    }
+}

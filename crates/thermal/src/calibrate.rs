@@ -1,0 +1,655 @@
+//! Calibration of the thermal coefficients against the paper's published
+//! temperatures.
+//!
+//! The paper validated its model against a physical Seagate Cheetah
+//! 15K.3 teardown; we cannot measure a drive, so we treat the paper's
+//! *published model outputs* as ground truth and fit our network's free
+//! coefficients to them:
+//!
+//! - all 33 steady-state temperatures of Table 3 (three platter sizes ×
+//!   eleven roadmap years, VCM on),
+//! - the VCM-off temperatures of §5.3 (44.07 °C at 24,534 RPM and
+//!   53.04 °C at 37,001 RPM for the 2.6″ drive),
+//! - the envelope crossings of §5.2–5.3 (15,020 RPM VCM-on and
+//!   26,750 RPM VCM-off both land exactly on 45.22 °C),
+//! - the Figure 1 transient (28 → ~33 °C in the first minute, steady
+//!   45.22 °C after ~48 minutes) for the heat-capacity scale.
+//!
+//! Run `cargo run -p diskthermal --example calibrate --release` to
+//! regenerate the constants baked into
+//! [`ThermalParams::default`](crate::ThermalParams::default).
+
+use crate::model::ThermalModel;
+use crate::params::ThermalParams;
+use crate::spec::{DriveThermalSpec, OperatingPoint};
+use crate::transient::TransientSim;
+use units::{Celsius, Inches, Rpm, Seconds};
+
+/// One steady-state calibration anchor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyAnchor {
+    /// Platter diameter in inches.
+    pub diameter: f64,
+    /// Platter count.
+    pub platters: u32,
+    /// VCM duty (1.0 = always seeking, the envelope assumption).
+    pub vcm_duty: f64,
+    /// Spindle speed.
+    pub rpm: f64,
+    /// The paper's published steady internal-air temperature, °C.
+    pub temp: f64,
+    /// Least-squares weight.
+    pub weight: f64,
+}
+
+/// Table 3 temperatures: `(rpm, temp)` per platter size, single platter,
+/// 28 °C ambient, VCM always on.
+const TABLE3_26: [(f64, f64); 11] = [
+    (15_098.0, 45.24),
+    (16_263.0, 45.47),
+    (19_972.0, 46.46),
+    (24_534.0, 48.26),
+    (30_130.0, 51.48),
+    (37_001.0, 57.18),
+    (45_452.0, 67.27),
+    (55_819.0, 85.04),
+    (95_094.0, 223.01),
+    (116_826.0, 360.40),
+    (143_470.0, 602.98),
+];
+
+const TABLE3_21: [(f64, f64); 11] = [
+    (18_692.0, 43.56),
+    (20_135.0, 43.69),
+    (24_728.0, 44.37),
+    (30_367.0, 45.61),
+    (37_303.0, 47.85),
+    (45_811.0, 51.81),
+    (56_259.0, 58.81),
+    (69_109.0, 71.17),
+    (117_735.0, 167.01),
+    (144_586.0, 262.19),
+    (177_629.0, 430.93),
+];
+
+const TABLE3_16: [(f64, f64); 11] = [
+    (24_533.0, 41.64),
+    (26_420.0, 41.74),
+    (32_455.0, 42.15),
+    (39_857.0, 42.93),
+    (48_947.0, 44.29),
+    (60_127.0, 46.73),
+    (73_840.0, 51.04),
+    (90_680.0, 58.63),
+    (154_527.0, 117.61),
+    (189_769.0, 176.20),
+    (233_050.0, 279.75),
+];
+
+/// Ambient temperature common to all anchors.
+const AMBIENT: f64 = 28.0;
+
+/// The full steady-state anchor set.
+pub fn steady_anchors() -> Vec<SteadyAnchor> {
+    let mut anchors = Vec::new();
+    let mut push_table = |dia: f64, table: &[(f64, f64)]| {
+        for &(rpm, temp) in table {
+            // Near-envelope points steer the roadmap; far extrapolations
+            // (hundreds of degrees) only need to hold in shape.
+            let weight = if temp < 90.0 { 1.0 } else { 0.25 };
+            anchors.push(SteadyAnchor {
+                diameter: dia,
+                platters: 1,
+                vcm_duty: 1.0,
+                rpm,
+                temp,
+                weight,
+            });
+        }
+    };
+    push_table(2.6, &TABLE3_26);
+    push_table(2.1, &TABLE3_21);
+    push_table(1.6, &TABLE3_16);
+
+    // §5.3: VCM-off temperatures of the 2.6" drive.
+    anchors.push(SteadyAnchor {
+        diameter: 2.6,
+        platters: 1,
+        vcm_duty: 0.0,
+        rpm: 24_534.0,
+        temp: 44.07,
+        weight: 2.0,
+    });
+    anchors.push(SteadyAnchor {
+        diameter: 2.6,
+        platters: 1,
+        vcm_duty: 0.0,
+        rpm: 37_001.0,
+        temp: 53.04,
+        weight: 2.0,
+    });
+
+    // §5.2/§5.3 envelope crossings: 15,020 RPM (VCM on) and 26,750 RPM
+    // (VCM off) both sit exactly at 45.22 °C. Weight these heavily —
+    // they anchor the whole roadmap and the DTM slack analysis.
+    anchors.push(SteadyAnchor {
+        diameter: 2.6,
+        platters: 1,
+        vcm_duty: 1.0,
+        rpm: 15_020.0,
+        temp: 45.22,
+        weight: 4.0,
+    });
+    anchors.push(SteadyAnchor {
+        diameter: 2.6,
+        platters: 1,
+        vcm_duty: 0.0,
+        rpm: 26_750.0,
+        temp: 45.22,
+        weight: 4.0,
+    });
+
+    anchors
+}
+
+/// Builds the thermal model for an anchor under trial parameters.
+fn model_for(anchor: &SteadyAnchor, params: ThermalParams) -> ThermalModel {
+    let spec = DriveThermalSpec::new(Inches::new(anchor.diameter), anchor.platters);
+    // The 2.6" anchors correspond to the physically measured 3.9 W VCM,
+    // which the correlation reproduces exactly, so no override is needed.
+    ThermalModel::with_params(spec, params)
+}
+
+/// Model temperature at one anchor's operating point.
+pub fn model_temp(anchor: &SteadyAnchor, params: ThermalParams) -> Celsius {
+    model_for(anchor, params)
+        .steady_air_temp(OperatingPoint::new(Rpm::new(anchor.rpm), anchor.vcm_duty))
+}
+
+/// Weighted sum of squared *relative* errors on the temperature rise
+/// above ambient, over all steady anchors, plus physicality penalties
+/// that keep the internal node temperatures sane (without them the
+/// optimizer can park the VCM conductances at zero — the steady air
+/// temperature only sees their ratio — leaving the actuator node at
+/// absurd temperatures and wrecking the transient response).
+pub fn steady_objective(params: ThermalParams) -> f64 {
+    if !params.is_physical() {
+        return f64::INFINITY;
+    }
+    // Reject the optimizer's wilder excursions before they overflow the
+    // power-law correlations (rel_rpm ~ 10 raised to a huge exponent).
+    if [params.p_air_base_rpm, params.p_air_base_dia, params.p_ext_rpm]
+        .iter()
+        .any(|p| *p > 8.0)
+    {
+        return f64::INFINITY;
+    }
+    if [
+        params.g_spindle_air,
+        params.g_air_base,
+        params.g_vcm_air,
+        params.g_vcm_base,
+        params.g_spindle_base,
+        params.g_base_ambient,
+        params.beta_spm_loss,
+        params.p_bearing_ref,
+        params.c_ext_rpm,
+    ]
+    .iter()
+    .any(|g| *g > 1e4)
+    {
+        return f64::INFINITY;
+    }
+    let fit: f64 = steady_anchors()
+        .iter()
+        .map(|a| {
+            let want = a.temp - AMBIENT;
+            let got = model_temp(a, params).get() - AMBIENT;
+            let rel = (got - want) / want;
+            a.weight * rel * rel
+        })
+        .sum();
+
+    // Node-sanity penalty at the validated Cheetah operating point: the
+    // actuator and spindle assemblies of a real drive run within a few
+    // tens of degrees of the internal air, not hundreds.
+    let cheetah = ThermalModel::with_params(DriveThermalSpec::cheetah_15k3(), params);
+    let t = cheetah.steady_state(OperatingPoint::seeking(Rpm::new(15_020.0)));
+    let mut penalty = 0.0;
+    for node in [t.vcm, t.spindle] {
+        let excess = (node - t.air).get();
+        if excess > 30.0 {
+            let e = (excess - 30.0) / 30.0;
+            penalty += e * e;
+        }
+        if excess < -5.0 {
+            // Source nodes below the air they heat would be unphysical.
+            let e = (excess + 5.0) / 5.0;
+            penalty += e * e;
+        }
+    }
+
+    // Throttle-direction penalty: dropping from the Figure 7(b) service
+    // speed to its low speed (VCM off) must *cool* the air immediately.
+    // The air node's quasi-steady offset above the base is
+    // P_air / G_air_base; if the offset at the cooled point exceeds the
+    // offset at the hot point, the drive would transiently heat up when
+    // throttled, which contradicts the mechanism outright.
+    let offset_above_base = |rpm: f64, duty: f64| -> f64 {
+        let op = OperatingPoint::new(Rpm::new(rpm), duty);
+        let g = cheetah.conductances(op);
+        let pw = cheetah.power_breakdown(op);
+        let visc_air = params.visc_air_split / (1.0 + params.visc_air_split);
+        let vcm_air = params.vcm_air_split / (1.0 + params.vcm_air_split);
+        (pw.viscous.get() * visc_air + pw.vcm.get() * vcm_air) / g.air_base().get()
+    };
+    for (high, low) in [(37_001.0, 22_001.0), (24_534.0, 15_020.0)] {
+        let gap = offset_above_base(low, 0.0) - offset_above_base(high, 1.0);
+        if gap > 0.0 {
+            penalty += 10.0 * gap * gap;
+        }
+    }
+
+    // Keep the internal convection correlation near its physical Re^0.8
+    // scaling; the high-RPM curvature of Table 3 belongs to the external
+    // enhancement term, not to the air-to-case coupling (an inflated
+    // exponent there wrecks the transient response to RPM drops).
+    if params.p_air_base_rpm > 1.1 {
+        let e = params.p_air_base_rpm - 1.1;
+        penalty += 5.0 * e * e;
+    }
+
+    // Keep every conductance in a physically meaningful band; the
+    // steady surface is invariant to some runaway directions (a huge
+    // spindle-air coupling merely slaves the sourceless spindle node to
+    // the air) that would still distort transients.
+    for g in [
+        params.g_spindle_air,
+        params.g_air_base,
+        params.g_vcm_air,
+        params.g_vcm_base,
+        params.g_spindle_base,
+        params.g_base_ambient,
+    ] {
+        if g > 20.0 {
+            let e = (g - 20.0) / 20.0;
+            penalty += e * e;
+        }
+    }
+
+    fit + penalty
+}
+
+/// Per-anchor comparison row for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorReport {
+    /// The anchor evaluated.
+    pub anchor: SteadyAnchor,
+    /// Model temperature, °C.
+    pub model: f64,
+    /// Relative error on the rise above ambient.
+    pub rel_error: f64,
+}
+
+/// Evaluates every anchor under `params`.
+pub fn report(params: ThermalParams) -> Vec<AnchorReport> {
+    steady_anchors()
+        .iter()
+        .map(|a| {
+            let model = model_temp(a, params).get();
+            let rel_error = (model - a.temp) / (a.temp - AMBIENT);
+            AnchorReport {
+                anchor: *a,
+                model,
+                rel_error,
+            }
+        })
+        .collect()
+}
+
+/// Generic Nelder–Mead simplex minimizer.
+///
+/// Standard coefficients (reflection 1, expansion 2, contraction 0.5,
+/// shrink 0.5); the initial simplex perturbs each coordinate of `x0` by
+/// `spread`. Returns the best vertex and its value.
+pub fn nelder_mead(
+    f: &dyn Fn(&[f64]) -> f64,
+    x0: &[f64],
+    spread: f64,
+    max_iter: usize,
+) -> (Vec<f64>, f64) {
+    let n = x0.len();
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += spread;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+
+    for _ in 0..max_iter {
+        // Order vertices by value.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite objective"));
+        let best = idx[0];
+        let worst = idx[n];
+        let second_worst = idx[n - 1];
+
+        if (values[worst] - values[best]).abs() < 1e-14 {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (k, v) in simplex.iter().enumerate() {
+            if k == worst {
+                continue;
+            }
+            for i in 0..n {
+                centroid[i] += v[i] / n as f64;
+            }
+        }
+
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &simplex[worst], -1.0);
+        let f_r = f(&reflected);
+        if f_r < values[best] {
+            // Expansion.
+            let expanded = lerp(&centroid, &simplex[worst], -2.0);
+            let f_e = f(&expanded);
+            if f_e < f_r {
+                simplex[worst] = expanded;
+                values[worst] = f_e;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_r;
+            }
+        } else if f_r < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = f_r;
+        } else {
+            // Contraction.
+            let contracted = lerp(&centroid, &simplex[worst], 0.5);
+            let f_c = f(&contracted);
+            if f_c < values[worst] {
+                simplex[worst] = contracted;
+                values[worst] = f_c;
+            } else {
+                // Shrink toward the best vertex.
+                let best_v = simplex[best].clone();
+                for (k, v) in simplex.iter_mut().enumerate() {
+                    if k == best {
+                        continue;
+                    }
+                    *v = lerp(&best_v, v, 0.5);
+                    values[k] = f(v);
+                }
+            }
+        }
+    }
+
+    let (argmin, _) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite objective"))
+        .expect("non-empty simplex");
+    (simplex[argmin].clone(), values[argmin])
+}
+
+/// Fits the conductance/source coefficients to the steady anchors,
+/// restarting Nelder–Mead `restarts` times from the incumbent with a
+/// shrinking simplex spread.
+pub fn calibrate_steady(start: ThermalParams, restarts: usize) -> (ThermalParams, f64) {
+    let objective =
+        |v: &[f64]| -> f64 { steady_objective(ThermalParams::from_log_vector(v)) };
+    let mut x = start.to_log_vector();
+    let mut best = f64::INFINITY;
+    for round in 0..restarts {
+        let spread = 0.5 / (1.0 + round as f64 * 0.7);
+        let (xn, fx) = nelder_mead(&objective, &x, spread, 4_000);
+        if fx < best {
+            best = fx;
+            x = xn;
+        }
+    }
+    (ThermalParams::from_log_vector(&x), best)
+}
+
+/// Like [`calibrate_steady`], but with the VCM direct-to-air split held
+/// fixed. The steady anchors alone cannot identify that split (only the
+/// *total* VCM influence on the air is observable at steady state), so
+/// the throttling-transient stage of the calibration pins it by scanning
+/// candidates and scoring each against the Figure 7 targets.
+pub fn calibrate_steady_frozen_split(
+    start: ThermalParams,
+    restarts: usize,
+    vcm_air_split: f64,
+) -> (ThermalParams, f64) {
+    // Optimize the other 14 coordinates; index 11 stays frozen.
+    let freeze = vcm_air_split.ln();
+    let expand = |v14: &[f64]| -> Vec<f64> {
+        let mut full = Vec::with_capacity(15);
+        full.extend_from_slice(&v14[..11]);
+        full.push(freeze);
+        full.extend_from_slice(&v14[11..]);
+        full
+    };
+    let objective = |v14: &[f64]| -> f64 {
+        steady_objective(ThermalParams::from_log_vector(&expand(v14)))
+    };
+    let full0 = start.to_log_vector();
+    let mut x: Vec<f64> = full0[..11]
+        .iter()
+        .copied()
+        .chain(full0[12..].iter().copied())
+        .collect();
+    let mut best = f64::INFINITY;
+    for round in 0..restarts {
+        let spread = 0.6 / (1.0 + round as f64 * 0.5);
+        let (xn, fx) = nelder_mead(&objective, &x, spread, 6_000);
+        if fx < best {
+            best = fx;
+            x = xn;
+        }
+    }
+    (ThermalParams::from_log_vector(&expand(&x)), best)
+}
+
+/// Throttling-ratio targets read off Figure 7(a): `(t_cool_seconds,
+/// ratio)` for the 2.6″ drive at 24,534 RPM with VCM-only throttling.
+pub const FIGURE7A_TARGETS: [(f64, f64); 2] = [(1.0, 1.4), (8.0, 0.45)];
+
+/// Measures the Figure 7(a) throttling ratios under trial parameters:
+/// warm the drive from ambient to the envelope at 24,534 RPM (VCM on),
+/// cool with the VCM off for `t_cool`, then measure the time to re-reach
+/// the envelope. Returns one ratio per requested `t_cool` (0.0 when the
+/// cooling bought no headroom, `None` when the warm-up never reaches the
+/// envelope at all).
+pub fn figure7a_ratios(params: ThermalParams, t_cools: &[f64]) -> Option<Vec<f64>> {
+    let model = ThermalModel::with_params(
+        DriveThermalSpec::new(Inches::new(2.6), 1),
+        params,
+    );
+    let heat = OperatingPoint::seeking(Rpm::new(24_534.0));
+    let cool = OperatingPoint::idle_vcm(Rpm::new(24_534.0));
+    let envelope = Celsius::new(45.22);
+    let mut warm = TransientSim::from_ambient(&model).with_step(Seconds::new(0.1));
+    warm.time_to_reach(&model, heat, envelope)?;
+    let mut out = Vec::with_capacity(t_cools.len());
+    for &t_cool in t_cools {
+        let mut sim = warm.clone();
+        sim.advance(&model, cool, Seconds::new(t_cool));
+        if sim.temps().air >= envelope {
+            out.push(0.0);
+            continue;
+        }
+        match sim.time_to_reach(&model, heat, envelope) {
+            Some(t_heat) => out.push(t_heat.get() / t_cool),
+            None => out.push(f64::INFINITY),
+        }
+    }
+    Some(out)
+}
+
+/// Score of a parameter set against the Figure 7(a) targets (sum of
+/// squared ratio errors; infinite when the experiment is degenerate).
+pub fn figure7a_score(params: ThermalParams) -> f64 {
+    let t_cools: Vec<f64> = FIGURE7A_TARGETS.iter().map(|(t, _)| *t).collect();
+    match figure7a_ratios(params, &t_cools) {
+        Some(ratios) => ratios
+            .iter()
+            .zip(FIGURE7A_TARGETS.iter())
+            .map(|(r, (_, want))| {
+                if r.is_finite() {
+                    (r - want) * (r - want)
+                } else {
+                    1e6
+                }
+            })
+            .sum(),
+        None => f64::INFINITY,
+    }
+}
+
+/// Figure 1 transient targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientTargets {
+    /// Air temperature one minute after a cold start, °C (Figure 1
+    /// shows 28 → 33 within the first minute).
+    pub temp_at_1min: f64,
+    /// Minutes to reach steady state (Figure 1: ~48 minutes).
+    pub minutes_to_steady: f64,
+}
+
+impl Default for TransientTargets {
+    fn default() -> Self {
+        Self {
+            temp_at_1min: 33.0,
+            minutes_to_steady: 48.0,
+        }
+    }
+}
+
+/// Evaluates the Figure 1 transient under trial parameters, returning
+/// `(temp_at_1min, minutes_to_steady)`.
+pub fn transient_metrics(params: ThermalParams) -> (f64, f64) {
+    let model = ThermalModel::with_params(DriveThermalSpec::cheetah_15k3(), params);
+    let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+    let steady = model.steady_air_temp(op);
+    let mut sim = TransientSim::from_ambient(&model);
+    sim.advance(&model, op, Seconds::new(60.0));
+    let at_1min = sim.temps().air.get();
+    // "Reaches steady state" read off a plot: within 0.1 C.
+    let mut minutes = 1.0;
+    while (steady - sim.temps().air).get() > 0.1 && minutes < 600.0 {
+        sim.advance(&model, op, Seconds::new(60.0));
+        minutes += 1.0;
+    }
+    (at_1min, minutes)
+}
+
+/// Golden-section fit of `capacity_scale` to the Figure 1 transient.
+pub fn calibrate_capacity_scale(mut params: ThermalParams, targets: TransientTargets) -> f64 {
+    let objective = |scale: f64, params: &mut ThermalParams| -> f64 {
+        params.capacity_scale = scale;
+        let (t1, minutes) = transient_metrics(*params);
+        let e1 = (t1 - targets.temp_at_1min) / 5.0;
+        let e2 = (minutes - targets.minutes_to_steady) / targets.minutes_to_steady;
+        e1 * e1 + e2 * e2
+    };
+    let (mut lo, mut hi) = (0.2f64, 5.0f64);
+    let phi = 0.5 * (5f64.sqrt() - 1.0);
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let mut f1 = objective(x1, &mut params);
+    let mut f2 = objective(x2, &mut params);
+    for _ in 0..60 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = objective(x1, &mut params);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = objective(x2, &mut params);
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_set_is_complete() {
+        let anchors = steady_anchors();
+        // 33 Table-3 points + 2 VCM-off points + 2 envelope crossings.
+        assert_eq!(anchors.len(), 37);
+        assert!(anchors.iter().all(|a| a.temp > AMBIENT));
+        assert!(anchors.iter().all(|a| a.weight > 0.0));
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic() {
+        let f = |v: &[f64]| (v[0] - 3.0).powi(2) + (v[1] + 1.0).powi(2) + 2.0;
+        let (x, fx) = nelder_mead(&f, &[0.0, 0.0], 0.5, 500);
+        assert!((x[0] - 3.0).abs() < 1e-5, "x0 = {}", x[0]);
+        assert!((x[1] + 1.0).abs() < 1e-5, "x1 = {}", x[1]);
+        assert!((fx - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nelder_mead_handles_rosenbrock() {
+        let f = |v: &[f64]| {
+            (1.0 - v[0]).powi(2) + 100.0 * (v[1] - v[0] * v[0]).powi(2)
+        };
+        let (x, fx) = nelder_mead(&f, &[-1.2, 1.0], 0.5, 5_000);
+        assert!(fx < 1e-6, "fx = {fx}, x = {x:?}");
+    }
+
+    #[test]
+    fn objective_rejects_unphysical_parameters() {
+        let p = ThermalParams {
+            g_air_base: -1.0,
+            ..ThermalParams::default()
+        };
+        assert_eq!(steady_objective(p), f64::INFINITY);
+    }
+
+    #[test]
+    fn calibrated_defaults_fit_anchors() {
+        // The shipped defaults should reproduce the paper's temperature
+        // rises within 15% RMS (most anchors land much closer).
+        let reports = report(ThermalParams::default());
+        let rms = (reports.iter().map(|r| r.rel_error * r.rel_error).sum::<f64>()
+            / reports.len() as f64)
+            .sqrt();
+        assert!(rms < 0.15, "RMS relative error {rms:.3}");
+    }
+
+    #[test]
+    fn calibrated_defaults_hit_envelope_crossings() {
+        // The two heavily weighted anchors: 15,020 RPM VCM-on and
+        // 26,750 RPM VCM-off sit on the 45.22 C envelope.
+        let p = ThermalParams::default();
+        for a in steady_anchors().iter().filter(|a| a.weight > 3.0) {
+            let t = model_temp(a, p).get();
+            assert!(
+                (t - 45.22).abs() < 0.8,
+                "envelope anchor at {} RPM (duty {}): {t:.2} C",
+                a.rpm,
+                a.vcm_duty
+            );
+        }
+    }
+}

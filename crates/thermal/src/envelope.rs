@@ -1,0 +1,181 @@
+//! The thermal envelope and searches against it.
+
+use crate::model::ThermalModel;
+use crate::spec::OperatingPoint;
+use units::{Celsius, Rpm};
+
+/// The thermal envelope used throughout the paper's roadmap: the
+/// steady-state internal-air temperature of the validated Cheetah 15K.3
+/// model with SPM and VCM always on, electronics excluded — 45.22 °C.
+///
+/// (Adding the ~10 °C that on-board electronics contribute recovers the
+/// drive's rated 55 °C maximum operating temperature.)
+pub const THERMAL_ENVELOPE: Celsius = Celsius::new(45.22);
+
+/// Search controls for the envelope inversions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeSearch {
+    /// Lower RPM bracket.
+    pub min_rpm: Rpm,
+    /// Upper RPM bracket.
+    pub max_rpm: Rpm,
+    /// Temperature tolerance of the bisection, in K.
+    pub tolerance: f64,
+}
+
+impl Default for EnvelopeSearch {
+    fn default() -> Self {
+        Self {
+            min_rpm: Rpm::new(1_000.0),
+            max_rpm: Rpm::new(500_000.0),
+            tolerance: 1e-3,
+        }
+    }
+}
+
+/// The highest spindle speed at which the drive's steady-state air
+/// temperature stays at or below `envelope`, holding the operating
+/// point's seek duty fixed.
+///
+/// Returns `None` when even the minimum speed exceeds the envelope (the
+/// configuration is thermally infeasible). If the envelope is not
+/// reached even at the maximum bracket, the maximum is returned.
+///
+/// # Examples
+///
+/// ```
+/// use diskthermal::{
+///     max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, OperatingPoint,
+///     ThermalModel, THERMAL_ENVELOPE,
+/// };
+/// use units::Rpm;
+///
+/// let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+/// let max = max_rpm_within_envelope(&model, 1.0, THERMAL_ENVELOPE, EnvelopeSearch::default())
+///     .expect("a 2.6\" single-platter drive is feasible");
+/// // §5.3: the envelope admits ~15,020 RPM with the VCM always on.
+/// assert!((max.get() - 15_020.0).abs() < 400.0);
+/// ```
+pub fn max_rpm_within_envelope(
+    model: &ThermalModel,
+    vcm_duty: f64,
+    envelope: Celsius,
+    search: EnvelopeSearch,
+) -> Option<Rpm> {
+    let temp_at = |rpm: Rpm| model.steady_air_temp(OperatingPoint::new(rpm, vcm_duty));
+
+    if temp_at(search.min_rpm) > envelope {
+        return None;
+    }
+    if temp_at(search.max_rpm) <= envelope {
+        return Some(search.max_rpm);
+    }
+
+    let (mut lo, mut hi) = (search.min_rpm.get(), search.max_rpm.get());
+    // Steady air temperature is strictly monotone in RPM, so bisection
+    // converges to the unique crossing.
+    while hi - lo > 0.5 {
+        let mid = 0.5 * (lo + hi);
+        let t = temp_at(Rpm::new(mid));
+        if t > envelope {
+            hi = mid;
+        } else {
+            lo = mid;
+            if (envelope - t).get() < search.tolerance {
+                break;
+            }
+        }
+    }
+    Some(Rpm::new(lo))
+}
+
+/// The external ambient temperature at which the drive reaches exactly
+/// `envelope` at the given operating point — the "cooling budget" the
+/// paper grants multi-platter configurations so all platter counts start
+/// the roadmap at the same envelope (§4).
+///
+/// The network is linear in temperature, so the answer is exact:
+/// lowering ambient by ΔT lowers every node by ΔT.
+pub fn ambient_for_envelope(
+    model: &ThermalModel,
+    op: OperatingPoint,
+    envelope: Celsius,
+) -> Celsius {
+    let at_current = model.steady_air_temp(op);
+    let excess = at_current - envelope;
+    model.spec().ambient() - excess
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DriveThermalSpec;
+    use units::Inches;
+
+    #[test]
+    fn envelope_value_matches_paper() {
+        assert!((THERMAL_ENVELOPE.get() - 45.22).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rpm_is_tight_against_envelope() {
+        let m = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+        let max = max_rpm_within_envelope(&m, 1.0, THERMAL_ENVELOPE, EnvelopeSearch::default())
+            .unwrap();
+        let at_max = m.steady_air_temp(OperatingPoint::seeking(max));
+        assert!(at_max <= THERMAL_ENVELOPE);
+        // One percent faster breaks the envelope.
+        let above = m.steady_air_temp(OperatingPoint::seeking(max * 1.01));
+        assert!(above > THERMAL_ENVELOPE);
+    }
+
+    #[test]
+    fn vcm_off_admits_higher_rpm() {
+        let m = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+        let with_vcm =
+            max_rpm_within_envelope(&m, 1.0, THERMAL_ENVELOPE, EnvelopeSearch::default())
+                .unwrap();
+        let without =
+            max_rpm_within_envelope(&m, 0.0, THERMAL_ENVELOPE, EnvelopeSearch::default())
+                .unwrap();
+        assert!(
+            without.get() > with_vcm.get() + 3_000.0,
+            "thermal slack should be worth thousands of RPM: {with_vcm} vs {without}"
+        );
+    }
+
+    #[test]
+    fn smaller_platter_admits_higher_rpm() {
+        let big = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+        let small = ThermalModel::new(DriveThermalSpec::new(Inches::new(1.6), 1));
+        let s = EnvelopeSearch::default();
+        let rpm_big = max_rpm_within_envelope(&big, 1.0, THERMAL_ENVELOPE, s).unwrap();
+        let rpm_small = max_rpm_within_envelope(&small, 1.0, THERMAL_ENVELOPE, s).unwrap();
+        assert!(rpm_small > rpm_big);
+    }
+
+    #[test]
+    fn infeasible_when_floor_already_violates() {
+        let m = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 4));
+        // A 4-platter stack at some absurdly low envelope.
+        let result = max_rpm_within_envelope(
+            &m,
+            1.0,
+            Celsius::new(28.1),
+            EnvelopeSearch::default(),
+        );
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn ambient_credit_is_exact_by_linearity() {
+        let m = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 4));
+        let op = OperatingPoint::seeking(Rpm::new(15_020.0));
+        let amb = ambient_for_envelope(&m, op, THERMAL_ENVELOPE);
+        let cooled = ThermalModel::new(
+            DriveThermalSpec::new(Inches::new(2.6), 4).with_ambient(amb),
+        );
+        let t = cooled.steady_air_temp(op);
+        assert!((t - THERMAL_ENVELOPE).abs().get() < 1e-9);
+    }
+}

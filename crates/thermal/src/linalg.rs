@@ -1,0 +1,112 @@
+//! Minimal dense linear-system solver for the small thermal networks
+//! (4×4 for the steady-state and backward-Euler solves).
+
+/// Solves `A x = b` in place by Gaussian elimination with partial
+/// pivoting. `a` is row-major `n × n`.
+///
+/// Returns `None` when the matrix is numerically singular.
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+
+    for col in 0..n {
+        // Partial pivot: bring the largest remaining entry to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("matrix entries are finite")
+            })
+            .expect("non-empty column");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split the borrow: the pivot row is disjoint from `row`.
+            let (pivot_row_data, target_row) = if col < row {
+                let (head, tail) = a.split_at_mut(row);
+                (&head[col], &mut tail[0])
+            } else {
+                unreachable!("elimination only touches rows below the pivot")
+            };
+            for (t, p) in target_row[col..n].iter_mut().zip(&pivot_row_data[col..n]) {
+                *t -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivots_on_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![2.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solves_4x4_thermal_like_system() {
+        // A diagonally-dominant symmetric system like the thermal ones.
+        let a = vec![
+            vec![3.0, -1.0, -1.0, -0.5],
+            vec![-1.0, 2.5, -0.5, 0.0],
+            vec![-1.0, -0.5, 4.0, -1.0],
+            vec![-0.5, 0.0, -1.0, 2.0],
+        ];
+        let b = vec![1.0, 2.0, 0.5, 1.5];
+        let x = solve(a.clone(), b.clone()).unwrap();
+        // Verify A x = b.
+        for i in 0..4 {
+            let got: f64 = (0..4).map(|j| a[i][j] * x[j]).sum();
+            assert!((got - b[i]).abs() < 1e-10);
+        }
+    }
+}

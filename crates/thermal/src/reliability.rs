@@ -1,0 +1,146 @@
+//! Temperature-driven reliability: the paper's motivating failure model.
+//!
+//! §1 (citing Anderson, Dykes and Riedel): "Even a fifteen degree
+//! Celsius rise from the ambient temperature can double the failure rate
+//! of a disk drive." §6 closes by noting DTM is worthwhile *purely* to
+//! lower operating temperature for long-term reliability. This module
+//! turns that exponential rule into a small quantitative surface:
+//! relative failure-rate acceleration, relative MTTF, and the
+//! reliability value of a temperature reduction.
+
+use crate::model::ThermalModel;
+use crate::spec::OperatingPoint;
+use units::{Celsius, TempDelta};
+
+/// Temperature rise that doubles the failure rate (°C), per the
+/// SCSI-vs-ATA reliability study the paper cites.
+pub const DOUBLING_RISE: TempDelta = TempDelta::new(15.0);
+
+/// Failure-rate acceleration of running at `temp` relative to running
+/// at `reference`: `2^((temp − reference) / 15 °C)`.
+///
+/// Values above 1 mean faster wear-out; below 1, slower.
+///
+/// # Examples
+///
+/// ```
+/// use diskthermal::reliability::failure_acceleration;
+/// use units::Celsius;
+///
+/// // The paper's headline: +15 C doubles the failure rate.
+/// let x = failure_acceleration(Celsius::new(43.0), Celsius::new(28.0));
+/// assert!((x - 2.0).abs() < 1e-12);
+/// ```
+pub fn failure_acceleration(temp: Celsius, reference: Celsius) -> f64 {
+    2f64.powf((temp - reference).get() / DOUBLING_RISE.get())
+}
+
+/// Relative mean-time-to-failure of `temp` versus `reference` (the
+/// reciprocal of the failure-rate acceleration).
+///
+/// # Examples
+///
+/// ```
+/// use diskthermal::reliability::relative_mttf;
+/// use units::Celsius;
+///
+/// // Running 5 C cooler stretches life by ~26%.
+/// let m = relative_mttf(Celsius::new(40.0), Celsius::new(45.0));
+/// assert!((m - 2f64.powf(5.0 / 15.0)).abs() < 1e-12);
+/// ```
+pub fn relative_mttf(temp: Celsius, reference: Celsius) -> f64 {
+    1.0 / failure_acceleration(temp, reference)
+}
+
+/// Reliability summary of a drive at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityReport {
+    /// Steady internal-air temperature at the operating point.
+    pub temperature: Celsius,
+    /// Failure-rate acceleration relative to sitting at ambient.
+    pub acceleration_vs_ambient: f64,
+    /// MTTF multiplier gained per 1 °C of cooling at this temperature
+    /// (constant for the exponential law: `2^(1/15)` ≈ 1.047).
+    pub mttf_gain_per_degree: f64,
+}
+
+/// Evaluates the reliability impact of running `model` at `op`.
+pub fn assess(model: &ThermalModel, op: OperatingPoint) -> ReliabilityReport {
+    let temperature = model.steady_air_temp(op);
+    ReliabilityReport {
+        temperature,
+        acceleration_vs_ambient: failure_acceleration(temperature, model.spec().ambient()),
+        mttf_gain_per_degree: 2f64.powf(1.0 / DOUBLING_RISE.get()),
+    }
+}
+
+/// The reliability argument for DTM (§6): the MTTF multiplier obtained
+/// by operating at `managed` instead of `unmanaged` temperature.
+///
+/// # Examples
+///
+/// ```
+/// use diskthermal::reliability::dtm_reliability_gain;
+/// use units::Celsius;
+///
+/// // Throttling a 48.3 C average-case design down to the 45.2 C
+/// // envelope buys ~15% more life.
+/// let gain = dtm_reliability_gain(Celsius::new(45.22), Celsius::new(48.26));
+/// assert!(gain > 1.1 && gain < 1.2);
+/// ```
+pub fn dtm_reliability_gain(managed: Celsius, unmanaged: Celsius) -> f64 {
+    failure_acceleration(unmanaged, managed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DriveThermalSpec;
+    use units::{Inches, Rpm};
+
+    #[test]
+    fn doubling_law_checkpoints() {
+        let amb = Celsius::new(28.0);
+        assert!((failure_acceleration(amb, amb) - 1.0).abs() < 1e-12);
+        assert!((failure_acceleration(Celsius::new(58.0), amb) - 4.0).abs() < 1e-12);
+        // Below reference: rate halves.
+        assert!((failure_acceleration(Celsius::new(13.0), amb) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mttf_is_reciprocal() {
+        let a = Celsius::new(50.0);
+        let b = Celsius::new(40.0);
+        let product = failure_acceleration(a, b) * relative_mttf(a, b);
+        assert!((product - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_spindles_wear_faster() {
+        let model = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+        let slow = assess(&model, OperatingPoint::seeking(Rpm::new(15_020.0)));
+        let fast = assess(&model, OperatingPoint::seeking(Rpm::new(24_534.0)));
+        assert!(fast.acceleration_vs_ambient > slow.acceleration_vs_ambient);
+        // At the envelope (~17 C above ambient) the acceleration is
+        // a bit over 2x — exactly the paper's motivating number.
+        assert!(
+            (slow.acceleration_vs_ambient - 2.2).abs() < 0.3,
+            "envelope acceleration {:.2}",
+            slow.acceleration_vs_ambient
+        );
+    }
+
+    #[test]
+    fn dtm_gain_matches_direct_computation() {
+        let gain = dtm_reliability_gain(Celsius::new(45.22), Celsius::new(48.26));
+        let direct = 2f64.powf((48.26 - 45.22) / 15.0);
+        assert!((gain - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_degree_gain_is_constant() {
+        let model = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+        let r = assess(&model, OperatingPoint::seeking(Rpm::new(20_000.0)));
+        assert!((r.mttf_gain_per_degree - 2f64.powf(1.0 / 15.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! Transient (time-domain) integration of the thermal network.
+//!
+//! The paper integrates the finite-difference equations at 600 steps per
+//! minute (0.1 s). We offer the same explicit scheme plus an
+//! unconditionally stable backward-Euler scheme (the default): the
+//! internal air node has a tiny heat capacity, so explicit integration is
+//! only conditionally stable at small steps.
+
+use crate::linalg::solve;
+use crate::model::{NodeTemps, ThermalModel, NODES};
+use crate::spec::OperatingPoint;
+use serde::{Deserialize, Serialize};
+use units::{Celsius, Seconds};
+
+/// Time-integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Integrator {
+    /// Backward (implicit) Euler: unconditionally stable, solves a 4×4
+    /// system per step.
+    #[default]
+    BackwardEuler,
+    /// Forward (explicit) Euler: the paper's scheme; stable only when
+    /// the step is below each node's thermal time constant.
+    ForwardEuler,
+}
+
+/// The paper's step size: 600 steps per minute.
+pub(crate) const PAPER_STEP: Seconds = Seconds::new(0.1);
+
+/// A transient simulation of one drive's temperatures.
+///
+/// # Examples
+///
+/// Reproduce the Figure 1 warm-up from ambient:
+///
+/// ```
+/// use diskthermal::{DriveThermalSpec, OperatingPoint, ThermalModel, TransientSim};
+/// use units::{Rpm, Seconds};
+///
+/// let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+/// let mut sim = TransientSim::from_ambient(&model);
+/// let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+/// sim.advance(&model, op, Seconds::new(60.0)); // one minute in
+/// assert!(sim.temps().air.get() > 30.0); // already several degrees up
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientSim {
+    temps: NodeTemps,
+    time: Seconds,
+    step: Seconds,
+    integrator: Integrator,
+}
+
+impl TransientSim {
+    /// Starts a simulation with every node at the drive's ambient
+    /// temperature (the cold-start condition of Figure 1).
+    pub fn from_ambient(model: &ThermalModel) -> Self {
+        Self::with_initial(NodeTemps::uniform(model.spec().ambient()))
+    }
+
+    /// Starts from explicit initial node temperatures.
+    pub fn with_initial(temps: NodeTemps) -> Self {
+        Self {
+            temps,
+            time: Seconds::ZERO,
+            step: PAPER_STEP,
+            integrator: Integrator::default(),
+        }
+    }
+
+    /// Overrides the integration step (default 0.1 s, the paper's
+    /// 600 steps/minute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is not positive.
+    pub fn with_step(mut self, step: Seconds) -> Self {
+        assert!(step.get() > 0.0, "integration step must be positive");
+        self.step = step;
+        self
+    }
+
+    /// Overrides the integration scheme.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Current node temperatures.
+    pub fn temps(&self) -> NodeTemps {
+        self.temps
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Advances exactly one integration step at the given operating
+    /// point.
+    pub fn step(&mut self, model: &ThermalModel, op: OperatingPoint) {
+        let dt = self.step.get();
+        let (a, b) = model.assemble(op);
+        let caps = model.capacities();
+        let t = self.temps.to_array();
+
+        let next = match self.integrator {
+            Integrator::ForwardEuler => {
+                let mut out = [0.0; NODES];
+                for i in 0..NODES {
+                    // C_i dT/dt = b_i - sum_j A_ij T_j
+                    let flux: f64 = (0..NODES).map(|j| a[i][j] * t[j]).sum();
+                    out[i] = t[i] + dt * (b[i] - flux) / caps[i].get();
+                }
+                out
+            }
+            Integrator::BackwardEuler => {
+                // (C/dt + A) T_new = C/dt T_old + b
+                let mut lhs = a;
+                let mut rhs = b;
+                for i in 0..NODES {
+                    let c_dt = caps[i].get() / dt;
+                    lhs[i][i] += c_dt;
+                    rhs[i] += c_dt * t[i];
+                }
+                let x = solve(lhs, rhs).expect("implicit step matrix is SPD");
+                [x[0], x[1], x[2], x[3]]
+            }
+        };
+
+        self.temps = NodeTemps::from_array(next);
+        self.time += self.step;
+    }
+
+    /// Advances by (at least) `duration`, in whole steps.
+    pub fn advance(&mut self, model: &ThermalModel, op: OperatingPoint, duration: Seconds) {
+        let steps = (duration.get() / self.step.get()).ceil() as u64;
+        for _ in 0..steps {
+            self.step(model, op);
+        }
+    }
+
+    /// Runs until the air temperature changes by less than `tol` per
+    /// minute of simulated time, returning the time taken to converge.
+    ///
+    /// A hard cap of 24 simulated hours guards against non-convergence.
+    pub fn run_to_steady(
+        &mut self,
+        model: &ThermalModel,
+        op: OperatingPoint,
+        tol: f64,
+    ) -> Seconds {
+        let start = self.time;
+        let cap = Seconds::new(24.0 * 3600.0);
+        loop {
+            let before = self.temps.air;
+            self.advance(model, op, Seconds::new(60.0));
+            let drift = (self.temps.air - before).abs().get();
+            if drift < tol || self.time - start > cap {
+                return self.time - start;
+            }
+        }
+    }
+
+    /// Advances until the air temperature reaches `target` (useful for
+    /// the throttling experiments of §5.3), returning the elapsed time,
+    /// or `None` if the operating point can never reach it (checked
+    /// against the steady state) or 24 h elapse first.
+    pub fn time_to_reach(
+        &mut self,
+        model: &ThermalModel,
+        op: OperatingPoint,
+        target: Celsius,
+    ) -> Option<Seconds> {
+        if self.temps.air == target {
+            return Some(Seconds::ZERO);
+        }
+        let rising = self.temps.air < target;
+        let steady = model.steady_air_temp(op);
+        if rising && steady < target {
+            return None;
+        }
+        if !rising && steady > target {
+            return None;
+        }
+        let start = self.time;
+        let cap = Seconds::new(24.0 * 3600.0);
+        loop {
+            self.step(model, op);
+            let reached = if rising {
+                self.temps.air >= target
+            } else {
+                self.temps.air <= target
+            };
+            if reached {
+                return Some(self.time - start);
+            }
+            if self.time - start > cap {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DriveThermalSpec;
+    use units::Rpm;
+
+    fn model() -> ThermalModel {
+        ThermalModel::new(DriveThermalSpec::cheetah_15k3())
+    }
+
+    fn op() -> OperatingPoint {
+        OperatingPoint::seeking(Rpm::new(15_000.0))
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let m = model();
+        let steady = m.steady_air_temp(op());
+        let mut sim = TransientSim::from_ambient(&m);
+        sim.run_to_steady(&m, op(), 0.001);
+        assert!(
+            (sim.temps().air - steady).abs().get() < 0.05,
+            "transient {} vs steady {}",
+            sim.temps().air,
+            steady
+        );
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_from_cold() {
+        let m = model();
+        let mut sim = TransientSim::from_ambient(&m);
+        let mut prev = sim.temps().air;
+        for _ in 0..100 {
+            sim.advance(&m, op(), Seconds::new(30.0));
+            let now = sim.temps().air;
+            assert!(now >= prev, "cold-start warm-up must be monotone");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn explicit_and_implicit_agree_at_small_steps() {
+        let m = model();
+        let mut implicit = TransientSim::from_ambient(&m).with_step(Seconds::new(0.05));
+        let mut explicit = TransientSim::from_ambient(&m)
+            .with_step(Seconds::new(0.05))
+            .with_integrator(Integrator::ForwardEuler);
+        implicit.advance(&m, op(), Seconds::new(600.0));
+        explicit.advance(&m, op(), Seconds::new(600.0));
+        let diff = (implicit.temps().air - explicit.temps().air).abs().get();
+        assert!(diff < 0.1, "schemes diverged by {diff} C");
+    }
+
+    #[test]
+    fn cooling_transient_descends_to_new_steady() {
+        let m = model();
+        // Start hot (steady at high RPM), then drop the RPM.
+        let hot = m.steady_state(OperatingPoint::seeking(Rpm::new(25_000.0)));
+        let cool_op = OperatingPoint::idle_vcm(Rpm::new(10_000.0));
+        let mut sim = TransientSim::with_initial(hot);
+        sim.run_to_steady(&m, cool_op, 0.001);
+        let target = m.steady_air_temp(cool_op);
+        assert!((sim.temps().air - target).abs().get() < 0.05);
+    }
+
+    #[test]
+    fn time_to_reach_is_consistent_with_advance() {
+        let m = model();
+        let target = Celsius::new(40.0);
+        let mut sim = TransientSim::from_ambient(&m);
+        let t = sim
+            .time_to_reach(&m, op(), target)
+            .expect("steady state exceeds 40 C");
+        assert!(t.get() > 0.0);
+        assert!(sim.temps().air >= target);
+    }
+
+    #[test]
+    fn time_to_reach_unreachable_returns_none() {
+        let m = model();
+        let mut sim = TransientSim::from_ambient(&m);
+        // A slow, idle spindle can never hit 100 C.
+        let cold_op = OperatingPoint::idle_vcm(Rpm::new(5_000.0));
+        assert!(sim.time_to_reach(&m, cold_op, Celsius::new(100.0)).is_none());
+    }
+
+    #[test]
+    fn air_heats_quickly_then_crawls() {
+        // The Figure 1 signature: several degrees in the first minute,
+        // then a ~45-minute crawl to steady state.
+        let m = model();
+        let steady = m.steady_air_temp(op());
+        let mut sim = TransientSim::from_ambient(&m);
+        sim.advance(&m, op(), Seconds::new(60.0));
+        let after_minute = sim.temps().air;
+        assert!(after_minute.get() > 30.0, "air {after_minute}");
+        assert!(
+            after_minute < steady - units::TempDelta::new(2.0),
+            "most of the rise is still ahead after one minute"
+        );
+        // Ten minutes in, the air is still crawling upward.
+        sim.advance(&m, op(), Seconds::new(540.0));
+        let after_ten = sim.temps().air;
+        assert!(after_ten > after_minute);
+        assert!(after_ten < steady);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the thermal model's physical invariants.
+
+use diskthermal::{
+    max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, OperatingPoint, ThermalModel,
+    TransientSim, THERMAL_ENVELOPE,
+};
+use proptest::prelude::*;
+use units::{Celsius, Inches, Rpm, Seconds};
+
+/// Roadmap-regime drive specs (the model's calibrated validity domain).
+fn spec_strategy() -> impl Strategy<Value = DriveThermalSpec> {
+    (1.6f64..2.7, 1u32..5).prop_map(|(d, n)| DriveThermalSpec::new(Inches::new(d), n))
+}
+
+fn rpm_strategy() -> impl Strategy<Value = Rpm> {
+    (10_000.0f64..200_000.0).prop_map(Rpm::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn steady_temps_at_or_above_ambient(spec in spec_strategy(), rpm in rpm_strategy()) {
+        let m = ThermalModel::new(spec);
+        let t = m.steady_state(OperatingPoint::seeking(rpm));
+        let amb = spec.ambient();
+        prop_assert!(t.air >= amb);
+        prop_assert!(t.spindle >= amb);
+        prop_assert!(t.base >= amb);
+        prop_assert!(t.vcm >= amb);
+    }
+
+    #[test]
+    fn air_temp_monotone_in_rpm(spec in spec_strategy(), rpm in 10_000.0f64..150_000.0) {
+        let m = ThermalModel::new(spec);
+        let lo = m.steady_air_temp(OperatingPoint::seeking(Rpm::new(rpm)));
+        let hi = m.steady_air_temp(OperatingPoint::seeking(Rpm::new(rpm * 1.1)));
+        prop_assert!(hi > lo, "spinning faster must run hotter");
+    }
+
+    #[test]
+    fn vcm_duty_monotone(spec in spec_strategy(), rpm in rpm_strategy(), duty in 0.0f64..1.0) {
+        let m = ThermalModel::new(spec);
+        let some = m.steady_air_temp(OperatingPoint::new(rpm, duty));
+        let full = m.steady_air_temp(OperatingPoint::seeking(rpm));
+        let none = m.steady_air_temp(OperatingPoint::idle_vcm(rpm));
+        prop_assert!(none <= some);
+        prop_assert!(some <= full);
+    }
+
+    #[test]
+    fn energy_balance_holds(spec in spec_strategy(), rpm in rpm_strategy(), duty in 0.0f64..1.0) {
+        let m = ThermalModel::new(spec);
+        let op = OperatingPoint::new(rpm, duty);
+        let t = m.steady_state(op);
+        let p = m.power_breakdown(op);
+        // At steady state, heat out through the base equals heat in.
+        let g = m.conductances(op);
+        let out = (g.base_ambient() * (t.base - spec.ambient())).get();
+        prop_assert!((out - p.total().get()).abs() < 1e-6,
+            "out {out} W vs generated {} W", p.total());
+    }
+
+    #[test]
+    fn ambient_shift_is_exact(spec in spec_strategy(), rpm in rpm_strategy(), drop in 1.0f64..15.0) {
+        let m = ThermalModel::new(spec);
+        let cooled_spec = spec.with_ambient(Celsius::new(spec.ambient().get() - drop));
+        let mc = ThermalModel::new(cooled_spec);
+        let op = OperatingPoint::seeking(rpm);
+        let dt = (m.steady_air_temp(op) - mc.steady_air_temp(op)).get();
+        prop_assert!((dt - drop).abs() < 1e-6, "linear network shifts exactly");
+    }
+
+    #[test]
+    fn envelope_rpm_is_exactly_at_boundary(spec in spec_strategy()) {
+        let m = ThermalModel::new(spec);
+        if let Some(rpm) =
+            max_rpm_within_envelope(&m, 1.0, THERMAL_ENVELOPE, EnvelopeSearch::default())
+        {
+            let t = m.steady_air_temp(OperatingPoint::seeking(rpm));
+            prop_assert!(t <= THERMAL_ENVELOPE);
+            let t_above = m.steady_air_temp(OperatingPoint::seeking(rpm * 1.02));
+            prop_assert!(t_above > THERMAL_ENVELOPE || rpm.get() >= 499_000.0);
+        }
+    }
+
+    #[test]
+    fn transient_approaches_steady_from_both_sides(
+        spec in spec_strategy(),
+        rpm in 10_000.0f64..60_000.0,
+    ) {
+        let m = ThermalModel::new(spec);
+        let op = OperatingPoint::seeking(Rpm::new(rpm));
+        let steady = m.steady_air_temp(op);
+
+        // From cold.
+        let mut sim = TransientSim::from_ambient(&m);
+        sim.advance(&m, op, Seconds::new(7_200.0));
+        prop_assert!((sim.temps().air - steady).abs().get() < 0.6,
+            "cold start: {} vs steady {}", sim.temps().air, steady);
+        prop_assert!(sim.temps().air <= steady + units::TempDelta::new(1e-6),
+            "no overshoot from below");
+    }
+}

@@ -1,0 +1,170 @@
+//! Recording-density quantities: linear density (BPI), track density
+//! (TPI), their product (areal density) and their ratio (bit aspect
+//! ratio), exactly as defined in §3.1 of the paper.
+
+f64_unit!(
+    /// Linear recording density along a track, in bits per inch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::BitsPerInch;
+    /// let bpi = BitsPerInch::from_kbpi(270.0); // 1999 anchor
+    /// assert_eq!(bpi.get(), 270_000.0);
+    /// ```
+    BitsPerInch,
+    "BPI"
+);
+
+f64_unit!(
+    /// Radial track density, in tracks per inch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::TracksPerInch;
+    /// let tpi = TracksPerInch::from_ktpi(20.0); // 1999 anchor
+    /// assert_eq!(tpi.get(), 20_000.0);
+    /// ```
+    TracksPerInch,
+    "TPI"
+);
+
+f64_unit!(
+    /// Areal density in bits per square inch (`BPI * TPI`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::ArealDensity;
+    /// let terabit = ArealDensity::from_tb_per_sq_in(1.0);
+    /// assert!(terabit.is_terabit_class());
+    /// ```
+    ArealDensity,
+    "b/in^2"
+);
+
+f64_unit!(
+    /// Bit aspect ratio, `BPI / TPI` (dimensionless).
+    ///
+    /// Around 6–7 for 2002-era disks, expected to drop to ~3.4 at terabit
+    /// densities (§4).
+    BitAspectRatio,
+    "BAR"
+);
+
+impl BitsPerInch {
+    /// Builds from kilobits per inch (the unit Table 1 uses).
+    #[inline]
+    pub fn from_kbpi(kbpi: f64) -> Self {
+        Self::new(kbpi * 1e3)
+    }
+
+    /// Value in kilobits per inch.
+    #[inline]
+    pub fn to_kbpi(self) -> f64 {
+        self.get() / 1e3
+    }
+}
+
+impl TracksPerInch {
+    /// Builds from kilotracks per inch (the unit Table 1 uses).
+    #[inline]
+    pub fn from_ktpi(ktpi: f64) -> Self {
+        Self::new(ktpi * 1e3)
+    }
+
+    /// Value in kilotracks per inch.
+    #[inline]
+    pub fn to_ktpi(self) -> f64 {
+        self.get() / 1e3
+    }
+}
+
+impl ArealDensity {
+    /// One terabit per square inch — the density at which the paper's ECC
+    /// overhead model steps from 416 to 1440 bits per sector.
+    pub const TERABIT: Self = Self::new(1e12);
+
+    /// Builds from gigabits per square inch.
+    #[inline]
+    pub fn from_gb_per_sq_in(gb: f64) -> Self {
+        Self::new(gb * 1e9)
+    }
+
+    /// Builds from terabits per square inch.
+    #[inline]
+    pub fn from_tb_per_sq_in(tb: f64) -> Self {
+        Self::new(tb * 1e12)
+    }
+
+    /// Value in gigabits per square inch.
+    #[inline]
+    pub fn to_gb_per_sq_in(self) -> f64 {
+        self.get() / 1e9
+    }
+
+    /// `true` when at (or within 1 % below) 1 Tb/in², which triggers the
+    /// stronger ECC. The tolerance exists because the paper's own terabit
+    /// design point — 1.85 MBPI × 540 KTPI — multiplies out to
+    /// 0.999 Tb/in² and is treated as terabit-class throughout §4.
+    #[inline]
+    pub fn is_terabit_class(self) -> bool {
+        self.get() >= 0.99 * Self::TERABIT.get()
+    }
+}
+
+impl core::ops::Mul<TracksPerInch> for BitsPerInch {
+    type Output = ArealDensity;
+    #[inline]
+    fn mul(self, rhs: TracksPerInch) -> ArealDensity {
+        ArealDensity::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Div<TracksPerInch> for BitsPerInch {
+    type Output = BitAspectRatio;
+    #[inline]
+    fn div(self, rhs: TracksPerInch) -> BitAspectRatio {
+        BitAspectRatio::new(self.get() / rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areal_density_is_product() {
+        let bpi = BitsPerInch::from_kbpi(570.0);
+        let tpi = TracksPerInch::from_ktpi(64.0);
+        let ad = bpi * tpi;
+        assert!((ad.to_gb_per_sq_in() - 36.48).abs() < 1e-9);
+        assert!(!ad.is_terabit_class());
+    }
+
+    #[test]
+    fn terabit_design_point() {
+        // §4: 1.85 MBPI x 540 KTPI ~= 1 Tb/in^2 with BAR 3.42.
+        let bpi = BitsPerInch::new(1.85e6);
+        let tpi = TracksPerInch::from_ktpi(540.0);
+        assert!((bpi * tpi).is_terabit_class());
+        let bar = bpi / tpi;
+        assert!((bar.get() - 3.4259).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unit_scaling_round_trips() {
+        assert!((BitsPerInch::from_kbpi(256.0).to_kbpi() - 256.0).abs() < 1e-12);
+        assert!((TracksPerInch::from_ktpi(13.0).to_ktpi() - 13.0).abs() < 1e-12);
+        let ad = ArealDensity::from_tb_per_sq_in(0.5);
+        assert!((ad.to_gb_per_sq_in() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bar_of_2002_era_disk() {
+        // Cheetah 10K.6: 570 KBPI / 64 KTPI ~ 8.9; older drives 6-20.
+        let bar = BitsPerInch::from_kbpi(570.0) / TracksPerInch::from_ktpi(64.0);
+        assert!(bar.get() > 3.0 && bar.get() < 25.0);
+    }
+}

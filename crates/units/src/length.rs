@@ -1,0 +1,132 @@
+//! Length units. Disk-drive literature is imperial: platter diameters,
+//! form factors and recording densities are all quoted in inches, so
+//! [`Inches`] is the canonical length unit of the workspace.
+
+f64_unit!(
+    /// A length in inches.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Inches;
+    ///
+    /// let diameter = Inches::new(2.6);
+    /// let radius = diameter / 2.0;
+    /// assert_eq!(radius, Inches::new(1.3));
+    /// ```
+    Inches,
+    "in"
+);
+
+/// Millimeters per inch, exact by definition.
+const MM_PER_INCH: f64 = 25.4;
+
+/// Meters per inch, exact by definition.
+const M_PER_INCH: f64 = 0.0254;
+
+impl Inches {
+    /// Converts to millimeters (1 in = 25.4 mm exactly).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Inches;
+    /// assert!((Inches::new(1.0).to_millimeters() - 25.4).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn to_millimeters(self) -> f64 {
+        self.get() * MM_PER_INCH
+    }
+
+    /// Converts to meters.
+    #[inline]
+    pub fn to_meters(self) -> f64 {
+        self.get() * M_PER_INCH
+    }
+
+    /// Builds an [`Inches`] value from millimeters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Inches;
+    /// let platter = Inches::from_millimeters(65.0);
+    /// assert!((platter.get() - 2.559).abs() < 1e-3);
+    /// ```
+    #[inline]
+    pub fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm / MM_PER_INCH)
+    }
+
+    /// Builds an [`Inches`] value from meters.
+    #[inline]
+    pub fn from_meters(m: f64) -> Self {
+        Self::new(m / M_PER_INCH)
+    }
+
+    /// Area of a circle with this value as its *radius*, in square inches.
+    ///
+    /// Convenience for the platter-surface computations of the capacity
+    /// model, where track areas are annuli between two radii.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Inches;
+    /// let a = Inches::new(1.0).circle_area();
+    /// assert!((a - std::f64::consts::PI).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn circle_area(self) -> f64 {
+        core::f64::consts::PI * self.get() * self.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millimeter_round_trip() {
+        let x = Inches::new(3.25);
+        let back = Inches::from_millimeters(x.to_millimeters());
+        assert!((x - back).abs().get() < 1e-12);
+    }
+
+    #[test]
+    fn meter_round_trip() {
+        let x = Inches::new(0.126);
+        let back = Inches::from_meters(x.to_meters());
+        assert!((x - back).abs().get() < 1e-12);
+    }
+
+    #[test]
+    fn known_platter_sizes() {
+        // 2.5" platters are 65 mm media, 3.7" are 95 mm, 1.8" are 47 mm (to
+        // the tolerances used in the VCM-power correlation of the paper).
+        assert!((Inches::new(2.5).to_millimeters() - 63.5).abs() < 0.1);
+        assert!((Inches::new(3.7).to_millimeters() - 93.98).abs() < 0.1);
+    }
+
+    #[test]
+    fn annulus_area_is_difference_of_circles() {
+        let outer = Inches::new(1.3);
+        let inner = Inches::new(0.65);
+        let annulus = outer.circle_area() - inner.circle_area();
+        let expected = core::f64::consts::PI * (1.3f64.powi(2) - 0.65f64.powi(2));
+        assert!((annulus - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        assert!(Inches::new(2.6) > Inches::new(2.1));
+        assert_eq!(Inches::new(2.0) + Inches::new(0.6), Inches::new(2.6));
+        assert_eq!(Inches::new(2.6) * 2.0, Inches::new(5.2));
+        assert!((Inches::new(2.6) / Inches::new(1.3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_unit_suffix() {
+        assert_eq!(format!("{:.1}", Inches::new(2.6)), "2.6 in");
+    }
+}

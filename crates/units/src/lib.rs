@@ -1,0 +1,54 @@
+//! Typed physical units for disk-drive modeling.
+//!
+//! Every quantity that crosses a crate boundary in the `thermodisk`
+//! workspace is wrapped in a newtype from this crate, so that a platter
+//! diameter can never be confused with an enclosure dimension, or a
+//! temperature with a temperature *difference* ([C-NEWTYPE]).
+//!
+//! The wrappers are thin: each holds a single `f64` (or integer), is
+//! `Copy`, and exposes the raw value through an accessor named after the
+//! unit (e.g. [`Inches::get`], [`Rpm::get`]). Cross-unit conversions are
+//! provided as `to_*` methods and arithmetic is implemented only where it
+//! is dimensionally meaningful.
+//!
+//! # Examples
+//!
+//! ```
+//! use units::{Inches, Rpm, Celsius, TempDelta};
+//!
+//! let platter = Inches::new(2.6);
+//! assert!((platter.to_millimeters() - 66.04).abs() < 1e-9);
+//!
+//! let spin = Rpm::new(15_000.0);
+//! assert!((spin.rev_per_sec() - 250.0).abs() < 1e-12);
+//!
+//! let ambient = Celsius::new(28.0);
+//! let hot = ambient + TempDelta::new(17.22);
+//! assert!((hot.get() - 45.22).abs() < 1e-12);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod density;
+mod length;
+mod power;
+mod rate;
+mod rotation;
+mod storage;
+mod temperature;
+mod time;
+
+pub use density::{ArealDensity, BitAspectRatio, BitsPerInch, TracksPerInch};
+pub use length::Inches;
+pub use power::{HeatCapacity, Power, ThermalConductance};
+pub use rate::DataRate;
+pub use rotation::Rpm;
+pub use storage::{Bits, Capacity, SectorCount, BYTES_PER_SECTOR, RAW_BITS_PER_SECTOR};
+pub use temperature::{Celsius, TempDelta};
+pub use time::{Minutes, Seconds};

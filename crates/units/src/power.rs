@@ -1,0 +1,158 @@
+//! Power and thermal-circuit quantities.
+//!
+//! The lumped thermal model treats the drive as a small thermal circuit:
+//! heat sources in [`Power`] (watts), node capacitances in
+//! [`HeatCapacity`] (J/K) and couplings in [`ThermalConductance`] (W/K).
+//! Cross-unit arithmetic mirrors the physics:
+//!
+//! - `ThermalConductance * TempDelta -> Power` (Newton's law of cooling)
+//! - `Power / ThermalConductance -> TempDelta` (steady-state rise)
+//! - `Power * Seconds / HeatCapacity -> TempDelta` (explicit FD update)
+
+use crate::{Seconds, TempDelta};
+use core::ops::{Div, Mul};
+
+f64_unit!(
+    /// A heat flow or dissipation rate in watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Power;
+    /// let viscous = Power::new(0.91);
+    /// let vcm = Power::new(3.9);
+    /// assert!(((viscous + vcm).get() - 4.81).abs() < 1e-12);
+    /// ```
+    Power,
+    "W"
+);
+
+f64_unit!(
+    /// A lumped thermal capacitance in joules per kelvin.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::HeatCapacity;
+    /// // ~9 g of aluminium platter at 0.897 J/(g K)
+    /// let platter = HeatCapacity::new(8.07);
+    /// assert!(platter.get() > 0.0);
+    /// ```
+    HeatCapacity,
+    "J/K"
+);
+
+f64_unit!(
+    /// A thermal coupling (conductance) in watts per kelvin.
+    ///
+    /// For conduction through a slab this is `k * A / thickness`; for
+    /// convection it is `h * A`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::{ThermalConductance, TempDelta};
+    /// let ua = ThermalConductance::new(0.28);
+    /// let q = ua * TempDelta::new(17.22);
+    /// assert!((q.get() - 4.82).abs() < 0.01);
+    /// ```
+    ThermalConductance,
+    "W/K"
+);
+
+impl Mul<TempDelta> for ThermalConductance {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: TempDelta) -> Power {
+        Power::new(self.get() * rhs.get())
+    }
+}
+
+impl Div<ThermalConductance> for Power {
+    type Output = TempDelta;
+    #[inline]
+    fn div(self, rhs: ThermalConductance) -> TempDelta {
+        TempDelta::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Seconds> for Power {
+    /// Energy in joules accumulated over the interval.
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.get() * rhs.get()
+    }
+}
+
+impl ThermalConductance {
+    /// Series combination of two conductances (resistances add).
+    ///
+    /// Returns zero if either conductance is zero (an open circuit blocks
+    /// the path entirely).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::ThermalConductance;
+    /// let a = ThermalConductance::new(2.0);
+    /// let b = ThermalConductance::new(2.0);
+    /// assert!((a.series(b).get() - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn series(self, other: Self) -> Self {
+        let (a, b) = (self.get(), other.get());
+        if a == 0.0 || b == 0.0 {
+            Self::ZERO
+        } else {
+            Self::new(a * b / (a + b))
+        }
+    }
+
+    /// Parallel combination of two conductances (conductances add).
+    #[inline]
+    pub fn parallel(self, other: Self) -> Self {
+        self + other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtons_law_of_cooling() {
+        let ua = ThermalConductance::new(0.5);
+        let dt = TempDelta::new(10.0);
+        assert_eq!(ua * dt, Power::new(5.0));
+    }
+
+    #[test]
+    fn steady_state_rise() {
+        let rise = Power::new(4.81) / ThermalConductance::new(0.279);
+        assert!((rise.get() - 17.24).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_over_interval() {
+        let joules = Power::new(2.0) * Seconds::new(30.0);
+        assert!((joules - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_parallel() {
+        let a = ThermalConductance::new(3.0);
+        let b = ThermalConductance::new(6.0);
+        assert!((a.series(b).get() - 2.0).abs() < 1e-12);
+        assert!((a.parallel(b).get() - 9.0).abs() < 1e-12);
+        assert_eq!(a.series(ThermalConductance::ZERO), ThermalConductance::ZERO);
+    }
+
+    #[test]
+    fn series_is_commutative_and_bounded() {
+        let a = ThermalConductance::new(0.7);
+        let b = ThermalConductance::new(1.9);
+        assert!((a.series(b).get() - b.series(a).get()).abs() < 1e-15);
+        assert!(a.series(b) < a.min(b));
+    }
+}

@@ -1,0 +1,81 @@
+//! Data-rate quantities.
+
+use crate::{Seconds, storage::Capacity};
+
+f64_unit!(
+    /// A sustained data rate in megabytes per second (MB/s, where
+    /// 1 MB = 2^20 bytes, the convention of the paper's IDR equation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::DataRate;
+    /// let idr = DataRate::new(128.97);
+    /// assert!(idr.get() > 100.0);
+    /// ```
+    DataRate,
+    "MB/s"
+);
+
+impl DataRate {
+    /// Bytes transferred per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.get() * (1u64 << 20) as f64
+    }
+
+    /// Builds from bytes per second.
+    #[inline]
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        Self::new(bps / (1u64 << 20) as f64)
+    }
+
+    /// Time to transfer `amount` at this rate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::{DataRate, Capacity};
+    /// let rate = DataRate::new(100.0);
+    /// let t = rate.transfer_time(Capacity::from_bytes(100 * (1 << 20)));
+    /// assert!((t.get() - 1.0).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the rate is not positive.
+    #[inline]
+    pub fn transfer_time(self, amount: Capacity) -> Seconds {
+        debug_assert!(self.get() > 0.0, "transfer at a non-positive rate");
+        Seconds::new(amount.bytes() as f64 / self.bytes_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Capacity;
+
+    #[test]
+    fn bytes_per_sec_round_trip() {
+        let r = DataRate::new(63.5);
+        let back = DataRate::from_bytes_per_sec(r.bytes_per_sec());
+        assert!((r - back).abs().get() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely() {
+        let amount = Capacity::from_bytes(8 << 20);
+        let slow = DataRate::new(40.0).transfer_time(amount);
+        let fast = DataRate::new(80.0).transfer_time(amount);
+        assert!((slow.get() / fast.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growth_target_compounds() {
+        // 40% CGR: 47 MB/s in 1999 -> 128.97 MB/s in 2002.
+        let base = DataRate::new(47.0);
+        let target = base * 1.4f64.powi(3);
+        assert!((target.get() - 128.97).abs() < 0.01);
+    }
+}

@@ -1,0 +1,107 @@
+//! Rotational speed.
+
+use crate::Seconds;
+
+f64_unit!(
+    /// Spindle angular velocity in rotations per minute.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Rpm;
+    /// let spin = Rpm::new(15_000.0);
+    /// assert_eq!(spin.rev_per_sec(), 250.0);
+    /// assert!((spin.rotation_period().to_millis() - 4.0).abs() < 1e-12);
+    /// ```
+    Rpm,
+    "RPM"
+);
+
+impl Rpm {
+    /// Rotations per second.
+    #[inline]
+    pub fn rev_per_sec(self) -> f64 {
+        self.get() / 60.0
+    }
+
+    /// Angular velocity in radians per second.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Rpm;
+    /// let w = Rpm::new(60.0).rad_per_sec();
+    /// assert!((w - std::f64::consts::TAU).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn rad_per_sec(self) -> f64 {
+        self.get() * core::f64::consts::TAU / 60.0
+    }
+
+    /// Time for one full revolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the speed is not positive: a stopped
+    /// spindle has no rotation period.
+    #[inline]
+    pub fn rotation_period(self) -> Seconds {
+        debug_assert!(self.get() > 0.0, "rotation period of a stopped spindle");
+        Seconds::new(60.0 / self.get())
+    }
+
+    /// Average rotational latency (half a revolution), the expected wait
+    /// for a random target sector.
+    #[inline]
+    pub fn avg_rotational_latency(self) -> Seconds {
+        self.rotation_period() / 2.0
+    }
+
+    /// Linear velocity of a point at `radius_inches` from the spindle, in
+    /// meters per second. This drives the internal-air circulation speed
+    /// used by the thermal model's convection correlations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::{Rpm, Inches};
+    /// let tip = Rpm::new(15_000.0).tip_speed(Inches::new(1.3));
+    /// assert!((tip - 51.9).abs() < 0.1); // ~52 m/s at a 2.6" platter edge
+    /// ```
+    #[inline]
+    pub fn tip_speed(self, radius_inches: crate::Inches) -> f64 {
+        self.rad_per_sec() * radius_inches.to_meters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Inches;
+
+    #[test]
+    fn rev_per_sec_and_period() {
+        let r = Rpm::new(10_000.0);
+        assert!((r.rev_per_sec() - 166.666_666_67).abs() < 1e-6);
+        assert!((r.rotation_period().to_millis() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotational_latency_is_half_period() {
+        let r = Rpm::new(7_200.0);
+        assert!((r.avg_rotational_latency().to_millis() - 4.1666667).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rad_per_sec() {
+        assert!((Rpm::new(9_549.2965855).rad_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tip_speed_scales_linearly() {
+        let r = Rpm::new(15_000.0);
+        let v1 = r.tip_speed(Inches::new(1.0));
+        let v2 = r.tip_speed(Inches::new(2.0));
+        assert!((v2 / v1 - 2.0).abs() < 1e-12);
+    }
+}

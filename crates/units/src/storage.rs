@@ -1,0 +1,283 @@
+//! Storage quantities: raw bit counts, sector counts and byte capacities.
+//!
+//! The capacity model works in *raw bits on the medium* ([`Bits`], kept as
+//! `f64` because they come out of analytic formulas), then quantizes to
+//! 512-byte [`SectorCount`]s and reports user-visible [`Capacity`].
+
+/// Bytes of user data per sector, fixed at 512 throughout the paper.
+pub const BYTES_PER_SECTOR: u64 = 512;
+
+/// Raw bits of user payload per sector (`8 * 512`), the divisor in the
+/// paper's ZBR capacity equations.
+pub const RAW_BITS_PER_SECTOR: u64 = 8 * BYTES_PER_SECTOR;
+
+f64_unit!(
+    /// A raw bit count on the recording medium.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::{Bits, RAW_BITS_PER_SECTOR};
+    /// let track = Bits::new(4_845_000.0);
+    /// assert_eq!(track.whole_sectors(), 4_845_000 / RAW_BITS_PER_SECTOR);
+    /// ```
+    Bits,
+    "bits"
+);
+
+impl Bits {
+    /// Number of whole 512-byte sectors these bits can hold (truncating).
+    #[inline]
+    pub fn whole_sectors(self) -> u64 {
+        debug_assert!(self.get() >= 0.0, "negative bit capacity");
+        (self.get() / RAW_BITS_PER_SECTOR as f64) as u64
+    }
+
+    /// Expresses the bit count as exact bytes (fractional).
+    #[inline]
+    pub fn to_bytes(self) -> f64 {
+        self.get() / 8.0
+    }
+}
+
+/// A count of 512-byte sectors.
+///
+/// # Examples
+///
+/// ```
+/// use units::SectorCount;
+/// let zone = SectorCount::new(1_059);
+/// assert_eq!(zone.to_capacity().bytes(), 1_059 * 512);
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct SectorCount(u64);
+
+impl SectorCount {
+    /// Zero sectors.
+    pub const ZERO: Self = Self(0);
+
+    /// Wraps a raw sector count.
+    #[inline]
+    pub const fn new(count: u64) -> Self {
+        Self(count)
+    }
+
+    /// Returns the raw count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The byte capacity these sectors hold.
+    #[inline]
+    pub const fn to_capacity(self) -> Capacity {
+        Capacity::from_bytes(self.0 * BYTES_PER_SECTOR)
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Add for SectorCount {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for SectorCount {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Mul<u64> for SectorCount {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for SectorCount {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl core::fmt::Display for SectorCount {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} sectors", self.0)
+    }
+}
+
+/// A byte capacity.
+///
+/// Stored as exact bytes; the `GB` accessors use the decimal convention
+/// (`1 GB = 1e9 bytes`) that drive datasheets and Table 1 use.
+///
+/// # Examples
+///
+/// ```
+/// use units::Capacity;
+/// let drive = Capacity::from_gb(18.0);
+/// assert_eq!(drive.bytes(), 18_000_000_000);
+/// assert!((drive.gigabytes() - 18.0).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Capacity(u64);
+
+impl Capacity {
+    /// Zero bytes.
+    pub const ZERO: Self = Self(0);
+
+    /// Builds from an exact byte count.
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Builds from decimal gigabytes (1 GB = 10⁹ bytes).
+    #[inline]
+    pub fn from_gb(gb: f64) -> Self {
+        debug_assert!(gb >= 0.0, "negative capacity");
+        Self((gb * 1e9) as u64)
+    }
+
+    /// Exact byte count.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Capacity in decimal gigabytes.
+    #[inline]
+    pub fn gigabytes(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Number of whole 512-byte sectors.
+    #[inline]
+    pub const fn sectors(self) -> SectorCount {
+        SectorCount::new(self.0 / BYTES_PER_SECTOR)
+    }
+}
+
+impl core::ops::Add for Capacity {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for Capacity {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Mul<u64> for Capacity {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for Capacity {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl core::fmt::Display for Capacity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} GB", prec, self.gigabytes())
+        } else {
+            write!(f, "{:.2} GB", self.gigabytes())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_byte_consistency() {
+        let s = SectorCount::new(1000);
+        assert_eq!(s.to_capacity().bytes(), 512_000);
+        assert_eq!(s.to_capacity().sectors(), s);
+    }
+
+    #[test]
+    fn bits_quantize_down() {
+        let just_under = Bits::new((RAW_BITS_PER_SECTOR as f64) * 3.0 - 1.0);
+        assert_eq!(just_under.whole_sectors(), 2);
+        let exact = Bits::new((RAW_BITS_PER_SECTOR as f64) * 3.0);
+        assert_eq!(exact.whole_sectors(), 3);
+    }
+
+    #[test]
+    fn gigabyte_convention_is_decimal() {
+        let c = Capacity::from_gb(36.0);
+        assert_eq!(c.bytes(), 36_000_000_000);
+    }
+
+    #[test]
+    fn capacity_arithmetic() {
+        let platter = Capacity::from_gb(9.0);
+        let drive = platter * 4;
+        assert!((drive.gigabytes() - 36.0).abs() < 1e-9);
+        let total: Capacity = (0..3).map(|_| platter).sum();
+        assert!((total.gigabytes() - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SectorCount::new(5);
+        let b = SectorCount::new(9);
+        assert_eq!(a.saturating_sub(b), SectorCount::ZERO);
+        assert_eq!(b.saturating_sub(a), SectorCount::new(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Capacity::from_gb(18.0)), "18.00 GB");
+        assert_eq!(format!("{}", SectorCount::new(7)), "7 sectors");
+    }
+}

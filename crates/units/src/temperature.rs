@@ -1,0 +1,187 @@
+//! Temperatures and temperature differences.
+//!
+//! Absolute temperatures ([`Celsius`]) and differences ([`TempDelta`]) are
+//! distinct types: adding two absolute temperatures is meaningless and the
+//! type system forbids it, while `Celsius - Celsius -> TempDelta` and
+//! `Celsius + TempDelta -> Celsius` are exactly the operations the thermal
+//! model needs.
+
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute temperature in degrees Celsius.
+///
+/// # Examples
+///
+/// ```
+/// use units::{Celsius, TempDelta};
+///
+/// let ambient = Celsius::new(28.0);
+/// let envelope = Celsius::new(45.22);
+/// let slack: TempDelta = envelope - ambient;
+/// assert!((slack.get() - 17.22).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+f64_unit!(
+    /// A temperature *difference* in Kelvin (equivalently, Celsius degrees).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::TempDelta;
+    /// let rise = TempDelta::new(5.0) + TempDelta::new(12.22);
+    /// assert!((rise.get() - 17.22).abs() < 1e-12);
+    /// ```
+    TempDelta,
+    "K"
+);
+
+impl Celsius {
+    /// Wraps a raw Celsius reading.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw Celsius value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to Kelvin.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Celsius;
+    /// assert!((Celsius::new(0.0).to_kelvin() - 273.15).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn to_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Builds a Celsius temperature from Kelvin.
+    #[inline]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        Self(kelvin - 273.15)
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two temperatures.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// `true` when the reading is neither NaN nor infinite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Sub for Celsius {
+    type Output = TempDelta;
+    #[inline]
+    fn sub(self, rhs: Self) -> TempDelta {
+        TempDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<TempDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 + rhs.get())
+    }
+}
+
+impl AddAssign<TempDelta> for Celsius {
+    #[inline]
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.get();
+    }
+}
+
+impl Sub<TempDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 - rhs.get())
+    }
+}
+
+impl core::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} C", prec, self.0)
+        } else {
+            write!(f, "{} C", self.0)
+        }
+    }
+}
+
+impl From<f64> for Celsius {
+    #[inline]
+    fn from(value: f64) -> Self {
+        Self(value)
+    }
+}
+
+impl From<Celsius> for f64 {
+    #[inline]
+    fn from(value: Celsius) -> f64 {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_round_trip() {
+        let t = Celsius::new(45.22);
+        let back = Celsius::from_kelvin(t.to_kelvin());
+        assert!((t.get() - back.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let ambient = Celsius::new(28.0);
+        let internal = Celsius::new(45.22);
+        let delta = internal - ambient;
+        assert!((delta.get() - 17.22).abs() < 1e-12);
+        assert_eq!(ambient + delta, internal);
+        assert_eq!(internal - delta, ambient);
+    }
+
+    #[test]
+    fn add_assign_delta() {
+        let mut t = Celsius::new(28.0);
+        t += TempDelta::new(5.0);
+        assert_eq!(t, Celsius::new(33.0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Celsius::new(55.0) > Celsius::new(45.22));
+        assert_eq!(Celsius::new(50.0).max(Celsius::new(45.0)), Celsius::new(50.0));
+        assert_eq!(Celsius::new(50.0).min(Celsius::new(45.0)), Celsius::new(45.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.2}", Celsius::new(45.217)), "45.22 C");
+        assert_eq!(format!("{:.1}", TempDelta::new(17.22)), "17.2 K");
+    }
+}

@@ -1,0 +1,115 @@
+//! Time units.
+//!
+//! Simulation timestamps and service-time components use [`Seconds`];
+//! long thermal transients are more readable in [`Minutes`]. Both convert
+//! freely.
+
+f64_unit!(
+    /// A duration (or simulation timestamp) in seconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Seconds;
+    /// let seek = Seconds::from_millis(4.5);
+    /// let rotation = Seconds::from_millis(2.0);
+    /// assert!(((seek + rotation).to_millis() - 6.5).abs() < 1e-12);
+    /// ```
+    Seconds,
+    "s"
+);
+
+f64_unit!(
+    /// A duration in minutes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use units::Minutes;
+    /// assert_eq!(Minutes::new(48.0).to_seconds().get(), 2880.0);
+    /// ```
+    Minutes,
+    "min"
+);
+
+impl Seconds {
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms / 1e3)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us / 1e6)
+    }
+
+    /// The duration expressed in milliseconds.
+    #[inline]
+    pub fn to_millis(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// The duration expressed in microseconds.
+    #[inline]
+    pub fn to_micros(self) -> f64 {
+        self.get() * 1e6
+    }
+
+    /// The duration expressed in minutes.
+    #[inline]
+    pub fn to_minutes(self) -> Minutes {
+        Minutes::new(self.get() / 60.0)
+    }
+}
+
+impl Minutes {
+    /// The duration expressed in seconds.
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.get() * 60.0)
+    }
+}
+
+impl From<Minutes> for Seconds {
+    #[inline]
+    fn from(m: Minutes) -> Self {
+        m.to_seconds()
+    }
+}
+
+impl From<Seconds> for Minutes {
+    #[inline]
+    fn from(s: Seconds) -> Self {
+        s.to_minutes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milli_micro_round_trips() {
+        let t = Seconds::from_millis(5.4);
+        assert!((t.to_millis() - 5.4).abs() < 1e-12);
+        let u = Seconds::from_micros(123.0);
+        assert!((u.to_micros() - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minute_conversion() {
+        assert_eq!(Seconds::new(90.0).to_minutes(), Minutes::new(1.5));
+        assert_eq!(Seconds::from(Minutes::new(2.0)), Seconds::new(120.0));
+    }
+
+    #[test]
+    fn timestamps_accumulate() {
+        let mut clock = Seconds::ZERO;
+        for _ in 0..10 {
+            clock += Seconds::from_millis(0.1);
+        }
+        assert!((clock.to_millis() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,251 @@
+//! Access patterns: request sizes and spatial locality.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Request-size distribution, in 512-byte sectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// Every request the same length.
+    Fixed(u32),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Smallest size.
+        min: u32,
+        /// Largest size.
+        max: u32,
+    },
+    /// A weighted choice over discrete sizes — how real traces look
+    /// (4 KB pages, 8 KB database blocks, 64 KB scan units…).
+    Choice(Vec<(u32, f64)>),
+}
+
+impl SizeModel {
+    /// Draws a request length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is malformed (empty choice list, zero sizes,
+    /// inverted uniform bounds).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        match self {
+            Self::Fixed(n) => {
+                assert!(*n > 0, "zero-sector request size");
+                *n
+            }
+            Self::Uniform { min, max } => {
+                assert!(*min > 0 && min <= max, "bad uniform bounds");
+                rng.gen_range(*min..=*max)
+            }
+            Self::Choice(choices) => {
+                assert!(!choices.is_empty(), "empty size choice");
+                let total: f64 = choices.iter().map(|(_, w)| w).sum();
+                let mut draw = rng.gen_range(0.0..total);
+                for (size, w) in choices {
+                    if draw < *w {
+                        assert!(*size > 0, "zero-sector choice");
+                        return *size;
+                    }
+                    draw -= w;
+                }
+                choices.last().expect("non-empty").0
+            }
+        }
+    }
+
+    /// Mean request length.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Self::Fixed(n) => *n as f64,
+            Self::Uniform { min, max } => (*min as f64 + *max as f64) / 2.0,
+            Self::Choice(choices) => {
+                let total: f64 = choices.iter().map(|(_, w)| w).sum();
+                choices
+                    .iter()
+                    .map(|(s, w)| *s as f64 * w / total)
+                    .sum()
+            }
+        }
+    }
+}
+
+/// A Zipf(θ) sampler over `n` ranked items, via the classical
+/// inverse-CDF-over-harmonic-weights method (exact, O(log n) per draw
+/// after an O(n) table build).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over ranks `0..n` with skew `theta`
+    /// (`theta = 0` is uniform; ~0.99 matches many storage traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over zero items");
+        assert!(theta >= 0.0, "negative zipf skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects zero items.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Spatial/temporal access profile of one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Fraction of requests that continue exactly where the previous
+    /// request on the same device ended (sequential runs).
+    pub sequential_fraction: f64,
+    /// Request-size distribution.
+    pub size: SizeModel,
+    /// Number of equal-size regions the device is divided into for the
+    /// skewed (Zipf) random component.
+    pub hot_regions: usize,
+    /// Zipf skew over those regions (0 = uniform).
+    pub zipf_theta: f64,
+}
+
+impl AccessProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err("read_fraction outside [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.sequential_fraction) {
+            return Err("sequential_fraction outside [0,1]".into());
+        }
+        if self.hot_regions == 0 {
+            return Err("hot_regions must be positive".into());
+        }
+        if self.zipf_theta < 0.0 {
+            return Err("zipf_theta must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_models_sample_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(SizeModel::Fixed(8).sample(&mut rng), 8);
+        for _ in 0..1_000 {
+            let s = SizeModel::Uniform { min: 4, max: 64 }.sample(&mut rng);
+            assert!((4..=64).contains(&s));
+        }
+        let choice = SizeModel::Choice(vec![(8, 0.7), (64, 0.3)]);
+        for _ in 0..100 {
+            let s = choice.sample(&mut rng);
+            assert!(s == 8 || s == 64);
+        }
+    }
+
+    #[test]
+    fn choice_weights_are_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let choice = SizeModel::Choice(vec![(8, 0.8), (64, 0.2)]);
+        let n = 20_000;
+        let small = (0..n)
+            .filter(|_| choice.sample(&mut rng) == 8)
+            .count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn size_means() {
+        assert_eq!(SizeModel::Fixed(16).mean(), 16.0);
+        assert_eq!(SizeModel::Uniform { min: 8, max: 24 }.mean(), 16.0);
+        let c = SizeModel::Choice(vec![(10, 1.0), (30, 1.0)]);
+        assert_eq!(c.mean(), 20.0);
+    }
+
+    #[test]
+    fn zipf_head_dominates_at_high_theta() {
+        let z = ZipfSampler::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let top10 = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        let frac = top10 as f64 / n as f64;
+        assert!(frac > 0.25, "top-10 of 1000 regions got {frac}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let first_half = (0..n).filter(|_| z.sample(&mut rng) < 50).count();
+        let frac = first_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn zipf_samples_cover_range() {
+        let z = ZipfSampler::new(10, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all ranks reachable");
+    }
+
+    #[test]
+    fn profile_validation() {
+        let good = AccessProfile {
+            read_fraction: 0.6,
+            sequential_fraction: 0.3,
+            size: SizeModel::Fixed(8),
+            hot_regions: 100,
+            zipf_theta: 0.9,
+        };
+        assert!(good.validate().is_ok());
+
+        let mut bad = good.clone();
+        bad.read_fraction = 1.5;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.hot_regions = 0;
+        assert!(bad.validate().is_err());
+    }
+}

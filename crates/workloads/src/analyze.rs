@@ -1,0 +1,211 @@
+//! Trace characterization.
+//!
+//! §5.1 describes each commercial workload by a handful of statistics —
+//! request count, read/write mix, seek intensity, arrival behaviour.
+//! This module computes the same statistics from any [`Request`] stream,
+//! so synthetic traces can be validated against their targets and
+//! foreign traces (e.g. imported through [`crate::ascii`]) can be
+//! summarized before simulation.
+
+use disksim::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use units::Seconds;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Number of requests.
+    pub requests: usize,
+    /// Devices addressed.
+    pub devices: u32,
+    /// Fraction of reads.
+    pub read_fraction: f64,
+    /// Mean request length in sectors.
+    pub mean_sectors: f64,
+    /// Trace duration (first to last arrival).
+    pub duration: Seconds,
+    /// Mean arrival rate, requests per second.
+    pub mean_rate: f64,
+    /// Coefficient of variation of inter-arrival times (1 ≈ Poisson,
+    /// larger = burstier).
+    pub interarrival_cv: f64,
+    /// Fraction of requests that continue exactly where the previous
+    /// request *on the same device* ended.
+    pub sequential_fraction: f64,
+    /// Mean LBA jump (sectors) between consecutive same-device requests
+    /// — the trace-level proxy for seek intensity.
+    pub mean_jump_sectors: f64,
+}
+
+/// Computes the profile of a trace. Returns `None` for an empty trace
+/// (there is nothing to characterize).
+pub fn analyze(trace: &[Request]) -> Option<TraceProfile> {
+    if trace.is_empty() {
+        return None;
+    }
+    let n = trace.len();
+    let reads = trace.iter().filter(|r| r.kind.is_read()).count();
+    let total_sectors: u64 = trace.iter().map(|r| r.sectors as u64).sum();
+    let devices = trace.iter().map(|r| r.device).max().unwrap_or(0) + 1;
+
+    // Arrival statistics (the trace may be mildly out of order; sort a
+    // copy of the timestamps).
+    let mut arrivals: Vec<f64> = trace.iter().map(|r| r.arrival.get()).collect();
+    arrivals.sort_by(f64::total_cmp);
+    let duration = arrivals.last().expect("non-empty") - arrivals[0];
+    let mean_rate = if duration > 0.0 {
+        (n - 1).max(1) as f64 / duration
+    } else {
+        0.0
+    };
+    let (mut gap_sum, mut gap_sq, mut gaps) = (0.0, 0.0, 0u64);
+    for w in arrivals.windows(2) {
+        let g = w[1] - w[0];
+        gap_sum += g;
+        gap_sq += g * g;
+        gaps += 1;
+    }
+    let interarrival_cv = if gaps > 1 && gap_sum > 0.0 {
+        let mean = gap_sum / gaps as f64;
+        let var = (gap_sq / gaps as f64 - mean * mean).max(0.0);
+        var.sqrt() / mean
+    } else {
+        0.0
+    };
+
+    // Spatial statistics, per device.
+    let mut last_end: HashMap<u32, u64> = HashMap::new();
+    let mut sequential = 0u64;
+    let mut jump_sum = 0.0;
+    let mut jumps = 0u64;
+    for r in trace {
+        if let Some(&end) = last_end.get(&r.device) {
+            jumps += 1;
+            jump_sum += r.lba.abs_diff(end) as f64;
+            if r.lba == end {
+                sequential += 1;
+            }
+        }
+        last_end.insert(r.device, r.end_lba());
+    }
+
+    Some(TraceProfile {
+        requests: n,
+        devices,
+        read_fraction: reads as f64 / n as f64,
+        mean_sectors: total_sectors as f64 / n as f64,
+        duration: Seconds::new(duration),
+        mean_rate,
+        interarrival_cv,
+        sequential_fraction: if jumps == 0 {
+            0.0
+        } else {
+            sequential as f64 / jumps as f64
+        },
+        mean_jump_sectors: if jumps == 0 { 0.0 } else { jump_sum / jumps as f64 },
+    })
+}
+
+impl core::fmt::Display for TraceProfile {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} reqs over {} devices, {:.0}% reads, mean {:.1} sectors, \
+             {:.0} req/s (CV {:.2}), {:.0}% sequential, mean jump {:.0} sectors",
+            self.requests,
+            self.devices,
+            self.read_fraction * 100.0,
+            self.mean_sectors,
+            self.mean_rate,
+            self.interarrival_cv,
+            self.sequential_fraction * 100.0,
+            self.mean_jump_sectors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{openmail, presets, tpch};
+
+    #[test]
+    fn empty_trace_is_none() {
+        assert!(analyze(&[]).is_none());
+    }
+
+    #[test]
+    fn presets_match_their_declared_mix() {
+        for preset in presets() {
+            let trace = preset.generate(20_000, 5).unwrap();
+            let p = analyze(&trace).unwrap();
+            assert_eq!(p.requests, 20_000);
+            assert_eq!(p.devices, preset.logical_devices());
+            // Read fraction tracks the profile within sampling noise.
+            assert!(
+                (p.read_fraction - preset.profile.read_fraction).abs() < 0.02,
+                "{}: {:.2} vs {:.2}",
+                preset.name,
+                p.read_fraction,
+                preset.profile.read_fraction
+            );
+            // Mean size tracks the size model.
+            let want = preset.profile.size.mean();
+            assert!(
+                (p.mean_sectors - want).abs() / want < 0.05,
+                "{}: {:.1} vs {:.1}",
+                preset.name,
+                p.mean_sectors,
+                want
+            );
+            // Arrival rate tracks the arrival model.
+            let want_rate = preset.arrivals.mean_rate();
+            assert!(
+                (p.mean_rate - want_rate).abs() / want_rate < 0.15,
+                "{}: {:.0} vs {:.0} req/s",
+                preset.name,
+                p.mean_rate,
+                want_rate
+            );
+        }
+    }
+
+    #[test]
+    fn tpch_is_far_more_sequential_than_openmail() {
+        let seq = |p: crate::WorkloadPreset| {
+            analyze(&p.generate(10_000, 3).unwrap())
+                .unwrap()
+                .sequential_fraction
+        };
+        let tpch_seq = seq(tpch());
+        let openmail_seq = seq(openmail());
+        assert!(
+            tpch_seq > 2.0 * openmail_seq,
+            "TPC-H {tpch_seq:.2} vs OpenMail {openmail_seq:.2}"
+        );
+    }
+
+    #[test]
+    fn burstiness_shows_in_interarrival_cv() {
+        // OpenMail's on/off arrivals are burstier than TPC-C's Poisson.
+        let cv = |p: crate::WorkloadPreset| {
+            analyze(&p.generate(20_000, 3).unwrap())
+                .unwrap()
+                .interarrival_cv
+        };
+        let bursty = cv(openmail());
+        let poisson = cv(crate::presets::tpcc());
+        assert!((poisson - 1.0).abs() < 0.1, "Poisson CV ~1, got {poisson:.2}");
+        assert!(bursty > 1.1, "bursty CV should exceed 1, got {bursty:.2}");
+    }
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let trace = tpch().generate(500, 1).unwrap();
+        let text = analyze(&trace).unwrap().to_string();
+        assert!(text.contains("500 reqs"));
+        assert!(text.contains("reads"));
+        assert!(text.contains("sequential"));
+    }
+}

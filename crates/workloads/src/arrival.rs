@@ -1,0 +1,170 @@
+//! Arrival processes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use units::Seconds;
+
+/// How request inter-arrival times are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Poisson arrivals at a constant rate (requests per second).
+    Poisson {
+        /// Mean arrival rate, requests/s.
+        rate: f64,
+    },
+    /// A two-state on/off modulated Poisson process: bursts of elevated
+    /// rate separated by quieter periods — the shape of mail-server and
+    /// OLTP traffic.
+    Bursty {
+        /// Rate during the quiet state, requests/s.
+        base_rate: f64,
+        /// Multiplier applied during bursts.
+        burst_factor: f64,
+        /// Mean burst duration, seconds.
+        burst_len: f64,
+        /// Mean quiet duration, seconds.
+        quiet_len: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Long-run mean arrival rate, requests/s.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            Self::Poisson { rate } => rate,
+            Self::Bursty {
+                base_rate,
+                burst_factor,
+                burst_len,
+                quiet_len,
+            } => {
+                let cycle = burst_len + quiet_len;
+                base_rate * (quiet_len + burst_factor * burst_len) / cycle
+            }
+        }
+    }
+}
+
+/// Stateful arrival-time stream.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    model: ArrivalModel,
+    now: f64,
+    /// Remaining time in the current burst/quiet state (bursty only).
+    state_left: f64,
+    in_burst: bool,
+}
+
+impl ArrivalStream {
+    /// Starts a stream at time zero.
+    pub fn new(model: ArrivalModel) -> Self {
+        Self {
+            model,
+            now: 0.0,
+            state_left: 0.0,
+            in_burst: false,
+        }
+    }
+
+    /// Draws the next arrival time.
+    pub fn next_arrival<R: Rng>(&mut self, rng: &mut R) -> Seconds {
+        let rate = match self.model {
+            ArrivalModel::Poisson { rate } => rate,
+            ArrivalModel::Bursty {
+                base_rate,
+                burst_factor,
+                burst_len,
+                quiet_len,
+            } => {
+                if self.state_left <= 0.0 {
+                    self.in_burst = !self.in_burst;
+                    let mean = if self.in_burst { burst_len } else { quiet_len };
+                    self.state_left = exponential(rng, 1.0 / mean);
+                }
+                if self.in_burst {
+                    base_rate * burst_factor
+                } else {
+                    base_rate
+                }
+            }
+        };
+        let gap = exponential(rng, rate);
+        self.state_left -= gap;
+        self.now += gap;
+        Seconds::new(self.now)
+    }
+}
+
+/// Draws an exponential variate with the given rate.
+fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = ArrivalStream::new(ArrivalModel::Poisson { rate: 100.0 });
+        let mut last = Seconds::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            last = s.next_arrival(&mut rng);
+        }
+        let measured = n as f64 / last.get();
+        assert!((measured - 100.0).abs() < 3.0, "rate {measured:.1}");
+    }
+
+    #[test]
+    fn bursty_mean_rate_formula() {
+        let m = ArrivalModel::Bursty {
+            base_rate: 100.0,
+            burst_factor: 5.0,
+            burst_len: 1.0,
+            quiet_len: 4.0,
+        };
+        // (4*100 + 1*500) / 5 = 180.
+        assert!((m.mean_rate() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_empirical_rate_near_mean() {
+        let m = ArrivalModel::Bursty {
+            base_rate: 50.0,
+            burst_factor: 4.0,
+            burst_len: 2.0,
+            quiet_len: 6.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = ArrivalStream::new(m);
+        let n = 50_000;
+        let mut last = Seconds::ZERO;
+        for _ in 0..n {
+            last = s.next_arrival(&mut rng);
+        }
+        let measured = n as f64 / last.get();
+        assert!(
+            (measured - m.mean_rate()).abs() / m.mean_rate() < 0.1,
+            "rate {measured:.1} vs mean {:.1}",
+            m.mean_rate()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = ArrivalStream::new(ArrivalModel::Poisson { rate: 1_000.0 });
+        let mut prev = -1.0;
+        for _ in 0..1_000 {
+            let t = s.next_arrival(&mut rng).get();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

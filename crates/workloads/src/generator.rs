@@ -1,0 +1,262 @@
+//! The trace generator: composes an arrival stream with an access
+//! profile over one or more devices.
+
+use crate::access::{AccessProfile, ZipfSampler};
+use crate::arrival::{ArrivalModel, ArrivalStream};
+use disksim::{Request, RequestKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-device generator state: where the last sequential run ended and
+/// the device's region popularity ranking.
+#[derive(Debug, Clone)]
+struct DeviceState {
+    next_sequential_lba: u64,
+    /// Permutation mapping Zipf rank -> region index, so each device has
+    /// its own hot spots.
+    region_of_rank: Vec<usize>,
+}
+
+/// Generates [`Request`] streams.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{AccessProfile, ArrivalModel, SizeModel, TraceGenerator};
+///
+/// let profile = AccessProfile {
+///     read_fraction: 0.7,
+///     sequential_fraction: 0.2,
+///     size: SizeModel::Fixed(16),
+///     hot_regions: 64,
+///     zipf_theta: 0.9,
+/// };
+/// let arrivals = ArrivalModel::Poisson { rate: 200.0 };
+/// let gen = TraceGenerator::new(profile, arrivals, 4, 1_000_000).unwrap();
+/// let trace = gen.generate(500, 7);
+/// assert_eq!(trace.len(), 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: AccessProfile,
+    arrivals: ArrivalModel,
+    devices: u32,
+    sectors_per_device: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator over `devices` devices of
+    /// `sectors_per_device` sectors each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the profile's validation message, or an explanation when
+    /// the device geometry is degenerate.
+    pub fn new(
+        profile: AccessProfile,
+        arrivals: ArrivalModel,
+        devices: u32,
+        sectors_per_device: u64,
+    ) -> Result<Self, String> {
+        profile.validate()?;
+        if devices == 0 {
+            return Err("no devices".into());
+        }
+        if sectors_per_device < 1_024 {
+            return Err("device too small to generate against".into());
+        }
+        Ok(Self {
+            profile,
+            arrivals,
+            devices,
+            sectors_per_device,
+        })
+    }
+
+    /// The long-run arrival rate across all devices.
+    pub fn mean_rate(&self) -> f64 {
+        self.arrivals.mean_rate()
+    }
+
+    /// Generates `n` requests deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf = ZipfSampler::new(self.profile.hot_regions, self.profile.zipf_theta);
+        let region_sectors = (self.sectors_per_device / self.profile.hot_regions as u64).max(1);
+
+        let mut devices: Vec<DeviceState> = (0..self.devices)
+            .map(|_| {
+                let mut perm: Vec<usize> = (0..self.profile.hot_regions).collect();
+                // Fisher-Yates with the seeded generator.
+                for i in (1..perm.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    perm.swap(i, j);
+                }
+                DeviceState {
+                    next_sequential_lba: rng.gen_range(0..self.sectors_per_device / 2),
+                    region_of_rank: perm,
+                }
+            })
+            .collect();
+
+        let mut stream = ArrivalStream::new(self.arrivals);
+        let mut out = Vec::with_capacity(n);
+        for id in 0..n {
+            let arrival = stream.next_arrival(&mut rng);
+            let device = rng.gen_range(0..self.devices);
+            let state = &mut devices[device as usize];
+            let sectors = self.profile.size.sample(&mut rng);
+
+            let max_start = self.sectors_per_device.saturating_sub(sectors as u64 + 1);
+            let lba = if rng.gen_bool(self.profile.sequential_fraction) {
+                // Continue the device's current run, wrapping at the end.
+                let lba = state.next_sequential_lba.min(max_start);
+                state.next_sequential_lba = lba + sectors as u64;
+                if state.next_sequential_lba >= max_start {
+                    state.next_sequential_lba = 0;
+                }
+                lba
+            } else {
+                // Skewed random: pick a region by popularity, uniform
+                // inside it; the new position also re-seeds the
+                // sequential run.
+                let rank = zipf.sample(&mut rng);
+                let region = state.region_of_rank[rank] as u64;
+                let base = region * region_sectors;
+                let span = region_sectors.max(sectors as u64 + 1);
+                let lba = (base + rng.gen_range(0..span)).min(max_start);
+                state.next_sequential_lba = lba + sectors as u64;
+                lba
+            };
+
+            let kind = if rng.gen_bool(self.profile.read_fraction) {
+                RequestKind::Read
+            } else {
+                RequestKind::Write
+            };
+            out.push(Request::new(id as u64, arrival, device, lba, sectors, kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::SizeModel;
+
+    fn generator(seq: f64, theta: f64) -> TraceGenerator {
+        TraceGenerator::new(
+            AccessProfile {
+                read_fraction: 0.6,
+                sequential_fraction: seq,
+                size: SizeModel::Fixed(8),
+                hot_regions: 100,
+                zipf_theta: theta,
+            },
+            ArrivalModel::Poisson { rate: 500.0 },
+            4,
+            10_000_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let g = generator(0.3, 0.9);
+        let a = g.generate(200, 42);
+        let b = g.generate(200, 42);
+        assert_eq!(a, b);
+        let c = g.generate(200, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn requests_are_valid_and_ordered() {
+        let g = generator(0.3, 0.9);
+        let trace = g.generate(2_000, 1);
+        let mut prev = -1.0;
+        for r in &trace {
+            assert!(r.arrival.get() > prev, "arrivals must increase");
+            prev = r.arrival.get();
+            assert!(r.device < 4);
+            assert!(r.end_lba() <= 10_000_000);
+            assert!(r.sectors == 8);
+        }
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let g = generator(0.2, 0.5);
+        let trace = g.generate(20_000, 3);
+        let reads = trace.iter().filter(|r| r.kind.is_read()).count();
+        let frac = reads as f64 / trace.len() as f64;
+        assert!((frac - 0.6).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn sequential_fraction_produces_contiguous_runs() {
+        let g = generator(0.9, 0.5);
+        let trace = g.generate(5_000, 5);
+        // Count per-device contiguity.
+        let mut last_end = std::collections::HashMap::new();
+        let mut contiguous = 0;
+        let mut counted = 0;
+        for r in &trace {
+            if let Some(end) = last_end.get(&r.device) {
+                counted += 1;
+                if r.lba == *end {
+                    contiguous += 1;
+                }
+            }
+            last_end.insert(r.device, r.end_lba());
+        }
+        let frac = contiguous as f64 / counted as f64;
+        assert!(frac > 0.75, "expected mostly sequential, got {frac}");
+    }
+
+    #[test]
+    fn high_skew_concentrates_accesses() {
+        let skewed = generator(0.0, 1.2);
+        let uniform = generator(0.0, 0.0);
+        let spread = |g: &TraceGenerator| {
+            let trace = g.generate(20_000, 9);
+            let region = |lba: u64| lba / 100_000; // 100 regions of 100k
+            let mut counts = [0u32; 100];
+            for r in &trace {
+                counts[region(r.lba).min(99) as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap() as f64;
+            max / trace.len() as f64
+        };
+        assert!(
+            spread(&skewed) > 2.0 * spread(&uniform),
+            "skewed traffic should concentrate"
+        );
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let profile = AccessProfile {
+            read_fraction: 0.5,
+            sequential_fraction: 0.5,
+            size: SizeModel::Fixed(8),
+            hot_regions: 10,
+            zipf_theta: 0.5,
+        };
+        assert!(TraceGenerator::new(
+            profile.clone(),
+            ArrivalModel::Poisson { rate: 1.0 },
+            0,
+            1_000_000
+        )
+        .is_err());
+        assert!(TraceGenerator::new(
+            profile,
+            ArrivalModel::Poisson { rate: 1.0 },
+            1,
+            10
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Trace serialization: newline-delimited JSON, one request per line.
+//!
+//! The format keeps multi-million-request traces streamable and
+//! diff-friendly, and lets the experiment binaries persist the exact
+//! workloads they measured.
+
+use disksim::Request;
+use std::io::{self, BufRead, Write};
+
+/// Writes a trace as JSON lines.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, trace: &[Request]) -> io::Result<()> {
+    for request in trace {
+        let line = serde_json::to_string(request).map_err(io::Error::other)?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`]. Blank lines are ignored.
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed-line parse errors.
+pub fn read_trace<R: BufRead>(reader: R) -> io::Result<Vec<Request>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::openmail;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = openmail().generate(250, 5).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = openmail().generate(3, 5).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        let result = read_trace("not json\n".as_bytes());
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Drive designer: search the mechanical design space for the best
+//! envelope-respecting drive of a given year.
+//!
+//! Enumerates platter sizes and counts, finds each platform's maximum
+//! in-envelope spindle speed, and prints the capacity/IDR frontier —
+//! the decision the paper's §4.1 walks through by hand for 2005.
+//!
+//! Run with: `cargo run --example drive_designer [year]`
+
+use thermodisk::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let year: i32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("year"))
+        .unwrap_or(2005);
+    let trend = TechnologyTrend::default();
+    let target = trend.idr_target(year);
+
+    println!(
+        "Design space for {year}: target IDR {:.1} MB/s, envelope {:.2} C",
+        target.get(),
+        THERMAL_ENVELOPE.get()
+    );
+    println!("{}", "-".repeat(86));
+    println!(
+        "{:>6} {:>9} | {:>11} {:>11} {:>11} {:>8} | meets target?",
+        "size", "platters", "max RPM", "IDR MB/s", "capacity", "temp C"
+    );
+    println!("{}", "-".repeat(86));
+
+    let mut best: Option<(f64, String)> = None;
+    for &dia in &[2.6, 2.1, 1.6] {
+        for platters in [1u32, 2, 4] {
+            let probe = DriveDesign::builder()
+                .platter_diameter(Inches::new(dia))
+                .platters(platters)
+                .zones(50)
+                .rpm(Rpm::new(10_000.0))
+                .densities_of_year(year)
+                .build()?;
+            let Some(max_rpm) = probe.max_rpm_within(THERMAL_ENVELOPE) else {
+                println!(
+                    "{:>5.1}\" {:>9} | infeasible inside the envelope at any speed",
+                    dia, platters
+                );
+                continue;
+            };
+            let design = DriveDesign::builder()
+                .platter_diameter(Inches::new(dia))
+                .platters(platters)
+                .zones(50)
+                .rpm(max_rpm)
+                .densities_of_year(year)
+                .build()?;
+            let idr = design.max_idr();
+            let meets = idr.get() >= 0.985 * target.get();
+            println!(
+                "{:>5.1}\" {:>9} | {:>11.0} {:>11.1} {:>11} {:>8.2} | {}",
+                dia,
+                platters,
+                max_rpm.get(),
+                idr.get(),
+                format!("{:.1} GB", design.capacity().gigabytes()),
+                design.worst_case_temp().get(),
+                if meets { "yes" } else { "no" }
+            );
+            if meets {
+                let gb = design.capacity().gigabytes();
+                let label = format!(
+                    "{dia:.1}\" x{platters} at {:.0} RPM ({gb:.1} GB)",
+                    max_rpm.get()
+                );
+                if best.as_ref().map(|(b, _)| gb > *b).unwrap_or(true) {
+                    best = Some((gb, label));
+                }
+            }
+        }
+    }
+    println!("{}", "-".repeat(86));
+    match best {
+        Some((_, label)) => println!("largest design meeting the {year} target: {label}"),
+        None => println!(
+            "no configuration meets the {year} target inside the envelope — \
+             the roadmap has fallen off (consider DTM)"
+        ),
+    }
+    Ok(())
+}

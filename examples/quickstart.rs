@@ -1,0 +1,62 @@
+//! Quickstart: one drive, three models, one simulation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use thermodisk::prelude::*;
+use units::Seconds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a drive once: a 2002-era server disk.
+    let design = DriveDesign::builder()
+        .platter_diameter(Inches::new(2.6))
+        .platters(1)
+        .zones(50)
+        .rpm(Rpm::new(15_000.0))
+        .densities_of_year(2002)
+        .build()?;
+    println!("design: {design}");
+
+    // 2. Capacity model (paper §3.1).
+    let breakdown = design.geometry().capacity_breakdown();
+    println!("capacity: {breakdown}");
+
+    // 3. Performance model (§3.2).
+    println!(
+        "peak IDR {:.1} MB/s, sustained {:.1} MB/s, avg seek {:.2} ms",
+        design.max_idr().get(),
+        design.sustained_idr().get(),
+        design.seek().average().to_millis()
+    );
+
+    // 4. Thermal model (§3.3): worst case vs the envelope, and how much
+    //    faster this mechanical platform could legally spin.
+    println!(
+        "worst-case temperature {:.2} (envelope {:.2}) -> fits: {}",
+        design.worst_case_temp(),
+        THERMAL_ENVELOPE,
+        design.fits_envelope(THERMAL_ENVELOPE)
+    );
+    if let Some(max) = design.max_rpm_within(THERMAL_ENVELOPE) {
+        println!("envelope admits up to {:.0} RPM on this platform", max.get());
+    }
+
+    // 5. Drop the design into the trace-driven simulator and serve a
+    //    small random read burst.
+    let mut system = StorageSystem::new(SystemConfig::single_disk(design.to_disk_spec()))?;
+    let capacity = system.logical_sectors();
+    for i in 0..2_000u64 {
+        system.submit(Request::new(
+            i,
+            Seconds::from_millis(i as f64 * 5.0),
+            0,
+            i.wrapping_mul(2_654_435_761) % (capacity - 8),
+            8,
+            RequestKind::Read,
+        ))?;
+    }
+    let done = system.drain();
+    let stats = ResponseStats::from_completions(&done);
+    println!("simulated 2,000 random reads: {stats}");
+
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Roadmap explorer: chart alternative technology futures.
+//!
+//! Reproduces the paper's roadmap machinery under three scenarios — the
+//! paper's projections, an optimistic "densities never slow down" world,
+//! and a pessimistic early-terabit-ECC world — and reports when each
+//! platter size falls off the 40 % IDR growth curve.
+//!
+//! Run with: `cargo run --example roadmap_explorer`
+
+use roadmap::{envelope_roadmap, falloff_year, RoadmapConfig, RoadmapPoint, TechnologyTrend};
+use units::Inches;
+
+fn report(label: &str, cfg: &RoadmapConfig) {
+    println!("\n=== {label} ===");
+    let points = envelope_roadmap(cfg);
+    for &platters in &cfg.platter_counts {
+        print!("  {platters} platter(s): ");
+        let mut parts = Vec::new();
+        for &dia in &cfg.platter_sizes {
+            let series: Vec<RoadmapPoint> = points
+                .iter()
+                .filter(|p| p.platters == platters && p.diameter == dia)
+                .copied()
+                .collect();
+            let text = match falloff_year(&series) {
+                Some(y) => format!("{:.1}\" off at {y}", dia.get()),
+                None => format!("{:.1}\" holds", dia.get()),
+            };
+            parts.push(text);
+        }
+        println!("{}", parts.join(", "));
+    }
+    // Capacity cost of the envelope at the end of the horizon.
+    let last: Vec<&RoadmapPoint> = points
+        .iter()
+        .filter(|p| p.year == cfg.end_year && p.platters == 1)
+        .collect();
+    for p in last {
+        println!(
+            "  {:.1}\" single-platter in {}: best {:.0} MB/s of a {:.0} MB/s target, {:.0} GB",
+            p.diameter.get(),
+            cfg.end_year,
+            p.max_idr.get(),
+            p.idr_target.get(),
+            p.capacity.gigabytes()
+        );
+    }
+}
+
+fn main() {
+    // Scenario 1: the paper's projections.
+    let paper = RoadmapConfig::default();
+    report("Paper projections (BPI 30->14%, TPI 50->28%, ECC step at 1 Tb/in^2)", &paper);
+
+    // Scenario 2: the optimistic world where densities keep their 1990s
+    // growth — the envelope still kills the roadmap, just later.
+    let optimistic = RoadmapConfig {
+        trend: TechnologyTrend {
+            slowdown_year: 2012, // never slows within the horizon
+            ..TechnologyTrend::default()
+        },
+        ..RoadmapConfig::default()
+    };
+    report("No density slowdown (30%/50% CGR throughout)", &optimistic);
+
+    // Scenario 3: a 1.3" platter option joins the lineup — how much does
+    // shrinking below the paper's smallest size buy?
+    let mut tiny = RoadmapConfig::default();
+    tiny.platter_sizes.push(Inches::new(1.3));
+    report("Adding a 1.3\" platter option", &tiny);
+
+    println!(
+        "\nTakeaway: no technology scenario sustains 40% IDR growth within the\n\
+         thermal envelope — the paper's case for dynamic thermal management."
+    );
+}

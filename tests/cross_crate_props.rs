@@ -1,0 +1,197 @@
+//! Cross-crate property tests: invariants that only hold when the
+//! capacity, performance and thermal models compose correctly.
+
+use proptest::prelude::*;
+use thermodisk::prelude::*;
+
+fn design_strategy() -> impl Strategy<Value = DriveDesign> {
+    (
+        1.6f64..2.7,      // platter diameter (roadmap regime)
+        1u32..5,          // platters
+        10u32..60,        // zones
+        10_000.0f64..60_000.0, // rpm
+        2002i32..2010,    // technology year (sub-terabit)
+    )
+        .prop_map(|(dia, platters, zones, rpm, year)| {
+            DriveDesign::builder()
+                .platter_diameter(Inches::new(dia))
+                .platters(platters)
+                .zones(zones)
+                .rpm(Rpm::new(rpm))
+                .densities_of_year(year)
+                .build()
+                .expect("roadmap-regime parameters are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shuffle_preserves_request_semantics(
+        seed in any::<u64>(),
+        n in 100usize..600,
+    ) {
+        use thermodisk::sim::{AccessHistogram, ShuffleMap};
+        let preset = &presets()[3]; // TPC-C
+        let trace = preset.generate(n, seed).unwrap();
+        let capacity = StorageSystem::new(
+            preset.system_config(preset.base_rpm).unwrap()
+        ).unwrap().logical_sectors();
+        let histogram = AccessHistogram::from_trace(&trace, capacity, 4_096);
+        let map = ShuffleMap::organ_pipe(&histogram);
+        prop_assert!(map.is_permutation());
+        let shuffled = map.apply(&trace);
+        prop_assert_eq!(trace.len(), shuffled.len());
+        for (a, b) in trace.iter().zip(&shuffled) {
+            // Everything except placement is untouched.
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.arrival, b.arrival);
+            prop_assert_eq!(a.sectors, b.sectors);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert!(b.end_lba() <= capacity);
+        }
+    }
+
+    #[test]
+    fn trace_formats_round_trip(seed in any::<u64>(), n in 50usize..300) {
+        let preset = &presets()[2]; // Search-Engine
+        let trace = preset.generate(n, seed).unwrap();
+
+        // JSON-lines: lossless.
+        let mut json = Vec::new();
+        workloads::write_trace(&mut json, &trace).unwrap();
+        let back = workloads::read_trace(json.as_slice()).unwrap();
+        prop_assert_eq!(&trace, &back);
+
+        // DiskSim ASCII: lossless in everything but sub-microsecond time.
+        let mut ascii = Vec::new();
+        workloads::write_ascii_trace(&mut ascii, &trace).unwrap();
+        let back = workloads::read_ascii_trace(ascii.as_slice()).unwrap();
+        prop_assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.iter().zip(&back) {
+            prop_assert_eq!(a.lba, b.lba);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert!((a.arrival.get() - b.arrival.get()).abs() < 1e-8);
+        }
+
+        // And the analyzer agrees on both encodings.
+        let pa = workloads::analyze(&trace).unwrap();
+        let pb = workloads::analyze(&back).unwrap();
+        prop_assert_eq!(pa.requests, pb.requests);
+        prop_assert!((pa.read_fraction - pb.read_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planner_is_deterministic_and_in_envelope(ambient in 18.0f64..28.0) {
+        use thermodisk::roadmap::{plan_roadmap, RoadmapConfig};
+        let cfg = RoadmapConfig::default().with_ambient(Celsius::new(ambient));
+        let a = plan_roadmap(&cfg);
+        let b = plan_roadmap(&cfg);
+        prop_assert_eq!(&a, &b);
+        for y in &a {
+            prop_assert!(y.rpm.get() > 0.0);
+            prop_assert!(y.capacity.gigabytes() > 0.0);
+        }
+        // Cooler ambients never shorten the met period.
+        let base = plan_roadmap(&RoadmapConfig::default());
+        let met = |p: &[thermodisk::roadmap::YearPlan]| {
+            p.iter().filter(|y| y.meets_target()).count()
+        };
+        prop_assert!(met(&a) >= met(&base));
+    }
+
+    #[test]
+    fn idr_scales_with_rpm_capacity_does_not(design in design_strategy()) {
+        let geometry = design.geometry().clone();
+        let faster = DriveDesign::builder()
+            .platter_diameter(geometry.platter().diameter())
+            .platters(geometry.platters())
+            .zones(geometry.zones().zone_count())
+            .rpm(design.rpm() * 1.5)
+            .recording(*geometry.tech())
+            .build()
+            .unwrap();
+        prop_assert_eq!(faster.capacity(), design.capacity());
+        let ratio = faster.max_idr().get() / design.max_idr().get();
+        prop_assert!((ratio - 1.5).abs() < 1e-9);
+        prop_assert!(faster.worst_case_temp() > design.worst_case_temp());
+    }
+
+    #[test]
+    fn max_rpm_within_envelope_is_consistent(design in design_strategy()) {
+        if let Some(max) = design.max_rpm_within(THERMAL_ENVELOPE) {
+            if max.get() < 400_000.0 {
+                let at_limit = DriveDesign::builder()
+                    .platter_diameter(design.geometry().platter().diameter())
+                    .platters(design.geometry().platters())
+                    .zones(design.geometry().zones().zone_count())
+                    .rpm(max)
+                    .recording(*design.geometry().tech())
+                    .build()
+                    .unwrap();
+                prop_assert!(at_limit.fits_envelope(THERMAL_ENVELOPE));
+                let beyond = DriveDesign::builder()
+                    .platter_diameter(design.geometry().platter().diameter())
+                    .platters(design.geometry().platters())
+                    .zones(design.geometry().zones().zone_count())
+                    .rpm(max * 1.03)
+                    .recording(*design.geometry().tech())
+                    .build()
+                    .unwrap();
+                prop_assert!(!beyond.fits_envelope(THERMAL_ENVELOPE));
+            }
+        }
+    }
+
+    #[test]
+    fn disk_spec_round_trip_preserves_geometry(design in design_strategy()) {
+        let disk = design.to_disk_spec();
+        prop_assert_eq!(
+            disk.geometry().total_sectors(),
+            design.geometry().total_sectors()
+        );
+        prop_assert_eq!(disk.rpm(), design.rpm());
+        // Peak transfer in the simulator equals the analytic IDR: a full
+        // zone-0 track takes exactly one revolution.
+        let zone0 = design.geometry().zones().outermost();
+        let track_bytes = zone0.sectors_per_track().get() * 512;
+        let revolution = design.rpm().rotation_period();
+        let analytic = design.max_idr().bytes_per_sec();
+        let implied = track_bytes as f64 / revolution.get();
+        prop_assert!((analytic - implied).abs() / analytic < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_bounds_every_duty(design in design_strategy(), duty in 0.0f64..1.0) {
+        let partial = design.steady_temps(duty).air;
+        let worst = design.worst_case_temp();
+        prop_assert!(partial <= worst + units::TempDelta::new(1e-9));
+    }
+
+    #[test]
+    fn hotter_years_denser_not_hotter(
+        dia in 1.6f64..2.7,
+        platters in 1u32..4,
+        rpm in 12_000.0f64..40_000.0,
+    ) {
+        // Recording density has no thermal effect: two designs differing
+        // only in technology year share the same temperature.
+        let build = |year: i32| {
+            DriveDesign::builder()
+                .platter_diameter(Inches::new(dia))
+                .platters(platters)
+                .zones(30)
+                .rpm(Rpm::new(rpm))
+                .densities_of_year(year)
+                .build()
+                .unwrap()
+        };
+        let early = build(2002);
+        let late = build(2008);
+        prop_assert!(late.capacity() > early.capacity());
+        prop_assert!(
+            (late.worst_case_temp() - early.worst_case_temp()).abs().get() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! §5 end-to-end: thermal slack, dynamic throttling and the closed-loop
+//! DTM controller.
+
+use dtm::{
+    slack_roadmap, slack_table, throttling_curve, DtmController, DtmPolicy, SlackConfig,
+    ThrottleExperiment, ThrottlePolicy,
+};
+use thermodisk::prelude::*;
+use units::{Seconds, TempDelta};
+
+#[test]
+fn slack_numbers_match_section_5_2() {
+    let rows = slack_table(&SlackConfig::default());
+    let r26 = &rows[0];
+    // Paper: 15,020 -> 26,750 RPM for the 2.6" single-platter drive.
+    assert!((r26.envelope_rpm.get() - 15_020.0).abs() / 15_020.0 < 0.03);
+    assert!((r26.slack_rpm.get() - 26_750.0).abs() / 26_750.0 < 0.05);
+    // §5.2's quoted VCM powers.
+    assert!((rows[1].vcm_power.get() - 2.28).abs() < 1e-9);
+    assert!((rows[2].vcm_power.get() - 0.618).abs() < 1e-9);
+}
+
+#[test]
+fn slack_roadmap_beats_envelope_roadmap_everywhere() {
+    let points = slack_roadmap(&SlackConfig::default());
+    assert!(!points.is_empty());
+    for p in &points {
+        assert!(p.slack_idr > p.envelope_idr);
+    }
+    // §5.2: around 5.6% better for the 2.6" drive in the later years.
+    let late = points
+        .iter()
+        .find(|p| p.year == 2009 && (p.diameter.get() - 2.6).abs() < 1e-9)
+        .unwrap();
+    let gain = late.slack_idr.get() / late.envelope_idr.get() - 1.0;
+    assert!(
+        gain > 0.3,
+        "VCM-off slack should buy a large IDR margin, got {:.1}%",
+        gain * 100.0
+    );
+}
+
+#[test]
+fn figure7a_curve_shape() {
+    let (exp, policy) = ThrottleExperiment::figure7a();
+    let curve = throttling_curve(&exp, policy, &[0.5, 1.0, 2.0, 4.0, 8.0]);
+    assert_eq!(curve.len(), 5);
+    // Monotone decreasing.
+    for w in curve.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 1e-9, "curve {curve:?}");
+    }
+    // Ratio >= 1 needs ~second-level granularity; it is lost by 4 s.
+    assert!(curve[0].1 > 1.0, "0.5 s ratio {:.2}", curve[0].1);
+    assert!(curve[3].1 < 1.0, "4 s ratio {:.2}", curve[3].1);
+}
+
+#[test]
+fn figure7b_feasibility_boundaries() {
+    let (exp, policy) = ThrottleExperiment::figure7b();
+    // VCM-only cannot cool a 37,001 RPM drive (VCM-off steady 53.04 C).
+    assert!(!exp.is_feasible(ThrottlePolicy::VcmOnly {
+        rpm: Rpm::new(37_001.0)
+    }));
+    // Dropping to 22,001 RPM restores feasibility.
+    assert!(exp.is_feasible(policy));
+    let curve = throttling_curve(&exp, policy, &[0.5, 2.0, 8.0]);
+    assert_eq!(curve.len(), 3);
+    assert!(curve[0].1 > curve[2].1);
+}
+
+#[test]
+fn closed_loop_throttling_respects_envelope_and_completes_work() {
+    // A 24,534 RPM average-case design serving a seek-heavy stream.
+    let spec = DiskSpec::era(2002, 1, Rpm::new(24_534.0));
+    let system = StorageSystem::new(SystemConfig::single_disk(spec)).unwrap();
+    let capacity = system.logical_sectors();
+    let model = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+    let start = model.steady_state(OperatingPoint::new(Rpm::new(24_534.0), 0.3));
+
+    let trace: Vec<Request> = (0..3_000u64)
+        .map(|i| {
+            Request::new(
+                i,
+                Seconds::new(i as f64 / 130.0),
+                0,
+                i.wrapping_mul(9_999_991) % (capacity - 64),
+                8,
+                if i % 4 == 0 { RequestKind::Write } else { RequestKind::Read },
+            )
+        })
+        .collect();
+
+    let policy = DtmPolicy::Throttle {
+        mechanism: ThrottlePolicy::VcmAndRpm {
+            high: Rpm::new(24_534.0),
+            low: Rpm::new(15_020.0),
+        },
+        guard: TempDelta::new(0.05),
+        resume_margin: TempDelta::new(0.15),
+    };
+    let report = DtmController::new(system, model, policy, THERMAL_ENVELOPE)
+        .with_initial_temps(start)
+        .run(trace)
+        .unwrap();
+
+    assert_eq!(report.stats.count(), 3_000, "all requests complete");
+    assert!(
+        report.max_air.get() <= THERMAL_ENVELOPE.get() + 0.35,
+        "peak {:.2} C",
+        report.max_air.get()
+    );
+}
+
+#[test]
+fn slack_ramp_outperforms_static_envelope_design() {
+    // The §5.2 promise, closed-loop: a two-speed disk that ramps into
+    // the slack beats the static envelope design on response time while
+    // staying inside the envelope.
+    let build = || {
+        let spec = DiskSpec::era(2002, 1, Rpm::new(15_020.0));
+        let system = StorageSystem::new(SystemConfig::single_disk(spec)).unwrap();
+        let model = ThermalModel::new(DriveThermalSpec::new(Inches::new(2.6), 1));
+        (system, model)
+    };
+    let capacity = build().0.logical_sectors();
+    let trace: Vec<Request> = (0..3_000u64)
+        .map(|i| {
+            Request::new(
+                i,
+                Seconds::new(i as f64 / 110.0),
+                0,
+                i.wrapping_mul(6_700_417) % (capacity - 64),
+                8,
+                RequestKind::Read,
+            )
+        })
+        .collect();
+
+    let (system, model) = build();
+    let static_report = DtmController::new(system, model, DtmPolicy::None, THERMAL_ENVELOPE)
+        .run(trace.clone())
+        .unwrap();
+
+    let (system, model) = build();
+    let ramp_report = DtmController::new(
+        system,
+        model,
+        DtmPolicy::SlackRamp {
+            base: Rpm::new(15_020.0),
+            high: Rpm::new(26_000.0),
+            slack_margin: TempDelta::new(0.5),
+        },
+        THERMAL_ENVELOPE,
+    )
+    .run(trace)
+    .unwrap();
+
+    assert!(ramp_report.time_boosted.get() > 0.0);
+    assert!(
+        ramp_report.stats.mean() < static_report.stats.mean(),
+        "boost: {:.2} ms vs static {:.2} ms",
+        ramp_report.stats.mean().to_millis(),
+        static_report.stats.mean().to_millis()
+    );
+    assert!(ramp_report.max_air.get() <= THERMAL_ENVELOPE.get() + 0.35);
+}

@@ -1,0 +1,110 @@
+//! Integration validation of the three models against the paper's
+//! published numbers (Tables 1-2, Figure 1, §3.3).
+
+use thermodisk::prelude::*;
+use units::Seconds;
+
+#[test]
+fn table1_capacity_and_idr_within_paper_error_bands() {
+    let mut worst_cap: f64 = 0.0;
+    let mut worst_idr: f64 = 0.0;
+    for row in &drives::TABLE1 {
+        worst_cap = worst_cap.max(row.capacity_error().unwrap().abs());
+        worst_idr = worst_idr.max(row.idr_error().unwrap().abs());
+    }
+    // Paper: "for most disks ... within 12%" (capacity) and "within 15%"
+    // (IDR); a few of its own rows exceed that, as do ours.
+    assert!(worst_cap < 0.30, "worst capacity error {worst_cap:.2}");
+    assert!(worst_idr < 0.20, "worst IDR error {worst_idr:.2}");
+
+    let mean_cap: f64 = drives::TABLE1
+        .iter()
+        .map(|r| r.capacity_error().unwrap().abs())
+        .sum::<f64>()
+        / drives::TABLE1.len() as f64;
+    assert!(mean_cap < 0.12, "mean capacity error {mean_cap:.3}");
+}
+
+#[test]
+fn cheetah_15k3_reaches_envelope_like_figure1() {
+    // Figure 1: 28 C cold start -> 45.22 C steady after ~48 minutes,
+    // with ~5 C gained in the first minute.
+    let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+    let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+    let steady = model.steady_air_temp(op);
+    assert!(
+        (steady.get() - 45.22).abs() < 0.5,
+        "steady {steady} vs the 45.22 C envelope"
+    );
+
+    let mut sim = TransientSim::from_ambient(&model);
+    sim.advance(&model, op, Seconds::new(60.0));
+    let after_1min = sim.temps().air.get();
+    assert!(
+        (29.5..38.0).contains(&after_1min),
+        "after one minute: {after_1min:.1} C (paper shows ~33)"
+    );
+
+    let minutes = sim.run_to_steady(&model, op, 0.01).to_minutes().get();
+    assert!(
+        (15.0..90.0).contains(&minutes),
+        "time to steady: {minutes:.0} min (paper: ~48)"
+    );
+}
+
+#[test]
+fn envelope_plus_electronics_matches_rated_temperature() {
+    // §3.3: 45.22 C + ~10 C of on-board electronics ~= the Cheetah's
+    // rated 55 C maximum operating temperature.
+    let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+    let steady = model.steady_air_temp(OperatingPoint::seeking(Rpm::new(15_000.0)));
+    let with_electronics = steady.get() + 10.0;
+    assert!(
+        (with_electronics - 55.0).abs() < 1.0,
+        "with electronics: {with_electronics:.1} C vs rated 55 C"
+    );
+}
+
+#[test]
+fn integrated_design_agrees_with_component_models() {
+    // A DriveDesign must answer exactly what the underlying crates do.
+    let design = DriveDesign::builder()
+        .platter_diameter(Inches::new(2.6))
+        .platters(4)
+        .zones(30)
+        .rpm(Rpm::new(15_000.0))
+        .densities(533.0, 64.0) // Cheetah 15K.3 row of Table 1
+        .build()
+        .unwrap();
+
+    let record = drives::TABLE1
+        .iter()
+        .find(|r| r.model == "Seagate Cheetah 15K.3")
+        .unwrap();
+    let component_cap = record.model_capacity().unwrap();
+    let component_idr = record.model_idr().unwrap();
+    assert_eq!(design.capacity(), component_cap);
+    assert!((design.max_idr().get() - component_idr.get()).abs() < 1e-9);
+}
+
+#[test]
+fn vcm_power_correlation_hits_measured_value() {
+    // The paper measured 3.9 W on the physically disassembled drive.
+    let spec = DriveThermalSpec::new(Inches::new(2.6), 1);
+    assert!((spec.vcm_power().get() - 3.9).abs() < 1e-9);
+}
+
+#[test]
+fn viscous_dissipation_checkpoints() {
+    use thermodisk::thermal::viscous_dissipation;
+    // §4.1's explicitly quoted values for the 2.6" single-platter drive.
+    for (rpm, watts, tol) in [
+        (15_098.0, 0.91, 0.01),
+        (19_972.0, 2.0, 0.05),
+        (55_819.0, 35.55, 0.4),
+        (143_470.0, 499.73, 5.0),
+    ] {
+        let p = viscous_dissipation(Inches::new(2.6), 1, Rpm::new(rpm)).get();
+        assert!((p - watts).abs() < tol, "{rpm} RPM: {p:.2} W vs {watts}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Headline roadmap results (§4) exercised through the full stack.
+
+use roadmap::{
+    envelope_roadmap, falloff_year, form_factor_study, required_rpm_table, roadmap_for,
+    RoadmapConfig,
+};
+use units::{Celsius, Inches};
+
+#[test]
+fn table3_matches_paper_within_two_percent_on_rpm() {
+    // The paper's required-RPM column for the 2.6" drive.
+    let paper_26: [(i32, f64); 11] = [
+        (2002, 15_098.0),
+        (2003, 16_263.0),
+        (2004, 19_972.0),
+        (2005, 24_534.0),
+        (2006, 30_130.0),
+        (2007, 37_001.0),
+        (2008, 45_452.0),
+        (2009, 55_819.0),
+        (2010, 95_094.0),
+        (2011, 116_826.0),
+        (2012, 143_470.0),
+    ];
+    let rows = required_rpm_table(&RoadmapConfig::default());
+    for (year, rpm) in paper_26 {
+        let row = rows
+            .iter()
+            .find(|r| r.year == year && (r.diameter.get() - 2.6).abs() < 1e-9)
+            .unwrap();
+        let err = (row.required_rpm.get() - rpm).abs() / rpm;
+        assert!(err < 0.02, "{year}: {:.0} vs paper {rpm}", row.required_rpm.get());
+    }
+}
+
+#[test]
+fn table3_idr_density_column_matches_paper() {
+    // Spot checks including the 2010 ECC dip: IDR_density for 2.6".
+    let paper: [(i32, f64); 4] = [
+        (2002, 128.14),
+        (2009, 365.34),
+        (2010, 300.23),
+        (2012, 390.03),
+    ];
+    let rows = required_rpm_table(&RoadmapConfig::default());
+    for (year, idr_d) in paper {
+        let row = rows
+            .iter()
+            .find(|r| r.year == year && (r.diameter.get() - 2.6).abs() < 1e-9)
+            .unwrap();
+        let err = (row.idr_density.get() - idr_d).abs() / idr_d;
+        assert!(err < 0.02, "{year}: {:.2} vs paper {idr_d}", row.idr_density.get());
+    }
+}
+
+#[test]
+fn table3_temperatures_track_paper() {
+    let paper: [(f64, i32, f64); 6] = [
+        (2.6, 2002, 45.24),
+        (2.6, 2007, 57.18),
+        (2.6, 2012, 602.98),
+        (2.1, 2005, 45.61),
+        (1.6, 2008, 51.04),
+        (1.6, 2012, 279.75),
+    ];
+    let rows = required_rpm_table(&RoadmapConfig::default());
+    for (dia, year, temp) in paper {
+        let row = rows
+            .iter()
+            .find(|r| r.year == year && (r.diameter.get() - dia).abs() < 1e-9)
+            .unwrap();
+        let rise_err =
+            ((row.steady_temp.get() - 28.0) - (temp - 28.0)).abs() / (temp - 28.0);
+        assert!(
+            rise_err < 0.06,
+            "{dia}\" {year}: {:.2} C vs paper {temp}",
+            row.steady_temp.get()
+        );
+    }
+}
+
+#[test]
+fn figure2_falloff_sequence() {
+    let cfg = RoadmapConfig::default();
+    let all = envelope_roadmap(&cfg);
+    let falloff = |dia: f64, n: u32| {
+        let pts: Vec<_> = all
+            .iter()
+            .filter(|p| p.platters == n && (p.diameter.get() - dia).abs() < 1e-9)
+            .copied()
+            .collect();
+        falloff_year(&pts).expect("every configuration falls off eventually")
+    };
+    // Paper: 2.6" off at ~2003, 2.1" ~2004-05, 1.6" ~2006-07 (1 platter).
+    assert_eq!(falloff(2.6, 1), 2003);
+    assert!((2004..=2006).contains(&falloff(2.1, 1)));
+    assert!((2006..=2008).contains(&falloff(1.6, 1)));
+    // More platters never last longer.
+    for dia in [2.6, 2.1, 1.6] {
+        assert!(falloff(dia, 4) <= falloff(dia, 1));
+    }
+}
+
+#[test]
+fn figure2_capacity_tradeoff_at_2005() {
+    // §4.1's example: in 2005 the 2.1" single-platter drive holds far
+    // more than the 1.6" one (the paper quotes 61.13 vs 35.48 GB), and
+    // doubling the 1.6" platters recovers the gap.
+    let cfg = RoadmapConfig::default();
+    let all = envelope_roadmap(&cfg);
+    let cap = |dia: f64, n: u32| {
+        all.iter()
+            .find(|p| p.year == 2005 && p.platters == n && (p.diameter.get() - dia).abs() < 1e-9)
+            .unwrap()
+            .capacity
+            .gigabytes()
+    };
+    let c21 = cap(2.1, 1);
+    let c16 = cap(1.6, 1);
+    let c16x2 = cap(1.6, 2);
+    assert!((c21 / c16 - 61.13 / 35.48).abs() < 0.35, "ratio {:.2}", c21 / c16);
+    assert!(c16x2 > c21, "two 1.6\" platters exceed one 2.1\"");
+}
+
+#[test]
+fn figure3_cooling_buys_roadmap_years() {
+    let cfg = RoadmapConfig::default();
+    let years: Vec<i32> = [28.0, 23.0, 18.0]
+        .iter()
+        .map(|&amb| {
+            let pts = roadmap_for(&cfg, Inches::new(1.6), 1, Celsius::new(amb));
+            falloff_year(&pts).unwrap()
+        })
+        .collect();
+    assert!(years[1] >= years[0]);
+    assert!(years[2] >= years[1]);
+    // Paper: one and two extra years for 5 C and 10 C.
+    assert!(
+        (1..=3).contains(&(years[2] - years[0])),
+        "10 C bought {} years",
+        years[2] - years[0]
+    );
+    // Even aggressive cooling cannot carry the terabit transition.
+    assert!(years[2] <= 2010);
+}
+
+#[test]
+fn form_factor_study_headline() {
+    let study = form_factor_study(&RoadmapConfig::default());
+    assert_eq!(study.small_falloff, Some(2002), "2.5\" case falls off immediately");
+    assert!(study.cooling_needed >= 8.0, "needs {} C", study.cooling_needed);
+    assert!(study.cooling_needed <= 25.0, "needs {} C", study.cooling_needed);
+}
+
+#[test]
+fn roadmap_is_deterministic() {
+    let a = envelope_roadmap(&RoadmapConfig::default());
+    let b = envelope_roadmap(&RoadmapConfig::default());
+    assert_eq!(a, b);
+}

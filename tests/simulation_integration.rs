@@ -1,0 +1,152 @@
+//! Figure 4 at reduced scale: the response-time benefit of faster
+//! spindles across all five synthetic workloads, plus trace persistence.
+
+use thermodisk::prelude::*;
+use units::Rpm;
+
+const N: usize = 6_000;
+const SEED: u64 = 2026;
+
+#[test]
+fn every_workload_improves_with_rpm() {
+    for preset in presets() {
+        let base = preset.run(preset.base_rpm, N, SEED).unwrap();
+        let plus5 = preset
+            .run(preset.base_rpm + Rpm::new(5_000.0), N, SEED)
+            .unwrap();
+        let plus10 = preset
+            .run(preset.base_rpm + Rpm::new(10_000.0), N, SEED)
+            .unwrap();
+        assert!(
+            plus5.mean() < base.mean(),
+            "{}: +5K must help ({} -> {})",
+            preset.name,
+            base.mean().to_millis(),
+            plus5.mean().to_millis()
+        );
+        assert!(
+            plus10.mean() < plus5.mean(),
+            "{}: +10K must help further",
+            preset.name
+        );
+        // The paper's Figure 4 band: +10K RPM buys very roughly 30-60%.
+        let improvement = 1.0 - plus10.mean().get() / base.mean().get();
+        assert!(
+            improvement > 0.10,
+            "{}: +10K only bought {:.0}%",
+            preset.name,
+            improvement * 100.0
+        );
+    }
+}
+
+#[test]
+fn openmail_gains_most_oltp_least() {
+    // The paper's ordering: the queue-bound OpenMail benefits the most
+    // from +5K RPM (52.5%), the lightly loaded OLTP the least (20.8%).
+    let gain = |preset: &WorkloadPreset| {
+        let base = preset.run(preset.base_rpm, N, SEED).unwrap();
+        let plus5 = preset
+            .run(preset.base_rpm + Rpm::new(5_000.0), N, SEED)
+            .unwrap();
+        1.0 - plus5.mean().get() / base.mean().get()
+    };
+    let all = presets();
+    let openmail_gain = gain(&all[0]);
+    let oltp_gain = gain(&all[1]);
+    assert!(
+        openmail_gain > oltp_gain,
+        "OpenMail ({openmail_gain:.2}) should outgain OLTP ({oltp_gain:.2})"
+    );
+}
+
+#[test]
+fn cdfs_shift_left_with_rpm() {
+    // Figure 4's visual: the whole distribution moves toward small
+    // response times as RPM rises.
+    let preset = &presets()[2]; // Search-Engine
+    let base = preset.run(preset.base_rpm, N, SEED).unwrap();
+    let fast = preset
+        .run(preset.base_rpm + Rpm::new(10_000.0), N, SEED)
+        .unwrap();
+    for (b, f) in base.cdf().iter().zip(fast.cdf().iter()) {
+        assert!(
+            f.1 >= b.1 - 1e-9,
+            "at {} ms: {:.3} (fast) vs {:.3} (base)",
+            b.0,
+            f.1,
+            b.1
+        );
+    }
+}
+
+#[test]
+fn baseline_means_near_paper_values() {
+    // Synthetic substitutes: the baselines should land in the same
+    // regime as the published means (within a factor of ~1.6).
+    for preset in presets() {
+        let base = preset.run(preset.base_rpm, 20_000, SEED).unwrap();
+        let ratio = base.mean().to_millis() / preset.paper_mean_response_ms;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{}: {:.2} ms vs paper {:.2} ms",
+            preset.name,
+            base.mean().to_millis(),
+            preset.paper_mean_response_ms
+        );
+    }
+}
+
+#[test]
+fn traces_persist_and_replay_identically() {
+    let preset = &presets()[3]; // TPC-C
+    let trace = preset.generate(1_000, 7).unwrap();
+
+    let mut buf = Vec::new();
+    workloads::write_trace(&mut buf, &trace).unwrap();
+    let restored = workloads::read_trace(buf.as_slice()).unwrap();
+    assert_eq!(trace, restored);
+
+    // Replaying the restored trace produces identical completions.
+    let run = |trace: &[Request]| {
+        let mut sys =
+            StorageSystem::new(preset.system_config(preset.base_rpm).unwrap()).unwrap();
+        for r in trace {
+            sys.submit(*r).unwrap();
+        }
+        let mut done = sys.drain();
+        done.sort_by_key(|c| c.request.id);
+        done
+    };
+    let a = run(&trace);
+    let b = run(&restored);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.request.id, y.request.id);
+        assert!((x.finish.get() - y.finish.get()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn arm_movement_statistics_match_workload_character() {
+    // OpenMail is seek-heavy, TPC-H streams: their arm-movement rates
+    // must be ordered accordingly (paper: 86% for OpenMail).
+    let measure = |preset: &WorkloadPreset| {
+        let trace = preset.generate(4_000, 3).unwrap();
+        let mut sys =
+            StorageSystem::new(preset.system_config(preset.base_rpm).unwrap()).unwrap();
+        for r in trace {
+            sys.submit(r).unwrap();
+        }
+        let _ = sys.drain();
+        let disks = sys.disks();
+        disks.iter().map(|d| d.arm_movement_rate()).sum::<f64>() / disks.len() as f64
+    };
+    let all = presets();
+    let openmail = measure(&all[0]);
+    let tpch = measure(&all[4]);
+    assert!(
+        openmail > tpch,
+        "OpenMail ({openmail:.2}) must out-seek TPC-H ({tpch:.2})"
+    );
+}
