@@ -1,67 +1,8 @@
-//! Figure 2: the envelope-constrained roadmap — maximum attainable IDR
-//! (top) and the corresponding capacity (bottom) for every platter size
-//! and count, 2002–2012, against the 40 % CGR target.
-
-use bench::{rule, save_json};
-use roadmap::{envelope_roadmap, falloff_year, RoadmapConfig, RoadmapPoint};
+//! Figure 2: the envelope-constrained roadmap against the 40 % CGR
+//! target.
+//!
+//! Thin wrapper over the registered `figure2` experiment in `disklab`.
 
 fn main() {
-    let cfg = RoadmapConfig::default();
-    let points = envelope_roadmap(&cfg);
-
-    for &platters in &cfg.platter_counts {
-        println!("\n{}-Platter roadmap (envelope 45.22 C)", platters);
-        println!("{}", rule(96));
-        println!(
-            "{:>5} | {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-            "Year", "Target", "2.6\" IDR", "2.1\" IDR", "1.6\" IDR", "2.6\" GB", "2.1\" GB", "1.6\" GB"
-        );
-        println!("{}", rule(96));
-        for year in cfg.years() {
-            let get = |dia: f64| -> &RoadmapPoint {
-                points
-                    .iter()
-                    .find(|p| {
-                        p.year == year
-                            && p.platters == platters
-                            && (p.diameter.get() - dia).abs() < 1e-9
-                    })
-                    .expect("point exists")
-            };
-            let (p26, p21, p16) = (get(2.6), get(2.1), get(1.6));
-            let mark = |p: &RoadmapPoint| if p.meets_target() { ' ' } else { '*' };
-            println!(
-                "{:>5} | {:>10.1} | {:>8.1}{} {:>8.1}{} {:>8.1}{} | {:>9.1} {:>9.1} {:>9.1}",
-                year,
-                p26.idr_target.get(),
-                p26.max_idr.get(),
-                mark(p26),
-                p21.max_idr.get(),
-                mark(p21),
-                p16.max_idr.get(),
-                mark(p16),
-                p26.capacity.gigabytes(),
-                p21.capacity.gigabytes(),
-                p16.capacity.gigabytes(),
-            );
-        }
-        println!("{}", rule(96));
-        for dia in [2.6, 2.1, 1.6] {
-            let series: Vec<RoadmapPoint> = points
-                .iter()
-                .filter(|p| p.platters == platters && (p.diameter.get() - dia).abs() < 1e-9)
-                .copied()
-                .collect();
-            let max_rpm = series[0].max_rpm.get();
-            match falloff_year(&series) {
-                Some(y) => println!(
-                    "  {dia}\": max {max_rpm:.0} RPM within envelope; falls off the 40% CGR at {y}"
-                ),
-                None => println!("  {dia}\": max {max_rpm:.0} RPM; holds the target throughout"),
-            }
-        }
-        println!("  (* = misses the year's target; paper: 2.6\" falls off ~2003, 2.1\" ~2004-05, 1.6\" ~2006-07)");
-    }
-
-    save_json("figure2", &points);
+    std::process::exit(disklab::cli::run_wrapper("figure2"));
 }

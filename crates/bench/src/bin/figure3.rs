@@ -1,72 +1,7 @@
-//! Figure 3: cooling-system sensitivity — how 5 °C and 10 °C cooler
-//! external air stretch the single-platter roadmap.
-
-use bench::{rule, save_json};
-use roadmap::{falloff_year, roadmap_for, RoadmapConfig};
-use serde::Serialize;
-use units::{Celsius, Inches};
-
-#[derive(Serialize)]
-struct Series {
-    diameter: f64,
-    ambient: f64,
-    falloff_year: Option<i32>,
-    idr_by_year: Vec<(i32, f64, f64)>,
-}
+//! Figure 3: cooling-system sensitivity of the single-platter roadmap.
+//!
+//! Thin wrapper over the registered `figure3` experiment in `disklab`.
 
 fn main() {
-    let base = RoadmapConfig::default();
-    println!("Figure 3: cooling the external air (baseline 28 C wet-bulb)");
-
-    let mut all = Vec::new();
-    for dia in [2.6, 2.1, 1.6] {
-        println!("\n1-Platter {dia}\" IDR roadmap under improved cooling");
-        println!("{}", rule(74));
-        println!(
-            "{:>5} | {:>10} | {:>12} {:>12} {:>12}",
-            "Year", "Target", "Baseline", "5 C cooler", "10 C cooler"
-        );
-        println!("{}", rule(74));
-        let series: Vec<(f64, Vec<roadmap::RoadmapPoint>)> = [28.0, 23.0, 18.0]
-            .iter()
-            .map(|&amb| {
-                (
-                    amb,
-                    roadmap_for(&base, Inches::new(dia), 1, Celsius::new(amb)),
-                )
-            })
-            .collect();
-        for (i, year) in base.years().enumerate() {
-            println!(
-                "{:>5} | {:>10.1} | {:>12.1} {:>12.1} {:>12.1}",
-                year,
-                series[0].1[i].idr_target.get(),
-                series[0].1[i].max_idr.get(),
-                series[1].1[i].max_idr.get(),
-                series[2].1[i].max_idr.get(),
-            );
-        }
-        println!("{}", rule(74));
-        for (amb, pts) in &series {
-            let fy = falloff_year(pts);
-            println!(
-                "  ambient {amb:>4.1} C: max {:.0} RPM, falls off at {:?}",
-                pts[0].max_rpm.get(),
-                fy
-            );
-            all.push(Series {
-                diameter: dia,
-                ambient: *amb,
-                falloff_year: fy,
-                idr_by_year: pts
-                    .iter()
-                    .map(|p| (p.year, p.max_idr.get(), p.idr_target.get()))
-                    .collect(),
-            });
-        }
-    }
-    println!("\nPaper: 5 C / 10 C of cooling lengthen the 1.6\" roadmap by one / two years;");
-    println!("the terabit transition (2010) cannot be sustained by cooling alone.");
-
-    save_json("figure3", &all);
+    std::process::exit(disklab::cli::run_wrapper("figure3"));
 }

@@ -1,85 +1,24 @@
 //! Figure 4: response-time CDFs of five server workloads as spindle
-//! speed increases in +5,000 RPM steps (thermal effects deliberately
-//! ignored, as in the paper).
+//! speed increases.
 //!
 //! Usage: `figure4 [requests-per-workload]` — defaults to 200,000
 //! requests per workload (the paper replays 3–6 million; pass e.g.
 //! `3000000` to approach trace scale; run with `--release`).
+//!
+//! Thin wrapper over the `figure4` experiment in `disklab`; a custom
+//! request count changes the config digest, so scaled runs get their
+//! own cache entries.
 
-use bench::{rule, save_json};
-use serde::Serialize;
-use units::Rpm;
-use workloads::presets;
-
-#[derive(Serialize)]
-struct WorkloadResult {
-    name: String,
-    rpm: f64,
-    requests: u64,
-    mean_ms: f64,
-    p95_ms: f64,
-    cdf: Vec<(f64, f64)>,
-}
+use disklab::experiments::figure4::Figure4;
+use disklab::Scale;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("request count"))
-        .unwrap_or(200_000);
-    let seed = 42;
-
-    println!("Figure 4: response times vs spindle speed ({n} requests per workload)");
-    let mut results = Vec::new();
-    for preset in presets() {
-        let base = preset.base_rpm.get();
-        let steps: Vec<f64> = (0..4).map(|i| base + i as f64 * 5_000.0).collect();
-
-        println!("\n{} ({} disks{}, base {:.0} RPM; paper mean at base: {:.2} ms)",
-            preset.name,
-            preset.disks,
-            if preset.raid.is_some() { ", RAID-5" } else { "" },
-            base,
-            preset.paper_mean_response_ms,
-        );
-        println!("{}", rule(100));
-        print!("{:>10} |", "RPM");
-        for edge in disksim::CDF_BUCKETS_MS {
-            print!(" {:>6.0}", edge);
+    let exp = match std::env::args().nth(1) {
+        Some(raw) => {
+            let requests = raw.parse().expect("request count");
+            Figure4 { requests, seed: 42 }
         }
-        println!(" {:>6} | {:>9}", "200+", "mean ms");
-        println!("{}", rule(100));
-
-        let mut means = Vec::new();
-        for &rpm in &steps {
-            let stats = preset
-                .run(Rpm::new(rpm), n, seed)
-                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
-            let cdf = stats.cdf();
-            print!("{:>10.0} |", rpm);
-            for &(_, frac) in &cdf[..cdf.len() - 1] {
-                print!(" {:>6.3}", frac);
-            }
-            println!(" {:>6.3} | {:>9.2}", 1.0, stats.mean().to_millis());
-            means.push(stats.mean().to_millis());
-            results.push(WorkloadResult {
-                name: preset.name.to_string(),
-                rpm,
-                requests: stats.count(),
-                mean_ms: stats.mean().to_millis(),
-                p95_ms: stats.percentile(95.0).to_millis(),
-                cdf,
-            });
-        }
-        println!("{}", rule(100));
-        let improv_5k = (means[0] - means[1]) / means[0] * 100.0;
-        let improv_10k = (means[0] - means[2]) / means[0] * 100.0;
-        println!(
-            "  mean response: {:.2} -> {:.2} -> {:.2} -> {:.2} ms; +5K RPM buys {:.1}%, +10K {:.1}%",
-            means[0], means[1], means[2], means[3], improv_5k, improv_10k
-        );
-    }
-    println!("\nPaper: +5K RPM improves means by 20.8% (OLTP) to 52.5% (OpenMail);");
-    println!("+10K RPM lands in the 30-60% band across workloads.");
-
-    save_json("figure4", &results);
+        None => Figure4::at_scale(Scale::Full),
+    };
+    std::process::exit(disklab::cli::run_wrapper_experiment(Box::new(exp)));
 }

@@ -1,66 +1,8 @@
-//! Figure 5: exploiting thermal slack — the RPM a multi-speed disk can
-//! ramp to when the actuator is idle, and the revised IDR roadmap.
-
-use bench::{rule, save_json};
-use dtm::{slack_roadmap, slack_table, SlackConfig};
+//! Figure 5: exploiting thermal slack — slack table and revised
+//! roadmap.
+//!
+//! Thin wrapper over the registered `figure5` experiment in `disklab`.
 
 fn main() {
-    let cfg = SlackConfig::default();
-
-    println!("Figure 5(a): thermal-design slack per platter size (1 platter)");
-    println!("{}", rule(78));
-    println!(
-        "{:>6} | {:>16} {:>14} {:>10} | {:>9}",
-        "Size", "Envelope RPM", "VCM-off RPM", "Gain", "VCM power"
-    );
-    println!("{}", rule(78));
-    let rows = slack_table(&cfg);
-    for r in &rows {
-        println!(
-            "{:>5.1}\" | {:>16.0} {:>14.0} {:>10.0} | {:>8.2} W",
-            r.diameter.get(),
-            r.envelope_rpm.get(),
-            r.slack_rpm.get(),
-            r.rpm_gain().get(),
-            r.vcm_power.get()
-        );
-    }
-    println!("{}", rule(78));
-    println!("Paper: the 2.6\" drive ramps 15,020 -> 26,750 RPM; slack shrinks with");
-    println!("platter size because VCM power does (2.28 W at 2.1\", 0.618 W at 1.6\").");
-
-    println!("\nFigure 5(b): revised IDR roadmap when the slack is exploited");
-    println!("{}", rule(100));
-    println!(
-        "{:>5} | {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "Year", "Target", "2.6\" env", "2.6\" off", "2.1\" env", "2.1\" off", "1.6\" env", "1.6\" off"
-    );
-    println!("{}", rule(100));
-    let points = slack_roadmap(&cfg);
-    for year in cfg.roadmap.years() {
-        let get = |dia: f64| {
-            points
-                .iter()
-                .find(|p| p.year == year && (p.diameter.get() - dia).abs() < 1e-9)
-                .expect("point exists")
-        };
-        let (p26, p21, p16) = (get(2.6), get(2.1), get(1.6));
-        println!(
-            "{:>5} | {:>9.1} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1} | {:>9.1} {:>9.1}",
-            year,
-            p26.idr_target.get(),
-            p26.envelope_idr.get(),
-            p26.slack_idr.get(),
-            p21.envelope_idr.get(),
-            p21.slack_idr.get(),
-            p16.envelope_idr.get(),
-            p16.slack_idr.get(),
-        );
-    }
-    println!("{}", rule(100));
-    println!("Paper: the 2.6\" slack design exceeds the 40% CGR curve until ~2005-06 and");
-    println!("surpasses the non-slack 2.1\" design — more speed AND more capacity.");
-
-    save_json("figure5_slack", &rows);
-    save_json("figure5_roadmap", &points);
+    std::process::exit(disklab::cli::run_wrapper("figure5"));
 }

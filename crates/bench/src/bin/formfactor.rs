@@ -1,39 +1,8 @@
-//! §4.2.2: the enclosure form-factor study — a 2.6″ platter moved into a
-//! 2.5″-class case loses heat-rejection area and falls off the roadmap
-//! immediately; quantifies the extra cooling needed to recover.
-
-use bench::{rule, save_json};
-use roadmap::{form_factor_study, RoadmapConfig};
+//! §4.2.2: the enclosure form-factor study.
+//!
+//! Thin wrapper over the registered `formfactor` experiment in
+//! `disklab`.
 
 fn main() {
-    let cfg = RoadmapConfig::default();
-    let study = form_factor_study(&cfg);
-
-    println!("Form-factor study: 2.6\" platter in a 2.5\" enclosure (3.96\" x 2.75\")");
-    println!("{}", rule(70));
-    println!(
-        "{:>5} | {:>10} | {:>14} {:>6}",
-        "Year", "Target", "Small-FF IDR", "meets"
-    );
-    println!("{}", rule(70));
-    for p in &study.small_points {
-        println!(
-            "{:>5} | {:>10.1} | {:>14.1} {:>6}",
-            p.year,
-            p.idr_target.get(),
-            p.max_idr.get(),
-            if p.meets_target() { "yes" } else { "NO" }
-        );
-    }
-    println!("{}", rule(70));
-    println!(
-        "small enclosure falls off at {:?} (paper: already at 2002); 3.5\" baseline at {:?}",
-        study.small_falloff, study.baseline_falloff
-    );
-    println!(
-        "extra ambient cooling needed to become comparable: {:.0} C (paper: ~15 C)",
-        study.cooling_needed
-    );
-
-    save_json("formfactor", &study);
+    std::process::exit(disklab::cli::run_wrapper("formfactor"));
 }

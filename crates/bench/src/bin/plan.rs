@@ -1,41 +1,7 @@
-//! The §4 methodology, automated: which design the paper's four-step
-//! procedure picks each year, and when it runs out of options.
-
-use bench::{rule, save_json};
-use roadmap::{plan_roadmap, RoadmapConfig};
+//! The §4 methodology, automated.
+//!
+//! Thin wrapper over the registered `plan` experiment in `disklab`.
 
 fn main() {
-    let cfg = RoadmapConfig::default();
-    let plan = plan_roadmap(&cfg);
-
-    println!("Automated §4 methodology walk (envelope 45.22 C)");
-    println!("{}", rule(100));
-    println!(
-        "{:>5} | {:>14} | {:>6} {:>9} {:>9} | {:>9} {:>9} | {:>9}",
-        "Year", "Step", "Size", "Platters", "RPM", "IDR", "Target", "Capacity"
-    );
-    println!("{}", rule(100));
-    for y in &plan {
-        println!(
-            "{:>5} | {:>14} | {:>5.1}\" {:>9} {:>9.0} | {:>9.1} {:>9.1} | {:>7.1} GB{}",
-            y.year,
-            format!("{:?}", y.step),
-            y.diameter.get(),
-            y.platters,
-            y.rpm.get(),
-            y.idr.get(),
-            y.idr_target.get(),
-            y.capacity.gigabytes(),
-            if y.meets_target() { "" } else { "  *" }
-        );
-    }
-    println!("{}", rule(100));
-    println!("(* = target missed; the methodology reports its best-IDR fallback)");
-    let last_met = plan.iter().filter(|y| y.meets_target()).map(|y| y.year).max();
-    println!(
-        "the design space sustains the 40% CGR through {:?}; paper: ~2006 with 25%/14% growth after",
-        last_met
-    );
-
-    save_json("plan", &plan);
+    std::process::exit(disklab::cli::run_wrapper("plan"));
 }

@@ -1,94 +1,8 @@
 //! Table 1 (and Table 2): model validation against thirteen real SCSI
 //! drives.
 //!
-//! Prints, per drive, the datasheet capacity/IDR, the paper's model
-//! values, and this library's model values, with relative errors.
-
-use bench::{rule, save_json};
-use serde::Serialize;
-use thermodisk::drives::{TABLE1, TABLE2};
-
-#[derive(Serialize)]
-struct Row {
-    model: &'static str,
-    year: i32,
-    rpm: f64,
-    datasheet_capacity_gb: f64,
-    paper_capacity_gb: f64,
-    our_capacity_gb: f64,
-    capacity_error_vs_datasheet: f64,
-    datasheet_idr: f64,
-    paper_idr: f64,
-    our_idr: f64,
-    idr_error_vs_datasheet: f64,
-}
+//! Thin wrapper over the registered `table1` experiment in `disklab`.
 
 fn main() {
-    println!("Table 1: capacity and IDR model validation (n_zones = 30)");
-    println!("{}", rule(118));
-    println!(
-        "{:<26} {:>4} {:>6} | {:>8} {:>8} {:>8} {:>7} | {:>8} {:>8} {:>8} {:>7}",
-        "Model", "Year", "RPM", "Cap (DS)", "Cap (pp)", "Cap (us)", "err %",
-        "IDR (DS)", "IDR (pp)", "IDR (us)", "err %"
-    );
-    println!("{}", rule(118));
-
-    let mut rows = Vec::new();
-    let mut cap_errs = Vec::new();
-    let mut idr_errs = Vec::new();
-    for d in &TABLE1 {
-        let cap = d.model_capacity().expect("valid geometry").gigabytes();
-        let idr = d.model_idr().expect("valid geometry").get();
-        let cap_err = d.capacity_error().expect("valid geometry");
-        let idr_err = d.idr_error().expect("valid geometry");
-        cap_errs.push(cap_err.abs());
-        idr_errs.push(idr_err.abs());
-        println!(
-            "{:<26} {:>4} {:>6.0} | {:>8.1} {:>8.1} {:>8.1} {:>6.1}% | {:>8.1} {:>8.1} {:>8.1} {:>6.1}%",
-            d.model,
-            d.year,
-            d.rpm,
-            d.datasheet_capacity_gb,
-            d.paper_model_capacity_gb,
-            cap,
-            cap_err * 100.0,
-            d.datasheet_idr,
-            d.paper_model_idr,
-            idr,
-            idr_err * 100.0,
-        );
-        rows.push(Row {
-            model: d.model,
-            year: d.year,
-            rpm: d.rpm,
-            datasheet_capacity_gb: d.datasheet_capacity_gb,
-            paper_capacity_gb: d.paper_model_capacity_gb,
-            our_capacity_gb: cap,
-            capacity_error_vs_datasheet: cap_err,
-            datasheet_idr: d.datasheet_idr,
-            paper_idr: d.paper_model_idr,
-            our_idr: idr,
-            idr_error_vs_datasheet: idr_err,
-        });
-    }
-    println!("{}", rule(118));
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "mean |error| vs datasheet: capacity {:.1}% (paper: within ~12%), IDR {:.1}% (paper: within ~15%)",
-        mean(&cap_errs) * 100.0,
-        mean(&idr_errs) * 100.0
-    );
-
-    println!("\nTable 2: rated maximum operating temperatures (datasheets)");
-    println!("{}", rule(72));
-    for r in &TABLE2 {
-        println!(
-            "{:<26} {:>4} {:>6.0} RPM  wet-bulb {:>4.1} C  max oper. {:>4.1} C",
-            r.model, r.year, r.rpm, r.external_wet_bulb, r.max_operating
-        );
-    }
-    println!("{}", rule(72));
-    println!("The ~5 C spread across years/speeds supports a time-invariant envelope.");
-
-    save_json("table1", &rows);
+    std::process::exit(disklab::cli::run_wrapper("table1"));
 }

@@ -1,59 +1,7 @@
-//! Table 3: the spindle speed each platter size needs, year by year, to
-//! hold the 40 % IDR growth target — and the steady-state temperature
-//! that speed would reach.
-
-use bench::{rule, save_json};
-use roadmap::{required_rpm_table, RequiredRpmRow, RoadmapConfig};
-
-fn row_for(rows: &[RequiredRpmRow], year: i32, dia: f64) -> &RequiredRpmRow {
-    rows.iter()
-        .find(|r| r.year == year && (r.diameter.get() - dia).abs() < 1e-9)
-        .expect("row exists")
-}
+//! Table 3: the spindle speed each platter size needs, year by year.
+//!
+//! Thin wrapper over the registered `table3` experiment in `disklab`.
 
 fn main() {
-    let cfg = RoadmapConfig::default();
-    let rows = required_rpm_table(&cfg);
-
-    println!("Table 3: RPM required for the 40% IDR CGR and its thermal cost");
-    println!("(single platter, n_zones = 50, 3.5\" enclosure, envelope 45.22 C)");
-    println!("{}", rule(112));
-    println!(
-        "{:>5} | {:>9} {:>7} {:>8} | {:>9} {:>7} {:>8} | {:>9} {:>7} {:>8} | {:>9}",
-        "Year",
-        "2.6\" IDRd", "RPM", "Temp C",
-        "2.1\" IDRd", "RPM", "Temp C",
-        "1.6\" IDRd", "RPM", "Temp C",
-        "IDR req"
-    );
-    println!("{}", rule(112));
-    for year in cfg.years() {
-        let r26 = row_for(&rows, year, 2.6);
-        let r21 = row_for(&rows, year, 2.1);
-        let r16 = row_for(&rows, year, 1.6);
-        println!(
-            "{:>5} | {:>9.2} {:>7.0} {:>8.2} | {:>9.2} {:>7.0} {:>8.2} | {:>9.2} {:>7.0} {:>8.2} | {:>9.2}",
-            year,
-            r26.idr_density.get(),
-            r26.required_rpm.get(),
-            r26.steady_temp.get(),
-            r21.idr_density.get(),
-            r21.required_rpm.get(),
-            r21.steady_temp.get(),
-            r16.idr_density.get(),
-            r16.required_rpm.get(),
-            r16.steady_temp.get(),
-            r26.idr_target.get(),
-        );
-    }
-    println!("{}", rule(112));
-    println!("Paper checkpoints: 2002 2.6\" = 15,098 RPM @ 45.24 C; 2012 2.6\" = 143,470 RPM @ 602.98 C.");
-    println!(
-        "Viscous dissipation, 2.6\": {:.2} W (2002) -> {:.2} W (2009) -> {:.2} W (2012); paper: 0.91 / 35.55 / 499.73 W.",
-        row_for(&rows, 2002, 2.6).viscous_power.get(),
-        row_for(&rows, 2009, 2.6).viscous_power.get(),
-        row_for(&rows, 2012, 2.6).viscous_power.get(),
-    );
-
-    save_json("table3", &rows);
+    std::process::exit(disklab::cli::run_wrapper("table3"));
 }

@@ -1,0 +1,20 @@
+//! The `lab` CLI: run any or all registered experiments in parallel,
+//! with result caching and a run manifest.
+//!
+//! ```text
+//! cargo run --release --bin lab -- all --threads 8
+//! cargo run --release --bin lab -- figure2
+//! cargo run --release --bin lab -- list
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match disklab::cli::parse_args(args) {
+        Ok(opts) => disklab::cli::run(&opts),
+        Err(message) => {
+            eprintln!("{message}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

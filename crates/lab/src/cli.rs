@@ -1,0 +1,232 @@
+//! Command-line front end shared by the `lab` binary and the thin
+//! per-experiment wrapper binaries in the `bench` crate.
+
+use crate::engine::Engine;
+use crate::experiment::{Experiment, Scale};
+use crate::registry;
+
+/// Parsed `lab` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Experiment names to run; empty means `list`.
+    pub names: Vec<String>,
+    /// Run everything in the registry.
+    pub all: bool,
+    /// Print the registry and exit.
+    pub list: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Serve/populate the content-addressed cache.
+    pub use_cache: bool,
+    /// Run simulation-heavy experiments at reduced scale.
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            names: Vec::new(),
+            all: false,
+            list: false,
+            threads: 1,
+            use_cache: true,
+            quick: false,
+        }
+    }
+}
+
+/// Parses CLI arguments (everything after the binary name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "all" => opts.all = true,
+            "list" => opts.list = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad thread count {v:?}"))?
+                    .max(1);
+            }
+            "--no-cache" => opts.use_cache = false,
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            name if !name.starts_with('-') => opts.names.push(name.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    if !opts.all && !opts.list && opts.names.is_empty() {
+        opts.list = true;
+    }
+    Ok(opts)
+}
+
+/// The help text.
+pub fn usage() -> String {
+    format!(
+        "usage: lab [all | list | <experiment>...] [--threads N] [--no-cache] [--quick]\n\n\
+         experiments: {}",
+        registry::names().join(", ")
+    )
+}
+
+/// Runs a parsed command line against the workspace `results/`
+/// directory. Returns a process exit code.
+pub fn run(opts: &Options) -> i32 {
+    if opts.list {
+        println!("{}", usage());
+        return 0;
+    }
+    let scale = if opts.quick { Scale::Quick } else { Scale::Full };
+    let experiments: Vec<Box<dyn Experiment>> = if opts.all {
+        registry::registry(scale)
+    } else {
+        let mut chosen = Vec::new();
+        for name in &opts.names {
+            match registry::by_name(name, scale) {
+                Some(exp) => chosen.push(exp),
+                None => {
+                    eprintln!("unknown experiment {name:?}\n\n{}", usage());
+                    return 2;
+                }
+            }
+        }
+        chosen
+    };
+
+    let engine = match Engine::workspace() {
+        Ok(engine) => engine.threads(opts.threads).use_cache(opts.use_cache),
+        Err(e) => {
+            eprintln!("cannot open results directory: {e}");
+            return 1;
+        }
+    };
+
+    // Single-experiment runs keep the old binaries' behavior: the full
+    // text report goes to stdout. Multi-experiment runs print a summary.
+    let print_reports = !opts.all && experiments.len() == 1;
+    match engine.run(experiments) {
+        Ok(summary) => {
+            if print_reports {
+                for (_, text) in &summary.reports {
+                    print!("{text}");
+                }
+            }
+            let m = &summary.manifest;
+            for entry in &m.experiments {
+                eprintln!(
+                    "{:<12} {:>9.1} ms  cache {:<4}  -> {}",
+                    entry.name,
+                    entry.wall_ms,
+                    entry.cache,
+                    entry.outputs.join(", ")
+                );
+            }
+            eprintln!(
+                "{} experiments in {:.1} ms on {} thread(s); cache: {} hit(s), {} miss(es); wrote {}",
+                m.experiments.len(),
+                m.total_wall_ms,
+                m.threads,
+                m.hits(),
+                m.misses(),
+                engine.results_path().join("manifest.json").display(),
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("lab failed: {e}");
+            1
+        }
+    }
+}
+
+/// Entry point for the thin wrapper binaries: run exactly one registered
+/// experiment at full scale and print its report.
+pub fn run_wrapper(name: &str) -> i32 {
+    run(&Options {
+        names: vec![name.to_string()],
+        ..Options::default()
+    })
+}
+
+/// Like [`run_wrapper`] for a caller-constructed experiment (used by the
+/// `figure4` wrapper to honor its request-count argument).
+pub fn run_wrapper_experiment(exp: Box<dyn Experiment>) -> i32 {
+    let engine = match Engine::workspace() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("cannot open results directory: {e}");
+            return 1;
+        }
+    };
+    match engine.run(vec![exp]) {
+        Ok(summary) => {
+            for (_, text) in &summary.reports {
+                print!("{text}");
+            }
+            for entry in &summary.manifest.experiments {
+                eprintln!(
+                    "{:<12} {:>9.1} ms  cache {:<4}  -> {}",
+                    entry.name,
+                    entry.wall_ms,
+                    entry.cache,
+                    entry.outputs.join(", ")
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        parse_args(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_all_with_flags() {
+        let opts = parse(&["all", "--threads", "8", "--no-cache", "--quick"]);
+        assert!(opts.all);
+        assert_eq!(opts.threads, 8);
+        assert!(!opts.use_cache);
+        assert!(opts.quick);
+    }
+
+    #[test]
+    fn bare_invocation_lists() {
+        assert!(parse(&[]).list);
+    }
+
+    #[test]
+    fn experiment_names_accumulate() {
+        let opts = parse(&["figure1", "table3"]);
+        assert_eq!(opts.names, ["figure1", "table3"]);
+        assert!(!opts.all);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_threads() {
+        assert!(parse_args(["--wat".to_string()]).is_err());
+        assert!(parse_args(["--threads".to_string(), "zero?".to_string()]).is_err());
+        assert_eq!(parse(&["--threads", "0"]).threads, 1);
+    }
+
+    #[test]
+    fn usage_names_every_experiment() {
+        let text = usage();
+        for name in crate::registry::names() {
+            assert!(text.contains(name), "{name} missing from usage");
+        }
+    }
+}

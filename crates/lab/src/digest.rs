@@ -1,0 +1,46 @@
+//! Stable content digests for cache keys.
+//!
+//! FNV-1a is not cryptographic, but the cache only needs a stable,
+//! dependency-free fingerprint of a small config document — collisions
+//! across a dozen experiment configs are not a realistic concern.
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Fixed-width lowercase hex rendering of a digest.
+pub fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_stable_width() {
+        assert_eq!(hex(0).len(), 16);
+        assert_eq!(hex(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn small_changes_move_the_digest() {
+        assert_ne!(fnv1a64(b"figure1\0{}"), fnv1a64(b"figure2\0{}"));
+    }
+}

@@ -1,0 +1,54 @@
+//! The error type shared by the experiment engine and its callers.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong while orchestrating experiments.
+#[derive(Debug)]
+pub enum LabError {
+    /// Filesystem failure reading or writing results/cache files.
+    Io(io::Error),
+    /// A cache or manifest file held JSON we could not interpret.
+    Parse(String),
+    /// The experiment itself failed (model rejected a design, simulation
+    /// error, ...).
+    Experiment(String),
+}
+
+impl fmt::Display for LabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabError::Io(e) => write!(f, "i/o error: {e}"),
+            LabError::Parse(msg) => write!(f, "malformed stored JSON: {msg}"),
+            LabError::Experiment(msg) => write!(f, "experiment failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LabError {
+    fn from(e: io::Error) -> Self {
+        LabError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = LabError::Experiment("no feasible rpm".into());
+        assert!(e.to_string().contains("no feasible rpm"));
+        let io_err: LabError = io::Error::other("disk full").into();
+        assert!(io_err.to_string().contains("disk full"));
+    }
+}

@@ -1,0 +1,98 @@
+//! The `Experiment` abstraction every table/figure regenerator
+//! implements, plus the scale knob used to shrink simulation-heavy
+//! experiments for fast test runs.
+
+use crate::digest;
+use crate::error::LabError;
+use serde_json::Value;
+
+/// How much work simulation-heavy experiments should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale request counts — the default for the `lab` CLI.
+    Full,
+    /// Reduced request counts for integration tests and smoke runs.
+    /// Results are still deterministic, just coarser.
+    Quick,
+}
+
+/// Everything one experiment produces: machine-readable JSON payloads
+/// (one per output stem, e.g. `figure5_slack` and `figure5_roadmap`) and
+/// the human-readable text report that used to go to stdout.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// `(stem, payload)` pairs; each becomes `results/<stem>.json`.
+    pub json: Vec<(String, Value)>,
+    /// The text report; becomes `results/<name>.txt`.
+    pub text: String,
+}
+
+impl RunOutput {
+    /// Single-payload output named after the experiment itself.
+    pub fn single(stem: &str, payload: Value, text: String) -> Self {
+        RunOutput {
+            json: vec![(stem.to_string(), payload)],
+            text,
+        }
+    }
+}
+
+/// A registered, cacheable experiment.
+pub trait Experiment: Send + Sync {
+    /// Stable identifier; also the output stem and cache-key prefix.
+    fn name(&self) -> &'static str;
+
+    /// The configuration that determines this experiment's results, as a
+    /// JSON document. Two runs with equal configs (and equal crate
+    /// versions) may share cached results.
+    fn config(&self) -> Value;
+
+    /// Computes the experiment, returning its payloads and text report.
+    fn run(&self) -> Result<RunOutput, LabError>;
+
+    /// Content digest of (name, config, crate version): the cache key.
+    fn config_digest(&self) -> String {
+        let config = serde_json::to_string(&self.config()).unwrap_or_default();
+        let keyed = format!(
+            "{}\0{}\0{}",
+            self.name(),
+            config,
+            env!("CARGO_PKG_VERSION")
+        );
+        digest::hex(digest::fnv1a64(keyed.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize as _;
+    use serde_json::Map;
+
+    struct Fake {
+        knob: u64,
+    }
+
+    impl Experiment for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn config(&self) -> Value {
+            let mut m = Map::new();
+            m.insert("knob", self.knob.to_value());
+            Value::Object(m)
+        }
+        fn run(&self) -> Result<RunOutput, LabError> {
+            Ok(RunOutput::single("fake", Value::Null, String::new()))
+        }
+    }
+
+    #[test]
+    fn digest_tracks_config() {
+        let a = Fake { knob: 1 }.config_digest();
+        let b = Fake { knob: 2 }.config_digest();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, Fake { knob: 1 }.config_digest());
+    }
+}

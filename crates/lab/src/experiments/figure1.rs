@@ -1,0 +1,103 @@
+//! Figure 1: warm-up transient of the modeled Seagate Cheetah 15K.3.
+//!
+//! Starts every node at the 28 °C external temperature with SPM and VCM
+//! always on, and records the internal-air temperature minute by minute
+//! until steady state — the curve the paper used to set the 45.22 °C
+//! thermal envelope.
+
+use crate::experiments::config_object;
+use crate::text::{ascii_plot, outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use serde::Serialize;
+use serde_json::Value;
+use thermodisk::prelude::*;
+use units::Seconds;
+
+#[derive(Serialize)]
+struct Sample {
+    minute: f64,
+    air: f64,
+    spindle: f64,
+    base: f64,
+    vcm: f64,
+}
+
+/// The warm-up transient experiment.
+pub struct Figure1 {
+    /// Simulated wall-clock minutes to record.
+    pub minutes: u32,
+}
+
+impl Default for Figure1 {
+    fn default() -> Self {
+        Figure1 { minutes: 150 }
+    }
+}
+
+impl Experiment for Figure1 {
+    fn name(&self) -> &'static str {
+        "figure1"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("minutes", self.minutes.to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+        let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+        let steady = model.steady_air_temp(op);
+
+        outln!(report, "Figure 1: Cheetah 15K.3 warm-up (ambient 28 C, SPM+VCM on)");
+        outln!(report, "{}", rule(64));
+        outln!(report, "{:>7} {:>9} {:>9} {:>9} {:>9}", "min", "air C", "spindle", "base", "vcm");
+
+        let mut sim = TransientSim::from_ambient(&model);
+        let mut samples = Vec::new();
+        let mut reached_steady_at = None;
+        for minute in 0..=self.minutes {
+            let t = sim.temps();
+            if minute % 5 == 0 || minute <= 3 {
+                outln!(
+                    report,
+                    "{:>7} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                    minute,
+                    t.air.get(),
+                    t.spindle.get(),
+                    t.base.get(),
+                    t.vcm.get()
+                );
+            }
+            samples.push(Sample {
+                minute: minute as f64,
+                air: t.air.get(),
+                spindle: t.spindle.get(),
+                base: t.base.get(),
+                vcm: t.vcm.get(),
+            });
+            if reached_steady_at.is_none() && (steady - t.air).get() < 0.1 {
+                reached_steady_at = Some(minute);
+            }
+            sim.advance(&model, op, Seconds::new(60.0));
+        }
+        outln!(report, "{}", rule(64));
+        outln!(
+            report,
+            "steady state {:.2} C (paper: 45.22 C) reached after ~{} min (paper: ~48 min)",
+            steady.get(),
+            reached_steady_at.unwrap_or(self.minutes)
+        );
+        outln!(
+            report,
+            "with the ~10 C electronics adder the paper cites: {:.1} C vs the drive's rated 55 C",
+            steady.get() + 10.0
+        );
+
+        let curve: Vec<(f64, f64)> = samples.iter().map(|s| (s.minute, s.air)).collect();
+        outln!(report, "\ninternal air temperature vs minutes:");
+        outln!(report, "{}", ascii_plot(&[("air C", &curve)], 60, 12));
+
+        Ok(RunOutput::single("figure1", samples.to_value(), report))
+    }
+}

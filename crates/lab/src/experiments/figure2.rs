@@ -1,0 +1,89 @@
+//! Figure 2: the envelope-constrained roadmap — maximum attainable IDR
+//! (top) and the corresponding capacity (bottom) for every platter size
+//! and count, 2002–2012, against the 40 % CGR target.
+
+use crate::experiments::config_object;
+use crate::text::{outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use roadmap::{envelope_roadmap, falloff_year, RoadmapConfig, RoadmapPoint};
+use serde::Serialize;
+use serde_json::Value;
+
+/// The envelope-roadmap experiment over the default design space.
+#[derive(Default)]
+pub struct Figure2;
+
+impl Experiment for Figure2 {
+    fn name(&self) -> &'static str {
+        "figure2"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("roadmap", "default".to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let cfg = RoadmapConfig::default();
+        let points = envelope_roadmap(&cfg);
+
+        for &platters in &cfg.platter_counts {
+            outln!(report, "\n{}-Platter roadmap (envelope 45.22 C)", platters);
+            outln!(report, "{}", rule(96));
+            outln!(
+                report,
+                "{:>5} | {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+                "Year", "Target", "2.6\" IDR", "2.1\" IDR", "1.6\" IDR", "2.6\" GB", "2.1\" GB", "1.6\" GB"
+            );
+            outln!(report, "{}", rule(96));
+            for year in cfg.years() {
+                let get = |dia: f64| -> &RoadmapPoint {
+                    points
+                        .iter()
+                        .find(|p| {
+                            p.year == year
+                                && p.platters == platters
+                                && (p.diameter.get() - dia).abs() < 1e-9
+                        })
+                        .expect("point exists")
+                };
+                let (p26, p21, p16) = (get(2.6), get(2.1), get(1.6));
+                let mark = |p: &RoadmapPoint| if p.meets_target() { ' ' } else { '*' };
+                outln!(
+                    report,
+                    "{:>5} | {:>10.1} | {:>8.1}{} {:>8.1}{} {:>8.1}{} | {:>9.1} {:>9.1} {:>9.1}",
+                    year,
+                    p26.idr_target.get(),
+                    p26.max_idr.get(),
+                    mark(p26),
+                    p21.max_idr.get(),
+                    mark(p21),
+                    p16.max_idr.get(),
+                    mark(p16),
+                    p26.capacity.gigabytes(),
+                    p21.capacity.gigabytes(),
+                    p16.capacity.gigabytes(),
+                );
+            }
+            outln!(report, "{}", rule(96));
+            for dia in [2.6, 2.1, 1.6] {
+                let series: Vec<RoadmapPoint> = points
+                    .iter()
+                    .filter(|p| p.platters == platters && (p.diameter.get() - dia).abs() < 1e-9)
+                    .copied()
+                    .collect();
+                let max_rpm = series[0].max_rpm.get();
+                match falloff_year(&series) {
+                    Some(y) => outln!(
+                        report,
+                        "  {dia}\": max {max_rpm:.0} RPM within envelope; falls off the 40% CGR at {y}"
+                    ),
+                    None => outln!(report, "  {dia}\": max {max_rpm:.0} RPM; holds the target throughout"),
+                }
+            }
+            outln!(report, "  (* = misses the year's target; paper: 2.6\" falls off ~2003, 2.1\" ~2004-05, 1.6\" ~2006-07)");
+        }
+
+        Ok(RunOutput::single("figure2", points.to_value(), report))
+    }
+}

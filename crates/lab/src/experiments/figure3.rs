@@ -1,0 +1,93 @@
+//! Figure 3: cooling-system sensitivity — how 5 °C and 10 °C cooler
+//! external air stretch the single-platter roadmap.
+
+use crate::experiments::config_object;
+use crate::text::{outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use roadmap::{falloff_year, roadmap_for, RoadmapConfig};
+use serde::Serialize;
+use serde_json::Value;
+use units::{Celsius, Inches};
+
+#[derive(Serialize)]
+struct Series {
+    diameter: f64,
+    ambient: f64,
+    falloff_year: Option<i32>,
+    idr_by_year: Vec<(i32, f64, f64)>,
+}
+
+/// The cooling-sensitivity experiment (28/23/18 °C ambients).
+#[derive(Default)]
+pub struct Figure3;
+
+impl Experiment for Figure3 {
+    fn name(&self) -> &'static str {
+        "figure3"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("ambients", vec![28.0, 23.0, 18.0].to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let base = RoadmapConfig::default();
+        outln!(report, "Figure 3: cooling the external air (baseline 28 C wet-bulb)");
+
+        let mut all = Vec::new();
+        for dia in [2.6, 2.1, 1.6] {
+            outln!(report, "\n1-Platter {dia}\" IDR roadmap under improved cooling");
+            outln!(report, "{}", rule(74));
+            outln!(
+                report,
+                "{:>5} | {:>10} | {:>12} {:>12} {:>12}",
+                "Year", "Target", "Baseline", "5 C cooler", "10 C cooler"
+            );
+            outln!(report, "{}", rule(74));
+            let series: Vec<(f64, Vec<roadmap::RoadmapPoint>)> = [28.0, 23.0, 18.0]
+                .iter()
+                .map(|&amb| {
+                    (
+                        amb,
+                        roadmap_for(&base, Inches::new(dia), 1, Celsius::new(amb)),
+                    )
+                })
+                .collect();
+            for (i, year) in base.years().enumerate() {
+                outln!(
+                    report,
+                    "{:>5} | {:>10.1} | {:>12.1} {:>12.1} {:>12.1}",
+                    year,
+                    series[0].1[i].idr_target.get(),
+                    series[0].1[i].max_idr.get(),
+                    series[1].1[i].max_idr.get(),
+                    series[2].1[i].max_idr.get(),
+                );
+            }
+            outln!(report, "{}", rule(74));
+            for (amb, pts) in &series {
+                let fy = falloff_year(pts);
+                outln!(
+                    report,
+                    "  ambient {amb:>4.1} C: max {:.0} RPM, falls off at {:?}",
+                    pts[0].max_rpm.get(),
+                    fy
+                );
+                all.push(Series {
+                    diameter: dia,
+                    ambient: *amb,
+                    falloff_year: fy,
+                    idr_by_year: pts
+                        .iter()
+                        .map(|p| (p.year, p.max_idr.get(), p.idr_target.get()))
+                        .collect(),
+                });
+            }
+        }
+        outln!(report, "\nPaper: 5 C / 10 C of cooling lengthen the 1.6\" roadmap by one / two years;");
+        outln!(report, "the terabit transition (2010) cannot be sustained by cooling alone.");
+
+        Ok(RunOutput::single("figure3", all.to_value(), report))
+    }
+}

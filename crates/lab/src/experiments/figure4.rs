@@ -1,0 +1,120 @@
+//! Figure 4: response-time CDFs of five server workloads as spindle
+//! speed increases in +5,000 RPM steps (thermal effects deliberately
+//! ignored, as in the paper).
+//!
+//! The paper replays 3–6 million requests per trace; [`Figure4`]
+//! defaults to 200,000 per workload, and the `figure4` wrapper binary
+//! still accepts a request-count argument to approach trace scale.
+
+use crate::experiments::config_object;
+use crate::text::{out, outln, rule};
+use crate::{Experiment, LabError, RunOutput, Scale};
+use serde::Serialize;
+use serde_json::Value;
+use units::Rpm;
+use workloads::presets;
+
+#[derive(Serialize)]
+struct WorkloadResult {
+    name: String,
+    rpm: f64,
+    requests: u64,
+    mean_ms: f64,
+    p95_ms: f64,
+    cdf: Vec<(f64, f64)>,
+}
+
+/// The spindle-speed / response-time experiment.
+pub struct Figure4 {
+    /// Requests replayed per workload.
+    pub requests: usize,
+    /// Trace-generator seed.
+    pub seed: u64,
+}
+
+impl Figure4 {
+    /// Paper-shaped defaults at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        Figure4 {
+            requests: match scale {
+                Scale::Full => 200_000,
+                Scale::Quick => 2_000,
+            },
+            seed: 42,
+        }
+    }
+}
+
+impl Experiment for Figure4 {
+    fn name(&self) -> &'static str {
+        "figure4"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![
+            ("requests", self.requests.to_value()),
+            ("seed", self.seed.to_value()),
+        ])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let n = self.requests;
+
+        outln!(report, "Figure 4: response times vs spindle speed ({n} requests per workload)");
+        let mut results = Vec::new();
+        for preset in presets() {
+            let base = preset.base_rpm.get();
+            let steps: Vec<f64> = (0..4).map(|i| base + i as f64 * 5_000.0).collect();
+
+            outln!(report, "\n{} ({} disks{}, base {:.0} RPM; paper mean at base: {:.2} ms)",
+                preset.name,
+                preset.disks,
+                if preset.raid.is_some() { ", RAID-5" } else { "" },
+                base,
+                preset.paper_mean_response_ms,
+            );
+            outln!(report, "{}", rule(100));
+            out!(report, "{:>10} |", "RPM");
+            for edge in disksim::CDF_BUCKETS_MS {
+                out!(report, " {:>6.0}", edge);
+            }
+            outln!(report, " {:>6} | {:>9}", "200+", "mean ms");
+            outln!(report, "{}", rule(100));
+
+            let mut means = Vec::new();
+            for &rpm in &steps {
+                let stats = preset
+                    .run(Rpm::new(rpm), n, self.seed)
+                    .map_err(|e| LabError::Experiment(format!("{}: {e}", preset.name)))?;
+                let cdf = stats.cdf();
+                out!(report, "{:>10.0} |", rpm);
+                for &(_, frac) in &cdf[..cdf.len() - 1] {
+                    out!(report, " {:>6.3}", frac);
+                }
+                outln!(report, " {:>6.3} | {:>9.2}", 1.0, stats.mean().to_millis());
+                means.push(stats.mean().to_millis());
+                results.push(WorkloadResult {
+                    name: preset.name.to_string(),
+                    rpm,
+                    requests: stats.count(),
+                    mean_ms: stats.mean().to_millis(),
+                    p95_ms: stats.percentile(95.0).to_millis(),
+                    cdf,
+                });
+            }
+            outln!(report, "{}", rule(100));
+            let improv_5k = (means[0] - means[1]) / means[0] * 100.0;
+            let improv_10k = (means[0] - means[2]) / means[0] * 100.0;
+            outln!(
+                report,
+                "  mean response: {:.2} -> {:.2} -> {:.2} -> {:.2} ms; +5K RPM buys {:.1}%, +10K {:.1}%",
+                means[0], means[1], means[2], means[3], improv_5k, improv_10k
+            );
+        }
+        outln!(report, "\nPaper: +5K RPM improves means by 20.8% (OLTP) to 52.5% (OpenMail);");
+        outln!(report, "+10K RPM lands in the 30-60% band across workloads.");
+
+        Ok(RunOutput::single("figure4", results.to_value(), report))
+    }
+}

@@ -1,0 +1,116 @@
+//! Figures 6 and 7: dynamic throttling — the throttling ratio
+//! `t_heat / t_cool` as a function of the cooling interval, for both
+//! throttle mechanisms of Figure 6.
+
+use crate::experiments::config_object;
+use crate::text::{ascii_plot, outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use dtm::{throttling_curve, ThrottleExperiment};
+use serde::Serialize;
+use serde_json::Value;
+
+#[derive(Serialize)]
+struct Curve {
+    label: String,
+    feasible_note: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// The dynamic-throttling experiment over a sweep of cooling intervals.
+pub struct Figure7 {
+    /// Cooling intervals swept, in seconds.
+    pub t_cools: Vec<f64>,
+}
+
+impl Default for Figure7 {
+    fn default() -> Self {
+        Figure7 {
+            t_cools: vec![0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0],
+        }
+    }
+}
+
+impl Experiment for Figure7 {
+    fn name(&self) -> &'static str {
+        "figure7"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("t_cools", self.t_cools.to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+
+        // Figure 6 feasibility checks first.
+        let (exp_a, policy_a) = ThrottleExperiment::figure7a();
+        let (exp_b, policy_b) = ThrottleExperiment::figure7b();
+        outln!(report, "Figure 6 feasibility:");
+        outln!(
+            report,
+            "  (a) 24,534 RPM, VCM-only:    cooling point steady = {:.2} C (paper 44.07; must be < 45.22) -> {}",
+            exp_a
+                .model_steady(policy_a.cooling_point())
+                .get(),
+            if exp_a.is_feasible(policy_a) { "feasible" } else { "infeasible" }
+        );
+        let vcm_only_37k = dtm::ThrottlePolicy::VcmOnly {
+            rpm: units::Rpm::new(37_001.0),
+        };
+        outln!(
+            report,
+            "  (b) 37,001 RPM, VCM-only:    cooling point steady = {:.2} C (paper 53.04; above envelope) -> {}",
+            exp_b.model_steady(vcm_only_37k.cooling_point()).get(),
+            if exp_b.is_feasible(vcm_only_37k) { "feasible" } else { "infeasible" }
+        );
+        outln!(
+            report,
+            "  (b) 37,001/22,001 RPM drop:  cooling point steady = {:.2} C -> {}",
+            exp_b.model_steady(policy_b.cooling_point()).get(),
+            if exp_b.is_feasible(policy_b) { "feasible" } else { "infeasible" }
+        );
+
+        let mut curves = Vec::new();
+        for (label, exp, policy, note) in [
+            (
+                "Figure 7(a): 2.6\" @ 24,534 RPM, VCM-only throttling",
+                &exp_a,
+                policy_a,
+                "paper: ratio ~1.6-1.8 at small t_cool, below 1 past ~1 s",
+            ),
+            (
+                "Figure 7(b): 2.6\" @ 37,001 RPM, VCM off + drop to 22,001 RPM",
+                &exp_b,
+                policy_b,
+                "paper: similar shape, slightly higher ratios",
+            ),
+        ] {
+            outln!(report, "\n{label}");
+            outln!(report, "{}", rule(44));
+            outln!(report, "{:>8} | {:>16}", "t_cool s", "throttling ratio");
+            outln!(report, "{}", rule(44));
+            let pts = throttling_curve(exp, policy, &self.t_cools);
+            for &(t, r) in &pts {
+                let marker = if r >= 1.0 { "  (utilization > 50%)" } else { "" };
+                outln!(report, "{:>8.2} | {:>16.2}{marker}", t, r);
+            }
+            outln!(report, "{}", rule(44));
+            outln!(report, "  {note}");
+            curves.push(Curve {
+                label: label.to_string(),
+                feasible_note: note.to_string(),
+                points: pts,
+            });
+        }
+
+        outln!(report, "\nThrottling ratio vs t_cool (both mechanisms):");
+        let a: Vec<(f64, f64)> = curves[0].points.clone();
+        let b: Vec<(f64, f64)> = curves[1].points.clone();
+        outln!(report, "{}", ascii_plot(&[("7(a) VCM-only", &a), ("7(b) VCM+RPM drop", &b)], 56, 12));
+
+        outln!(report, "Conclusion (matches §5.3): keeping the disk busy at least half the time");
+        outln!(report, "requires throttling at a fine granularity — around a second or less.");
+
+        Ok(RunOutput::single("figure7", curves.to_value(), report))
+    }
+}

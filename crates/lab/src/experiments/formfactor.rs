@@ -1,0 +1,62 @@
+//! §4.2.2: the enclosure form-factor study — a 2.6″ platter moved into a
+//! 2.5″-class case loses heat-rejection area and falls off the roadmap
+//! immediately; quantifies the extra cooling needed to recover.
+
+use crate::experiments::config_object;
+use crate::text::{outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use roadmap::{form_factor_study, RoadmapConfig};
+use serde::Serialize;
+use serde_json::Value;
+
+/// The small-enclosure form-factor study.
+#[derive(Default)]
+pub struct FormFactor;
+
+impl Experiment for FormFactor {
+    fn name(&self) -> &'static str {
+        "formfactor"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("roadmap", "default".to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let cfg = RoadmapConfig::default();
+        let study = form_factor_study(&cfg);
+
+        outln!(report, "Form-factor study: 2.6\" platter in a 2.5\" enclosure (3.96\" x 2.75\")");
+        outln!(report, "{}", rule(70));
+        outln!(
+            report,
+            "{:>5} | {:>10} | {:>14} {:>6}",
+            "Year", "Target", "Small-FF IDR", "meets"
+        );
+        outln!(report, "{}", rule(70));
+        for p in &study.small_points {
+            outln!(
+                report,
+                "{:>5} | {:>10.1} | {:>14.1} {:>6}",
+                p.year,
+                p.idr_target.get(),
+                p.max_idr.get(),
+                if p.meets_target() { "yes" } else { "NO" }
+            );
+        }
+        outln!(report, "{}", rule(70));
+        outln!(
+            report,
+            "small enclosure falls off at {:?} (paper: already at 2002); 3.5\" baseline at {:?}",
+            study.small_falloff, study.baseline_falloff
+        );
+        outln!(
+            report,
+            "extra ambient cooling needed to become comparable: {:.0} C (paper: ~15 C)",
+            study.cooling_needed
+        );
+
+        Ok(RunOutput::single("formfactor", study.to_value(), report))
+    }
+}

@@ -1,0 +1,29 @@
+//! The ported experiment implementations — one module per table/figure.
+//!
+//! Each module holds an [`Experiment`](crate::Experiment) whose `run`
+//! builds the same text report the old `bench` binary printed and the
+//! same JSON payload(s) it saved, so regenerated artifacts keep their
+//! shape.
+
+pub mod figure1;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod figure7;
+pub mod formfactor;
+pub mod plan;
+pub mod shuffle;
+pub mod table1;
+pub mod table3;
+
+use serde_json::{Map, Value};
+
+/// Builds a config object from key/value pairs, preserving order.
+pub(crate) fn config_object(entries: Vec<(&str, Value)>) -> Value {
+    let mut map = Map::new();
+    for (k, v) in entries {
+        map.insert(k, v);
+    }
+    Value::Object(map)
+}

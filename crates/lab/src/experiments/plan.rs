@@ -1,0 +1,63 @@
+//! The §4 methodology, automated: which design the paper's four-step
+//! procedure picks each year, and when it runs out of options.
+
+use crate::experiments::config_object;
+use crate::text::{outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use roadmap::{plan_roadmap, RoadmapConfig};
+use serde::Serialize;
+use serde_json::Value;
+
+/// The automated roadmap-planning walk.
+#[derive(Default)]
+pub struct Plan;
+
+impl Experiment for Plan {
+    fn name(&self) -> &'static str {
+        "plan"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("roadmap", "default".to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let cfg = RoadmapConfig::default();
+        let plan = plan_roadmap(&cfg);
+
+        outln!(report, "Automated §4 methodology walk (envelope 45.22 C)");
+        outln!(report, "{}", rule(100));
+        outln!(
+            report,
+            "{:>5} | {:>14} | {:>6} {:>9} {:>9} | {:>9} {:>9} | {:>9}",
+            "Year", "Step", "Size", "Platters", "RPM", "IDR", "Target", "Capacity"
+        );
+        outln!(report, "{}", rule(100));
+        for y in &plan {
+            outln!(
+                report,
+                "{:>5} | {:>14} | {:>5.1}\" {:>9} {:>9.0} | {:>9.1} {:>9.1} | {:>7.1} GB{}",
+                y.year,
+                format!("{:?}", y.step),
+                y.diameter.get(),
+                y.platters,
+                y.rpm.get(),
+                y.idr.get(),
+                y.idr_target.get(),
+                y.capacity.gigabytes(),
+                if y.meets_target() { "" } else { "  *" }
+            );
+        }
+        outln!(report, "{}", rule(100));
+        outln!(report, "(* = target missed; the methodology reports its best-IDR fallback)");
+        let last_met = plan.iter().filter(|y| y.meets_target()).map(|y| y.year).max();
+        outln!(
+            report,
+            "the design space sustains the 40% CGR through {:?}; paper: ~2006 with 25%/14% growth after",
+            last_met
+        );
+
+        Ok(RunOutput::single("plan", plan.to_value(), report))
+    }
+}

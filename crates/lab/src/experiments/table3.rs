@@ -1,0 +1,81 @@
+//! Table 3: the spindle speed each platter size needs, year by year, to
+//! hold the 40 % IDR growth target — and the steady-state temperature
+//! that speed would reach.
+
+use crate::experiments::config_object;
+use crate::text::{outln, rule};
+use crate::{Experiment, LabError, RunOutput};
+use roadmap::{required_rpm_table, RequiredRpmRow, RoadmapConfig};
+use serde::Serialize;
+use serde_json::Value;
+
+fn row_for(rows: &[RequiredRpmRow], year: i32, dia: f64) -> &RequiredRpmRow {
+    rows.iter()
+        .find(|r| r.year == year && (r.diameter.get() - dia).abs() < 1e-9)
+        .expect("row exists")
+}
+
+/// The required-RPM table.
+#[derive(Default)]
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![("roadmap", "default".to_value())])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let mut report = String::new();
+        let cfg = RoadmapConfig::default();
+        let rows = required_rpm_table(&cfg);
+
+        outln!(report, "Table 3: RPM required for the 40% IDR CGR and its thermal cost");
+        outln!(report, "(single platter, n_zones = 50, 3.5\" enclosure, envelope 45.22 C)");
+        outln!(report, "{}", rule(112));
+        outln!(
+            report,
+            "{:>5} | {:>9} {:>7} {:>8} | {:>9} {:>7} {:>8} | {:>9} {:>7} {:>8} | {:>9}",
+            "Year",
+            "2.6\" IDRd", "RPM", "Temp C",
+            "2.1\" IDRd", "RPM", "Temp C",
+            "1.6\" IDRd", "RPM", "Temp C",
+            "IDR req"
+        );
+        outln!(report, "{}", rule(112));
+        for year in cfg.years() {
+            let r26 = row_for(&rows, year, 2.6);
+            let r21 = row_for(&rows, year, 2.1);
+            let r16 = row_for(&rows, year, 1.6);
+            outln!(
+                report,
+                "{:>5} | {:>9.2} {:>7.0} {:>8.2} | {:>9.2} {:>7.0} {:>8.2} | {:>9.2} {:>7.0} {:>8.2} | {:>9.2}",
+                year,
+                r26.idr_density.get(),
+                r26.required_rpm.get(),
+                r26.steady_temp.get(),
+                r21.idr_density.get(),
+                r21.required_rpm.get(),
+                r21.steady_temp.get(),
+                r16.idr_density.get(),
+                r16.required_rpm.get(),
+                r16.steady_temp.get(),
+                r26.idr_target.get(),
+            );
+        }
+        outln!(report, "{}", rule(112));
+        outln!(report, "Paper checkpoints: 2002 2.6\" = 15,098 RPM @ 45.24 C; 2012 2.6\" = 143,470 RPM @ 602.98 C.");
+        outln!(
+            report,
+            "Viscous dissipation, 2.6\": {:.2} W (2002) -> {:.2} W (2009) -> {:.2} W (2012); paper: 0.91 / 35.55 / 499.73 W.",
+            row_for(&rows, 2002, 2.6).viscous_power.get(),
+            row_for(&rows, 2009, 2.6).viscous_power.get(),
+            row_for(&rows, 2012, 2.6).viscous_power.get(),
+        );
+
+        Ok(RunOutput::single("table3", rows.to_value(), report))
+    }
+}

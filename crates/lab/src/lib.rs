@@ -1,0 +1,26 @@
+//! `disklab` — experiment orchestration for the thermodisk workspace.
+//!
+//! Every table and figure the paper reproduction regenerates is a
+//! registered [`Experiment`]. The [`Engine`] runs any subset across a
+//! work-stealing thread pool, serves repeat runs from a
+//! content-addressed cache under `results/.cache/`, and records what
+//! happened in `results/manifest.json`. The `lab` binary is the single
+//! CLI front end; the old per-experiment binaries in the `bench` crate
+//! are thin wrappers over [`cli`].
+
+pub mod cli;
+pub mod digest;
+pub mod engine;
+pub mod error;
+pub mod experiment;
+pub mod experiments;
+pub mod manifest;
+pub mod registry;
+pub mod text;
+
+pub use engine::{Engine, RunSummary};
+pub use error::LabError;
+pub use experiment::{Experiment, RunOutput, Scale};
+pub use manifest::{Manifest, ManifestEntry};
+pub use registry::{by_name, names, registry};
+pub use text::{ascii_plot, results_dir, rule, save_json};

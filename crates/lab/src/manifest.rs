@@ -1,0 +1,73 @@
+//! The run manifest written to `results/manifest.json`: what ran, from
+//! cache or fresh, how long it took, and which files it produced.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's entry in the manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Experiment name.
+    pub name: String,
+    /// Content digest of (name, config, crate version).
+    pub digest: String,
+    /// `"hit"` when served from the result cache, `"miss"` when computed.
+    pub cache: String,
+    /// Wall time this run spent on the experiment, milliseconds.
+    pub wall_ms: f64,
+    /// Files written under `results/`, relative names.
+    pub outputs: Vec<String>,
+}
+
+/// The full manifest for one `lab` invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest schema version.
+    pub schema: u32,
+    /// `disklab` crate version that produced the results.
+    pub crate_version: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time, milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-experiment records, sorted by name.
+    pub experiments: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Number of cache hits recorded.
+    pub fn hits(&self) -> usize {
+        self.experiments.iter().filter(|e| e.cache == "hit").count()
+    }
+
+    /// Number of cache misses recorded.
+    pub fn misses(&self) -> usize {
+        self.experiments.len() - self.hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = Manifest {
+            schema: 1,
+            crate_version: "0.1.0".into(),
+            threads: 4,
+            total_wall_ms: 12.5,
+            experiments: vec![ManifestEntry {
+                name: "figure1".into(),
+                digest: "abc".into(),
+                cache: "miss".into(),
+                wall_ms: 3.25,
+                outputs: vec!["figure1.json".into(), "figure1.txt".into()],
+            }],
+        };
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.experiments[0].name, "figure1");
+        assert_eq!(back.hits(), 0);
+        assert_eq!(back.misses(), 1);
+    }
+}

@@ -53,6 +53,7 @@ pub struct ArrivalStream {
     /// Remaining time in the current burst/quiet state (bursty only).
     state_left: f64,
     in_burst: bool,
+    started: bool,
 }
 
 impl ArrivalStream {
@@ -63,34 +64,58 @@ impl ArrivalStream {
             now: 0.0,
             state_left: 0.0,
             in_burst: false,
+            started: false,
         }
     }
 
     /// Draws the next arrival time.
     pub fn next_arrival<R: Rng>(&mut self, rng: &mut R) -> Seconds {
-        let rate = match self.model {
-            ArrivalModel::Poisson { rate } => rate,
+        match self.model {
+            ArrivalModel::Poisson { rate } => {
+                self.now += exponential(rng, rate);
+            }
             ArrivalModel::Bursty {
                 base_rate,
                 burst_factor,
                 burst_len,
                 quiet_len,
             } => {
-                if self.state_left <= 0.0 {
-                    self.in_burst = !self.in_burst;
+                if !self.started {
+                    // Stationary start: occupancy is proportional to the
+                    // mean state durations, and the residual of an
+                    // exponential state is again exponential.
+                    self.started = true;
+                    self.in_burst = rng.gen_bool(burst_len / (burst_len + quiet_len));
                     let mean = if self.in_burst { burst_len } else { quiet_len };
                     self.state_left = exponential(rng, 1.0 / mean);
                 }
-                if self.in_burst {
-                    base_rate * burst_factor
-                } else {
-                    base_rate
+                // Piecewise Poisson: a gap drawn at the current state's
+                // rate is only valid while that state lasts. A draw that
+                // crosses the boundary advances the clock to the boundary
+                // and redraws at the new rate (memorylessness makes the
+                // fresh draw exact).
+                loop {
+                    if self.state_left <= 0.0 {
+                        self.in_burst = !self.in_burst;
+                        let mean = if self.in_burst { burst_len } else { quiet_len };
+                        self.state_left = exponential(rng, 1.0 / mean);
+                    }
+                    let rate = if self.in_burst {
+                        base_rate * burst_factor
+                    } else {
+                        base_rate
+                    };
+                    let gap = exponential(rng, rate);
+                    if gap <= self.state_left {
+                        self.state_left -= gap;
+                        self.now += gap;
+                        break;
+                    }
+                    self.now += self.state_left;
+                    self.state_left = 0.0;
                 }
             }
-        };
-        let gap = exponential(rng, rate);
-        self.state_left -= gap;
-        self.now += gap;
+        }
         Seconds::new(self.now)
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# One-shot verification: build everything, run the full test suite, and
+# regenerate one paper artifact end to end through the lab engine.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run --release --bin lab -- table1"
+cargo run --release --bin lab -- table1
+
+echo "verify: OK"

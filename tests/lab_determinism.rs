@@ -1,0 +1,84 @@
+//! Integration: the `lab` engine must be deterministic across thread
+//! counts — running the full registry with one worker and with eight
+//! workers has to produce byte-identical JSON payloads — and a repeat
+//! run must be served entirely from the cache without changing a byte.
+
+use disklab::{Engine, Scale};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// All `*.json` payloads in a results directory, except the manifest
+/// (whose timing fields legitimately differ run to run).
+fn payloads(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if name.ends_with(".json") && name != "manifest.json" {
+            out.insert(name, fs::read(&path).unwrap());
+        }
+    }
+    out
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("disklab-det-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let dir1 = scratch("t1");
+    let dir8 = scratch("t8");
+
+    let summary1 = Engine::at(&dir1)
+        .threads(1)
+        .run(disklab::registry(Scale::Quick))
+        .unwrap();
+    let summary8 = Engine::at(&dir8)
+        .threads(8)
+        .run(disklab::registry(Scale::Quick))
+        .unwrap();
+
+    assert_eq!(summary1.manifest.threads, 1);
+    assert_eq!(summary8.manifest.threads, 8);
+
+    let files1 = payloads(&dir1);
+    let files8 = payloads(&dir8);
+    assert_eq!(
+        files1.keys().collect::<Vec<_>>(),
+        files8.keys().collect::<Vec<_>>(),
+        "both runs must produce the same file set"
+    );
+    assert!(!files1.is_empty());
+    for (name, bytes) in &files1 {
+        assert_eq!(bytes, &files8[name], "{name} differs between 1 and 8 threads");
+    }
+
+    // Manifests must agree on everything except timings.
+    let m1 = &summary1.manifest;
+    let m8 = &summary8.manifest;
+    assert_eq!(m1.crate_version, m8.crate_version);
+    assert_eq!(m1.experiments.len(), m8.experiments.len());
+    for (a, b) in m1.experiments.iter().zip(&m8.experiments) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    // A repeat run over the same cache is all hits and changes nothing.
+    let before = payloads(&dir8);
+    let again = Engine::at(&dir8)
+        .threads(8)
+        .run(disklab::registry(Scale::Quick))
+        .unwrap();
+    assert_eq!(again.manifest.hits(), again.manifest.experiments.len());
+    assert_eq!(again.manifest.misses(), 0);
+    assert_eq!(before, payloads(&dir8));
+
+    let _ = fs::remove_dir_all(&dir1);
+    let _ = fs::remove_dir_all(&dir8);
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure for a
+//! short, fixed measurement window and prints mean wall-clock time per
+//! iteration. No statistics, plots, or baselines — just enough to keep
+//! `cargo bench` meaningful while the real crate is unavailable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for a short window and records the mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single-iteration cost.
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 10_000.0) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn report(id: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<44} {:>12}/iter", format_time(mean_secs));
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+            line.push_str(&format!("  {:>12.0} elem/s", n as f64 / mean_secs));
+        }
+        Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+            line.push_str(&format!("  {:>12.0} B/s", n as f64 / mean_secs));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b);
+        report(&id, b.mean_secs, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b);
+        report(&full, b.mean_secs, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u32;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_accept_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-5).contains("µs"));
+        assert!(format_time(2e-2).ends_with("ms"));
+        assert!(format_time(2.0).ends_with('s'));
+    }
+}

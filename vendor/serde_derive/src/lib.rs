@@ -1,0 +1,440 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually derives on: named-field structs, tuple/newtype structs
+//! (including `#[serde(transparent)]`), and enums with unit, tuple, and
+//! struct variants using serde's external tagging.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` by rendering into a `serde::Value`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` by reading back out of a `serde::Value`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (offline stand-in): generic types are not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_types(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, kind }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas (angle-bracket aware).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks never empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn tokens_to_type(tokens: &[TokenTree]) -> String {
+    // Round-trip through a TokenStream so lifetimes and paths keep
+    // valid spacing (`&'static str`, `Vec<(u32, f64)>`).
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected field name, found {other:?}"),
+            };
+            i += 1;
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("serde derive: expected `:` after field name, found {other:?}"),
+            }
+            i += 1;
+            Field {
+                name,
+                ty: tokens_to_type(&chunk[i..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            tokens_to_type(&chunk[i..])
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let shape = match chunk.get(i) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(parse_tuple_types(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde derive: unexpected variant body {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__m.insert(\"{n}\", ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            b
+        }
+        Kind::TupleStruct(types) if types.len() == 1 => {
+            // serde serializes newtype structs as their inner value.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::TupleStruct(types) => {
+            let items: Vec<String> = (0..types.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(types) => {
+                        let binds: Vec<String> =
+                            (0..types.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if types.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{vn}\", {inner});\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{n}\", ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{vn}\", ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize generation
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{n}: <{ty} as ::serde::Deserialize>::from_value(\
+                     __m.get(\"{n}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error::custom(\
+                     format!(\"{name}.{n}: {{e}}\")))?,\n",
+                    n = f.name,
+                    ty = f.ty
+                ));
+            }
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::expected(\"object\", \"{name}\", __v))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::TupleStruct(types) if types.len() == 1 => format!(
+            "Ok({name}(<{ty} as ::serde::Deserialize>::from_value(__v)?))",
+            ty = types[0]
+        ),
+        Kind::TupleStruct(types) => {
+            let n = types.len();
+            let items: Vec<String> = types
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| {
+                    format!("<{ty} as ::serde::Deserialize>::from_value(&__a[{i}])?")
+                })
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", \"{name}\", __v))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(\
+                 format!(\"{name}: expected {n} elements, found {{}}\", __a.len())));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(types) if types.len() == 1 => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             <{ty} as ::serde::Deserialize>::from_value(__inner)?)),\n",
+                            ty = types[0]
+                        ));
+                    }
+                    VariantShape::Tuple(types) => {
+                        let n = types.len();
+                        let items: Vec<String> = types
+                            .iter()
+                            .enumerate()
+                            .map(|(i, ty)| {
+                                format!("<{ty} as ::serde::Deserialize>::from_value(&__a[{i}])?")
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", \"{name}::{vn}\", __inner))?;\n\
+                             if __a.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\
+                             format!(\"{name}::{vn}: expected {n} elements, found {{}}\", __a.len())));\n\
+                             }}\n\
+                             Ok({name}::{vn}({items}))\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{n}: <{ty} as ::serde::Deserialize>::from_value(\
+                                 __fields.get(\"{n}\").unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| ::serde::Error::custom(\
+                                 format!(\"{name}::{vn}.{n}: {{e}}\")))?,\n",
+                                n = f.name,
+                                ty = f.ty
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object\", \"{name}::{vn}\", __inner))?;\n\
+                             Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {keyed_arms}\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::expected(\
+                 \"string or single-key object\", \"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n\
+         }}"
+    )
+}
