@@ -47,7 +47,9 @@ fn print_findings() {
         let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
         let op = OperatingPoint::seeking(Rpm::new(15_000.0));
         let reference = {
-            let mut sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.01));
+            let mut sim = TransientSim::from_ambient(&model)
+                .with_step(Seconds::new(0.01))
+                .expect("positive step");
             sim.advance(&model, op, Seconds::new(600.0));
             sim.temps().air.get()
         };
@@ -55,6 +57,7 @@ fn print_findings() {
         for dt in [0.05, 0.1, 0.5, 1.0] {
             let mut sim = TransientSim::from_ambient(&model)
                 .with_step(Seconds::new(dt))
+                .expect("positive step")
                 .with_integrator(Integrator::ForwardEuler);
             sim.advance(&model, op, Seconds::new(600.0));
             let err = (sim.temps().air.get() - reference).abs();

@@ -61,7 +61,9 @@ fn bench_warmup_to_steady(c: &mut Criterion) {
     let op = OperatingPoint::seeking(Rpm::new(15_000.0));
     c.bench_function("figure1_warmup_to_steady", |b| {
         b.iter(|| {
-            let mut sim = TransientSim::from_ambient(&m).with_step(Seconds::new(0.5));
+            let mut sim = TransientSim::from_ambient(&m)
+                .with_step(Seconds::new(0.5))
+                .expect("positive step");
             sim.run_to_steady(&m, op, 0.01)
         })
     });

@@ -128,7 +128,9 @@ struct Parent {
     first_start: Option<Seconds>,
 }
 
-/// Orders floats in a heap (arrival times are always finite).
+/// Orders floats in a heap. The order is total even for NaN
+/// (`f64::total_cmp`), though arrival times are always finite in
+/// practice.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct TimeKey(f64, u64);
 
@@ -159,7 +161,7 @@ pub struct StorageSystem {
     scheduler: Scheduler,
     raid: Option<RaidConfig>,
     logical_sectors: u64,
-    arrivals: BinaryHeap<Reverse<(TimeKey, Request)>>,
+    arrivals: BinaryHeap<Reverse<Arrival>>,
     queues: Vec<Vec<PhysRequest>>,
     in_service: Vec<Option<(Seconds, PhysRequest)>>,
     parents: HashMap<u64, Parent>,
@@ -171,17 +173,30 @@ pub struct StorageSystem {
     failed_disk: Option<u32>,
 }
 
-// Requests inside the arrival heap are ordered by TimeKey only; Request
-// itself carries no ordering. Wrap ordering is total via TimeKey.
-impl PartialOrd for Request {
+/// One entry in the arrival heap. The heap is ordered by [`TimeKey`]
+/// alone (arrival time, then submission sequence, NaN-total via
+/// `f64::total_cmp`); the request payload deliberately carries no
+/// ordering of its own.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    key: TimeKey,
+    request: Request,
+}
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Arrival {}
+impl PartialOrd for Arrival {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Eq for Request {}
-impl Ord for Request {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
     }
 }
 
@@ -324,14 +339,26 @@ impl StorageSystem {
         }
         self.seq += 1;
         self.submitted += 1;
-        self.arrivals
-            .push(Reverse((TimeKey(request.arrival.get(), self.seq), request)));
+        self.arrivals.push(Reverse(Arrival {
+            key: TimeKey(request.arrival.get(), self.seq),
+            request,
+        }));
         Ok(())
     }
 
     /// Advances the simulation until every queued event at or before
     /// `target` has been processed, returning the completions produced.
     pub fn advance_to(&mut self, target: Seconds) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.advance_to_into(target, &mut out);
+        out
+    }
+
+    /// Like [`Self::advance_to`], but appends the completions to `out` —
+    /// callers that advance in a tight window loop (the DTM controller
+    /// steps every 250 ms) reuse one buffer instead of allocating a
+    /// fresh `Vec` per window.
+    pub fn advance_to_into(&mut self, target: Seconds, out: &mut Vec<Completion>) {
         loop {
             let next_completion = self
                 .in_service
@@ -339,7 +366,7 @@ impl StorageSystem {
                 .enumerate()
                 .filter_map(|(d, s)| s.map(|(finish, _)| (finish, d)))
                 .min_by(|a, b| a.0.get().total_cmp(&b.0.get()));
-            let next_arrival = self.arrivals.peek().map(|Reverse((k, _))| k.0);
+            let next_arrival = self.arrivals.peek().map(|Reverse(a)| a.key.0);
 
             // Completions win ties so the disk frees up before the
             // simultaneous arrival is routed.
@@ -362,7 +389,7 @@ impl StorageSystem {
                 if arrival > target.get() {
                     break;
                 }
-                let Reverse((_, request)) = self.arrivals.pop().expect("peeked");
+                let Reverse(Arrival { request, .. }) = self.arrivals.pop().expect("peeked");
                 self.clock = self.clock.max(Seconds::new(arrival));
                 self.on_arrival(request);
             }
@@ -373,15 +400,14 @@ impl StorageSystem {
         if target.get().is_finite() {
             self.clock = self.clock.max(target);
         }
-        std::mem::take(&mut self.completions)
+        out.append(&mut self.completions);
     }
 
     /// Runs until every submitted request has completed.
     pub fn drain(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
         loop {
-            let batch = self.advance_to(Seconds::new(f64::INFINITY));
-            out.extend(batch);
+            self.advance_to_into(Seconds::new(f64::INFINITY), &mut out);
             if self.arrivals.is_empty() && self.in_service.iter().all(Option::is_none) {
                 break;
             }
@@ -399,7 +425,7 @@ impl StorageSystem {
         let arrival = self
             .arrivals
             .peek()
-            .map(|Reverse((k, _))| k.0)
+            .map(|Reverse(a)| a.key.0)
             .unwrap_or(f64::INFINITY);
         let t = completion.min(arrival);
         t.is_finite().then(|| Seconds::new(t))

@@ -112,7 +112,9 @@ impl DtmController {
         envelope: Celsius,
     ) -> Self {
         let service_rpm = system.disks()[0].spec().rpm();
-        let sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        let sim = TransientSim::from_ambient(&model)
+            .with_step(Seconds::new(0.05))
+            .expect("constant step is positive");
         Self {
             system,
             model,
@@ -136,7 +138,9 @@ impl DtmController {
 
     /// Starts the thermal state from explicit node temperatures.
     pub fn with_initial_temps(mut self, temps: NodeTemps) -> Self {
-        self.sim = TransientSim::with_initial(temps).with_step(Seconds::new(0.05));
+        self.sim = TransientSim::with_initial(temps)
+            .with_step(Seconds::new(0.05))
+            .expect("constant step is positive");
         self
     }
 
@@ -211,7 +215,7 @@ impl DtmController {
             }
 
             // 2. Serve the window.
-            completions.extend(self.system.advance_to(window_end));
+            self.system.advance_to_into(window_end, &mut completions);
 
             // 3. Measure actuator duty over the window.
             let seek_now: f64 = self

@@ -59,7 +59,9 @@ impl MirroredPair {
     ) -> Result<Self, SimError> {
         let a = StorageSystem::new(SystemConfig::single_disk(spec.clone()))?;
         let b = StorageSystem::new(SystemConfig::single_disk(spec))?;
-        let sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        let sim = TransientSim::from_ambient(&model)
+            .with_step(Seconds::new(0.05))
+            .expect("constant step is positive");
         Ok(Self {
             members: [a, b],
             sims: [sim.clone(), sim],
@@ -82,10 +84,10 @@ impl MirroredPair {
     /// Starts both members' thermal state at the given temperature.
     pub fn with_initial_air(mut self, temp: Celsius) -> Self {
         let temps = diskthermal::NodeTemps::uniform(temp);
-        self.sims = [
-            TransientSim::with_initial(temps).with_step(Seconds::new(0.05)),
-            TransientSim::with_initial(temps).with_step(Seconds::new(0.05)),
-        ];
+        let sim = TransientSim::with_initial(temps)
+            .with_step(Seconds::new(0.05))
+            .expect("constant step is positive");
+        self.sims = [sim.clone(), sim];
         self
     }
 
@@ -108,6 +110,7 @@ impl MirroredPair {
         let mut switches = 0u32;
         let mut prev_seek = [0.0f64; 2];
         let mut now = Seconds::ZERO;
+        let mut window_completions = Vec::new();
 
         loop {
             let window_end = now + self.window;
@@ -134,7 +137,9 @@ impl MirroredPair {
 
             // Serve the window on both members and fold completions.
             for m in 0..2 {
-                for c in self.members[m].advance_to(window_end) {
+                window_completions.clear();
+                self.members[m].advance_to_into(window_end, &mut window_completions);
+                for c in &window_completions {
                     let done = {
                         let entry = outstanding
                             .get_mut(&c.request.id)

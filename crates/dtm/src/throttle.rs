@@ -142,7 +142,9 @@ impl ThrottleExperiment {
         }
 
         // Warm up from a cold start to the envelope.
-        let mut sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        let mut sim = TransientSim::from_ambient(&model)
+            .with_step(Seconds::new(0.05))
+            .expect("constant step is positive");
         sim.time_to_reach(&model, heat_op, self.envelope)
             .expect("service point exceeds the envelope");
 

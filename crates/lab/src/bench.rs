@@ -1,0 +1,231 @@
+//! `lab bench` — a timed baseline for the thermal kernel and the
+//! experiments that lean on it.
+//!
+//! Measures, in order:
+//!
+//! - backward-Euler steps/sec through the pre-rewrite kernel (heap
+//!   `Vec<Vec<f64>>` matrices, one-shot Gaussian elimination every
+//!   step), reproduced verbatim by `diskthermal::bench_support`;
+//! - backward-Euler steps/sec with the cached step factorization
+//!   disabled (stack arrays, but still assemble + factor + solve every
+//!   step);
+//! - backward-Euler steps/sec with the cache on (the default path:
+//!   factor once per operating point, back-substitute per step);
+//! - forward-Euler steps/sec (no linear solve at all);
+//! - steady-state solves/sec cold (every solve a distinct operating
+//!   point, defeating the memo) and memoized (the same operating point
+//!   over and over, the envelope-bisection access pattern);
+//! - end-to-end wall time of the `figure5` and `figure7` experiments.
+//!
+//! A full run writes the numbers to `BENCH_thermal.json` at the
+//! workspace root so regressions have a checked-in baseline to diff
+//! against; `--quick` shrinks the iteration counts and skips the write.
+
+use crate::registry;
+use crate::text::results_dir;
+use crate::{LabError, Scale};
+use diskthermal::{
+    DriveThermalSpec, Integrator, OperatingPoint, ThermalModel, TransientSim,
+};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use units::{Rpm, Seconds};
+
+/// Step size shared by every integrator benchmark; small enough that
+/// forward Euler is stable for the air node's tiny heat capacity.
+const DT: f64 = 0.1;
+
+/// Everything one `lab bench` run measured.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// True when the quick (smoke-test) iteration counts were used.
+    pub quick: bool,
+    /// Backward-Euler steps/sec through the pre-rewrite heap kernel.
+    pub be_prepr_steps_per_sec: f64,
+    /// Backward-Euler steps/sec on stack arrays, factoring every step.
+    pub be_naive_steps_per_sec: f64,
+    /// Backward-Euler steps/sec with the cached factorization.
+    pub be_cached_steps_per_sec: f64,
+    /// `be_cached / be_prepr` — the whole PR's payoff on the kernel.
+    pub cached_speedup: f64,
+    /// Forward-Euler steps/sec.
+    pub fe_steps_per_sec: f64,
+    /// Steady-state solves/sec when every solve is a new operating point.
+    pub steady_cold_solves_per_sec: f64,
+    /// Steady-state solves/sec when the memo absorbs repeat solves.
+    pub steady_memoized_solves_per_sec: f64,
+    /// End-to-end wall time of the `figure5` experiment, in ms.
+    pub figure5_wall_ms: f64,
+    /// End-to-end wall time of the `figure7` experiment, in ms.
+    pub figure7_wall_ms: f64,
+}
+
+/// Times `steps` backward-Euler steps through the pre-rewrite kernel:
+/// heap matrices assembled and eliminated from scratch on every step.
+fn be_prepr_steps_per_sec(model: &ThermalModel, op: OperatingPoint, steps: usize) -> f64 {
+    let ambient = model.spec().ambient().get();
+    let mut temps = [ambient; 4];
+    let start = Instant::now();
+    for _ in 0..steps {
+        temps = diskthermal::bench_support::heap_backward_euler_step(model, op, DT, temps);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    black_box(temps);
+    steps as f64 / elapsed
+}
+
+/// Times `steps` backward-Euler steps over a constant operating point.
+fn be_steps_per_sec(model: &ThermalModel, op: OperatingPoint, steps: usize, cached: bool) -> f64 {
+    let mut sim = TransientSim::from_ambient(model)
+        .with_step(Seconds::new(DT))
+        .expect("constant step is positive")
+        .with_step_cache(cached);
+    let start = Instant::now();
+    sim.advance(model, op, Seconds::new(steps as f64 * DT));
+    let elapsed = start.elapsed().as_secs_f64();
+    black_box(sim.temps());
+    steps as f64 / elapsed
+}
+
+/// Times `steps` forward-Euler steps over a constant operating point.
+fn fe_steps_per_sec(model: &ThermalModel, op: OperatingPoint, steps: usize) -> f64 {
+    let mut sim = TransientSim::from_ambient(model)
+        .with_step(Seconds::new(DT))
+        .expect("constant step is positive")
+        .with_integrator(Integrator::ForwardEuler);
+    let start = Instant::now();
+    sim.advance(model, op, Seconds::new(steps as f64 * DT));
+    let elapsed = start.elapsed().as_secs_f64();
+    black_box(sim.temps());
+    steps as f64 / elapsed
+}
+
+/// Times `n` steady-state solves. With `distinct_ops` every solve uses a
+/// slightly different spindle speed (all cache misses); without, the
+/// same operating point repeats (all hits after the first).
+fn steady_solves_per_sec(model: &ThermalModel, n: usize, distinct_ops: bool) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        let rpm = if distinct_ops {
+            10_000.0 + i as f64 * 0.01
+        } else {
+            15_000.0
+        };
+        black_box(model.steady_state(OperatingPoint::seeking(Rpm::new(rpm))));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    n as f64 / elapsed
+}
+
+/// Times one full in-process run of a registered experiment, in ms.
+fn experiment_wall_ms(name: &str) -> Result<f64, LabError> {
+    let exp = registry::by_name(name, Scale::Full)
+        .ok_or_else(|| LabError::Experiment(format!("unknown experiment {name:?}")))?;
+    let start = Instant::now();
+    black_box(exp.run()?);
+    Ok(start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the benchmark suite. Quick mode shrinks the iteration counts to
+/// smoke-test territory and does not write `BENCH_thermal.json`.
+pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
+    let (kernel_steps, cold_solves, memo_solves) = if quick {
+        (20_000, 2_000, 20_000)
+    } else {
+        (200_000, 20_000, 200_000)
+    };
+
+    let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+    let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+
+    eprintln!(
+        "lab bench ({} mode): {} integrator steps, {} cold + {} memoized steady solves",
+        if quick { "quick" } else { "full" },
+        kernel_steps,
+        cold_solves,
+        memo_solves
+    );
+
+    let be_prepr = be_prepr_steps_per_sec(&model, op, kernel_steps);
+    let be_naive = be_steps_per_sec(&model, op, kernel_steps, false);
+    let be_cached = be_steps_per_sec(&model, op, kernel_steps, true);
+    let fe = fe_steps_per_sec(&model, op, kernel_steps);
+    let steady_cold = steady_solves_per_sec(&model, cold_solves, true);
+    let steady_memo = steady_solves_per_sec(&model, memo_solves, false);
+    let figure5_ms = experiment_wall_ms("figure5")?;
+    let figure7_ms = experiment_wall_ms("figure7")?;
+
+    let report = BenchReport {
+        quick,
+        be_prepr_steps_per_sec: be_prepr,
+        be_naive_steps_per_sec: be_naive,
+        be_cached_steps_per_sec: be_cached,
+        cached_speedup: be_cached / be_prepr,
+        fe_steps_per_sec: fe,
+        steady_cold_solves_per_sec: steady_cold,
+        steady_memoized_solves_per_sec: steady_memo,
+        figure5_wall_ms: figure5_ms,
+        figure7_wall_ms: figure7_ms,
+    };
+
+    println!("thermal kernel (dt = {DT} s, constant operating point):");
+    println!(
+        "  backward Euler, pre-rewrite (heap + eliminate): {:>12.0} steps/s",
+        report.be_prepr_steps_per_sec
+    );
+    println!(
+        "  backward Euler, stack arrays, factor per step:  {:>12.0} steps/s",
+        report.be_naive_steps_per_sec
+    );
+    println!(
+        "  backward Euler, cached factorization:           {:>12.0} steps/s  ({:.1}x vs pre-rewrite)",
+        report.be_cached_steps_per_sec, report.cached_speedup
+    );
+    println!(
+        "  forward Euler:                                  {:>12.0} steps/s",
+        report.fe_steps_per_sec
+    );
+    println!("steady-state solves:");
+    println!(
+        "  cold (distinct operating points):          {:>12.0} solves/s",
+        report.steady_cold_solves_per_sec
+    );
+    println!(
+        "  memoized (repeated operating point):       {:>12.0} solves/s",
+        report.steady_memoized_solves_per_sec
+    );
+    println!("end-to-end experiments (single-threaded, no cache):");
+    println!("  figure5: {:>8.1} ms", report.figure5_wall_ms);
+    println!("  figure7: {:>8.1} ms", report.figure7_wall_ms);
+
+    if !quick {
+        let root = results_dir()?
+            .parent()
+            .map(std::path::Path::to_path_buf)
+            .ok_or_else(|| LabError::Experiment("results dir has no parent".into()))?;
+        let path = root.join("BENCH_thermal.json");
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| LabError::Parse(e.to_string()))?;
+        std::fs::write(&path, json + "\n")?;
+        println!("wrote {}", path.display());
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_benchmarks_report_positive_rates() {
+        let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+        let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+        assert!(be_steps_per_sec(&model, op, 500, false) > 0.0);
+        assert!(be_steps_per_sec(&model, op, 500, true) > 0.0);
+        assert!(fe_steps_per_sec(&model, op, 500) > 0.0);
+        assert!(steady_solves_per_sec(&model, 50, true) > 0.0);
+        assert!(steady_solves_per_sec(&model, 50, false) > 0.0);
+    }
+}

@@ -14,6 +14,8 @@ pub struct Options {
     pub all: bool,
     /// Print the registry and exit.
     pub list: bool,
+    /// Run the thermal-kernel benchmark suite instead of experiments.
+    pub bench: bool,
     /// Worker threads.
     pub threads: usize,
     /// Serve/populate the content-addressed cache.
@@ -28,6 +30,7 @@ impl Default for Options {
             names: Vec::new(),
             all: false,
             list: false,
+            bench: false,
             threads: 1,
             use_cache: true,
             quick: false,
@@ -43,6 +46,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
         match arg.as_str() {
             "all" => opts.all = true,
             "list" => opts.list = true,
+            "bench" => opts.bench = true,
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v
@@ -59,7 +63,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
         }
     }
-    if !opts.all && !opts.list && opts.names.is_empty() {
+    if !opts.all && !opts.list && !opts.bench && opts.names.is_empty() {
         opts.list = true;
     }
     Ok(opts)
@@ -68,7 +72,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 /// The help text.
 pub fn usage() -> String {
     format!(
-        "usage: lab [all | list | <experiment>...] [--threads N] [--no-cache] [--quick]\n\n\
+        "usage: lab [all | list | bench | <experiment>...] [--threads N] [--no-cache] [--quick]\n\n\
+         bench times the thermal kernel and two end-to-end experiments;\n\
+         a full (non --quick) bench writes BENCH_thermal.json at the repo root.\n\n\
          experiments: {}",
         registry::names().join(", ")
     )
@@ -80,6 +86,15 @@ pub fn run(opts: &Options) -> i32 {
     if opts.list {
         println!("{}", usage());
         return 0;
+    }
+    if opts.bench {
+        return match crate::bench::run_bench(opts.quick) {
+            Ok(_) => 0,
+            Err(e) => {
+                eprintln!("bench failed: {e}");
+                1
+            }
+        };
     }
     let scale = if opts.quick { Scale::Quick } else { Scale::Full };
     let experiments: Vec<Box<dyn Experiment>> = if opts.all {
@@ -206,6 +221,14 @@ mod tests {
     #[test]
     fn bare_invocation_lists() {
         assert!(parse(&[]).list);
+    }
+
+    #[test]
+    fn bench_subcommand_parses() {
+        let opts = parse(&["bench", "--quick"]);
+        assert!(opts.bench);
+        assert!(opts.quick);
+        assert!(!opts.list);
     }
 
     #[test]

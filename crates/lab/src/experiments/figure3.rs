@@ -1,6 +1,7 @@
 //! Figure 3: cooling-system sensitivity — how 5 °C and 10 °C cooler
 //! external air stretch the single-platter roadmap.
 
+use crate::engine::{default_parallelism, parallel_map};
 use crate::experiments::config_object;
 use crate::text::{outln, rule};
 use crate::{Experiment, LabError, RunOutput};
@@ -35,8 +36,21 @@ impl Experiment for Figure3 {
         let base = RoadmapConfig::default();
         outln!(report, "Figure 3: cooling the external air (baseline 28 C wet-bulb)");
 
+        // Every (diameter, ambient) roadmap is independent; sweep the
+        // 3×3 grid in parallel, then render in the fixed serial order.
+        let diameters = [2.6, 2.1, 1.6];
+        let ambients = [28.0, 23.0, 18.0];
+        let grid: Vec<(f64, f64)> = diameters
+            .iter()
+            .flat_map(|&dia| ambients.iter().map(move |&amb| (dia, amb)))
+            .collect();
+        let roadmaps = parallel_map(grid, default_parallelism(), |(dia, amb)| {
+            roadmap_for(&base, Inches::new(dia), 1, Celsius::new(amb))
+        });
+        let mut roadmaps = roadmaps.into_iter();
+
         let mut all = Vec::new();
-        for dia in [2.6, 2.1, 1.6] {
+        for dia in diameters {
             outln!(report, "\n1-Platter {dia}\" IDR roadmap under improved cooling");
             outln!(report, "{}", rule(74));
             outln!(
@@ -45,14 +59,9 @@ impl Experiment for Figure3 {
                 "Year", "Target", "Baseline", "5 C cooler", "10 C cooler"
             );
             outln!(report, "{}", rule(74));
-            let series: Vec<(f64, Vec<roadmap::RoadmapPoint>)> = [28.0, 23.0, 18.0]
+            let series: Vec<(f64, Vec<roadmap::RoadmapPoint>)> = ambients
                 .iter()
-                .map(|&amb| {
-                    (
-                        amb,
-                        roadmap_for(&base, Inches::new(dia), 1, Celsius::new(amb)),
-                    )
-                })
+                .map(|&amb| (amb, roadmaps.next().expect("one roadmap per grid cell")))
                 .collect();
             for (i, year) in base.years().enumerate() {
                 outln!(

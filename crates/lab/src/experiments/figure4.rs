@@ -6,6 +6,7 @@
 //! defaults to 200,000 per workload, and the `figure4` wrapper binary
 //! still accepts a request-count argument to approach trace scale.
 
+use crate::engine::{default_parallelism, parallel_map};
 use crate::experiments::config_object;
 use crate::text::{out, outln, rule};
 use crate::{Experiment, LabError, RunOutput, Scale};
@@ -62,8 +63,29 @@ impl Experiment for Figure4 {
         let n = self.requests;
 
         outln!(report, "Figure 4: response times vs spindle speed ({n} requests per workload)");
+
+        // Each (workload, RPM) replay is independent, and the replays
+        // dominate the experiment's wall time: run the full 5×4 grid in
+        // parallel, then render the tables serially in the fixed order.
+        let all = presets();
+        let jobs: Vec<(usize, f64)> = all
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, preset)| {
+                let base = preset.base_rpm.get();
+                (0..4).map(move |i| (pi, base + i as f64 * 5_000.0))
+            })
+            .collect();
+        let runs = parallel_map(jobs, default_parallelism(), |(pi, rpm)| {
+            let preset = &all[pi];
+            preset
+                .run(Rpm::new(rpm), n, self.seed)
+                .map_err(|e| LabError::Experiment(format!("{}: {e}", preset.name)))
+        });
+        let mut runs = runs.into_iter();
+
         let mut results = Vec::new();
-        for preset in presets() {
+        for preset in &all {
             let base = preset.base_rpm.get();
             let steps: Vec<f64> = (0..4).map(|i| base + i as f64 * 5_000.0).collect();
 
@@ -84,9 +106,7 @@ impl Experiment for Figure4 {
 
             let mut means = Vec::new();
             for &rpm in &steps {
-                let stats = preset
-                    .run(Rpm::new(rpm), n, self.seed)
-                    .map_err(|e| LabError::Experiment(format!("{}: {e}", preset.name)))?;
+                let stats = runs.next().expect("one replay per grid cell")?;
                 let cdf = stats.cdf();
                 out!(report, "{:>10.0} |", rpm);
                 for &(_, frac) in &cdf[..cdf.len() - 1] {

@@ -2,12 +2,14 @@
 //! `t_heat / t_cool` as a function of the cooling interval, for both
 //! throttle mechanisms of Figure 6.
 
+use crate::engine::{default_parallelism, parallel_map};
 use crate::experiments::config_object;
 use crate::text::{ascii_plot, outln, rule};
 use crate::{Experiment, LabError, RunOutput};
-use dtm::{throttling_curve, ThrottleExperiment};
+use dtm::ThrottleExperiment;
 use serde::Serialize;
 use serde_json::Value;
+use units::Seconds;
 
 #[derive(Serialize)]
 struct Curve {
@@ -70,8 +72,7 @@ impl Experiment for Figure7 {
             if exp_b.is_feasible(policy_b) { "feasible" } else { "infeasible" }
         );
 
-        let mut curves = Vec::new();
-        for (label, exp, policy, note) in [
+        let mechanisms = [
             (
                 "Figure 7(a): 2.6\" @ 24,534 RPM, VCM-only throttling",
                 &exp_a,
@@ -84,12 +85,29 @@ impl Experiment for Figure7 {
                 policy_b,
                 "paper: similar shape, slightly higher ratios",
             ),
-        ] {
+        ];
+
+        // Each point of the mechanism × t_cool grid is an independent
+        // transient simulation; sweep the whole grid in parallel and
+        // reassemble the per-curve points in the original order.
+        let grid: Vec<(usize, f64)> = (0..mechanisms.len())
+            .flat_map(|ci| self.t_cools.iter().map(move |&t| (ci, t)))
+            .collect();
+        let ratios = parallel_map(grid, default_parallelism(), |(ci, t)| {
+            let (_, exp, policy, _) = mechanisms[ci];
+            exp.throttling_ratio(policy, Seconds::new(t)).map(|r| (t, r))
+        });
+
+        let mut curves = Vec::new();
+        for (ci, (label, _, _, note)) in mechanisms.into_iter().enumerate() {
             outln!(report, "\n{label}");
             outln!(report, "{}", rule(44));
             outln!(report, "{:>8} | {:>16}", "t_cool s", "throttling ratio");
             outln!(report, "{}", rule(44));
-            let pts = throttling_curve(exp, policy, &self.t_cools);
+            let pts: Vec<(f64, f64)> = ratios[ci * self.t_cools.len()..][..self.t_cools.len()]
+                .iter()
+                .filter_map(|&p| p)
+                .collect();
             for &(t, r) in &pts {
                 let marker = if r >= 1.0 { "  (utilization > 50%)" } else { "" };
                 outln!(report, "{:>8.2} | {:>16.2}{marker}", t, r);

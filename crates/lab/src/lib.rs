@@ -8,6 +8,7 @@
 //! CLI front end; the old per-experiment binaries in the `bench` crate
 //! are thin wrappers over [`cli`].
 
+pub mod bench;
 pub mod cli;
 pub mod digest;
 pub mod engine;
@@ -18,7 +19,7 @@ pub mod manifest;
 pub mod registry;
 pub mod text;
 
-pub use engine::{Engine, RunSummary};
+pub use engine::{default_parallelism, parallel_map, Engine, RunSummary};
 pub use error::LabError;
 pub use experiment::{Experiment, RunOutput, Scale};
 pub use manifest::{Manifest, ManifestEntry};

@@ -104,7 +104,9 @@ fn main() {
     let envelope = Celsius::new(45.22);
     println!("\nFigure 7(a) preview (t_cool -> ratio):");
     for t_cool in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let mut sim = TransientSim::from_ambient(&model).with_step(Seconds::new(0.05));
+        let mut sim = TransientSim::from_ambient(&model)
+            .with_step(Seconds::new(0.05))
+            .expect("constant step is positive");
         if sim.time_to_reach(&model, heat, envelope).is_none() {
             println!("  (never reaches envelope)");
             break;

@@ -1,0 +1,105 @@
+//! Benchmark-only reproduction of the pre-factorization solver path.
+//!
+//! `lab bench` uses this as its "before" baseline: the backward-Euler
+//! step the way the kernel used to take it — heap-allocated matrices
+//! rebuilt, and eliminated from scratch, on every integration step.
+//! Hidden from the public API; nothing outside the benchmarks should
+//! ever call it.
+
+use crate::model::{ThermalModel, NODES};
+use crate::spec::OperatingPoint;
+
+/// One backward-Euler step over heap vectors with one-shot Gaussian
+/// elimination — the original kernel, kept verbatim for comparison.
+pub fn heap_backward_euler_step(
+    model: &ThermalModel,
+    op: OperatingPoint,
+    dt: f64,
+    temps: [f64; NODES],
+) -> [f64; NODES] {
+    let (a4, b4) = model.assemble(op);
+    let caps = model.capacities();
+    let mut a: Vec<Vec<f64>> = a4.iter().map(|row| row.to_vec()).collect();
+    let mut b: Vec<f64> = b4.to_vec();
+    for i in 0..NODES {
+        let c_dt = caps[i].get() / dt;
+        a[i][i] += c_dt;
+        b[i] += c_dt * temps[i];
+    }
+    let x = heap_solve(a, b).expect("implicit step matrix is SPD");
+    [x[0], x[1], x[2], x[3]]
+}
+
+/// The heap-based one-shot solver this crate used before the
+/// stack-array [`crate::linalg`] rewrite, byte for byte.
+fn heap_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("matrix entries are finite")
+            })
+            .expect("non-empty column");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            let (head, tail) = a.split_at_mut(row);
+            let (pivot_row_data, target_row) = (&head[col], &mut tail[0]);
+            for (t, p) in target_row[col..n].iter_mut().zip(&pivot_row_data[col..n]) {
+                *t -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DriveThermalSpec;
+    use crate::transient::TransientSim;
+    use units::{Rpm, Seconds};
+
+    /// The baseline must agree bitwise with the production kernel —
+    /// otherwise the benchmark compares different computations.
+    #[test]
+    fn heap_baseline_matches_production_kernel_bitwise() {
+        let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+        let op = OperatingPoint::seeking(Rpm::new(15_000.0));
+        let dt = 0.1;
+        let mut sim = TransientSim::from_ambient(&model)
+            .with_step(Seconds::new(dt))
+            .expect("constant step is positive");
+        let mut heap_temps = sim.temps().to_array();
+        for _ in 0..200 {
+            sim.step(&model, op);
+            heap_temps = heap_backward_euler_step(&model, op, dt, heap_temps);
+            let fast = sim.temps().to_array();
+            for (h, f) in heap_temps.iter().zip(&fast) {
+                assert_eq!(h.to_bits(), f.to_bits(), "{h} vs {f}");
+            }
+        }
+    }
+}

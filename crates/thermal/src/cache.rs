@@ -1,0 +1,84 @@
+//! Thread-local memoization of steady-state solves.
+//!
+//! The envelope bisection and the roadmap planner's per-year candidate
+//! search query `ThermalModel::steady_state` with long runs of repeated
+//! `(model, operating point)` pairs — every bisection probe is solved
+//! again by the next experiment that walks the same roadmap. The solves
+//! are pure functions of the inputs, so they memoize transparently.
+//!
+//! The cache key is the full bit pattern of every scalar that feeds the
+//! assembly (spec, parameters, and operating point) — no hashing of
+//! floats into lossy buckets, no collisions — and the map is
+//! thread-local, so the lab engine's worker threads never contend and
+//! results stay deterministic regardless of scheduling.
+
+use crate::model::NODES;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Everything that determines a steady-state solution, as raw bits:
+/// 5 spec scalars, 15 calibration parameters, and the operating point.
+pub(crate) type SteadyKey = [u64; 22];
+
+/// Bounded size: past this the map is cleared rather than evicted —
+/// the workloads here either fit comfortably (bisections over a handful
+/// of models) or churn keys with no reuse (calibration), and a clear
+/// keeps the no-reuse case from holding memory.
+const CAPACITY: usize = 8192;
+
+thread_local! {
+    static STEADY: RefCell<HashMap<SteadyKey, [f64; NODES]>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Returns the cached solution for `key`, computing and inserting it on
+/// a miss.
+pub(crate) fn steady_or_insert<F>(key: SteadyKey, compute: F) -> [f64; NODES]
+where
+    F: FnOnce() -> [f64; NODES],
+{
+    if let Some(hit) = STEADY.with(|cache| cache.borrow().get(&key).copied()) {
+        return hit;
+    }
+    let value = compute();
+    STEADY.with(|cache| {
+        let mut map = cache.borrow_mut();
+        if map.len() >= CAPACITY {
+            map.clear();
+        }
+        map.insert(key, value);
+    });
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_skips_compute() {
+        let key = [u64::MAX; 22];
+        let mut calls = 0;
+        let first = steady_or_insert(key, || {
+            calls += 1;
+            [1.0, 2.0, 3.0, 4.0]
+        });
+        let second = steady_or_insert(key, || {
+            calls += 1;
+            [9.0; NODES]
+        });
+        assert_eq!(first, second);
+        assert_eq!(calls, 1, "hit must not recompute");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let mut a = [u64::MAX; 22];
+        a[0] = 17;
+        let mut b = a;
+        b[21] = 18;
+        let va = steady_or_insert(a, || [1.0; NODES]);
+        let vb = steady_or_insert(b, || [2.0; NODES]);
+        assert_ne!(va, vb);
+    }
+}

@@ -478,7 +478,9 @@ pub fn figure7a_ratios(params: ThermalParams, t_cools: &[f64]) -> Option<Vec<f64
     let heat = OperatingPoint::seeking(Rpm::new(24_534.0));
     let cool = OperatingPoint::idle_vcm(Rpm::new(24_534.0));
     let envelope = Celsius::new(45.22);
-    let mut warm = TransientSim::from_ambient(&model).with_step(Seconds::new(0.1));
+    let mut warm = TransientSim::from_ambient(&model)
+        .with_step(Seconds::new(0.1))
+        .expect("constant step is positive");
     warm.time_to_reach(&model, heat, envelope)?;
     let mut out = Vec::with_capacity(t_cools.len());
     for &t_cool in t_cools {

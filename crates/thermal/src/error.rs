@@ -1,0 +1,38 @@
+//! Error types for thermal-simulation construction.
+
+/// An error from configuring a thermal simulation.
+///
+/// Mirrors the shape of `LabError` in the lab crate: a small enum with a
+/// human-readable `Display` so callers can `?` it into their own error
+/// types or surface it directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// The transient integration step must be a positive, finite number
+    /// of seconds; carries the offending value.
+    NonPositiveStep(f64),
+}
+
+impl core::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ThermalError::NonPositiveStep(step) => write!(
+                f,
+                "integration step must be positive and finite, got {step} s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_step() {
+        let msg = ThermalError::NonPositiveStep(-0.5).to_string();
+        assert!(msg.contains("-0.5"), "{msg}");
+    }
+}

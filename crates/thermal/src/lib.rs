@@ -42,10 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[doc(hidden)]
+pub mod bench_support;
+
 pub mod array;
 pub mod calibrate;
 pub mod reliability;
+mod cache;
 mod envelope;
+mod error;
 mod linalg;
 mod model;
 mod params;
@@ -56,6 +61,7 @@ mod transient;
 
 pub use array::{drive_heat_estimate, AirflowPath, BayState};
 pub use envelope::{ambient_for_envelope, max_rpm_within_envelope, EnvelopeSearch, THERMAL_ENVELOPE};
+pub use error::ThermalError;
 pub use model::{Conductances, NodeTemps, PowerBreakdown, ThermalModel};
 pub use params::ThermalParams;
 pub use sensor::TempSensor;

@@ -1,17 +1,42 @@
-//! Minimal dense linear-system solver for the small thermal networks
+//! Minimal dense linear algebra for the small thermal networks
 //! (4×4 for the steady-state and backward-Euler solves).
+//!
+//! Everything here works on fixed-size stack arrays: the hot integration
+//! loop must not heap-allocate. Factoring and solving are split —
+//! [`lu_factor`] does the O(n³) elimination once and [`LuFactors::solve`]
+//! replays it against any right-hand side in O(n²) — so a backward-Euler
+//! step matrix can be factored once per operating point and reused for
+//! thousands of steps.
+//!
+//! The arithmetic (pivot selection, elimination order, the zero-factor
+//! skip) reproduces plain Gaussian elimination with partial pivoting
+//! operation for operation, so a factor-then-solve yields bitwise the
+//! same answer as a one-shot elimination over the same system.
 
-/// Solves `A x = b` in place by Gaussian elimination with partial
-/// pivoting. `a` is row-major `n × n`.
+/// A PA = LU factorization of an `N × N` matrix with partial pivoting.
+///
+/// `lu` packs both triangles: the strict lower triangle holds the
+/// elimination multipliers (the unit diagonal of `L` is implicit) and
+/// the upper triangle, diagonal included, holds `U`. `perm[i]` is the
+/// original row index that ended up in position `i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LuFactors<const N: usize> {
+    lu: [[f64; N]; N],
+    perm: [usize; N],
+}
+
+/// Factors `a` by Gaussian elimination with partial pivoting.
 ///
 /// Returns `None` when the matrix is numerically singular.
-pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
-    let n = b.len();
-    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+pub(crate) fn lu_factor<const N: usize>(mut a: [[f64; N]; N]) -> Option<LuFactors<N>> {
+    let mut perm = [0usize; N];
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
 
-    for col in 0..n {
+    for col in 0..N {
         // Partial pivot: bring the largest remaining entry to the diagonal.
-        let pivot_row = (col..n)
+        let pivot_row = (col..N)
             .max_by(|&i, &j| {
                 a[i][col]
                     .abs()
@@ -23,56 +48,138 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             return None;
         }
         a.swap(col, pivot_row);
-        b.swap(col, pivot_row);
+        perm.swap(col, pivot_row);
 
         let pivot = a[col][col];
-        for row in col + 1..n {
+        for row in col + 1..N {
             let factor = a[row][col] / pivot;
+            // The sub-diagonal slot is dead as far as U is concerned;
+            // store the multiplier there for the forward substitution.
+            a[row][col] = factor;
             if factor == 0.0 {
                 continue;
             }
             // Split the borrow: the pivot row is disjoint from `row`.
-            let (pivot_row_data, target_row) = if col < row {
-                let (head, tail) = a.split_at_mut(row);
-                (&head[col], &mut tail[0])
-            } else {
-                unreachable!("elimination only touches rows below the pivot")
-            };
-            for (t, p) in target_row[col..n].iter_mut().zip(&pivot_row_data[col..n]) {
+            let (head, tail) = a.split_at_mut(row);
+            let pivot_row_data = &head[col];
+            let target_row = &mut tail[0];
+            for (t, p) in target_row[col + 1..N]
+                .iter_mut()
+                .zip(&pivot_row_data[col + 1..N])
+            {
                 *t -= factor * p;
             }
-            b[row] -= factor * b[col];
         }
     }
 
-    // Back substitution.
-    let mut x = vec![0.0; n];
-    for row in (0..n).rev() {
-        let mut acc = b[row];
-        for k in row + 1..n {
-            acc -= a[row][k] * x[k];
+    Some(LuFactors { lu: a, perm })
+}
+
+impl<const N: usize> LuFactors<N> {
+    /// Solves `A x = b` against the stored factorization.
+    pub(crate) fn solve(&self, b: [f64; N]) -> [f64; N] {
+        // Permute the right-hand side the way the pivoting permuted the
+        // rows, then replay the eliminations column by column — the same
+        // order interleaved Gaussian elimination applies them (and with
+        // the same zero-factor skips, so even signed zeros agree).
+        let mut y = [0.0; N];
+        for (slot, &from) in y.iter_mut().zip(&self.perm) {
+            *slot = b[from];
         }
-        x[row] = acc / a[row][row];
+        for col in 0..N {
+            let y_col = y[col];
+            for (row, y_row) in y.iter_mut().enumerate().skip(col + 1) {
+                let factor = self.lu[row][col];
+                if factor == 0.0 {
+                    continue;
+                }
+                *y_row -= factor * y_col;
+            }
+        }
+
+        // Back substitution against U.
+        let mut x = [0.0; N];
+        for row in (0..N).rev() {
+            let mut acc = y[row];
+            for (l, xv) in self.lu[row][row + 1..].iter().zip(&x[row + 1..]) {
+                acc -= l * xv;
+            }
+            x[row] = acc / self.lu[row][row];
+        }
+        x
     }
-    Some(x)
+}
+
+/// Solves `A x = b` in one shot.
+///
+/// Returns `None` when the matrix is numerically singular.
+pub(crate) fn solve<const N: usize>(a: [[f64; N]; N], b: [f64; N]) -> Option<[f64; N]> {
+    Some(lu_factor(a)?.solve(b))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The pre-factorization solver this module replaced, kept verbatim
+    /// as the bitwise reference: one-shot Gaussian elimination with
+    /// partial pivoting over heap vectors.
+    fn reference_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+        let n = b.len();
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&i, &j| {
+                    a[i][col]
+                        .abs()
+                        .partial_cmp(&a[j][col].abs())
+                        .expect("matrix entries are finite")
+                })
+                .expect("non-empty column");
+            if a[pivot_row][col].abs() < 1e-300 {
+                return None;
+            }
+            a.swap(col, pivot_row);
+            b.swap(col, pivot_row);
+
+            let pivot = a[col][col];
+            for row in col + 1..n {
+                let factor = a[row][col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                let (head, tail) = a.split_at_mut(row);
+                let (pivot_row_data, target_row) = (&head[col], &mut tail[0]);
+                for (t, p) in target_row[col..n].iter_mut().zip(&pivot_row_data[col..n]) {
+                    *t -= factor * p;
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in row + 1..n {
+                acc -= a[row][k] * x[k];
+            }
+            x[row] = acc / a[row][row];
+        }
+        Some(x)
+    }
 
     #[test]
     fn solves_identity() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let x = solve(a, vec![3.0, -4.0]).unwrap();
-        assert_eq!(x, vec![3.0, -4.0]);
+        let a = [[1.0, 0.0], [0.0, 1.0]];
+        let x = solve(a, [3.0, -4.0]).unwrap();
+        assert_eq!(x, [3.0, -4.0]);
     }
 
     #[test]
     fn solves_known_system() {
         // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
-        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
-        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        let a = [[2.0, 1.0], [1.0, 3.0]];
+        let x = solve(a, [5.0, 10.0]).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
     }
@@ -80,33 +187,87 @@ mod tests {
     #[test]
     fn pivots_on_zero_diagonal() {
         // Leading zero forces a row swap.
-        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
-        let x = solve(a, vec![2.0, 7.0]).unwrap();
+        let a = [[0.0, 1.0], [1.0, 0.0]];
+        let x = solve(a, [2.0, 7.0]).unwrap();
         assert!((x[0] - 7.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn singular_matrix_returns_none() {
-        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
-        assert!(solve(a, vec![1.0, 2.0]).is_none());
+        let a = [[1.0, 2.0], [2.0, 4.0]];
+        assert!(solve(a, [1.0, 2.0]).is_none());
+        assert!(lu_factor(a).is_none());
     }
 
     #[test]
     fn solves_4x4_thermal_like_system() {
         // A diagonally-dominant symmetric system like the thermal ones.
-        let a = vec![
-            vec![3.0, -1.0, -1.0, -0.5],
-            vec![-1.0, 2.5, -0.5, 0.0],
-            vec![-1.0, -0.5, 4.0, -1.0],
-            vec![-0.5, 0.0, -1.0, 2.0],
+        let a = [
+            [3.0, -1.0, -1.0, -0.5],
+            [-1.0, 2.5, -0.5, 0.0],
+            [-1.0, -0.5, 4.0, -1.0],
+            [-0.5, 0.0, -1.0, 2.0],
         ];
-        let b = vec![1.0, 2.0, 0.5, 1.5];
-        let x = solve(a.clone(), b.clone()).unwrap();
+        let b = [1.0, 2.0, 0.5, 1.5];
+        let x = solve(a, b).unwrap();
         // Verify A x = b.
         for i in 0..4 {
             let got: f64 = (0..4).map(|j| a[i][j] * x[j]).sum();
             assert!((got - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn factorization_is_reusable_across_right_hand_sides() {
+        let a = [
+            [4.0, -1.0, 0.0, -0.3],
+            [-1.0, 5.0, -2.0, 0.0],
+            [0.0, -2.0, 6.0, -1.0],
+            [-0.3, 0.0, -1.0, 3.0],
+        ];
+        let lu = lu_factor(a).unwrap();
+        for b in [[1.0, 0.0, 0.0, 0.0], [0.2, -3.0, 7.5, 0.4], [9.0; 4]] {
+            assert_eq!(Some(lu.solve(b)), solve(a, b));
+        }
+    }
+
+    /// Matrix entries with a healthy dose of exact zeros, to exercise
+    /// the pivot swaps and the zero-factor skips.
+    fn entry() -> impl Strategy<Value = f64> {
+        prop_oneof![-100.0f64..100.0, -1.0e6f64..1.0e6, Just(0.0)]
+    }
+
+    // The factor/solve split must be *bitwise* indistinguishable from
+    // the one-shot elimination it replaced: every result file in
+    // `results/` depends on it.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn matches_reference_elimination_bitwise(
+            flat in collection::vec(entry(), 16..17),
+            b_vec in collection::vec(entry(), 4..5),
+        ) {
+            let mut a = [[0.0; 4]; 4];
+            for (i, row) in a.iter_mut().enumerate() {
+                row.copy_from_slice(&flat[i * 4..(i + 1) * 4]);
+            }
+            let mut b = [0.0; 4];
+            b.copy_from_slice(&b_vec);
+            let a_vec: Vec<Vec<f64>> = a.iter().map(|r| r.to_vec()).collect();
+            let reference = reference_solve(a_vec, b.to_vec());
+            let fast = solve(a, b);
+            match (reference, fast) {
+                (None, None) => {}
+                (Some(want), Some(got)) => {
+                    for (w, g) in want.iter().zip(&got) {
+                        prop_assert_eq!(w.to_bits(), g.to_bits(),
+                            "bitwise mismatch: {} vs {}", w, g);
+                    }
+                }
+                (want, got) => prop_assert!(false, "singularity disagreement: {want:?} vs {got:?}"),
+            }
         }
     }
 }

@@ -1,9 +1,10 @@
 //! The four-node thermal network: assembly and steady-state solution.
 
+use crate::cache::{steady_or_insert, SteadyKey};
 use crate::linalg::solve;
 use crate::params::ThermalParams;
 use crate::sources::viscous_dissipation;
-use crate::spec::{DriveThermalSpec, OperatingPoint};
+use crate::spec::{DriveThermalSpec, FormFactor, OperatingPoint};
 use serde::{Deserialize, Serialize};
 use units::{Celsius, HeatCapacity, Power, ThermalConductance};
 
@@ -288,12 +289,12 @@ impl ThermalModel {
     }
 
     /// Assembles the conductance matrix `A` and source vector `b` such
-    /// that the steady state satisfies `A T = b`.
-    pub(crate) fn assemble(&self, op: OperatingPoint) -> (Vec<Vec<f64>>, Vec<f64>) {
+    /// that the steady state satisfies `A T = b`, on the stack.
+    pub(crate) fn assemble(&self, op: OperatingPoint) -> ([[f64; NODES]; NODES], [f64; NODES]) {
         let g = self.conductances(op);
         let p = self.power_breakdown(op);
-        let mut a = vec![vec![0.0; NODES]; NODES];
-        let mut b = vec![0.0; NODES];
+        let mut a = [[0.0; NODES]; NODES];
+        let mut b = [0.0; NODES];
 
         let mut couple = |i: usize, j: usize, g: ThermalConductance| {
             let g = g.get();
@@ -333,7 +334,47 @@ impl ThermalModel {
         (a, b)
     }
 
+    /// The full bit pattern of every scalar that feeds the assembly at
+    /// `op` — the exact (collision-free) memoization key for the
+    /// steady-state solve.
+    fn steady_key(&self, op: OperatingPoint) -> SteadyKey {
+        let s = &self.spec;
+        let p = &self.params;
+        [
+            s.platter_diameter().get().to_bits(),
+            u64::from(s.platters()),
+            match s.form_factor() {
+                FormFactor::Standard35 => 0,
+                FormFactor::Small25 => 1,
+            },
+            s.vcm_power().get().to_bits(),
+            s.ambient().get().to_bits(),
+            p.g_spindle_air.to_bits(),
+            p.g_air_base.to_bits(),
+            p.p_air_base_rpm.to_bits(),
+            p.p_air_base_dia.to_bits(),
+            p.g_vcm_air.to_bits(),
+            p.g_vcm_base.to_bits(),
+            p.g_spindle_base.to_bits(),
+            p.g_base_ambient.to_bits(),
+            p.beta_spm_loss.to_bits(),
+            p.p_bearing_ref.to_bits(),
+            p.capacity_scale.to_bits(),
+            p.vcm_air_split.to_bits(),
+            p.visc_air_split.to_bits(),
+            p.c_ext_rpm.to_bits(),
+            p.p_ext_rpm.to_bits(),
+            op.rpm().get().to_bits(),
+            op.vcm_duty().to_bits(),
+        ]
+    }
+
     /// Steady-state node temperatures at an operating point.
+    ///
+    /// Solves are memoized per thread on the full bit pattern of the
+    /// inputs: the envelope bisection and the roadmap planner re-query
+    /// identical `(model, op)` pairs heavily, and the solve is a pure
+    /// function of them.
     ///
     /// # Panics
     ///
@@ -341,14 +382,11 @@ impl ThermalModel {
     /// physical (positive) parameters since every node has a path to
     /// ambient.
     pub fn steady_state(&self, op: OperatingPoint) -> NodeTemps {
-        let (a, b) = self.assemble(op);
-        let x = solve(a, b).expect("thermal network is connected to ambient");
-        NodeTemps {
-            air: Celsius::new(x[AIR]),
-            spindle: Celsius::new(x[SPINDLE]),
-            base: Celsius::new(x[BASE]),
-            vcm: Celsius::new(x[VCM]),
-        }
+        let x = steady_or_insert(self.steady_key(op), || {
+            let (a, b) = self.assemble(op);
+            solve(a, b).expect("thermal network is connected to ambient")
+        });
+        NodeTemps::from_array(x)
     }
 
     /// Steady-state internal air temperature — the quantity the thermal

@@ -5,8 +5,18 @@
 //! unconditionally stable backward-Euler scheme (the default): the
 //! internal air node has a tiny heat capacity, so explicit integration is
 //! only conditionally stable at small steps.
+//!
+//! The implicit step matrix `(C/dt + A)` depends only on the model, the
+//! step size, and the operating point — none of which change inside an
+//! `advance()` over a constant operating point, and all of which cycle
+//! through a handful of values in the DTM controller's window loop. The
+//! simulation therefore keeps a small keyed cache of LU factorizations
+//! ([`StepCache`]): steady operation factors once and back-substitutes
+//! per step instead of re-assembling and re-eliminating the 4×4 system
+//! 600 times a simulated minute.
 
-use crate::linalg::solve;
+use crate::error::ThermalError;
+use crate::linalg::{lu_factor, LuFactors};
 use crate::model::{NodeTemps, ThermalModel, NODES};
 use crate::spec::OperatingPoint;
 use serde::{Deserialize, Serialize};
@@ -27,6 +37,92 @@ pub enum Integrator {
 /// The paper's step size: 600 steps per minute.
 pub(crate) const PAPER_STEP: Seconds = Seconds::new(0.1);
 
+/// One factored backward-Euler step system, tagged with the inputs it
+/// was built from.
+#[derive(Debug, Clone)]
+struct StepFactors {
+    model: ThermalModel,
+    op: OperatingPoint,
+    dt: f64,
+    lu: LuFactors<NODES>,
+    source: [f64; NODES],
+    c_over_dt: [f64; NODES],
+}
+
+impl StepFactors {
+    /// Assembles and factors `(C/dt + A)` for one (model, op, dt) triple.
+    fn build(model: &ThermalModel, op: OperatingPoint, dt: f64) -> Self {
+        let (a, b) = model.assemble(op);
+        let caps = model.capacities();
+        let mut lhs = a;
+        let mut c_over_dt = [0.0; NODES];
+        for i in 0..NODES {
+            let c_dt = caps[i].get() / dt;
+            lhs[i][i] += c_dt;
+            c_over_dt[i] = c_dt;
+        }
+        let lu = lu_factor(lhs).expect("implicit step matrix is SPD");
+        Self {
+            model: model.clone(),
+            op,
+            dt,
+            lu,
+            source: b,
+            c_over_dt,
+        }
+    }
+
+    /// Whether this factorization is valid for the given inputs.
+    fn matches(&self, model: &ThermalModel, op: OperatingPoint, dt: f64) -> bool {
+        self.dt == dt && self.op == op && self.model == *model
+    }
+
+    /// One implicit step from temperatures `t`:
+    /// `(C/dt + A) T_new = C/dt T_old + b`.
+    fn step(&self, t: [f64; NODES]) -> [f64; NODES] {
+        let mut rhs = self.source;
+        for i in 0..NODES {
+            rhs[i] += self.c_over_dt[i] * t[i];
+        }
+        self.lu.solve(rhs)
+    }
+}
+
+/// Most-recently-used cache of step factorizations. Eight entries cover
+/// the worst realistic churn — the DTM throttle loop alternates two
+/// operating points, the mirror policy four — while keeping the miss
+/// scan trivial.
+const STEP_CACHE_CAP: usize = 8;
+
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    /// Most recently used at the back.
+    entries: Vec<StepFactors>,
+    disabled: bool,
+}
+
+impl StepCache {
+    /// Returns a factorization for the inputs, reusing a cached one when
+    /// the key matches.
+    fn get(&mut self, model: &ThermalModel, op: OperatingPoint, dt: f64) -> &StepFactors {
+        match self.entries.iter().rposition(|e| e.matches(model, op, dt)) {
+            Some(pos) => {
+                if pos + 1 != self.entries.len() {
+                    let hit = self.entries.remove(pos);
+                    self.entries.push(hit);
+                }
+            }
+            None => {
+                if self.entries.len() >= STEP_CACHE_CAP {
+                    self.entries.remove(0);
+                }
+                self.entries.push(StepFactors::build(model, op, dt));
+            }
+        }
+        self.entries.last().expect("entry just ensured")
+    }
+}
+
 /// A transient simulation of one drive's temperatures.
 ///
 /// # Examples
@@ -43,12 +139,13 @@ pub(crate) const PAPER_STEP: Seconds = Seconds::new(0.1);
 /// sim.advance(&model, op, Seconds::new(60.0)); // one minute in
 /// assert!(sim.temps().air.get() > 30.0); // already several degrees up
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TransientSim {
     temps: NodeTemps,
     time: Seconds,
     step: Seconds,
     integrator: Integrator,
+    cache: StepCache,
 }
 
 impl TransientSim {
@@ -65,24 +162,39 @@ impl TransientSim {
             time: Seconds::ZERO,
             step: PAPER_STEP,
             integrator: Integrator::default(),
+            cache: StepCache::default(),
         }
     }
 
     /// Overrides the integration step (default 0.1 s, the paper's
     /// 600 steps/minute).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the step is not positive.
-    pub fn with_step(mut self, step: Seconds) -> Self {
-        assert!(step.get() > 0.0, "integration step must be positive");
+    /// [`ThermalError::NonPositiveStep`] when the step is not a
+    /// positive, finite number of seconds.
+    pub fn with_step(mut self, step: Seconds) -> Result<Self, ThermalError> {
+        if !(step.get().is_finite() && step.get() > 0.0) {
+            return Err(ThermalError::NonPositiveStep(step.get()));
+        }
         self.step = step;
-        self
+        Ok(self)
     }
 
     /// Overrides the integration scheme.
     pub fn with_integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Enables or disables the cached backward-Euler factorization
+    /// (enabled by default). With the cache off, every implicit step
+    /// assembles and factors the 4×4 system from scratch — the pre-cache
+    /// behavior, kept for benchmarking and differential tests; the math
+    /// is identical either way.
+    pub fn with_step_cache(mut self, enabled: bool) -> Self {
+        self.cache.disabled = !enabled;
+        self.cache.entries.clear();
         self
     }
 
@@ -100,12 +212,12 @@ impl TransientSim {
     /// point.
     pub fn step(&mut self, model: &ThermalModel, op: OperatingPoint) {
         let dt = self.step.get();
-        let (a, b) = model.assemble(op);
-        let caps = model.capacities();
         let t = self.temps.to_array();
 
         let next = match self.integrator {
             Integrator::ForwardEuler => {
+                let (a, b) = model.assemble(op);
+                let caps = model.capacities();
                 let mut out = [0.0; NODES];
                 for i in 0..NODES {
                     // C_i dT/dt = b_i - sum_j A_ij T_j
@@ -114,18 +226,10 @@ impl TransientSim {
                 }
                 out
             }
-            Integrator::BackwardEuler => {
-                // (C/dt + A) T_new = C/dt T_old + b
-                let mut lhs = a;
-                let mut rhs = b;
-                for i in 0..NODES {
-                    let c_dt = caps[i].get() / dt;
-                    lhs[i][i] += c_dt;
-                    rhs[i] += c_dt * t[i];
-                }
-                let x = solve(lhs, rhs).expect("implicit step matrix is SPD");
-                [x[0], x[1], x[2], x[3]]
+            Integrator::BackwardEuler if self.cache.disabled => {
+                StepFactors::build(model, op, dt).step(t)
             }
+            Integrator::BackwardEuler => self.cache.get(model, op, dt).step(t),
         };
 
         self.temps = NodeTemps::from_array(next);
@@ -202,6 +306,46 @@ impl TransientSim {
     }
 }
 
+// The factorization cache is derived state: two simulations are the same
+// simulation whether or not one has warmed its cache, and the cache must
+// not leak into the serialized form (which predates it).
+impl PartialEq for TransientSim {
+    fn eq(&self, other: &Self) -> bool {
+        self.temps == other.temps
+            && self.time == other.time
+            && self.step == other.step
+            && self.integrator == other.integrator
+    }
+}
+
+impl Serialize for TransientSim {
+    fn to_value(&self) -> serde::Value {
+        let mut doc = serde::Map::new();
+        doc.insert("temps", self.temps.to_value());
+        doc.insert("time", self.time.to_value());
+        doc.insert("step", self.step.to_value());
+        doc.insert("integrator", self.integrator.to_value());
+        serde::Value::Object(doc)
+    }
+}
+
+impl Deserialize for TransientSim {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in TransientSim"))
+            })
+        };
+        Ok(Self {
+            temps: Deserialize::from_value(field("temps")?)?,
+            time: Deserialize::from_value(field("time")?)?,
+            step: Deserialize::from_value(field("step")?)?,
+            integrator: Deserialize::from_value(field("integrator")?)?,
+            cache: StepCache::default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,9 +390,12 @@ mod tests {
     #[test]
     fn explicit_and_implicit_agree_at_small_steps() {
         let m = model();
-        let mut implicit = TransientSim::from_ambient(&m).with_step(Seconds::new(0.05));
+        let mut implicit = TransientSim::from_ambient(&m)
+            .with_step(Seconds::new(0.05))
+            .expect("positive step");
         let mut explicit = TransientSim::from_ambient(&m)
             .with_step(Seconds::new(0.05))
+            .expect("positive step")
             .with_integrator(Integrator::ForwardEuler);
         implicit.advance(&m, op(), Seconds::new(600.0));
         explicit.advance(&m, op(), Seconds::new(600.0));
@@ -308,5 +455,69 @@ mod tests {
         let after_ten = sim.temps().air;
         assert!(after_ten > after_minute);
         assert!(after_ten < steady);
+    }
+
+    #[test]
+    fn with_step_rejects_non_positive_and_non_finite_steps() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = TransientSim::with_initial(NodeTemps::uniform(Celsius::new(28.0)))
+                .with_step(Seconds::new(bad));
+            assert!(matches!(err, Err(ThermalError::NonPositiveStep(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn cached_factorization_is_bitwise_identical_to_fresh_solves() {
+        let m = model();
+        // Alternate operating points the way the DTM throttle loop does,
+        // so the cache cycles between entries.
+        let ops = [
+            OperatingPoint::seeking(Rpm::new(24_534.0)),
+            OperatingPoint::idle_vcm(Rpm::new(24_534.0)),
+            OperatingPoint::new(Rpm::new(22_001.0), 0.4),
+        ];
+        let mut cached = TransientSim::from_ambient(&m);
+        let mut naive = TransientSim::from_ambient(&m).with_step_cache(false);
+        for i in 0..3_000 {
+            let op = ops[i % ops.len()];
+            cached.step(&m, op);
+            naive.step(&m, op);
+            let a = cached.temps().to_array();
+            let b = naive.temps().to_array();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_cache_eviction_keeps_answers_exact() {
+        let m = model();
+        // More distinct operating points than cache slots.
+        let ops: Vec<OperatingPoint> = (0..STEP_CACHE_CAP + 3)
+            .map(|i| OperatingPoint::new(Rpm::new(12_000.0 + 1_000.0 * i as f64), 0.25))
+            .collect();
+        let mut cached = TransientSim::from_ambient(&m);
+        let mut naive = TransientSim::from_ambient(&m).with_step_cache(false);
+        for round in 0..4 {
+            for op in &ops {
+                cached.step(&m, *op);
+                naive.step(&m, *op);
+            }
+            assert_eq!(cached.temps(), naive.temps(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn serialization_shape_omits_the_cache() {
+        let m = model();
+        let mut sim = TransientSim::from_ambient(&m);
+        sim.advance(&m, op(), Seconds::new(10.0));
+        let value = sim.to_value();
+        let obj = value.as_object().expect("object");
+        let keys: Vec<&String> = obj.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["temps", "time", "step", "integrator"]);
+        let back = TransientSim::from_value(&value).expect("round trip");
+        assert_eq!(back, sim);
     }
 }

@@ -1,8 +1,8 @@
 //! Property-based tests for the thermal model's physical invariants.
 
 use diskthermal::{
-    max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, OperatingPoint, ThermalModel,
-    TransientSim, THERMAL_ENVELOPE,
+    max_rpm_within_envelope, DriveThermalSpec, EnvelopeSearch, Integrator, OperatingPoint,
+    ThermalModel, TransientSim, THERMAL_ENVELOPE,
 };
 use proptest::prelude::*;
 use units::{Celsius, Inches, Rpm, Seconds};
@@ -100,5 +100,78 @@ proptest! {
             "cold start: {} vs steady {}", sim.temps().air, steady);
         prop_assert!(sim.temps().air <= steady + units::TempDelta::new(1e-6),
             "no overshoot from below");
+    }
+}
+
+// Long integrations make these cases expensive; a handful suffices
+// because every case already sweeps thousands of steps.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cached_factorization_matches_naive_stepping(
+        spec in spec_strategy(),
+        rpm_a in 10_000.0f64..60_000.0,
+        rpm_b in 10_000.0f64..60_000.0,
+    ) {
+        // The cached step factorization must be numerically
+        // indistinguishable from factoring afresh on every step, even
+        // while the operating point keeps flipping under it.
+        let m = ThermalModel::new(spec);
+        let ops = [
+            OperatingPoint::seeking(Rpm::new(rpm_a)),
+            OperatingPoint::idle_vcm(Rpm::new(rpm_b)),
+        ];
+        let mut cached = TransientSim::from_ambient(&m)
+            .with_step(Seconds::new(0.1))
+            .expect("positive step");
+        let mut naive = cached.clone().with_step_cache(false);
+        for step in 0..10_000usize {
+            let op = ops[(step / 100) % 2];
+            cached.step(&m, op);
+            naive.step(&m, op);
+            let (c, n) = (cached.temps(), naive.temps());
+            prop_assert!((c.air - n.air).abs().get() <= 1e-12, "air drifted at step {step}");
+            prop_assert!((c.spindle - n.spindle).abs().get() <= 1e-12, "spindle drifted at step {step}");
+            prop_assert!((c.base - n.base).abs().get() <= 1e-12, "base drifted at step {step}");
+            prop_assert!((c.vcm - n.vcm).abs().get() <= 1e-12, "vcm drifted at step {step}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn integrators_converge_to_the_same_steady_state(
+        spec in spec_strategy(),
+        rpm in 10_000.0f64..60_000.0,
+    ) {
+        let m = ThermalModel::new(spec);
+        let op = OperatingPoint::seeking(Rpm::new(rpm));
+        let air_at = |integrator, dt: f64, horizon: f64| {
+            let mut sim = TransientSim::from_ambient(&m)
+                .with_step(Seconds::new(dt))
+                .expect("positive step")
+                .with_integrator(integrator);
+            sim.advance(&m, op, Seconds::new(horizon));
+            sim.temps().air.get()
+        };
+
+        // Mid-transient, the schemes' truncation errors are O(dt), so
+        // their disagreement must shrink as the step is refined...
+        let mut diffs = Vec::new();
+        for dt in [0.1, 0.05, 0.025] {
+            diffs.push((air_at(Integrator::ForwardEuler, dt, 60.0)
+                - air_at(Integrator::BackwardEuler, dt, 60.0)).abs());
+        }
+        prop_assert!(diffs[2] <= diffs[0] + 1e-9,
+            "refining the step widened the scheme gap: {:?}", diffs);
+        prop_assert!(diffs[2] < 0.5, "schemes disagree mid-transient: {:?}", diffs);
+
+        // ...and at the horizon both settle onto the same steady state.
+        let fe = air_at(Integrator::ForwardEuler, 0.1, 7_200.0);
+        let be = air_at(Integrator::BackwardEuler, 0.1, 7_200.0);
+        prop_assert!((fe - be).abs() < 0.1, "steady states diverge: {fe} vs {be}");
     }
 }

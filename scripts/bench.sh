@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Thermal-kernel benchmark baseline: times the integrators, the
+# steady-state solver, and two end-to-end experiments, then writes the
+# numbers to BENCH_thermal.json at the repo root (pass --quick for a
+# fast smoke run that skips the write).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+exec ./target/release/lab bench "$@"

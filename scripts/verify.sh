@@ -8,10 +8,16 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo run --release --bin lab -- table1"
 cargo run --release --bin lab -- table1
+
+echo "==> cargo run --release --bin lab -- bench --quick"
+cargo run --release --bin lab -- bench --quick
 
 echo "verify: OK"

@@ -82,3 +82,34 @@ fn thread_count_does_not_change_results() {
     let _ = fs::remove_dir_all(&dir1);
     let _ = fs::remove_dir_all(&dir8);
 }
+
+#[test]
+fn parallel_map_sweeps_match_serial_bitwise() {
+    use diskthermal::{DriveThermalSpec, OperatingPoint, ThermalModel};
+
+    // The same floating-point sweep through one worker and through many
+    // must produce bitwise-identical numbers in the same order.
+    let rpms: Vec<f64> = (0..64).map(|i| 10_000.0 + i as f64 * 137.0).collect();
+    let air_for = |rpm: f64| {
+        let model = ThermalModel::new(DriveThermalSpec::cheetah_15k3());
+        model
+            .steady_state(OperatingPoint::seeking(units::Rpm::new(rpm)))
+            .air
+            .get()
+    };
+    let serial = disklab::parallel_map(rpms.clone(), 1, air_for);
+    let threaded = disklab::parallel_map(rpms, 8, air_for);
+    let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+    let threaded_bits: Vec<u64> = threaded.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(serial_bits, threaded_bits);
+
+    // And the experiments whose sweeps run through `parallel_map` must
+    // emit the same payloads and reports run over run.
+    for name in ["figure3", "figure7"] {
+        let exp = disklab::by_name(name, Scale::Full).unwrap();
+        let one = exp.run().unwrap();
+        let two = exp.run().unwrap();
+        assert_eq!(one.text, two.text, "{name} report varies across runs");
+        assert_eq!(one.json, two.json, "{name} payload varies across runs");
+    }
+}
