@@ -39,6 +39,7 @@ mod cache;
 mod disk;
 mod energy;
 mod error;
+pub mod par;
 pub mod queueing;
 mod raid;
 mod request;

@@ -1,0 +1,136 @@
+//! Deterministic work-stealing parallelism shared by the lab engine and
+//! the fleet's sharded event loop.
+//!
+//! The scheduler is free to interleave work any way it likes, but
+//! [`parallel_map`] always returns its outputs in item order, so callers
+//! that keep `f` pure get byte-identical results at any thread count —
+//! the property the experiment cache and the fleet determinism tests
+//! lean on. `disklab::engine` re-exports these functions; they live here
+//! so `diskfleet` can advance enclosure shards through the same
+//! discipline without a dependency cycle through the lab crate.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+/// The worker count [`parallel_map`] uses by default: the machine's
+/// parallelism, capped so a sweep nested inside an engine worker does
+/// not fan out absurdly wide.
+pub fn default_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Maps `f` over `items` across up to `threads` workers, using the same
+/// work-stealing discipline as the experiment scheduler, and returns
+/// the outputs in item order.
+///
+/// The scheduling is free to interleave any way it likes, but the
+/// result is exactly what the serial `items.into_iter().map(f)` would
+/// produce — experiments lean on that to keep their artifacts
+/// byte-identical across thread counts. `f` must therefore be pure with
+/// respect to ordering: each call sees only its own item.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..items.len() {
+        queues[i % workers].lock().expect("queue lock").push_back(i);
+    }
+
+    thread::scope(|scope| {
+        let (items, slots, queues, f) = (&items, &slots, &queues, &f);
+        for worker in 0..workers {
+            scope.spawn(move || {
+                while let Some(i) = next_job(queues, worker) {
+                    let item = items[i]
+                        .lock()
+                        .expect("item lock")
+                        .take()
+                        .expect("each job is dispatched exactly once");
+                    let out = f(item);
+                    *slots[i].lock().expect("slot lock") = Some(out);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every dispatched job stores its result")
+        })
+        .collect()
+}
+
+/// Pops from the worker's own deque, stealing from peers when empty.
+/// Exposed so the engine's experiment scheduler can share the exact
+/// stealing order.
+pub fn next_job(queues: &[Mutex<VecDeque<usize>>], worker: usize) -> Option<usize> {
+    if let Some(job) = queues[worker].lock().expect("queue lock").pop_front() {
+        return Some(job);
+    }
+    for offset in 1..queues.len() {
+        let victim = (worker + offset) % queues.len();
+        if let Some(job) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let squares = |threads| parallel_map((0..100).collect::<Vec<i64>>(), threads, |x| x * x);
+        let serial = squares(1);
+        assert_eq!(serial, (0..100).map(|x| x * x).collect::<Vec<i64>>());
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(squares(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), 8, |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![7], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn stealing_drains_all_queues() {
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..3).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..7 {
+            queues[i % 3].lock().unwrap().push_back(i);
+        }
+        let mut seen = Vec::new();
+        // Worker 2 alone must still drain everything via stealing.
+        while let Some(job) = next_job(&queues, 2) {
+            seen.push(job);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -10,9 +10,10 @@
 //! speed) near the envelope, or ramping a multi-speed disk up when slack
 //! is available.
 
+use crate::driver::WindowedDrive;
 use crate::throttle::ThrottlePolicy;
 use disksim::{Completion, EnergyMeter, EnergyModel, EnergyReport, Request, ResponseStats, SimError, StorageSystem};
-use diskthermal::{NodeTemps, OperatingPoint, TempSensor, ThermalModel, TransientSim};
+use diskthermal::{NodeTemps, TempSensor, ThermalModel};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use units::{Celsius, Rpm, Seconds, TempDelta};
@@ -91,9 +92,7 @@ pub struct DtmReport {
 
 /// The closed-loop controller.
 pub struct DtmController {
-    system: StorageSystem,
-    model: ThermalModel,
-    sim: TransientSim,
+    drive: WindowedDrive,
     policy: DtmPolicy,
     envelope: Celsius,
     window: Seconds,
@@ -112,13 +111,8 @@ impl DtmController {
         envelope: Celsius,
     ) -> Self {
         let service_rpm = system.disks()[0].spec().rpm();
-        let sim = TransientSim::from_ambient(&model)
-            .with_step(Seconds::new(0.05))
-            .expect("constant step is positive");
         Self {
-            system,
-            model,
-            sim,
+            drive: WindowedDrive::new(system, model),
             policy,
             envelope,
             window: Seconds::from_millis(250.0),
@@ -138,9 +132,7 @@ impl DtmController {
 
     /// Starts the thermal state from explicit node temperatures.
     pub fn with_initial_temps(mut self, temps: NodeTemps) -> Self {
-        self.sim = TransientSim::with_initial(temps)
-            .with_step(Seconds::new(0.05))
-            .expect("constant step is positive");
+        self.drive.set_initial_temps(temps);
         self
     }
 
@@ -164,7 +156,7 @@ impl DtmController {
     pub fn run(mut self, trace: Vec<Request>) -> Result<DtmReport, SimError> {
         let mut pending: VecDeque<Request> = trace.into();
         let mut completions: Vec<Completion> = Vec::new();
-        let disks = self.system.disks().len() as f64;
+        let disks = self.drive.system().disks().len() as f64;
 
         let mut throttled = false;
         let mut boosted = false;
@@ -172,14 +164,13 @@ impl DtmController {
         let mut time_throttled = Seconds::ZERO;
         let mut time_boosted = Seconds::ZERO;
         let mut time_over = Seconds::ZERO;
-        let mut max_air = self.sim.temps().air;
+        let mut max_air = self.drive.air();
         let mut air_integral = 0.0;
         let mut duty_acc = 0.0;
         let mut windows = 0u64;
-        let mut prev_seek: f64 = 0.0;
         let mut now = Seconds::ZERO;
         let mut meter = EnergyMeter::new(EnergyModel {
-            vcm_watts: self.model.spec().vcm_power().get(),
+            vcm_watts: self.drive.model().spec().vcm_power().get(),
             ..EnergyModel::default()
         });
 
@@ -187,10 +178,10 @@ impl DtmController {
         match self.policy {
             DtmPolicy::SlackRamp { high, .. } => {
                 // Start boosted: the drive is presumed cold.
-                self.set_all_rpm(high);
+                self.drive.set_all_rpm(high);
                 boosted = true;
             }
-            DtmPolicy::SpeedScale { high, .. } => self.set_all_rpm(high),
+            DtmPolicy::SpeedScale { high, .. } => self.drive.set_all_rpm(high),
             _ => {}
         }
 
@@ -198,47 +189,27 @@ impl DtmController {
             let window_end = now + self.window;
 
             // 1. Admission: release pending arrivals up to the window
-            //    end unless gated.
+            //    end unless gated. Original arrival timestamps are
+            //    preserved, so time spent waiting at the admission gate
+            //    is part of the response time the policy costs.
             if !throttled {
-                while let Some(front) = pending.front() {
-                    if front.arrival <= window_end {
-                        let r = *front;
-                        pending.pop_front();
-                        // The original arrival timestamp is preserved:
-                        // time spent waiting at the admission gate is
-                        // part of the response time the policy costs.
-                        self.system.submit(r)?;
-                    } else {
-                        break;
-                    }
-                }
+                self.drive.admit_until(&mut pending, window_end)?;
             }
 
-            // 2. Serve the window.
-            self.system.advance_to_into(window_end, &mut completions);
-
-            // 3. Measure actuator duty over the window.
-            let seek_now: f64 = self
-                .system
-                .disks()
-                .iter()
-                .map(|d| d.seek_time().get())
-                .sum();
-            let duty = ((seek_now - prev_seek) / (self.window.get() * disks)).clamp(0.0, 1.0);
-            prev_seek = seek_now;
-            duty_acc += duty;
+            // 2-4. Serve the window, measure actuator duty, and step
+            // the thermal transient at the measured operating point
+            // (the shared driver loop body).
+            let sample = self
+                .drive
+                .serve_window(window_end, self.window, &mut completions);
+            duty_acc += sample.duty;
             windows += 1;
-
-            // 4. Thermal step at the measured operating point.
-            let rpm = self.system.disks()[0].spec().rpm();
             meter.accumulate(
-                rpm,
-                self.window * (duty * disks),
+                sample.rpm,
+                self.window * (sample.duty * disks),
                 self.window * disks,
             );
-            self.sim
-                .advance(&self.model, OperatingPoint::new(rpm, duty), self.window);
-            let true_air = self.sim.temps().air;
+            let true_air = sample.air();
             max_air = max_air.max(true_air);
             air_integral += true_air.get() * self.window.get();
             if true_air > self.envelope {
@@ -265,11 +236,11 @@ impl DtmController {
                     if !throttled && air >= trip {
                         throttled = true;
                         if let ThrottlePolicy::VcmAndRpm { low, .. } = mechanism {
-                            self.set_all_rpm(low);
+                            self.drive.set_all_rpm(low);
                         }
                     } else if throttled && air <= trip - resume_margin {
                         throttled = false;
-                        self.set_all_rpm(self.service_rpm);
+                        self.drive.set_all_rpm(self.service_rpm);
                     }
                 }
                 DtmPolicy::SlackRamp {
@@ -279,10 +250,10 @@ impl DtmController {
                 } => {
                     let boost_ok = air <= self.envelope - slack_margin;
                     if boosted && !boost_ok {
-                        self.set_all_rpm(base);
+                        self.drive.set_all_rpm(base);
                         boosted = false;
                     } else if !boosted && air <= self.envelope - slack_margin * 1.5 {
-                        self.set_all_rpm(high);
+                        self.drive.set_all_rpm(high);
                         boosted = true;
                     }
                     let _ = boost_ok;
@@ -295,10 +266,10 @@ impl DtmController {
                 } => {
                     let trip = self.envelope - guard;
                     if !scaled_down && air >= trip {
-                        self.set_all_rpm(low);
+                        self.drive.set_all_rpm(low);
                         scaled_down = true;
                     } else if scaled_down && air <= trip - resume_margin {
-                        self.set_all_rpm(high);
+                        self.drive.set_all_rpm(high);
                         scaled_down = false;
                     }
                 }
@@ -310,7 +281,7 @@ impl DtmController {
             now = window_end;
 
             // Exit once the trace is fully served and the queues drained.
-            if pending.is_empty() && self.system.in_flight() == 0 {
+            if pending.is_empty() && self.drive.in_flight() == 0 {
                 break;
             }
             // Safety cap: a trace gated forever (policy too strict)
@@ -323,7 +294,7 @@ impl DtmController {
         let mean_air = if now.get() > 0.0 {
             Celsius::new(air_integral / now.get())
         } else {
-            self.sim.temps().air
+            self.drive.air()
         };
         Ok(DtmReport {
             stats: ResponseStats::from_completions(&completions),
@@ -336,23 +307,17 @@ impl DtmController {
             mean_air,
             failure_acceleration: diskthermal::reliability::failure_acceleration(
                 mean_air,
-                self.model.spec().ambient(),
+                self.drive.model().spec().ambient(),
             ),
             energy: meter.report(),
         })
-    }
-
-    fn set_all_rpm(&mut self, rpm: Rpm) {
-        for d in self.system.disks_mut() {
-            d.set_rpm(rpm);
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diskthermal::{DriveThermalSpec, ThermalParams, THERMAL_ENVELOPE};
+    use diskthermal::{DriveThermalSpec, OperatingPoint, ThermalParams, THERMAL_ENVELOPE};
     use disksim::{DiskSpec, RequestKind, SystemConfig};
     use units::Inches;
 

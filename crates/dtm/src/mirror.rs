@@ -8,9 +8,10 @@
 //! and the standby has cooled, the read stream switches sides — the
 //! throttling idea of §5.3 without ever gating reads.
 
-use disksim::{Completion, Request, RequestKind, SimError, StorageSystem, SystemConfig};
+use crate::driver::WindowedDrive;
+use disksim::{Request, RequestKind, SimError, StorageSystem, SystemConfig};
 use disksim::{DiskSpec, ResponseStats};
-use diskthermal::{OperatingPoint, ThermalModel, TransientSim};
+use diskthermal::ThermalModel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -33,9 +34,7 @@ pub struct MirrorReport {
 
 /// A mirrored pair of identical drives under thermal read steering.
 pub struct MirroredPair {
-    members: [StorageSystem; 2],
-    sims: [TransientSim; 2],
-    model: ThermalModel,
+    members: [WindowedDrive; 2],
     envelope: Celsius,
     /// Trip margin below the envelope for switching away.
     guard: TempDelta,
@@ -59,13 +58,11 @@ impl MirroredPair {
     ) -> Result<Self, SimError> {
         let a = StorageSystem::new(SystemConfig::single_disk(spec.clone()))?;
         let b = StorageSystem::new(SystemConfig::single_disk(spec))?;
-        let sim = TransientSim::from_ambient(&model)
-            .with_step(Seconds::new(0.05))
-            .expect("constant step is positive");
         Ok(Self {
-            members: [a, b],
-            sims: [sim.clone(), sim],
-            model,
+            members: [
+                WindowedDrive::new(a, model.clone()),
+                WindowedDrive::new(b, model),
+            ],
             envelope,
             guard: TempDelta::new(0.1),
             min_gap: TempDelta::new(0.3),
@@ -84,10 +81,9 @@ impl MirroredPair {
     /// Starts both members' thermal state at the given temperature.
     pub fn with_initial_air(mut self, temp: Celsius) -> Self {
         let temps = diskthermal::NodeTemps::uniform(temp);
-        let sim = TransientSim::with_initial(temps)
-            .with_step(Seconds::new(0.05))
-            .expect("constant step is positive");
-        self.sims = [sim.clone(), sim];
+        for member in &mut self.members {
+            member.set_initial_temps(temps);
+        }
         self
     }
 
@@ -105,10 +101,9 @@ impl MirroredPair {
         let mut outstanding: HashMap<u64, (Request, u32, Seconds)> = HashMap::new();
         let mut stats = ResponseStats::new();
         let mut completed = 0u64;
-        let mut max_air = self.sims[0].temps().air;
+        let mut max_air = self.members[0].air();
         let mut time_over = Seconds::ZERO;
         let mut switches = 0u32;
-        let mut prev_seek = [0.0f64; 2];
         let mut now = Seconds::ZERO;
         let mut window_completions = Vec::new();
 
@@ -135,10 +130,19 @@ impl MirroredPair {
                 }
             }
 
-            // Serve the window on both members and fold completions.
-            for m in 0..2 {
+            // Serve the window on both members through the shared
+            // driver (event advance + duty measurement + thermal step
+            // in one call) and fold completions into logical requests.
+            let mut airs = [Celsius::new(0.0); 2];
+            for (m, air) in airs.iter_mut().enumerate() {
                 window_completions.clear();
-                self.members[m].advance_to_into(window_end, &mut window_completions);
+                let sample =
+                    self.members[m].serve_window(window_end, self.window, &mut window_completions);
+                *air = sample.air();
+                max_air = max_air.max(*air);
+                if *air > self.envelope {
+                    time_over += self.window;
+                }
                 for c in &window_completions {
                     let done = {
                         let entry = outstanding
@@ -154,32 +158,7 @@ impl MirroredPair {
                             .expect("entry present");
                         stats.record(finish - req.arrival);
                         completed += 1;
-                        let _ = Completion {
-                            request: req,
-                            start: req.arrival,
-                            finish,
-                        };
                     }
-                }
-            }
-
-            // Thermal step per member with its measured actuator duty.
-            let mut airs = [Celsius::new(0.0); 2];
-            for m in 0..2 {
-                let seek_now = self.members[m].disks()[0].seek_time().get();
-                let duty =
-                    ((seek_now - prev_seek[m]) / self.window.get()).clamp(0.0, 1.0);
-                prev_seek[m] = seek_now;
-                let rpm = self.members[m].disks()[0].spec().rpm();
-                self.sims[m].advance(
-                    &self.model,
-                    OperatingPoint::new(rpm, duty),
-                    self.window,
-                );
-                airs[m] = self.sims[m].temps().air;
-                max_air = max_air.max(airs[m]);
-                if airs[m] > self.envelope {
-                    time_over += self.window;
                 }
             }
 
@@ -244,7 +223,7 @@ mod tests {
     #[test]
     fn all_requests_complete_and_writes_hit_both() {
         let p = pair(15_020.0);
-        let capacity = p.members[0].logical_sectors();
+        let capacity = p.members[0].system().logical_sectors();
         let report = p.run(read_heavy_trace(capacity, 2_000, 150.0)).unwrap();
         assert_eq!(report.stats.count(), 2_000);
         assert!(report.total_time.get() > 0.0);
@@ -257,7 +236,7 @@ mod tests {
         let p = pair(24_534.0)
             .with_initial_air(THERMAL_ENVELOPE - TempDelta::new(0.3))
             .with_thresholds(TempDelta::new(0.1), TempDelta::new(0.05));
-        let capacity = p.members[0].logical_sectors();
+        let capacity = p.members[0].system().logical_sectors();
         let report = p.run(read_heavy_trace(capacity, 8_000, 140.0)).unwrap();
         assert!(report.switches > 0, "thermal pressure should steer reads");
         assert_eq!(report.stats.count(), 8_000);
@@ -283,7 +262,7 @@ mod tests {
         };
 
         let p = pair(24_534.0).with_initial_air(THERMAL_ENVELOPE - TempDelta::new(0.5));
-        let capacity = p.members[0].logical_sectors();
+        let capacity = p.members[0].system().logical_sectors();
         let report = p.run(read_heavy_trace(capacity, 6_000, 140.0)).unwrap();
 
         assert!(
@@ -297,7 +276,7 @@ mod tests {
     #[test]
     fn write_completion_waits_for_both_members() {
         let p = pair(15_020.0);
-        let capacity = p.members[0].logical_sectors();
+        let capacity = p.members[0].system().logical_sectors();
         // A pure-write trace: every completion is mirrored.
         let trace: Vec<Request> = (0..200u64)
             .map(|i| {

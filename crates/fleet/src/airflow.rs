@@ -1,0 +1,198 @@
+//! The rack-scale airflow graph.
+//!
+//! §4.2.2 models a drive's internal-air temperature against the ambient
+//! at its *inlet*; `diskthermal::array` chains that model along one
+//! serial airflow to show downstream bays running hotter. This module
+//! generalizes the chain to a directed acyclic coupling graph: each
+//! drive's local ambient is the rack inlet plus a weighted sum of
+//! upstream drives' exhaust heat, `T_i = T_inlet + Σ_j k_ij · P_j`, with
+//! `k_ij` in kelvin per watt. The network stays linear — drive heat
+//! output does not depend on temperature — so one pass per sync epoch
+//! suffices, exactly like [`diskthermal::AirflowPath::bay_states`]'s
+//! single-pass argument.
+
+use crate::error::FleetError;
+use serde::{Deserialize, Serialize};
+use units::{Celsius, TempDelta};
+
+/// A directed acyclic thermal-coupling graph over the fleet's drives.
+///
+/// `upstream[i]` lists `(source, kelvin_per_watt)` couplings; drive `i`'s
+/// local ambient is the rack inlet preheated by every listed source's
+/// heat. Sources must have a smaller index than the drive they preheat
+/// (air flows forward through the rack), which keeps the graph acyclic
+/// by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirflowGraph {
+    inlet: Celsius,
+    upstream: Vec<Vec<(usize, f64)>>,
+}
+
+impl AirflowGraph {
+    /// Builds a graph from explicit couplings.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty graph, couplings that point at out-of-range or
+    /// non-upstream (index ≥ self) sources, and non-finite or negative
+    /// coefficients.
+    pub fn new(inlet: Celsius, upstream: Vec<Vec<(usize, f64)>>) -> Result<Self, FleetError> {
+        if upstream.is_empty() {
+            return Err(FleetError::Config("airflow graph has no drives".into()));
+        }
+        for (i, sources) in upstream.iter().enumerate() {
+            for &(j, k) in sources {
+                if j >= i {
+                    return Err(FleetError::Config(format!(
+                        "drive {i} coupled to non-upstream source {j}; \
+                         air flows forward, sources must precede sinks"
+                    )));
+                }
+                if !k.is_finite() || k < 0.0 {
+                    return Err(FleetError::Config(format!(
+                        "drive {i} has a bad coupling coefficient {k} K/W from source {j}"
+                    )));
+                }
+            }
+        }
+        Ok(Self { inlet, upstream })
+    }
+
+    /// One serial airflow path: every drive is preheated by *all* drives
+    /// before it, each contributing `1 / stream_w_per_k` kelvin per watt
+    /// — the rack-scale version of [`diskthermal::AirflowPath`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects `drives == 0` and a non-positive stream capacity rate.
+    pub fn serial(drives: usize, inlet: Celsius, stream_w_per_k: f64) -> Result<Self, FleetError> {
+        if stream_w_per_k <= 0.0 || !stream_w_per_k.is_finite() {
+            return Err(FleetError::Config(format!(
+                "stream capacity rate must be positive and finite, got {stream_w_per_k}"
+            )));
+        }
+        let k = 1.0 / stream_w_per_k;
+        let upstream = (0..drives).map(|i| (0..i).map(|j| (j, k)).collect()).collect();
+        Self::new(inlet, upstream)
+    }
+
+    /// Independent serial columns of `per_column` drives each: drive `i`
+    /// is preheated only by the drives above it in its own column. The
+    /// last partial column just ends early.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `drives == 0`, `per_column == 0`, and a non-positive
+    /// stream capacity rate.
+    pub fn columns(
+        drives: usize,
+        per_column: usize,
+        inlet: Celsius,
+        stream_w_per_k: f64,
+    ) -> Result<Self, FleetError> {
+        if per_column == 0 {
+            return Err(FleetError::Config("columns need at least one drive each".into()));
+        }
+        if stream_w_per_k <= 0.0 || !stream_w_per_k.is_finite() {
+            return Err(FleetError::Config(format!(
+                "stream capacity rate must be positive and finite, got {stream_w_per_k}"
+            )));
+        }
+        let k = 1.0 / stream_w_per_k;
+        let upstream = (0..drives)
+            .map(|i| {
+                let column_start = i - i % per_column;
+                (column_start..i).map(|j| (j, k)).collect()
+            })
+            .collect();
+        Self::new(inlet, upstream)
+    }
+
+    /// Number of drives in the graph.
+    pub fn len(&self) -> usize {
+        self.upstream.len()
+    }
+
+    /// Whether the graph is empty (never true for a validated graph).
+    pub fn is_empty(&self) -> bool {
+        self.upstream.is_empty()
+    }
+
+    /// The rack inlet temperature.
+    pub fn inlet(&self) -> Celsius {
+        self.inlet
+    }
+
+    /// Local ambient each drive sees when the fleet rejects `heats_w`
+    /// watts per drive: inlet plus the weighted upstream preheat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heats_w.len()` does not match the graph.
+    pub fn local_ambients(&self, heats_w: &[f64]) -> Vec<Celsius> {
+        assert_eq!(heats_w.len(), self.len(), "one heat term per drive");
+        self.upstream
+            .iter()
+            .map(|sources| {
+                let preheat: f64 = sources.iter().map(|&(j, k)| heats_w[j] * k).sum();
+                self.inlet + TempDelta::new(preheat)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_graph_matches_the_single_path_preheat_formula() {
+        let g = AirflowGraph::serial(4, Celsius::new(28.0), 20.0).unwrap();
+        let ambients = g.local_ambients(&[10.0, 10.0, 10.0, 10.0]);
+        // Bay i preheated by i upstream drives at 10 W each over 20 W/K.
+        for (i, a) in ambients.iter().enumerate() {
+            let expect = 28.0 + 10.0 * i as f64 / 20.0;
+            assert!((a.get() - expect).abs() < 1e-12, "bay {i}: {a} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn columns_isolate_their_preheat() {
+        let g = AirflowGraph::columns(4, 2, Celsius::new(25.0), 10.0).unwrap();
+        let ambients = g.local_ambients(&[8.0, 8.0, 8.0, 8.0]);
+        // Column heads (0 and 2) see pristine inlet air.
+        assert_eq!(ambients[0], Celsius::new(25.0));
+        assert_eq!(ambients[2], Celsius::new(25.0));
+        assert!(ambients[1] > ambients[0]);
+        assert_eq!(ambients[1], ambients[3]);
+    }
+
+    #[test]
+    fn downstream_sources_are_rejected() {
+        let e = AirflowGraph::new(Celsius::new(28.0), vec![vec![(1, 0.1)], vec![]]);
+        assert!(matches!(e, Err(FleetError::Config(_))));
+        let e = AirflowGraph::new(Celsius::new(28.0), vec![vec![], vec![(1, 0.1)]]);
+        assert!(matches!(e, Err(FleetError::Config(_))), "self-coupling is a cycle");
+    }
+
+    #[test]
+    fn bad_coefficients_and_empty_graphs_are_rejected() {
+        assert!(AirflowGraph::new(Celsius::new(28.0), vec![]).is_err());
+        assert!(AirflowGraph::new(Celsius::new(28.0), vec![vec![], vec![(0, -0.1)]]).is_err());
+        assert!(
+            AirflowGraph::new(Celsius::new(28.0), vec![vec![], vec![(0, f64::NAN)]]).is_err()
+        );
+        assert!(AirflowGraph::serial(3, Celsius::new(28.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn heat_redistribution_leaves_downstream_preheat_unchanged() {
+        // Moving load between upstream drives cannot change the total
+        // preheat a serial path's last bay sees — the physical argument
+        // for why thermal-aware routing helps the hottest drive.
+        let g = AirflowGraph::serial(4, Celsius::new(28.0), 12.0).unwrap();
+        let balanced = g.local_ambients(&[8.0, 8.0, 8.0, 20.0]);
+        let skewed = g.local_ambients(&[14.0, 4.0, 6.0, 20.0]);
+        assert!((balanced[3].get() - skewed[3].get()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! The fleet-level DTM coordinator.
+//!
+//! `dtm::DtmController` runs one drive's policy in the same loop that
+//! serves its requests; at rack scale the decisions move to a
+//! coordinator that observes every enclosure at sync-epoch boundaries
+//! and applies per-drive actuations — the §5.2 speed ramp (run a
+//! multi-speed disk fast while slack lasts, drop it near the envelope)
+//! or the §5.3 admission throttle — under one shared envelope.
+//!
+//! The coordinator never touches the enclosures directly: it announces
+//! spindle-speed changes through a caller-supplied actuator closure and
+//! publishes gating through [`Coordinator::gated`], so the fleet decides
+//! where drives live in memory (important for the sharded event loop).
+
+use serde::{Deserialize, Serialize};
+use units::{Celsius, Rpm, TempDelta};
+
+/// The per-drive actuation the coordinator applies fleet-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FleetDtmPolicy {
+    /// No control: the baseline that may violate the envelope.
+    None,
+    /// DRPM-style speed scaling (§5.2): each drive runs at `high` until
+    /// its air crosses `envelope − guard`, then serves on at `low` until
+    /// it cools `resume_margin` below the trip point.
+    SpeedScale {
+        /// Full-performance speed.
+        high: Rpm,
+        /// Reduced speed near the envelope.
+        low: Rpm,
+        /// Safety margin below the envelope at which to downshift.
+        guard: TempDelta,
+        /// Hysteresis below the trip point before upshifting.
+        resume_margin: TempDelta,
+    },
+    /// Admission gating (§5.3): a drive crossing `envelope − guard`
+    /// stops admitting new requests (in-flight work completes) until it
+    /// cools `resume_margin` below the trip point. The router steers
+    /// around gated drives.
+    Throttle {
+        /// Safety margin below the envelope at which to gate.
+        guard: TempDelta,
+        /// Hysteresis below the trip point before reopening.
+        resume_margin: TempDelta,
+    },
+}
+
+/// Per-drive control state.
+#[derive(Debug, Clone, Copy, Default)]
+struct DriveCtl {
+    scaled_down: bool,
+    gated: bool,
+}
+
+/// Applies a [`FleetDtmPolicy`] to every enclosure at epoch boundaries.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    policy: FleetDtmPolicy,
+    envelope: Celsius,
+    states: Vec<DriveCtl>,
+}
+
+impl Coordinator {
+    /// A coordinator for `drives` enclosures under one envelope.
+    pub fn new(policy: FleetDtmPolicy, envelope: Celsius, drives: usize) -> Self {
+        Self {
+            policy,
+            envelope,
+            states: vec![DriveCtl::default(); drives],
+        }
+    }
+
+    /// Whether drive `i` currently has admission gated.
+    pub fn gated(&self, i: usize) -> bool {
+        self.states[i].gated
+    }
+
+    /// Whether drive `i` is currently running at the reduced speed.
+    pub fn scaled_down(&self, i: usize) -> bool {
+        self.states[i].scaled_down
+    }
+
+    /// Number of drives currently under control action (gated or
+    /// scaled down).
+    pub fn engaged(&self) -> usize {
+        self.states.iter().filter(|s| s.gated || s.scaled_down).count()
+    }
+
+    /// Announces the starting speed of speed-modulating policies
+    /// through the actuator.
+    pub fn prime(&self, mut set_rpm: impl FnMut(usize, Rpm)) {
+        if let FleetDtmPolicy::SpeedScale { high, .. } = self.policy {
+            for i in 0..self.states.len() {
+                set_rpm(i, high);
+            }
+        }
+    }
+
+    /// One control pass over the fleet: compares each drive's sensed
+    /// air temperature against the shared envelope and applies the
+    /// per-drive actuation with hysteresis. Speed changes go through
+    /// `set_rpm`; gating is published via [`Self::gated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `airs` does not carry one reading per drive.
+    pub fn apply(&mut self, airs: &[Celsius], mut set_rpm: impl FnMut(usize, Rpm)) {
+        assert_eq!(airs.len(), self.states.len(), "one reading per drive");
+        match self.policy {
+            FleetDtmPolicy::None => {}
+            FleetDtmPolicy::SpeedScale {
+                high,
+                low,
+                guard,
+                resume_margin,
+            } => {
+                let trip = self.envelope - guard;
+                for (i, state) in self.states.iter_mut().enumerate() {
+                    if !state.scaled_down && airs[i] >= trip {
+                        set_rpm(i, low);
+                        state.scaled_down = true;
+                    } else if state.scaled_down && airs[i] <= trip - resume_margin {
+                        set_rpm(i, high);
+                        state.scaled_down = false;
+                    }
+                }
+            }
+            FleetDtmPolicy::Throttle {
+                guard,
+                resume_margin,
+            } => {
+                let trip = self.envelope - guard;
+                for (i, state) in self.states.iter_mut().enumerate() {
+                    if !state.gated && airs[i] >= trip {
+                        state.gated = true;
+                    } else if state.gated && airs[i] <= trip - resume_margin {
+                        state.gated = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_scale_downshifts_only_the_hot_drive_and_recovers() {
+        let mut rpms = vec![Rpm::new(0.0); 3];
+        let mut c = Coordinator::new(
+            FleetDtmPolicy::SpeedScale {
+                high: Rpm::new(20_000.0),
+                low: Rpm::new(12_000.0),
+                guard: TempDelta::new(0.5),
+                resume_margin: TempDelta::new(0.5),
+            },
+            Celsius::new(45.0),
+            3,
+        );
+        c.prime(|i, rpm| rpms[i] = rpm);
+        assert_eq!(rpms, vec![Rpm::new(20_000.0); 3]);
+
+        let hot = [Celsius::new(40.0), Celsius::new(44.8), Celsius::new(40.0)];
+        c.apply(&hot, |i, rpm| rpms[i] = rpm);
+        assert_eq!(rpms[0], Rpm::new(20_000.0));
+        assert_eq!(rpms[1], Rpm::new(12_000.0));
+        assert!(c.scaled_down(1) && c.engaged() == 1);
+
+        // Hysteresis: just below the trip point is not enough to resume.
+        let warm = [Celsius::new(40.0), Celsius::new(44.2), Celsius::new(40.0)];
+        c.apply(&warm, |i, rpm| rpms[i] = rpm);
+        assert_eq!(rpms[1], Rpm::new(12_000.0));
+
+        let cool = [Celsius::new(40.0), Celsius::new(43.5), Celsius::new(40.0)];
+        c.apply(&cool, |i, rpm| rpms[i] = rpm);
+        assert_eq!(rpms[1], Rpm::new(20_000.0));
+        assert_eq!(c.engaged(), 0);
+    }
+
+    #[test]
+    fn throttle_gates_and_reopens_with_hysteresis() {
+        let mut c = Coordinator::new(
+            FleetDtmPolicy::Throttle {
+                guard: TempDelta::new(0.2),
+                resume_margin: TempDelta::new(0.3),
+            },
+            Celsius::new(45.0),
+            2,
+        );
+        let no_rpm = |_: usize, _: Rpm| panic!("throttling never touches the spindle");
+        c.apply(&[Celsius::new(44.9), Celsius::new(40.0)], no_rpm);
+        assert!(c.gated(0) && !c.gated(1));
+        c.apply(&[Celsius::new(44.6), Celsius::new(40.0)], no_rpm);
+        assert!(c.gated(0), "inside the hysteresis band the gate holds");
+        c.apply(&[Celsius::new(44.4), Celsius::new(40.0)], no_rpm);
+        assert!(!c.gated(0));
+    }
+
+    #[test]
+    fn none_policy_never_engages() {
+        let mut c = Coordinator::new(FleetDtmPolicy::None, Celsius::new(45.0), 2);
+        let no_rpm = |_: usize, _: Rpm| panic!("no-control never actuates");
+        c.prime(no_rpm);
+        c.apply(&[Celsius::new(60.0), Celsius::new(60.0)], no_rpm);
+        assert_eq!(c.engaged(), 0);
+    }
+}

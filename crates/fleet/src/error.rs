@@ -1,0 +1,40 @@
+//! Fleet-level error type.
+
+use disksim::SimError;
+use std::fmt;
+
+/// Everything that can go wrong assembling or running a fleet.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The underlying event simulator rejected a configuration or
+    /// request.
+    Sim(SimError),
+    /// The fleet configuration itself is inconsistent (mismatched
+    /// airflow graph, zero enclosures, bad coupling coefficients, ...).
+    Config(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Sim(e) => write!(f, "simulator error: {e}"),
+            FleetError::Config(msg) => write!(f, "fleet configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Sim(e) => Some(e),
+            FleetError::Config(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for FleetError {
+    fn from(e: SimError) -> Self {
+        FleetError::Sim(e)
+    }
+}

@@ -1,0 +1,636 @@
+//! The fleet itself: N enclosures, an airflow graph, a router, and a
+//! coordinator, advanced by a sharded deterministic event loop.
+//!
+//! Each enclosure wraps one [`dtm::WindowedDrive`] (a `StorageSystem`
+//! coupled to a `TransientSim`). Between *sync epochs* the enclosures
+//! are fully independent, so the loop advances them in parallel through
+//! `disksim::par::parallel_map` (the same primitive `disklab::engine`
+//! re-exports for its experiment scheduler). At every epoch boundary the
+//! fleet synchronizes serially: it routes the epoch's arrivals, folds
+//! completions in enclosure order, converts each drive's measured duty
+//! into rejected heat, pushes the airflow graph's preheated ambients
+//! back into the thermal models, and lets the coordinator act. Every
+//! cross-enclosure interaction happens in that serial phase from
+//! epoch-start snapshots, which is why the run is byte-identical at any
+//! shard count.
+
+use crate::airflow::AirflowGraph;
+use crate::coordinator::{Coordinator, FleetDtmPolicy};
+use crate::error::FleetError;
+use crate::routing::{DriveSnapshot, Router, RoutingPolicy};
+use disksim::par::parallel_map;
+use disksim::{Completion, DiskSpec, Request, ResponseStats, StorageSystem, SystemConfig};
+use dtm::WindowedDrive;
+use diskthermal::{
+    drive_heat_estimate, DriveThermalSpec, OperatingPoint, ThermalModel, ThermalParams,
+    THERMAL_ENVELOPE,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use units::{Celsius, Rpm, Seconds};
+
+/// How a fleet is assembled.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-enclosure disk specification (every enclosure is one drive).
+    pub spec: DiskSpec,
+    /// Per-drive thermal geometry; its ambient is the rack inlet before
+    /// preheat.
+    pub thermal: DriveThermalSpec,
+    /// The rack-scale thermal coupling; its length is the fleet size.
+    pub airflow: AirflowGraph,
+    /// Request-placement policy.
+    pub routing: RoutingPolicy,
+    /// Fleet-level DTM actuation.
+    pub dtm: FleetDtmPolicy,
+    /// The shared thermal envelope.
+    pub envelope: Celsius,
+    /// Control-window length (default 250 ms, matching
+    /// `dtm::DtmController`).
+    pub window: Seconds,
+    /// Control windows between thermal-coupling sync epochs (default 4,
+    /// i.e. 1 s epochs).
+    pub windows_per_epoch: usize,
+    /// Shards for the parallel event loop. Results are byte-identical
+    /// at any value; this only trades wall-clock time.
+    pub threads: usize,
+}
+
+impl FleetConfig {
+    /// A serial-airflow fleet of `enclosures` drives with the defaults
+    /// the experiments use: round-robin routing, no DTM, the paper's
+    /// envelope, 250 ms windows, 1 s epochs, single-shard.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `enclosures == 0` or a non-positive stream capacity rate
+    /// (via [`AirflowGraph::serial`]).
+    pub fn serial(
+        enclosures: usize,
+        spec: DiskSpec,
+        thermal: DriveThermalSpec,
+        stream_w_per_k: f64,
+    ) -> Result<Self, FleetError> {
+        let airflow = AirflowGraph::serial(enclosures, thermal.ambient(), stream_w_per_k)?;
+        Ok(Self {
+            spec,
+            thermal,
+            airflow,
+            routing: RoutingPolicy::RoundRobin,
+            dtm: FleetDtmPolicy::None,
+            envelope: THERMAL_ENVELOPE,
+            window: Seconds::from_millis(250.0),
+            windows_per_epoch: 4,
+            threads: 1,
+        })
+    }
+}
+
+/// One drive bay: the windowed drive plus its admission queue and
+/// accumulated statistics.
+struct Enclosure {
+    drive: WindowedDrive,
+    pending: VecDeque<Request>,
+    capacity: u64,
+    routed: u64,
+    completed: u64,
+    max_air: Celsius,
+    max_local_ambient: Celsius,
+    air_integral: f64,
+    duty_sum: f64,
+    windows: u64,
+    time_over: Seconds,
+    time_gated: Seconds,
+    time_scaled: Seconds,
+}
+
+impl Enclosure {
+    /// Advances one sync epoch: `windows` control windows, each
+    /// admitting (unless gated), serving, and thermally stepping the
+    /// drive. Window ends come from the *global* window index so every
+    /// enclosure computes bit-identical timestamps regardless of
+    /// sharding. Returns the epoch's completions plus its mean duty.
+    fn advance_epoch(
+        &mut self,
+        first_window: u64,
+        windows: usize,
+        window: Seconds,
+        gated: bool,
+        envelope: Celsius,
+    ) -> (Vec<Completion>, f64) {
+        let mut completions = Vec::new();
+        let mut duty_sum = 0.0;
+        for w in 0..windows {
+            let window_end = Seconds::new((first_window + w as u64 + 1) as f64 * window.get());
+            if !gated {
+                self.drive
+                    .admit_until(&mut self.pending, window_end)
+                    .expect("routed requests are remapped into the drive's range");
+            }
+            let sample = self.drive.serve_window(window_end, window, &mut completions);
+            duty_sum += sample.duty;
+            self.duty_sum += sample.duty;
+            self.windows += 1;
+            let air = sample.air();
+            self.max_air = self.max_air.max(air);
+            self.air_integral += air.get() * window.get();
+            if air > envelope {
+                self.time_over += window;
+            }
+        }
+        (completions, duty_sum / windows as f64)
+    }
+}
+
+/// Per-enclosure slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnclosureReport {
+    /// Requests the router placed on this drive.
+    pub routed: u64,
+    /// Requests this drive completed.
+    pub completed: u64,
+    /// Hottest internal-air temperature reached.
+    pub max_air: Celsius,
+    /// Hottest preheated inlet this bay saw.
+    pub max_local_ambient: Celsius,
+    /// Time-weighted mean internal-air temperature.
+    pub mean_air: Celsius,
+    /// Mean actuator duty over the run.
+    pub mean_duty: f64,
+    /// Spindle speed at the end of the run.
+    pub final_rpm: Rpm,
+    /// Time this drive spent above the envelope.
+    pub time_over_envelope: Seconds,
+    /// Time admission was gated by the coordinator.
+    pub time_gated: Seconds,
+    /// Time spent downshifted by the coordinator.
+    pub time_scaled: Seconds,
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Fleet size.
+    pub enclosures: usize,
+    /// Response-time statistics over every completed request, folded in
+    /// enclosure order at each epoch boundary (deterministic).
+    pub stats: ResponseStats,
+    /// Hottest internal-air temperature any drive reached.
+    pub max_air: Celsius,
+    /// Hottest preheated inlet any bay saw.
+    pub peak_local_ambient: Celsius,
+    /// Mean over drives of each drive's time-weighted mean air.
+    pub mean_air: Celsius,
+    /// Total simulated time.
+    pub total_time: Seconds,
+    /// Sum over drives of time spent above the envelope.
+    pub time_over_envelope: Seconds,
+    /// Sync epochs executed.
+    pub epochs: u64,
+    /// Per-enclosure detail, in airflow order.
+    pub per_enclosure: Vec<EnclosureReport>,
+}
+
+/// A thermally-coupled fleet of enclosures.
+pub struct Fleet {
+    enclosures: Vec<Enclosure>,
+    router: Router,
+    coordinator: Coordinator,
+    airflow: AirflowGraph,
+    envelope: Celsius,
+    window: Seconds,
+    windows_per_epoch: usize,
+    threads: usize,
+}
+
+impl Fleet {
+    /// Assembles the fleet: one single-disk `StorageSystem` per airflow
+    /// node, each thermally hot-started at its *preheated* idle steady
+    /// state (the rack has been idling, not sitting in pristine inlet
+    /// air).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero-window or zero-epoch configuration and propagates
+    /// simulator construction failures.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        if config.window.get() <= 0.0 {
+            return Err(FleetError::Config("control window must be positive".into()));
+        }
+        if config.windows_per_epoch == 0 {
+            return Err(FleetError::Config("an epoch needs at least one window".into()));
+        }
+        let n = config.airflow.len();
+
+        // Idle preheat decides the starting thermal state of every bay.
+        let rpm = config.spec.rpm();
+        let idle = OperatingPoint::idle_vcm(rpm);
+        let idle_heat = drive_heat_estimate(&config.thermal, idle).get();
+        let ambients = config.airflow.local_ambients(&vec![idle_heat; n]);
+
+        let mut enclosures = Vec::with_capacity(n);
+        for ambient in ambients {
+            let system = StorageSystem::new(SystemConfig::single_disk(config.spec.clone()))?;
+            let capacity = system.logical_sectors();
+            let model = ThermalModel::with_params(
+                config.thermal.with_ambient(ambient),
+                ThermalParams::default(),
+            );
+            let start = model.steady_state(idle);
+            let drive = WindowedDrive::new(system, model).with_initial_temps(start);
+            enclosures.push(Enclosure {
+                max_air: drive.air(),
+                drive,
+                pending: VecDeque::new(),
+                capacity,
+                routed: 0,
+                completed: 0,
+                max_local_ambient: ambient,
+                air_integral: 0.0,
+                duty_sum: 0.0,
+                windows: 0,
+                time_over: Seconds::ZERO,
+                time_gated: Seconds::ZERO,
+                time_scaled: Seconds::ZERO,
+            });
+        }
+
+        Ok(Self {
+            enclosures,
+            router: Router::new(config.routing),
+            coordinator: Coordinator::new(config.dtm, config.envelope, n),
+            airflow: config.airflow,
+            envelope: config.envelope,
+            window: config.window,
+            windows_per_epoch: config.windows_per_epoch,
+            threads: config.threads.max(1),
+        })
+    }
+
+    /// Number of enclosures.
+    pub fn len(&self) -> usize {
+        self.enclosures.len()
+    }
+
+    /// Whether the fleet is empty (never true for a validated config).
+    pub fn is_empty(&self) -> bool {
+        self.enclosures.is_empty()
+    }
+
+    /// Runs a logical trace through the fleet. Requests target the fleet
+    /// as a whole; the router picks a drive and the request's LBA is
+    /// remapped into that drive's range (`device` and `lba` act as a
+    /// placement hint, not an address).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction (remapping keeps every
+    /// submission in range); the `Result` reserves room for trace
+    /// validation.
+    pub fn run(mut self, mut trace: Vec<Request>) -> Result<FleetReport, FleetError> {
+        // Deterministic arrival order whatever the caller produced.
+        trace.sort_by(|a, b| {
+            a.arrival
+                .get()
+                .partial_cmp(&b.arrival.get())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let mut incoming: VecDeque<Request> = trace.into();
+
+        let n = self.enclosures.len();
+        let epoch_len = self.window * self.windows_per_epoch as f64;
+        let mut stats = ResponseStats::new();
+        let mut epochs = 0u64;
+        let mut now = Seconds::ZERO;
+
+        self.coordinator
+            .prime(|i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
+
+        loop {
+            let epoch_end = now + epoch_len;
+
+            // Serial phase 1 — routing. Placement uses the epoch-start
+            // snapshot plus a running count of this epoch's placements,
+            // so the decision sequence is independent of sharding.
+            let mut snaps: Vec<DriveSnapshot> = self
+                .enclosures
+                .iter()
+                .enumerate()
+                .map(|(i, e)| DriveSnapshot {
+                    air: e.drive.air(),
+                    queue: e.drive.in_flight() + e.pending.len() as u64,
+                    gated: self.coordinator.gated(i),
+                })
+                .collect();
+            while let Some(front) = incoming.front() {
+                if front.arrival > epoch_end {
+                    break;
+                }
+                let r = *front;
+                incoming.pop_front();
+                let i = self.router.pick(&snaps);
+                snaps[i].queue += 1;
+                let e = &mut self.enclosures[i];
+                e.pending.push_back(remap(r, e.capacity));
+                e.routed += 1;
+            }
+
+            // Parallel phase — advance every enclosure through the
+            // epoch's windows. Enclosures only touch their own state,
+            // and `parallel_map` returns them in order, so any shard
+            // count produces the same bytes.
+            let first_window = epochs * self.windows_per_epoch as u64;
+            let (windows_per_epoch, window, envelope) =
+                (self.windows_per_epoch, self.window, self.envelope);
+            let gates: Vec<bool> = (0..n).map(|i| self.coordinator.gated(i)).collect();
+            let shards = parallel_map(
+                self.enclosures.into_iter().zip(gates).collect(),
+                self.threads,
+                move |(mut e, gated)| {
+                    let (completions, mean_duty) =
+                        e.advance_epoch(first_window, windows_per_epoch, window, gated, envelope);
+                    (e, completions, mean_duty)
+                },
+            );
+
+            // Serial phase 2 — fold completions (enclosure order),
+            // re-couple the airflow, and let the coordinator act.
+            self.enclosures = Vec::with_capacity(n);
+            let mut heats = Vec::with_capacity(n);
+            let mut airs = Vec::with_capacity(n);
+            for (mut e, completions, mean_duty) in shards {
+                for c in &completions {
+                    stats.record(c.response_time());
+                }
+                e.completed += completions.len() as u64;
+                let op = OperatingPoint::new(e.drive.rpm(), mean_duty);
+                heats.push(drive_heat_estimate(e.drive.model().spec(), op).get());
+                airs.push(e.drive.air());
+                self.enclosures.push(e);
+            }
+            for (e, ambient) in self.enclosures.iter_mut().zip(self.airflow.local_ambients(&heats))
+            {
+                e.drive.set_ambient(ambient);
+                e.max_local_ambient = e.max_local_ambient.max(ambient);
+            }
+            self.coordinator
+                .apply(&airs, |i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
+            for (i, e) in self.enclosures.iter_mut().enumerate() {
+                if self.coordinator.gated(i) {
+                    e.time_gated += epoch_len;
+                }
+                if self.coordinator.scaled_down(i) {
+                    e.time_scaled += epoch_len;
+                }
+            }
+
+            epochs += 1;
+            now = epoch_end;
+
+            let drained = incoming.is_empty()
+                && self
+                    .enclosures
+                    .iter()
+                    .all(|e| e.pending.is_empty() && e.drive.in_flight() == 0);
+            if drained {
+                break;
+            }
+            // Safety cap: a fleet gated forever still terminates.
+            if now.get() > 24.0 * 3600.0 {
+                break;
+            }
+        }
+
+        let per_enclosure: Vec<EnclosureReport> = self
+            .enclosures
+            .iter()
+            .map(|e| EnclosureReport {
+                routed: e.routed,
+                completed: e.completed,
+                max_air: e.max_air,
+                max_local_ambient: e.max_local_ambient,
+                mean_air: if now.get() > 0.0 {
+                    Celsius::new(e.air_integral / now.get())
+                } else {
+                    e.drive.air()
+                },
+                mean_duty: if e.windows == 0 {
+                    0.0
+                } else {
+                    e.duty_sum / e.windows as f64
+                },
+                final_rpm: e.drive.rpm(),
+                time_over_envelope: e.time_over,
+                time_gated: e.time_gated,
+                time_scaled: e.time_scaled,
+            })
+            .collect();
+
+        let max_air = per_enclosure
+            .iter()
+            .map(|e| e.max_air)
+            .fold(self.airflow.inlet(), Celsius::max);
+        let peak_local_ambient = per_enclosure
+            .iter()
+            .map(|e| e.max_local_ambient)
+            .fold(self.airflow.inlet(), Celsius::max);
+        let mean_air = Celsius::new(
+            per_enclosure.iter().map(|e| e.mean_air.get()).sum::<f64>() / n.max(1) as f64,
+        );
+        let time_over_envelope = per_enclosure
+            .iter()
+            .fold(Seconds::ZERO, |acc, e| acc + e.time_over_envelope);
+
+        Ok(FleetReport {
+            enclosures: n,
+            stats,
+            max_air,
+            peak_local_ambient,
+            mean_air,
+            total_time: now,
+            time_over_envelope,
+            epochs,
+            per_enclosure,
+        })
+    }
+}
+
+/// Remaps a fleet-logical request onto one drive: device 0 and an LBA
+/// folded into the drive's addressable range (minus the transfer
+/// length), preserving arrival time, size, and kind.
+fn remap(r: Request, capacity: u64) -> Request {
+    let span = capacity.saturating_sub(r.sectors as u64 + 1).max(1);
+    Request::new(r.id, r.arrival, 0, r.lba % span, r.sectors, r.kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disksim::RequestKind;
+    use units::{Inches, TempDelta};
+
+    fn config(enclosures: usize, rpm: f64, stream: f64) -> FleetConfig {
+        FleetConfig::serial(
+            enclosures,
+            DiskSpec::era(2002, 1, Rpm::new(rpm)),
+            DriveThermalSpec::new(Inches::new(2.6), 1),
+            stream,
+        )
+        .unwrap()
+    }
+
+    fn trace(n: u64, rate: f64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    i,
+                    Seconds::new(i as f64 / rate),
+                    0,
+                    i.wrapping_mul(7_777_777),
+                    8,
+                    if i % 4 == 0 { RequestKind::Write } else { RequestKind::Read },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_request_completes_once() {
+        let fleet = Fleet::new(config(4, 15_020.0, 12.0)).unwrap();
+        let report = fleet.run(trace(1_000, 300.0)).unwrap();
+        assert_eq!(report.stats.count(), 1_000);
+        assert_eq!(report.per_enclosure.iter().map(|e| e.completed).sum::<u64>(), 1_000);
+        assert_eq!(report.per_enclosure.iter().map(|e| e.routed).sum::<u64>(), 1_000);
+        assert!(report.total_time.get() > 0.0);
+    }
+
+    #[test]
+    fn downstream_bays_start_hotter_and_peak_hotter_under_uniform_load() {
+        let fleet = Fleet::new(config(6, 15_020.0, 8.0)).unwrap();
+        let report = fleet.run(trace(1_800, 300.0)).unwrap();
+        let first = &report.per_enclosure[0];
+        let last = &report.per_enclosure[5];
+        assert!(
+            last.max_local_ambient > first.max_local_ambient,
+            "serial preheat must build downstream"
+        );
+        assert!(last.max_air > first.max_air);
+        assert_eq!(report.peak_local_ambient, last.max_local_ambient);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_bytes() {
+        let run = |threads: usize| {
+            let mut cfg = config(6, 15_020.0, 10.0);
+            cfg.threads = threads;
+            cfg.routing = RoutingPolicy::ThermalAware {
+                envelope: THERMAL_ENVELOPE,
+            };
+            cfg.dtm = FleetDtmPolicy::SpeedScale {
+                high: Rpm::new(15_020.0),
+                low: Rpm::new(12_000.0),
+                guard: TempDelta::new(0.3),
+                resume_margin: TempDelta::new(0.3),
+            };
+            serde_json::to_string(&Fleet::new(cfg).unwrap().run(trace(1_200, 350.0)).unwrap())
+                .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn thermal_aware_routing_runs_cooler_than_round_robin() {
+        let run = |routing: RoutingPolicy| {
+            let mut cfg = config(6, 15_020.0, 6.0);
+            cfg.routing = routing;
+            Fleet::new(cfg).unwrap().run(trace(2_400, 400.0)).unwrap()
+        };
+        let rr = run(RoutingPolicy::RoundRobin);
+        let ta = run(RoutingPolicy::ThermalAware {
+            envelope: THERMAL_ENVELOPE,
+        });
+        assert_eq!(rr.stats.count(), ta.stats.count());
+        assert!(
+            ta.max_air < rr.max_air,
+            "slack-weighted placement must cool the hottest bay: {} vs {}",
+            ta.max_air,
+            rr.max_air
+        );
+    }
+
+    #[test]
+    fn coordinator_throttle_caps_the_fleet() {
+        // An over-envelope design speed: uncontrolled the hot bays
+        // exceed the envelope, gated they hold near it.
+        let run = |dtm: FleetDtmPolicy| {
+            let mut cfg = config(4, 24_534.0, 10.0);
+            cfg.dtm = dtm;
+            Fleet::new(cfg).unwrap().run(trace(1_600, 260.0)).unwrap()
+        };
+        let base = run(FleetDtmPolicy::None);
+        assert!(
+            base.max_air > THERMAL_ENVELOPE,
+            "uncontrolled hot fleet must violate the envelope, peaked {}",
+            base.max_air
+        );
+        let gated = run(FleetDtmPolicy::Throttle {
+            guard: TempDelta::new(0.1),
+            resume_margin: TempDelta::new(0.2),
+        });
+        assert_eq!(gated.stats.count(), 1_600, "gating delays, never drops");
+        assert!(gated.max_air < base.max_air);
+        assert!(
+            gated.per_enclosure.iter().any(|e| e.time_gated.get() > 0.0),
+            "the gate must actually engage"
+        );
+    }
+
+    #[test]
+    fn speed_scale_trims_heat_without_gating() {
+        let run = |dtm: FleetDtmPolicy| {
+            let mut cfg = config(4, 24_534.0, 10.0);
+            cfg.dtm = dtm;
+            Fleet::new(cfg).unwrap().run(trace(1_600, 260.0)).unwrap()
+        };
+        let base = run(FleetDtmPolicy::None);
+        let scaled = run(FleetDtmPolicy::SpeedScale {
+            high: Rpm::new(24_534.0),
+            low: Rpm::new(15_020.0),
+            guard: TempDelta::new(0.3),
+            resume_margin: TempDelta::new(0.3),
+        });
+        assert_eq!(scaled.stats.count(), 1_600);
+        assert!(scaled.max_air < base.max_air);
+        assert!(scaled.per_enclosure.iter().any(|e| e.time_scaled.get() > 0.0));
+        assert!(scaled.per_enclosure.iter().all(|e| e.time_gated == Seconds::ZERO));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut cfg = config(2, 15_020.0, 12.0);
+        cfg.window = Seconds::ZERO;
+        assert!(matches!(Fleet::new(cfg), Err(FleetError::Config(_))));
+        let mut cfg = config(2, 15_020.0, 12.0);
+        cfg.windows_per_epoch = 0;
+        assert!(matches!(Fleet::new(cfg), Err(FleetError::Config(_))));
+        assert!(FleetConfig::serial(
+            0,
+            DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+            DriveThermalSpec::new(Inches::new(2.6), 1),
+            12.0,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let fleet = Fleet::new(config(2, 15_020.0, 12.0)).unwrap();
+        let report = fleet.run(trace(200, 200.0)).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

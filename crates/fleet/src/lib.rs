@@ -1,0 +1,58 @@
+//! Thermally-coupled multi-drive fleet simulation (`diskfleet`).
+//!
+//! The paper designs and manages one drive against its thermal envelope;
+//! racks hold dozens, and they share their cooling air. This crate
+//! scales the single-drive machinery up:
+//!
+//! - an **airflow graph** ([`AirflowGraph`]) couples the drives
+//!   thermally — each drive's inlet ambient is the rack inlet plus the
+//!   preheat of upstream drives' exhaust, the §4.2.2 ambient boundary
+//!   condition generalized to rack scale;
+//! - pluggable **request routing** ([`RoutingPolicy`]): round-robin,
+//!   least-queue, and thermal-aware placement weighted by thermal slack
+//!   — `dtm::mirror`'s two-drive read steering generalized to N drives;
+//! - a fleet-level **DTM coordinator** ([`Coordinator`]) applying
+//!   per-drive RPM ramp (§5.2) or admission-throttle (§5.3) decisions
+//!   under one shared envelope;
+//! - a **sharded deterministic event loop** ([`Fleet::run`]) advancing
+//!   enclosures in parallel between thermal-coupling sync epochs,
+//!   byte-identical at any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use diskfleet::{Fleet, FleetConfig, RoutingPolicy};
+//! use disksim::{DiskSpec, Request, RequestKind};
+//! use diskthermal::{DriveThermalSpec, THERMAL_ENVELOPE};
+//! use units::{Inches, Rpm, Seconds};
+//!
+//! let mut config = FleetConfig::serial(
+//!     4,
+//!     DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+//!     DriveThermalSpec::new(Inches::new(2.6), 1),
+//!     12.0, // cooling-stream capacity rate, W/K
+//! )?;
+//! config.routing = RoutingPolicy::ThermalAware { envelope: THERMAL_ENVELOPE };
+//! let trace: Vec<Request> = (0..100)
+//!     .map(|i| Request::new(i, Seconds::new(i as f64 / 200.0), 0, i * 100_003, 8, RequestKind::Read))
+//!     .collect();
+//! let report = Fleet::new(config)?.run(trace)?;
+//! assert_eq!(report.stats.count(), 100);
+//! assert!(report.max_air > report.per_enclosure[0].max_local_ambient);
+//! # Ok::<(), diskfleet::FleetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod airflow;
+mod coordinator;
+mod error;
+mod fleet;
+mod routing;
+
+pub use airflow::AirflowGraph;
+pub use coordinator::{Coordinator, FleetDtmPolicy};
+pub use error::FleetError;
+pub use fleet::{EnclosureReport, Fleet, FleetConfig, FleetReport};
+pub use routing::{DriveSnapshot, Router, RoutingPolicy};

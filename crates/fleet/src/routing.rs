@@ -1,0 +1,183 @@
+//! Request-routing policies over the fleet.
+//!
+//! `dtm::mirror` steers a *read stream* between two drives by switching
+//! the active member when it nears the envelope; these policies
+//! generalize that to per-request placement across N drives. Routing
+//! runs serially at sync-epoch boundaries from an epoch-start snapshot,
+//! so the choice is deterministic regardless of how many threads advance
+//! the enclosures afterwards.
+
+use serde::{Deserialize, Serialize};
+use units::Celsius;
+
+/// How the fleet places each incoming request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through the drives in index order.
+    RoundRobin,
+    /// Send each request to the shortest queue (ties to the lowest
+    /// index).
+    LeastQueue,
+    /// Weight placement by thermal slack per queued request:
+    /// `max(envelope − air, 0) / (1 + queue)`. Cool, idle drives absorb
+    /// load; drives near the envelope shed it. When every drive's slack
+    /// is exhausted, falls back to [`RoutingPolicy::LeastQueue`].
+    ThermalAware {
+        /// The temperature the slack is measured against.
+        envelope: Celsius,
+    },
+}
+
+/// What the router sees of one drive when it places a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriveSnapshot {
+    /// Internal-air temperature at the epoch boundary.
+    pub air: Celsius,
+    /// Requests queued against the drive: in flight, pending admission,
+    /// and already routed this epoch.
+    pub queue: u64,
+    /// Whether the fleet coordinator currently gates this drive's
+    /// admission.
+    pub gated: bool,
+}
+
+/// A routing policy plus the mutable cursor round-robin needs.
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    next_rr: usize,
+}
+
+impl Router {
+    /// A fresh router (round-robin starts at drive 0).
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Self { policy, next_rr: 0 }
+    }
+
+    /// The policy this router applies.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Picks the drive for the next request. Gated drives are skipped
+    /// unless every drive is gated, in which case the request queues at
+    /// the policy's normal choice and waits for the coordinator to
+    /// reopen admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` is empty.
+    pub fn pick(&mut self, drives: &[DriveSnapshot]) -> usize {
+        assert!(!drives.is_empty(), "routing needs at least one drive");
+        let all_gated = drives.iter().all(|d| d.gated);
+        let usable = |i: usize| all_gated || !drives[i].gated;
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let n = drives.len();
+                for step in 0..n {
+                    let i = (self.next_rr + step) % n;
+                    if usable(i) {
+                        self.next_rr = (i + 1) % n;
+                        return i;
+                    }
+                }
+                unreachable!("usable() admits every drive when all are gated");
+            }
+            RoutingPolicy::LeastQueue => Self::least_queue(drives, usable),
+            RoutingPolicy::ThermalAware { envelope } => {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, d) in drives.iter().enumerate() {
+                    if !usable(i) {
+                        continue;
+                    }
+                    let slack = (envelope - d.air).get().max(0.0);
+                    let score = slack / (1.0 + d.queue as f64);
+                    let better = match best {
+                        None => true,
+                        Some((_, s)) => score > s,
+                    };
+                    if better {
+                        best = Some((i, score));
+                    }
+                }
+                match best {
+                    // No thermal headroom anywhere: shortest queue is
+                    // all that is left to optimize.
+                    Some((_, score)) if score <= 0.0 => Self::least_queue(drives, usable),
+                    Some((i, _)) => i,
+                    None => unreachable!("usable() admits every drive when all are gated"),
+                }
+            }
+        }
+    }
+
+    fn least_queue(drives: &[DriveSnapshot], usable: impl Fn(usize) -> bool) -> usize {
+        drives
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| usable(*i))
+            .min_by_key(|(_, d)| d.queue)
+            .map(|(i, _)| i)
+            .expect("usable() admits every drive when all are gated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(air: f64, queue: u64, gated: bool) -> DriveSnapshot {
+        DriveSnapshot {
+            air: Celsius::new(air),
+            queue,
+            gated,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_gated() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let drives = vec![snap(30.0, 0, false), snap(30.0, 0, true), snap(30.0, 0, false)];
+        assert_eq!(r.pick(&drives), 0);
+        assert_eq!(r.pick(&drives), 2, "gated drive 1 is skipped");
+        assert_eq!(r.pick(&drives), 0);
+    }
+
+    #[test]
+    fn least_queue_breaks_ties_toward_the_lowest_index() {
+        let mut r = Router::new(RoutingPolicy::LeastQueue);
+        let drives = vec![snap(30.0, 4, false), snap(30.0, 2, false), snap(30.0, 2, false)];
+        assert_eq!(r.pick(&drives), 1);
+    }
+
+    #[test]
+    fn thermal_aware_prefers_cool_idle_drives() {
+        let mut r = Router::new(RoutingPolicy::ThermalAware {
+            envelope: Celsius::new(45.0),
+        });
+        // Drive 2 is the coolest but loaded; drive 0 is warm but idle.
+        let drives = vec![snap(40.0, 0, false), snap(44.5, 0, false), snap(35.0, 9, false)];
+        // Scores: 5/1 = 5.0, 0.5/1 = 0.5, 10/10 = 1.0.
+        assert_eq!(r.pick(&drives), 0);
+    }
+
+    #[test]
+    fn thermal_aware_falls_back_to_least_queue_without_slack() {
+        let mut r = Router::new(RoutingPolicy::ThermalAware {
+            envelope: Celsius::new(45.0),
+        });
+        let drives = vec![snap(46.0, 3, false), snap(47.0, 1, false), snap(45.0, 2, false)];
+        assert_eq!(r.pick(&drives), 1, "all slack exhausted → shortest queue");
+    }
+
+    #[test]
+    fn fully_gated_fleet_still_places_requests() {
+        let mut rr = Router::new(RoutingPolicy::RoundRobin);
+        let mut ta = Router::new(RoutingPolicy::ThermalAware {
+            envelope: Celsius::new(45.0),
+        });
+        let drives = vec![snap(46.0, 2, true), snap(40.0, 1, true)];
+        assert_eq!(rr.pick(&drives), 0);
+        assert_eq!(ta.pick(&drives), 1, "gates ignored when universal");
+    }
+}

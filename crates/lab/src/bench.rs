@@ -15,22 +15,28 @@
 //! - steady-state solves/sec cold (every solve a distinct operating
 //!   point, defeating the memo) and memoized (the same operating point
 //!   over and over, the envelope-bisection access pattern);
-//! - end-to-end wall time of the `figure5` and `figure7` experiments.
+//! - end-to-end wall time of the `figure5` and `figure7` experiments;
+//! - drive-windows/sec through the fleet's sharded epoch loop at one
+//!   shard and at the machine's parallelism, plus the end-to-end
+//!   `fleet_routing` experiment.
 //!
-//! A full run writes the numbers to `BENCH_thermal.json` at the
-//! workspace root so regressions have a checked-in baseline to diff
-//! against; `--quick` shrinks the iteration counts and skips the write.
+//! A full run writes the numbers to `BENCH_thermal.json` and
+//! `BENCH_fleet.json` at the workspace root so regressions have
+//! checked-in baselines to diff against; `--quick` shrinks the
+//! iteration counts and skips the writes.
 
 use crate::registry;
 use crate::text::results_dir;
 use crate::{LabError, Scale};
+use diskfleet::{Fleet, FleetConfig};
+use disksim::{DiskSpec, Request, RequestKind};
 use diskthermal::{
     DriveThermalSpec, Integrator, OperatingPoint, ThermalModel, TransientSim,
 };
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
-use units::{Rpm, Seconds};
+use units::{Inches, Rpm, Seconds};
 
 /// Step size shared by every integrator benchmark; small enough that
 /// forward Euler is stable for the air node's tiny heat capacity.
@@ -120,11 +126,97 @@ fn steady_solves_per_sec(model: &ThermalModel, n: usize, distinct_ops: bool) -> 
 
 /// Times one full in-process run of a registered experiment, in ms.
 fn experiment_wall_ms(name: &str) -> Result<f64, LabError> {
-    let exp = registry::by_name(name, Scale::Full)
+    experiment_wall_ms_at(name, Scale::Full)
+}
+
+/// Like [`experiment_wall_ms`] at a caller-chosen scale.
+fn experiment_wall_ms_at(name: &str, scale: Scale) -> Result<f64, LabError> {
+    let exp = registry::by_name(name, scale)
         .ok_or_else(|| LabError::Experiment(format!("unknown experiment {name:?}")))?;
     let start = Instant::now();
     black_box(exp.run()?);
     Ok(start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Drives in the fleet-kernel benchmark rack.
+const FLEET_BENCH_ENCLOSURES: usize = 8;
+/// Control windows per sync epoch (the `FleetConfig::serial` default).
+const FLEET_BENCH_WINDOWS_PER_EPOCH: usize = 4;
+
+/// What `lab bench` measured about the fleet event loop. A full run
+/// writes this to `BENCH_fleet.json` at the workspace root.
+#[derive(Debug, Serialize)]
+pub struct FleetBenchReport {
+    /// True when the quick (smoke-test) request counts were used.
+    pub quick: bool,
+    /// Shard count of the sharded measurement.
+    pub shards: usize,
+    /// Drive-windows/sec through the epoch loop on one shard.
+    pub serial_windows_per_sec: f64,
+    /// Drive-windows/sec with the sharded (work-stealing) loop.
+    pub sharded_windows_per_sec: f64,
+    /// `sharded / serial` — the payoff of sharding the event loop.
+    pub shard_speedup: f64,
+    /// End-to-end wall time of the `fleet_routing` experiment, in ms
+    /// (quick scale under `--quick`, full scale otherwise).
+    pub fleet_routing_wall_ms: f64,
+}
+
+/// A deterministic synthetic fleet trace: fixed-rate arrivals striding
+/// the address space.
+fn fleet_bench_trace(requests: u64, rate: f64) -> Vec<Request> {
+    (0..requests)
+        .map(|i| {
+            Request::new(
+                i,
+                Seconds::new(i as f64 / rate),
+                0,
+                i.wrapping_mul(7_777_777),
+                8,
+                if i % 4 == 0 { RequestKind::Write } else { RequestKind::Read },
+            )
+        })
+        .collect()
+}
+
+/// Times one fleet run, returning drive-windows advanced per second.
+fn fleet_windows_per_sec(threads: usize, requests: u64) -> Result<f64, LabError> {
+    let fail = |e: &dyn std::fmt::Display| LabError::Experiment(format!("fleet bench: {e}"));
+    let mut config = FleetConfig::serial(
+        FLEET_BENCH_ENCLOSURES,
+        DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+        DriveThermalSpec::new(Inches::new(2.6), 1),
+        12.0,
+    )
+    .map_err(|e| fail(&e))?;
+    config.threads = threads;
+    let fleet = Fleet::new(config).map_err(|e| fail(&e))?;
+    let trace = fleet_bench_trace(requests, 400.0);
+    let start = Instant::now();
+    let report = fleet.run(trace).map_err(|e| fail(&e))?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let windows =
+        report.epochs * (FLEET_BENCH_WINDOWS_PER_EPOCH * FLEET_BENCH_ENCLOSURES) as u64;
+    Ok(windows as f64 / elapsed)
+}
+
+/// Benchmarks the fleet event loop at one shard and at the machine's
+/// parallelism, plus the end-to-end `fleet_routing` experiment.
+pub fn fleet_bench(quick: bool) -> Result<FleetBenchReport, LabError> {
+    let requests = if quick { 800 } else { 6_000 };
+    let shards = disksim::par::default_parallelism();
+    let serial = fleet_windows_per_sec(1, requests)?;
+    let sharded = fleet_windows_per_sec(shards, requests)?;
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let routing_ms = experiment_wall_ms_at("fleet_routing", scale)?;
+    Ok(FleetBenchReport {
+        quick,
+        shards,
+        serial_windows_per_sec: serial,
+        sharded_windows_per_sec: sharded,
+        shard_speedup: sharded / serial,
+        fleet_routing_wall_ms: routing_ms,
+    })
 }
 
 /// Runs the benchmark suite. Quick mode shrinks the iteration counts to
@@ -199,16 +291,37 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
     println!("  figure5: {:>8.1} ms", report.figure5_wall_ms);
     println!("  figure7: {:>8.1} ms", report.figure7_wall_ms);
 
+    let fleet = fleet_bench(quick)?;
+    println!(
+        "fleet event loop ({FLEET_BENCH_ENCLOSURES} drives, serial airflow):"
+    );
+    println!(
+        "  1 shard:                     {:>12.0} drive-windows/s",
+        fleet.serial_windows_per_sec
+    );
+    println!(
+        "  {} shards:                    {:>12.0} drive-windows/s  ({:.1}x)",
+        fleet.shards, fleet.sharded_windows_per_sec, fleet.shard_speedup
+    );
+    println!(
+        "  fleet_routing experiment:    {:>12.1} ms",
+        fleet.fleet_routing_wall_ms
+    );
+
     if !quick {
         let root = results_dir()?
             .parent()
             .map(std::path::Path::to_path_buf)
             .ok_or_else(|| LabError::Experiment("results dir has no parent".into()))?;
-        let path = root.join("BENCH_thermal.json");
-        let json = serde_json::to_string_pretty(&report)
-            .map_err(|e| LabError::Parse(e.to_string()))?;
-        std::fs::write(&path, json + "\n")?;
-        println!("wrote {}", path.display());
+        for (name, json) in [
+            ("BENCH_thermal.json", serde_json::to_string_pretty(&report)),
+            ("BENCH_fleet.json", serde_json::to_string_pretty(&fleet)),
+        ] {
+            let path = root.join(name);
+            let json = json.map_err(|e| LabError::Parse(e.to_string()))?;
+            std::fs::write(&path, json + "\n")?;
+            println!("wrote {}", path.display());
+        }
     }
 
     Ok(report)
@@ -227,5 +340,11 @@ mod tests {
         assert!(fe_steps_per_sec(&model, op, 500) > 0.0);
         assert!(steady_solves_per_sec(&model, 50, true) > 0.0);
         assert!(steady_solves_per_sec(&model, 50, false) > 0.0);
+    }
+
+    #[test]
+    fn fleet_kernel_benchmark_reports_positive_rates() {
+        assert!(fleet_windows_per_sec(1, 200).unwrap() > 0.0);
+        assert!(fleet_windows_per_sec(4, 200).unwrap() > 0.0);
     }
 }

@@ -44,6 +44,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // `lab run <experiment>` reads naturally in scripts; `run`
+            // itself is a no-op — bare experiment names already run.
+            "run" => {}
             "all" => opts.all = true,
             "list" => opts.list = true,
             "bench" => opts.bench = true,
@@ -72,9 +75,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 /// The help text.
 pub fn usage() -> String {
     format!(
-        "usage: lab [all | list | bench | <experiment>...] [--threads N] [--no-cache] [--quick]\n\n\
-         bench times the thermal kernel and two end-to-end experiments;\n\
-         a full (non --quick) bench writes BENCH_thermal.json at the repo root.\n\n\
+        "usage: lab [all | list | bench | [run] <experiment>...] [--threads N] [--no-cache] [--quick]\n\n\
+         bench times the thermal kernel, the fleet event loop, and end-to-end\n\
+         experiments; a full (non --quick) bench writes BENCH_thermal.json and\n\
+         BENCH_fleet.json at the repo root.\n\n\
          experiments: {}",
         registry::names().join(", ")
     )
@@ -229,6 +233,15 @@ mod tests {
         assert!(opts.bench);
         assert!(opts.quick);
         assert!(!opts.list);
+    }
+
+    #[test]
+    fn run_is_a_transparent_alias() {
+        let opts = parse(&["run", "fleet_scaling", "--quick"]);
+        assert_eq!(opts.names, ["fleet_scaling"]);
+        assert!(opts.quick);
+        assert!(!opts.list);
+        assert_eq!(parse(&["run", "fleet_routing"]), parse(&["fleet_routing"]));
     }
 
     #[test]

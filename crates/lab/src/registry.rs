@@ -3,8 +3,8 @@
 use crate::experiment::{Experiment, Scale};
 use crate::experiments::{
     figure1::Figure1, figure2::Figure2, figure3::Figure3, figure4::Figure4, figure5::Figure5,
-    figure7::Figure7, formfactor::FormFactor, plan::Plan, shuffle::Shuffle, table1::Table1,
-    table3::Table3,
+    figure7::Figure7, fleet_routing::FleetRouting, fleet_scaling::FleetScaling,
+    formfactor::FormFactor, plan::Plan, shuffle::Shuffle, table1::Table1, table3::Table3,
 };
 
 /// Every registered experiment, in name order, at the given scale.
@@ -16,6 +16,8 @@ pub fn registry(scale: Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(Figure4::at_scale(scale)),
         Box::new(Figure5),
         Box::new(Figure7::default()),
+        Box::new(FleetRouting::at_scale(scale)),
+        Box::new(FleetScaling::at_scale(scale)),
         Box::new(FormFactor),
         Box::new(Plan),
         Box::new(Shuffle::at_scale(scale)),
@@ -45,7 +47,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must stay in sorted name order");
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 13);
     }
 
     #[test]
@@ -62,7 +64,7 @@ mod tests {
             .iter()
             .map(|e| e.config_digest())
             .collect();
-        assert_eq!(digests.len(), 11);
+        assert_eq!(digests.len(), 13);
     }
 
     #[test]
@@ -71,7 +73,10 @@ mod tests {
         let quick = registry(Scale::Quick);
         for (f, q) in full.iter().zip(&quick) {
             let differs = f.config_digest() != q.config_digest();
-            let simulation_heavy = matches!(f.name(), "figure4" | "shuffle");
+            let simulation_heavy = matches!(
+                f.name(),
+                "figure4" | "fleet_routing" | "fleet_scaling" | "shuffle"
+            );
             assert_eq!(differs, simulation_heavy, "{}", f.name());
         }
     }

@@ -11,6 +11,9 @@ pub enum ThermalError {
     /// The transient integration step must be a positive, finite number
     /// of seconds; carries the offending value.
     NonPositiveStep(f64),
+    /// A drive spec or operating point was physically inconsistent;
+    /// carries the constraint that failed.
+    BadSpec(&'static str),
 }
 
 impl core::fmt::Display for ThermalError {
@@ -20,6 +23,9 @@ impl core::fmt::Display for ThermalError {
                 f,
                 "integration step must be positive and finite, got {step} s"
             ),
+            ThermalError::BadSpec(constraint) => {
+                write!(f, "inconsistent thermal spec: {constraint}")
+            }
         }
     }
 }

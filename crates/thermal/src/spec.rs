@@ -1,5 +1,6 @@
 //! Drive description and operating point for the thermal model.
 
+use crate::error::ThermalError;
 use crate::sources::vcm_power_for_platter;
 use serde::{Deserialize, Serialize};
 use units::{Celsius, Inches, Power, Rpm};
@@ -98,25 +99,39 @@ impl DriveThermalSpec {
     /// # Panics
     ///
     /// Panics if `platters == 0` or the diameter is not positive, or if
-    /// the platter does not fit the default enclosure.
+    /// the platter does not fit the default enclosure; use
+    /// [`Self::try_new`] to handle those as errors.
     pub fn new(platter_diameter: Inches, platters: u32) -> Self {
-        assert!(platters > 0, "a drive needs at least one platter");
-        assert!(
-            platter_diameter.get() > 0.0 && platter_diameter.is_finite(),
-            "platter diameter must be positive"
-        );
+        Self::try_new(platter_diameter, platters).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadSpec`] when `platters == 0`, the
+    /// diameter is not positive and finite, or the platter does not fit
+    /// the default 3.5″ enclosure.
+    pub fn try_new(platter_diameter: Inches, platters: u32) -> Result<Self, ThermalError> {
+        if platters == 0 {
+            return Err(ThermalError::BadSpec("a drive needs at least one platter"));
+        }
+        if platter_diameter.get() <= 0.0 || !platter_diameter.is_finite() {
+            return Err(ThermalError::BadSpec("platter diameter must be positive"));
+        }
         let ff = FormFactor::Standard35;
-        assert!(
-            platter_diameter <= ff.max_platter(),
-            "a {platter_diameter} platter does not fit a {ff}"
-        );
-        Self {
+        if platter_diameter > ff.max_platter() {
+            return Err(ThermalError::BadSpec(
+                "platter does not fit a 3.5\" enclosure",
+            ));
+        }
+        Ok(Self {
             platter_diameter,
             platters,
             form_factor: ff,
             vcm_power: vcm_power_for_platter(platter_diameter),
             ambient: Self::DEFAULT_AMBIENT,
-        }
+        })
     }
 
     /// The Seagate Cheetah 15K.3 configuration the paper disassembled and
@@ -231,14 +246,28 @@ impl OperatingPoint {
     ///
     /// # Panics
     ///
-    /// Panics if `vcm_duty` is outside `[0, 1]` or `rpm` is negative.
+    /// Panics if `vcm_duty` is outside `[0, 1]` or `rpm` is negative;
+    /// use [`Self::try_new`] to handle those as errors.
     pub fn new(rpm: Rpm, vcm_duty: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&vcm_duty),
-            "vcm duty {vcm_duty} outside [0, 1]"
-        );
-        assert!(rpm.get() >= 0.0 && rpm.is_finite(), "negative spindle speed");
-        Self { rpm, vcm_duty }
+        Self::try_new(rpm, vcm_duty).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadSpec`] when `vcm_duty` falls outside
+    /// `[0, 1]` or `rpm` is negative or non-finite.
+    pub fn try_new(rpm: Rpm, vcm_duty: f64) -> Result<Self, ThermalError> {
+        if !(0.0..=1.0).contains(&vcm_duty) {
+            return Err(ThermalError::BadSpec("vcm duty outside [0, 1]"));
+        }
+        if rpm.get() < 0.0 || !rpm.is_finite() {
+            return Err(ThermalError::BadSpec(
+                "spindle speed must be non-negative and finite",
+            ));
+        }
+        Ok(Self { rpm, vcm_duty })
     }
 
     /// Spindle speed.

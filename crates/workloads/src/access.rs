@@ -53,6 +53,42 @@ impl SizeModel {
         }
     }
 
+    /// Checks the model for the malformations [`Self::sample`] would
+    /// panic on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the defect: zero sizes, inverted
+    /// uniform bounds, an empty choice list, or non-positive weights.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::Fixed(n) => {
+                if *n == 0 {
+                    return Err("fixed size must be positive".into());
+                }
+            }
+            Self::Uniform { min, max } => {
+                if *min == 0 || min > max {
+                    return Err(format!("bad uniform size bounds [{min}, {max}]"));
+                }
+            }
+            Self::Choice(choices) => {
+                if choices.is_empty() {
+                    return Err("size choice list is empty".into());
+                }
+                for (size, weight) in choices {
+                    if *size == 0 {
+                        return Err("size choice contains a zero-sector entry".into());
+                    }
+                    if !weight.is_finite() || *weight <= 0.0 {
+                        return Err(format!("size choice weight {weight} is not positive"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Mean request length.
     pub fn mean(&self) -> f64 {
         match self {
@@ -83,10 +119,24 @@ impl ZipfSampler {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `theta < 0`.
+    /// Panics if `n == 0` or `theta` is negative or non-finite; use
+    /// [`Self::try_new`] to handle those as errors.
     pub fn new(n: usize, theta: f64) -> Self {
-        assert!(n > 0, "zipf over zero items");
-        assert!(theta >= 0.0, "negative zipf skew");
+        Self::try_new(n, theta).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0` and a negative or non-finite `theta`.
+    pub fn try_new(n: usize, theta: f64) -> Result<Self, String> {
+        if n == 0 {
+            return Err("zipf over zero items".into());
+        }
+        if theta < 0.0 || !theta.is_finite() {
+            return Err(format!("zipf skew {theta} must be non-negative and finite"));
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -97,7 +147,7 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        Self { cdf }
+        Ok(Self { cdf })
     }
 
     /// Draws a rank in `0..n` (0 = most popular).
@@ -150,9 +200,12 @@ impl AccessProfile {
         if self.hot_regions == 0 {
             return Err("hot_regions must be positive".into());
         }
-        if self.zipf_theta < 0.0 {
-            return Err("zipf_theta must be non-negative".into());
+        if self.zipf_theta < 0.0 || !self.zipf_theta.is_finite() {
+            return Err("zipf_theta must be non-negative and finite".into());
         }
+        self.size
+            .validate()
+            .map_err(|e| format!("size model: {e}"))?;
         Ok(())
     }
 }
@@ -247,5 +300,33 @@ mod tests {
         let mut bad = good.clone();
         bad.hot_regions = 0;
         assert!(bad.validate().is_err());
+
+        // A malformed size model now fails profile validation instead
+        // of panicking later in sampling.
+        let mut bad = good.clone();
+        bad.size = SizeModel::Uniform { min: 64, max: 4 };
+        assert!(bad.validate().unwrap_err().contains("size model"));
+    }
+
+    #[test]
+    fn size_model_validation_catches_each_malformation() {
+        assert!(SizeModel::Fixed(8).validate().is_ok());
+        assert!(SizeModel::Fixed(0).validate().is_err());
+        assert!(SizeModel::Uniform { min: 4, max: 64 }.validate().is_ok());
+        assert!(SizeModel::Uniform { min: 0, max: 4 }.validate().is_err());
+        assert!(SizeModel::Uniform { min: 8, max: 4 }.validate().is_err());
+        assert!(SizeModel::Choice(vec![(8, 0.5)]).validate().is_ok());
+        assert!(SizeModel::Choice(vec![]).validate().is_err());
+        assert!(SizeModel::Choice(vec![(0, 0.5)]).validate().is_err());
+        assert!(SizeModel::Choice(vec![(8, 0.0)]).validate().is_err());
+        assert!(SizeModel::Choice(vec![(8, f64::NAN)]).validate().is_err());
+    }
+
+    #[test]
+    fn zipf_try_new_rejects_what_new_panics_on() {
+        assert!(ZipfSampler::try_new(0, 0.9).is_err());
+        assert!(ZipfSampler::try_new(10, -0.1).is_err());
+        assert!(ZipfSampler::try_new(10, f64::INFINITY).is_err());
+        assert_eq!(ZipfSampler::try_new(10, 0.9).unwrap(), ZipfSampler::new(10, 0.9));
     }
 }

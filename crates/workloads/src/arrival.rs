@@ -43,6 +43,38 @@ impl ArrivalModel {
             }
         }
     }
+
+    /// The same process rescaled so its long-run mean rate equals
+    /// `target` requests/s. Burst shape (factor and state durations) is
+    /// preserved — only the intensity moves, which works because the
+    /// mean is linear in the base rate. Lets experiments offer the same
+    /// load to differently-shaped preset workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not positive and finite.
+    #[must_use]
+    pub fn with_mean_rate(self, target: f64) -> Self {
+        assert!(
+            target > 0.0 && target.is_finite(),
+            "target rate must be positive and finite, got {target}"
+        );
+        let scale = target / self.mean_rate();
+        match self {
+            Self::Poisson { rate } => Self::Poisson { rate: rate * scale },
+            Self::Bursty {
+                base_rate,
+                burst_factor,
+                burst_len,
+                quiet_len,
+            } => Self::Bursty {
+                base_rate: base_rate * scale,
+                burst_factor,
+                burst_len,
+                quiet_len,
+            },
+        }
+    }
 }
 
 /// Stateful arrival-time stream.
@@ -179,6 +211,33 @@ mod tests {
             "rate {measured:.1} vs mean {:.1}",
             m.mean_rate()
         );
+    }
+
+    #[test]
+    fn rescaling_hits_the_target_mean_and_keeps_the_shape() {
+        let m = ArrivalModel::Bursty {
+            base_rate: 100.0,
+            burst_factor: 5.0,
+            burst_len: 1.0,
+            quiet_len: 4.0,
+        };
+        let scaled = m.with_mean_rate(90.0);
+        assert!((scaled.mean_rate() - 90.0).abs() < 1e-9);
+        match scaled {
+            ArrivalModel::Bursty {
+                burst_factor,
+                burst_len,
+                quiet_len,
+                ..
+            } => {
+                assert_eq!(burst_factor, 5.0);
+                assert_eq!(burst_len, 1.0);
+                assert_eq!(quiet_len, 4.0);
+            }
+            ArrivalModel::Poisson { .. } => panic!("shape must be preserved"),
+        }
+        let p = ArrivalModel::Poisson { rate: 10.0 }.with_mean_rate(360.0);
+        assert!((p.mean_rate() - 360.0).abs() < 1e-9);
     }
 
     #[test]

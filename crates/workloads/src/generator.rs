@@ -81,7 +81,8 @@ impl TraceGenerator {
     /// Generates `n` requests deterministically from `seed`.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let zipf = ZipfSampler::new(self.profile.hot_regions, self.profile.zipf_theta);
+        let zipf = ZipfSampler::try_new(self.profile.hot_regions, self.profile.zipf_theta)
+            .expect("profile was validated at construction");
         let region_sectors = (self.sectors_per_device / self.profile.hot_regions as u64).max(1);
 
         let mut devices: Vec<DeviceState> = (0..self.devices)

@@ -288,14 +288,15 @@ mod tests {
     }
 
     #[test]
-    fn all_presets_generate_and_run_small() {
+    fn all_presets_generate_and_run_small() -> Result<(), String> {
         for preset in presets() {
             let stats = preset
                 .run(preset.base_rpm, 400, 11)
-                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+                .map_err(|e| format!("{}: {e}", preset.name))?;
             assert_eq!(stats.count(), 400, "{}", preset.name);
             assert!(stats.mean().to_millis() > 0.0);
         }
+        Ok(())
     }
 
     #[test]

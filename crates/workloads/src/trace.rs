@@ -25,15 +25,22 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &[Request]) -> io::Result<()>
 ///
 /// # Errors
 ///
-/// Propagates I/O errors and malformed-line parse errors.
+/// Propagates I/O errors; a malformed line fails with an
+/// `InvalidData` error naming its 1-based line number.
 pub fn read_trace<R: BufRead>(reader: R) -> io::Result<Vec<Request>> {
     let mut out = Vec::new();
-    for line in reader.lines() {
+    for (index, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+        let request = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {e}", index + 1),
+            )
+        })?;
+        out.push(request);
     }
     Ok(out)
 }
@@ -63,8 +70,79 @@ mod tests {
     }
 
     #[test]
-    fn garbage_is_an_error() {
-        let result = read_trace("not json\n".as_bytes());
-        assert!(result.is_err());
+    fn interior_blank_lines_do_not_shift_parsing() {
+        let trace = openmail().generate(4, 5).unwrap();
+        let mut buf = Vec::new();
+        for (i, r) in trace.iter().enumerate() {
+            write_trace(&mut buf, std::slice::from_ref(r)).unwrap();
+            // Blank padding between records, with stray whitespace.
+            buf.extend_from_slice(if i % 2 == 0 { b"\n" } else { b"   \n" });
+        }
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn garbage_is_an_error_naming_the_line() {
+        let trace = openmail().generate(2, 5).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.extend_from_slice(b"\nnot json\n");
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Two records plus one blank line put the garbage on line 4.
+        assert!(
+            err.to_string().contains("line 4"),
+            "error should name the offending line: {err}"
+        );
+    }
+
+    mod round_trip_props {
+        use super::*;
+        use disksim::RequestKind;
+        use proptest::prelude::*;
+        use units::Seconds;
+
+        fn arb_request() -> impl Strategy<Value = Request> {
+            (
+                any::<u64>(),
+                0.0f64..1.0e6,
+                0u32..64,
+                any::<u64>(),
+                1u32..4_096,
+                prop_oneof![Just(RequestKind::Read), Just(RequestKind::Write)],
+            )
+                .prop_map(|(id, arrival, device, lba, sectors, kind)| {
+                    Request::new(id, Seconds::new(arrival), device, lba, sectors, kind)
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn write_then_read_is_identity(trace in prop::collection::vec(arb_request(), 0..64)) {
+                let mut buf = Vec::new();
+                write_trace(&mut buf, &trace).unwrap();
+                let back = read_trace(buf.as_slice()).unwrap();
+                prop_assert_eq!(back, trace);
+            }
+
+            #[test]
+            fn blank_padding_never_changes_the_result(
+                trace in prop::collection::vec(arb_request(), 1..32),
+                pad in prop::collection::vec(0usize..3, 1..32),
+            ) {
+                let mut buf = Vec::new();
+                for (i, r) in trace.iter().enumerate() {
+                    write_trace(&mut buf, std::slice::from_ref(r)).unwrap();
+                    for _ in 0..pad[i % pad.len()] {
+                        buf.extend_from_slice(b"\n");
+                    }
+                }
+                let back = read_trace(buf.as_slice()).unwrap();
+                prop_assert_eq!(back, trace);
+            }
+        }
     }
 }

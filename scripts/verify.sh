@@ -14,8 +14,18 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p disklab --test lab_determinism"
+# Fleet + engine determinism: threads=1 vs threads=8 byte-identical,
+# repeat runs served entirely from cache.
+cargo test -q -p disklab --test lab_determinism
+
 echo "==> cargo run --release --bin lab -- table1"
 cargo run --release --bin lab -- table1
+
+echo "==> cargo run --release --bin lab -- run fleet_routing"
+# Full scale, so the regenerated artifact matches the committed
+# results/fleet_routing.json byte for byte.
+cargo run --release --bin lab -- run fleet_routing
 
 echo "==> cargo run --release --bin lab -- bench --quick"
 cargo run --release --bin lab -- bench --quick

@@ -113,3 +113,49 @@ fn parallel_map_sweeps_match_serial_bitwise() {
         assert_eq!(one.json, two.json, "{name} payload varies across runs");
     }
 }
+
+#[test]
+fn fleet_shard_count_does_not_change_results() {
+    use diskfleet::{Fleet, FleetConfig, FleetDtmPolicy, RoutingPolicy};
+    use disksim::{DiskSpec, Request, RequestKind};
+    use diskthermal::{DriveThermalSpec, THERMAL_ENVELOPE};
+    use units::{Inches, Rpm, Seconds, TempDelta};
+
+    // The fleet's sharded epoch loop must be byte-identical at any
+    // shard count, with every coupling mechanism engaged: thermal-aware
+    // routing, airflow preheat, and an actively scaling coordinator.
+    let run = |threads: usize| {
+        let mut config = FleetConfig::serial(
+            6,
+            DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+            DriveThermalSpec::new(Inches::new(2.6), 1),
+            8.0,
+        )
+        .unwrap();
+        config.threads = threads;
+        config.routing = RoutingPolicy::ThermalAware {
+            envelope: THERMAL_ENVELOPE,
+        };
+        config.dtm = FleetDtmPolicy::SpeedScale {
+            high: Rpm::new(15_020.0),
+            low: Rpm::new(12_000.0),
+            guard: TempDelta::new(0.3),
+            resume_margin: TempDelta::new(0.3),
+        };
+        let trace: Vec<Request> = (0..900u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    Seconds::new(i as f64 / 300.0),
+                    0,
+                    i.wrapping_mul(7_777_777),
+                    8,
+                    if i % 4 == 0 { RequestKind::Write } else { RequestKind::Read },
+                )
+            })
+            .collect();
+        serde_json::to_string(&Fleet::new(config).unwrap().run(trace).unwrap()).unwrap()
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(8), "fleet results differ between 1 and 8 shards");
+}
