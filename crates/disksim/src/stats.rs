@@ -41,6 +41,15 @@ pub struct ResponseStats {
 /// Reservoir size for percentile estimation.
 const RESERVOIR: usize = 65_536;
 
+/// The splitmix64 mixer: a full-period bijection on `u64` used as the
+/// reservoir's deterministic random source.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 impl ResponseStats {
     /// Creates empty statistics.
     pub fn new() -> Self {
@@ -62,11 +71,15 @@ impl ResponseStats {
         if self.samples.len() < RESERVOIR {
             self.samples.push(ms);
         } else {
-            // Deterministic reservoir replacement keyed on the count.
-            let slot = (self.count.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize
-                % RESERVOIR;
-            if self.count.is_multiple_of(2) {
-                self.samples[slot] = ms;
+            // Vitter's Algorithm R: sample number `count` replaces a
+            // uniformly-drawn slot in 0..count, surviving only when the
+            // slot lands inside the reservoir — so every sample ends up
+            // retained with equal probability RESERVOIR/count. The
+            // "random" draw is splitmix64 keyed on the running count,
+            // keeping equal runs bit-identical regardless of threading.
+            let j = (splitmix64(self.count) % self.count) as usize;
+            if j < RESERVOIR {
+                self.samples[j] = ms;
             }
         }
     }
@@ -225,6 +238,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_percentile_panics() {
         let _ = stats_of(&[1.0]).percentile(150.0);
+    }
+
+    #[test]
+    fn percentiles_stay_unbiased_past_the_reservoir_cap() {
+        // Three times the reservoir size, fed as an increasing ramp: the
+        // worst case for the old scheme, which stopped admitting late
+        // (large) samples and so dragged every percentile low. Algorithm R
+        // keeps each sample with equal probability, so the reservoir
+        // percentiles must track the true ramp percentiles within a few
+        // percent even well past the cap.
+        let n = 3 * RESERVOIR as u64;
+        let mut s = ResponseStats::new();
+        for i in 1..=n {
+            s.record(Seconds::from_millis(i as f64));
+        }
+        for p in [25.0, 50.0, 75.0, 90.0, 99.0] {
+            let truth = p / 100.0 * n as f64;
+            let got = s.percentile(p).to_millis();
+            let err = (got - truth).abs() / n as f64;
+            assert!(
+                err < 0.02,
+                "p{p}: reservoir said {got}, truth {truth} ({:.1}% off)",
+                err * 100.0
+            );
+        }
+        // And the draw sequence is a pure function of the count, so a
+        // second identical run reproduces the reservoir exactly.
+        let mut again = ResponseStats::new();
+        for i in 1..=n {
+            again.record(Seconds::from_millis(i as f64));
+        }
+        assert_eq!(s, again);
     }
 
     #[test]

@@ -171,6 +171,9 @@ pub struct StorageSystem {
     submitted: u64,
     finished: u64,
     failed_disk: Option<u32>,
+    /// Trace emission point. Defaults to the null sink: request
+    /// issue/complete events then cost one branch and are never built.
+    sink: diskobs::Sink,
 }
 
 /// One entry in the arrival heap. The heap is ordered by [`TimeKey`]
@@ -248,6 +251,7 @@ impl StorageSystem {
             submitted: 0,
             finished: 0,
             failed_disk: None,
+            sink: diskobs::Sink::null(),
         })
     }
 
@@ -302,6 +306,25 @@ impl StorageSystem {
     /// Current simulated time.
     pub fn clock(&self) -> Seconds {
         self.clock
+    }
+
+    /// Replaces the trace sink (null by default). Drivers that shard
+    /// systems across threads install a buffer sink per system and
+    /// drain the buffers in a deterministic serial order.
+    pub fn set_sink(&mut self, sink: diskobs::Sink) {
+        self.sink = sink;
+    }
+
+    /// The trace sink, for emitting events that need the system's
+    /// sim clock (e.g. RPM transitions applied by a DTM actuator).
+    pub fn sink_mut(&mut self) -> &mut diskobs::Sink {
+        &mut self.sink
+    }
+
+    /// Takes this system's buffered trace events (empty unless a buffer
+    /// sink is installed).
+    pub fn drain_events(&mut self) -> Vec<diskobs::TimedEvent> {
+        self.sink.drain()
     }
 
     /// Requests submitted and finished so far.
@@ -432,6 +455,13 @@ impl StorageSystem {
     }
 
     fn on_arrival(&mut self, request: Request) {
+        self.sink.emit(self.clock, || diskobs::Event::RequestIssue {
+            id: request.id,
+            device: request.device,
+            lba: request.lba,
+            sectors: request.sectors,
+            kind: if request.kind.is_read() { "read" } else { "write" },
+        });
         let phys: Vec<PhysRequest> = match &self.raid {
             Some(raid) => raid
                 .map_degraded(request.lba, request.sectors, request.kind, self.failed_disk)
@@ -459,11 +489,17 @@ impl StorageSystem {
             // Write-back caching: the controller acknowledges the host
             // immediately; the physical work proceeds in the background.
             self.finished += 1;
-            self.completions.push(Completion {
+            let done = Completion {
                 request,
                 start: self.clock,
                 finish: self.clock,
+            };
+            self.sink.emit(self.clock, || diskobs::Event::RequestComplete {
+                id: done.request.id,
+                start: done.start.get(),
+                response_ms: done.response_time().to_millis(),
             });
+            self.completions.push(done);
         } else {
             self.parents.insert(
                 request.id,
@@ -496,11 +532,17 @@ impl StorageSystem {
             if parent.remaining == 0 {
                 let parent = self.parents.remove(&phys.parent).expect("present");
                 self.finished += 1;
-                self.completions.push(Completion {
+                let done = Completion {
                     request: parent.request,
                     start: parent.first_start.unwrap_or(finish),
                     finish,
+                };
+                self.sink.emit(finish, || diskobs::Event::RequestComplete {
+                    id: done.request.id,
+                    start: done.start.get(),
+                    response_ms: done.response_time().to_millis(),
                 });
+                self.completions.push(done);
             }
         }
         self.try_dispatch(d);

@@ -153,7 +153,34 @@ impl DtmController {
     ///
     /// Propagates submission errors (bad devices or ranges in the
     /// trace).
-    pub fn run(mut self, trace: Vec<Request>) -> Result<DtmReport, SimError> {
+    pub fn run(self, trace: Vec<Request>) -> Result<DtmReport, SimError> {
+        let mut sink = diskobs::Sink::null();
+        self.run_with_sink(trace, &mut sink)
+    }
+
+    /// Runs the whole trace, streaming trace events into `sink`: the
+    /// storage system's request events, one `SensorReading` and one
+    /// `Snapshot` per control window, and a transition event for every
+    /// policy actuation. All timestamps are sim time, so equal runs
+    /// produce byte-identical traces. With a disabled (null) sink this
+    /// is exactly [`Self::run`] — emission sites cost one branch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors (bad devices or ranges in the
+    /// trace).
+    pub fn run_with_sink(
+        mut self,
+        trace: Vec<Request>,
+        sink: &mut diskobs::Sink,
+    ) -> Result<DtmReport, SimError> {
+        let scope = sink.scope();
+        if sink.is_enabled() {
+            // Buffer the system's own emissions (request issue/complete,
+            // RPM transitions) and fold them into `sink` window by
+            // window, keeping one time-ordered stream.
+            self.drive.set_sink(diskobs::Sink::buffer().with_scope(scope));
+        }
         let mut pending: VecDeque<Request> = trace.into();
         let mut completions: Vec<Completion> = Vec::new();
         let disks = self.drive.system().disks().len() as f64;
@@ -217,6 +244,25 @@ impl DtmController {
             }
             // Policies act on the *sensed* temperature.
             let air = self.sensor.read(window_end, true_air);
+            if sink.is_enabled() {
+                sink.extend(self.drive.drain_events());
+                sink.emit(window_end, || diskobs::Event::SensorReading {
+                    drive: scope,
+                    sensed_c: air.get(),
+                    actual_c: true_air.get(),
+                });
+                let queue = pending.len() as u64 + self.drive.in_flight();
+                sink.emit(window_end, || diskobs::Event::Snapshot {
+                    drive: scope,
+                    air_c: true_air.get(),
+                    ambient_c: self.drive.model().spec().ambient().get(),
+                    queue,
+                    util: sample.util,
+                    duty: sample.duty,
+                    rpm: sample.rpm.get(),
+                    gated: throttled,
+                });
+            }
             if throttled {
                 time_throttled += self.window;
             }
@@ -225,6 +271,9 @@ impl DtmController {
             }
 
             // 5. Policy.
+            let was_throttled = throttled;
+            let was_boosted = boosted;
+            let was_scaled = scaled_down;
             match self.policy {
                 DtmPolicy::None => {}
                 DtmPolicy::Throttle {
@@ -274,6 +323,27 @@ impl DtmController {
                     }
                 }
             }
+            if throttled != was_throttled {
+                sink.emit(window_end, || {
+                    if throttled {
+                        diskobs::Event::ThrottleEngage { drive: scope, sensed_c: air.get() }
+                    } else {
+                        diskobs::Event::ThrottleDisengage { drive: scope, sensed_c: air.get() }
+                    }
+                });
+            }
+            if scaled_down != was_scaled {
+                sink.emit(window_end, || diskobs::Event::CoordinatorAction {
+                    drive: scope,
+                    action: if scaled_down { "downshift" } else { "upshift" },
+                });
+            }
+            if boosted != was_boosted {
+                sink.emit(window_end, || diskobs::Event::CoordinatorAction {
+                    drive: scope,
+                    action: if boosted { "boost" } else { "unboost" },
+                });
+            }
             if scaled_down {
                 time_throttled += self.window;
             }
@@ -289,6 +359,12 @@ impl DtmController {
             if now.get() > 24.0 * 3600.0 {
                 break;
             }
+        }
+
+        if sink.is_enabled() {
+            // A final-window actuation lands in the drive buffer after
+            // the last in-loop drain; fold it in before reporting.
+            sink.extend(self.drive.drain_events());
         }
 
         let mean_air = if now.get() > 0.0 {
@@ -575,6 +651,81 @@ mod tests {
         // temperature slip past the sensed trip point.
         let thin = run(TempSensor::smart_style(), 0.05);
         assert!(thin.max_air >= sensed.max_air);
+    }
+
+    #[test]
+    fn hysteresis_absorbs_smart_sensor_quantization_without_flapping() {
+        use diskthermal::TempSensor;
+        // Run the throttle policy through the SMART-style sensor (1 C
+        // quantization, 1 s polling) and pull the engage/disengage
+        // events from the trace sink.
+        let run = |resume_margin: f64| {
+            let (system, model) = hot_setup(24_534.0);
+            let cap = system.logical_sectors();
+            let mut sink = diskobs::Sink::buffer();
+            let report = DtmController::new(
+                system,
+                model,
+                DtmPolicy::Throttle {
+                    // RPM drops while gated, so the drive genuinely
+                    // cools, disengages, and reheats — the oscillation
+                    // a thin margin turns into flapping.
+                    mechanism: ThrottlePolicy::VcmAndRpm {
+                        high: Rpm::new(24_534.0),
+                        low: Rpm::new(15_020.0),
+                    },
+                    guard: TempDelta::new(1.3),
+                    resume_margin: TempDelta::new(resume_margin),
+                },
+                THERMAL_ENVELOPE,
+            )
+            .with_sensor(TempSensor::smart_style())
+            .with_initial_temps(NodeTemps::uniform(Celsius::new(44.0)))
+            .run_with_sink(heavy_trace(3_000, 120.0, cap), &mut sink)
+            .unwrap();
+            let transitions: Vec<(f64, bool)> = sink
+                .drain()
+                .into_iter()
+                .filter_map(|e| match e.event {
+                    diskobs::Event::ThrottleEngage { .. } => Some((e.t, true)),
+                    diskobs::Event::ThrottleDisengage { .. } => Some((e.t, false)),
+                    _ => None,
+                })
+                .collect();
+            (report, transitions)
+        };
+
+        // With the resume margin wider than the sensor's 1 C
+        // quantization, a re-engage needs a genuine >1 C reheat after
+        // each disengage — thermal inertia cannot produce that within
+        // the 1 s polling interval, so the throttle cannot flap.
+        let (report, steady) = run(1.2);
+        assert!(report.time_throttled.get() > 0.0, "throttle must engage");
+        let mut prev_disengage: Option<f64> = None;
+        for &(t, engaged) in &steady {
+            if engaged {
+                if let Some(d) = prev_disengage {
+                    assert!(
+                        t - d > 1.0,
+                        "re-engaged {:.2}s after a disengage: sensor noise is flapping the throttle",
+                        t - d
+                    );
+                }
+            } else {
+                prev_disengage = Some(t);
+            }
+        }
+
+        // A zero resume margin puts trip and resume on the same sensed
+        // degree, so quantization chatters the throttle — the wide
+        // margin must strictly cut the transition count.
+        let (_, chatter) = run(0.0);
+        assert!(
+            steady.len() < chatter.len(),
+            "margin 1.2 C made {} transitions vs {} at zero margin",
+            steady.len(),
+            chatter.len()
+        );
     }
 
     #[test]

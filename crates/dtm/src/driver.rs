@@ -25,6 +25,9 @@ pub struct WindowSample {
     pub rpm: Rpm,
     /// Actuator duty measured over the window, clamped to `[0, 1]`.
     pub duty: f64,
+    /// Fraction of the window the member disks spent busy, clamped to
+    /// `[0, 1]`.
+    pub util: f64,
     /// Node temperatures after the thermal step.
     pub temps: NodeTemps,
 }
@@ -43,6 +46,7 @@ pub struct WindowedDrive {
     model: ThermalModel,
     sim: TransientSim,
     prev_seek: f64,
+    prev_busy: f64,
 }
 
 impl WindowedDrive {
@@ -58,6 +62,7 @@ impl WindowedDrive {
             model,
             sim,
             prev_seek: 0.0,
+            prev_busy: 0.0,
         }
     }
 
@@ -138,21 +143,53 @@ impl WindowedDrive {
         let duty = ((seek_now - self.prev_seek) / (window.get() * disks)).clamp(0.0, 1.0);
         self.prev_seek = seek_now;
 
+        let busy_now: f64 = self
+            .system
+            .disks()
+            .iter()
+            .map(|d| d.busy_time().get())
+            .sum();
+        let util = ((busy_now - self.prev_busy) / (window.get() * disks)).clamp(0.0, 1.0);
+        self.prev_busy = busy_now;
+
         let rpm = self.system.disks()[0].spec().rpm();
         self.sim
             .advance(&self.model, OperatingPoint::new(rpm, duty), window);
         WindowSample {
             rpm,
             duty,
+            util,
             temps: self.sim.temps(),
         }
     }
 
-    /// Sets every member disk's spindle speed.
+    /// Sets every member disk's spindle speed, emitting one
+    /// `RpmTransition` per actual change into the system's trace sink.
     pub fn set_all_rpm(&mut self, rpm: Rpm) {
+        let from = self.system.disks()[0].spec().rpm();
         for d in self.system.disks_mut() {
             d.set_rpm(rpm);
         }
+        if from != rpm {
+            let now = self.system.clock();
+            let sink = self.system.sink_mut();
+            let drive = sink.scope();
+            sink.emit(now, || diskobs::Event::RpmTransition {
+                drive,
+                from: from.get(),
+                to: rpm.get(),
+            });
+        }
+    }
+
+    /// Installs a trace sink on the underlying storage system.
+    pub fn set_sink(&mut self, sink: diskobs::Sink) {
+        self.system.set_sink(sink);
+    }
+
+    /// Drains buffered trace events from the underlying system's sink.
+    pub fn drain_events(&mut self) -> Vec<diskobs::TimedEvent> {
+        self.system.drain_events()
     }
 
     /// Current spindle speed (all members run in lockstep).

@@ -117,9 +117,10 @@ impl Enclosure {
         window: Seconds,
         gated: bool,
         envelope: Celsius,
-    ) -> (Vec<Completion>, f64) {
+    ) -> (Vec<Completion>, f64, f64) {
         let mut completions = Vec::new();
         let mut duty_sum = 0.0;
+        let mut util_sum = 0.0;
         for w in 0..windows {
             let window_end = Seconds::new((first_window + w as u64 + 1) as f64 * window.get());
             if !gated {
@@ -129,6 +130,7 @@ impl Enclosure {
             }
             let sample = self.drive.serve_window(window_end, window, &mut completions);
             duty_sum += sample.duty;
+            util_sum += sample.util;
             self.duty_sum += sample.duty;
             self.windows += 1;
             let air = sample.air();
@@ -138,7 +140,11 @@ impl Enclosure {
                 self.time_over += window;
             }
         }
-        (completions, duty_sum / windows as f64)
+        (
+            completions,
+            duty_sum / windows as f64,
+            util_sum / windows as f64,
+        )
     }
 }
 
@@ -287,7 +293,34 @@ impl Fleet {
     /// Currently infallible after construction (remapping keeps every
     /// submission in range); the `Result` reserves room for trace
     /// validation.
-    pub fn run(mut self, mut trace: Vec<Request>) -> Result<FleetReport, FleetError> {
+    pub fn run(self, trace: Vec<Request>) -> Result<FleetReport, FleetError> {
+        let mut sink = diskobs::Sink::null();
+        self.run_with_sink(trace, &mut sink)
+    }
+
+    /// Runs a logical trace, streaming trace events into `sink`: every
+    /// routing decision, each enclosure's request and RPM events (tagged
+    /// with its bay index through the sink scope), one `Snapshot` per
+    /// enclosure per sync epoch, and the coordinator's actions.
+    ///
+    /// All timestamps are sim time and every cross-enclosure merge
+    /// happens in the serial phases (buffered per-enclosure streams are
+    /// drained in enclosure order and stably sorted by time), so the
+    /// emitted byte stream is identical at any shard count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_with_sink(
+        mut self,
+        mut trace: Vec<Request>,
+        sink: &mut diskobs::Sink,
+    ) -> Result<FleetReport, FleetError> {
+        if sink.is_enabled() {
+            for (i, e) in self.enclosures.iter_mut().enumerate() {
+                e.drive.set_sink(diskobs::Sink::buffer().with_scope(i));
+            }
+        }
         // Deterministic arrival order whatever the caller produced.
         trace.sort_by(|a, b| {
             a.arrival
@@ -310,6 +343,12 @@ impl Fleet {
         loop {
             let epoch_end = now + epoch_len;
 
+            // Events from this epoch (routing decisions stamped at
+            // arrival, plus each enclosure's drained stream) collect
+            // here and are merged by time before reaching the sink, so
+            // the emitted stream is a single non-decreasing timeline.
+            let mut batch: Vec<diskobs::TimedEvent> = Vec::new();
+
             // Serial phase 1 — routing. Placement uses the epoch-start
             // snapshot plus a running count of this epoch's placements,
             // so the decision sequence is independent of sharding.
@@ -330,6 +369,15 @@ impl Fleet {
                 let r = *front;
                 incoming.pop_front();
                 let i = self.router.pick(&snaps);
+                if sink.is_enabled() {
+                    batch.push(diskobs::TimedEvent {
+                        t: r.arrival.get(),
+                        event: diskobs::Event::RoutingDecision {
+                            request: r.id,
+                            drive: i,
+                        },
+                    });
+                }
                 snaps[i].queue += 1;
                 let e = &mut self.enclosures[i];
                 e.pending.push_back(remap(r, e.capacity));
@@ -348,9 +396,9 @@ impl Fleet {
                 self.enclosures.into_iter().zip(gates).collect(),
                 self.threads,
                 move |(mut e, gated)| {
-                    let (completions, mean_duty) =
+                    let (completions, mean_duty, mean_util) =
                         e.advance_epoch(first_window, windows_per_epoch, window, gated, envelope);
-                    (e, completions, mean_duty)
+                    (e, completions, mean_duty, mean_util)
                 },
             );
 
@@ -359,23 +407,82 @@ impl Fleet {
             self.enclosures = Vec::with_capacity(n);
             let mut heats = Vec::with_capacity(n);
             let mut airs = Vec::with_capacity(n);
-            for (mut e, completions, mean_duty) in shards {
+            let mut duties = Vec::with_capacity(n);
+            let mut utils = Vec::with_capacity(n);
+            for (mut e, completions, mean_duty, mean_util) in shards {
                 for c in &completions {
                     stats.record(c.response_time());
                 }
                 e.completed += completions.len() as u64;
+                if sink.is_enabled() {
+                    batch.append(&mut e.drive.drain_events());
+                }
                 let op = OperatingPoint::new(e.drive.rpm(), mean_duty);
                 heats.push(drive_heat_estimate(e.drive.model().spec(), op).get());
                 airs.push(e.drive.air());
+                duties.push(mean_duty);
+                utils.push(mean_util);
                 self.enclosures.push(e);
+            }
+            if sink.is_enabled() {
+                // Merge routing decisions and the per-enclosure streams
+                // into one time-ordered stream; the sort is stable, so
+                // equal timestamps keep insertion (enclosure) order and
+                // the bytes stay shard-independent.
+                batch.sort_by(|a, b| a.t.total_cmp(&b.t));
+                sink.extend(batch);
             }
             for (e, ambient) in self.enclosures.iter_mut().zip(self.airflow.local_ambients(&heats))
             {
                 e.drive.set_ambient(ambient);
                 e.max_local_ambient = e.max_local_ambient.max(ambient);
             }
+            if sink.is_enabled() {
+                for (i, e) in self.enclosures.iter().enumerate() {
+                    let queue = e.drive.in_flight() + e.pending.len() as u64;
+                    let coordinator = &self.coordinator;
+                    sink.emit(epoch_end, || diskobs::Event::Snapshot {
+                        drive: i,
+                        air_c: e.drive.air().get(),
+                        ambient_c: e.drive.model().spec().ambient().get(),
+                        queue,
+                        util: utils[i],
+                        duty: duties[i],
+                        rpm: e.drive.rpm().get(),
+                        gated: coordinator.gated(i),
+                    });
+                }
+            }
+            let ctl_before: Option<Vec<(bool, bool)>> = sink.is_enabled().then(|| {
+                (0..n)
+                    .map(|i| (self.coordinator.gated(i), self.coordinator.scaled_down(i)))
+                    .collect()
+            });
             self.coordinator
                 .apply(&airs, |i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
+            if let Some(before) = ctl_before {
+                for (i, (was_gated, was_scaled)) in before.into_iter().enumerate() {
+                    if self.coordinator.gated(i) != was_gated {
+                        sink.emit(epoch_end, || diskobs::Event::CoordinatorAction {
+                            drive: i,
+                            action: if was_gated { "ungate" } else { "gate" },
+                        });
+                    }
+                    if self.coordinator.scaled_down(i) != was_scaled {
+                        sink.emit(epoch_end, || diskobs::Event::CoordinatorAction {
+                            drive: i,
+                            action: if was_scaled { "upshift" } else { "downshift" },
+                        });
+                    }
+                }
+                // The apply above lands RPM transitions (stamped at the
+                // epoch end) in the enclosure buffers; fold them in now
+                // so the stream stays time-ordered.
+                for e in self.enclosures.iter_mut() {
+                    let events = e.drive.drain_events();
+                    sink.extend(events);
+                }
+            }
             for (i, e) in self.enclosures.iter_mut().enumerate() {
                 if self.coordinator.gated(i) {
                     e.time_gated += epoch_len;

@@ -16,12 +16,18 @@ pub struct Options {
     pub list: bool,
     /// Run the thermal-kernel benchmark suite instead of experiments.
     pub bench: bool,
+    /// Run instrumented trace scenarios instead of experiments.
+    pub trace: bool,
+    /// Profile experiments (cache off) and print per-stage wall times.
+    pub profile: bool,
     /// Worker threads.
     pub threads: usize,
     /// Serve/populate the content-addressed cache.
     pub use_cache: bool,
     /// Run simulation-heavy experiments at reduced scale.
     pub quick: bool,
+    /// Progress-logging level (`-q` / default / `--verbose`).
+    pub verbosity: diskobs::logger::Level,
 }
 
 impl Default for Options {
@@ -31,9 +37,12 @@ impl Default for Options {
             all: false,
             list: false,
             bench: false,
+            trace: false,
+            profile: false,
             threads: 1,
             use_cache: true,
             quick: false,
+            verbosity: diskobs::logger::Level::Normal,
         }
     }
 }
@@ -50,6 +59,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             "all" => opts.all = true,
             "list" => opts.list = true,
             "bench" => opts.bench = true,
+            "trace" => opts.trace = true,
+            "profile" => opts.profile = true,
+            "--verbose" | "-v" => opts.verbosity = diskobs::logger::Level::Verbose,
+            "--quiet" | "-q" => opts.verbosity = diskobs::logger::Level::Quiet,
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v
@@ -66,7 +79,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
         }
     }
-    if !opts.all && !opts.list && !opts.bench && opts.names.is_empty() {
+    if !opts.all && !opts.list && !opts.bench && !opts.trace && !opts.profile
+        && opts.names.is_empty()
+    {
         opts.list = true;
     }
     Ok(opts)
@@ -75,18 +90,27 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 /// The help text.
 pub fn usage() -> String {
     format!(
-        "usage: lab [all | list | bench | [run] <experiment>...] [--threads N] [--no-cache] [--quick]\n\n\
-         bench times the thermal kernel, the fleet event loop, and end-to-end\n\
-         experiments; a full (non --quick) bench writes BENCH_thermal.json and\n\
-         BENCH_fleet.json at the repo root.\n\n\
-         experiments: {}",
-        registry::names().join(", ")
+        "usage: lab [all | list | bench | trace <scenario>... | profile [<experiment>...] |\n\
+         \x20           [run] <experiment>...] [--threads N] [--no-cache] [--quick] [-q | --verbose]\n\n\
+         bench times the thermal kernel, the fleet event loop, end-to-end\n\
+         experiments, and the instrumentation overhead; a full (non --quick)\n\
+         bench writes BENCH_thermal.json, BENCH_fleet.json, and BENCH_obs.json\n\
+         at the repo root, while --quick asserts the obs-overhead bound.\n\n\
+         trace runs an instrumented scenario and writes its event stream\n\
+         (NDJSON), metrics, and snapshot timeseries under results/.\n\
+         profile reruns experiments with the cache off and prints per-stage\n\
+         wall times from the manifest.\n\n\
+         experiments: {}\n\
+         trace scenarios: {}",
+        registry::names().join(", "),
+        crate::trace::trace_names().join(", ")
     )
 }
 
 /// Runs a parsed command line against the workspace `results/`
 /// directory. Returns a process exit code.
 pub fn run(opts: &Options) -> i32 {
+    diskobs::logger::set_level(opts.verbosity);
     if opts.list {
         println!("{}", usage());
         return 0;
@@ -99,6 +123,12 @@ pub fn run(opts: &Options) -> i32 {
                 1
             }
         };
+    }
+    if opts.trace {
+        return run_trace_command(opts);
+    }
+    if opts.profile {
+        return run_profile_command(opts);
     }
     let scale = if opts.quick { Scale::Quick } else { Scale::Full };
     let experiments: Vec<Box<dyn Experiment>> = if opts.all {
@@ -137,15 +167,15 @@ pub fn run(opts: &Options) -> i32 {
             }
             let m = &summary.manifest;
             for entry in &m.experiments {
-                eprintln!(
+                diskobs::logger::info(&format!(
                     "{:<12} {:>9.1} ms  cache {:<4}  -> {}",
                     entry.name,
                     entry.wall_ms,
                     entry.cache,
                     entry.outputs.join(", ")
-                );
+                ));
             }
-            eprintln!(
+            diskobs::logger::info(&format!(
                 "{} experiments in {:.1} ms on {} thread(s); cache: {} hit(s), {} miss(es); wrote {}",
                 m.experiments.len(),
                 m.total_wall_ms,
@@ -153,11 +183,101 @@ pub fn run(opts: &Options) -> i32 {
                 m.hits(),
                 m.misses(),
                 engine.results_path().join("manifest.json").display(),
-            );
+            ));
             0
         }
         Err(e) => {
             eprintln!("lab failed: {e}");
+            1
+        }
+    }
+}
+
+/// `lab trace <scenario>...` — run instrumented scenarios and write
+/// their event streams under `results/`.
+fn run_trace_command(opts: &Options) -> i32 {
+    if opts.names.is_empty() {
+        eprintln!(
+            "trace needs a scenario name (have: {})",
+            crate::trace::trace_names().join(", ")
+        );
+        return 2;
+    }
+    let dir = match crate::text::results_dir() {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("cannot open results directory: {e}");
+            return 1;
+        }
+    };
+    for name in &opts.names {
+        match crate::trace::run_trace(name, opts.threads, &dir) {
+            Ok(outcome) => diskobs::logger::info(&format!(
+                "trace {}: {} events, {} files",
+                outcome.name,
+                outcome.events,
+                outcome.files.len()
+            )),
+            Err(e) => {
+                eprintln!("trace {name} failed: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// `lab profile [<experiment>...]` — rerun experiments with the cache
+/// off into a scratch results directory and print the per-stage wall
+/// times the engine's profiling spans recorded.
+fn run_profile_command(opts: &Options) -> i32 {
+    let scale = if opts.quick { Scale::Quick } else { Scale::Full };
+    let experiments: Vec<Box<dyn Experiment>> = if opts.names.is_empty() {
+        registry::registry(scale)
+    } else {
+        let mut chosen = Vec::new();
+        for name in &opts.names {
+            match registry::by_name(name, scale) {
+                Some(exp) => chosen.push(exp),
+                None => {
+                    eprintln!("unknown experiment {name:?}\n\n{}", usage());
+                    return 2;
+                }
+            }
+        }
+        chosen
+    };
+    let dir = match crate::text::results_dir() {
+        Ok(dir) => dir.join(".profile"),
+        Err(e) => {
+            eprintln!("cannot open results directory: {e}");
+            return 1;
+        }
+    };
+    let engine = Engine::at(dir).threads(opts.threads).use_cache(false);
+    match engine.run(experiments) {
+        Ok(summary) => {
+            let m = &summary.manifest;
+            println!("{:<14} {:>10}  stages", "experiment", "wall ms");
+            for entry in &m.experiments {
+                let stages = entry
+                    .stages
+                    .iter()
+                    .map(|s| format!("{} {:.1} ms", s.name, s.wall_ms))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!("{:<14} {:>10.1}  {}", entry.name, entry.wall_ms, stages);
+            }
+            println!(
+                "{} experiments in {:.1} ms on {} thread(s), cache off",
+                m.experiments.len(),
+                m.total_wall_ms,
+                m.threads
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("profile failed: {e}");
             1
         }
     }
@@ -188,13 +308,13 @@ pub fn run_wrapper_experiment(exp: Box<dyn Experiment>) -> i32 {
                 print!("{text}");
             }
             for entry in &summary.manifest.experiments {
-                eprintln!(
+                diskobs::logger::info(&format!(
                     "{:<12} {:>9.1} ms  cache {:<4}  -> {}",
                     entry.name,
                     entry.wall_ms,
                     entry.cache,
                     entry.outputs.join(", ")
-                );
+                ));
             }
             0
         }
@@ -264,5 +384,31 @@ mod tests {
         for name in crate::registry::names() {
             assert!(text.contains(name), "{name} missing from usage");
         }
+        for name in crate::trace::trace_names() {
+            assert!(text.contains(name), "{name} missing from usage");
+        }
+    }
+
+    #[test]
+    fn trace_and_profile_subcommands_parse() {
+        let opts = parse(&["trace", "figure5", "--threads", "4"]);
+        assert!(opts.trace);
+        assert!(!opts.list);
+        assert_eq!(opts.names, ["figure5"]);
+        assert_eq!(opts.threads, 4);
+
+        let opts = parse(&["profile"]);
+        assert!(opts.profile);
+        assert!(!opts.list, "profile with no names means all experiments");
+    }
+
+    #[test]
+    fn verbosity_flags_parse() {
+        use diskobs::logger::Level;
+        assert_eq!(parse(&[]).verbosity, Level::Normal);
+        assert_eq!(parse(&["all", "-q"]).verbosity, Level::Quiet);
+        assert_eq!(parse(&["all", "--quiet"]).verbosity, Level::Quiet);
+        assert_eq!(parse(&["all", "--verbose"]).verbosity, Level::Verbose);
+        assert_eq!(parse(&["all", "-v"]).verbosity, Level::Verbose);
     }
 }

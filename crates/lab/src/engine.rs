@@ -131,7 +131,7 @@ impl Engine {
         let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
 
         let manifest = Manifest {
-            schema: 1,
+            schema: 2,
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
             threads: workers,
             total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -148,39 +148,47 @@ impl Engine {
     }
 
     /// Runs one experiment: cache replay when possible, fresh compute
-    /// otherwise. Returns the manifest entry plus the text report.
+    /// otherwise. Returns the manifest entry plus the text report. Each
+    /// stage is timed into the entry's `stages` for `lab profile`.
     fn execute(&self, exp: &dyn Experiment) -> Result<(ManifestEntry, String), LabError> {
         let digest = exp.config_digest();
         let started = Instant::now();
+        let mut spans = diskobs::SpanSet::new();
         let cache_path = self
             .cache_dir
             .join(format!("{}-{digest}.json", exp.name()));
 
         if self.use_cache && cache_path.exists() {
             // A corrupt or stale cache file is not fatal — recompute.
-            if let Ok(output) = read_cached(&cache_path) {
-                let outputs = self.write_outputs(exp.name(), &output)?;
+            if let Ok(output) = spans.time("cache_probe", || read_cached(&cache_path)) {
+                let outputs = spans.time("write_outputs", || {
+                    self.write_outputs(exp.name(), &output)
+                })?;
                 let entry = ManifestEntry {
                     name: exp.name().to_string(),
                     digest,
                     cache: "hit".to_string(),
                     wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                    stages: spans.into_spans(),
                     outputs,
                 };
                 return Ok((entry, output.text));
             }
         }
 
-        let output = exp.run()?;
-        let outputs = self.write_outputs(exp.name(), &output)?;
+        let output = spans.time("compute", || exp.run())?;
+        let outputs = spans.time("write_outputs", || self.write_outputs(exp.name(), &output))?;
         if self.use_cache {
-            fs::write(&cache_path, render_cached(exp.name(), &digest, &output))?;
+            spans.time("cache_store", || {
+                fs::write(&cache_path, render_cached(exp.name(), &digest, &output))
+            })?;
         }
         let entry = ManifestEntry {
             name: exp.name().to_string(),
             digest,
             cache: "miss".to_string(),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            stages: spans.into_spans(),
             outputs,
         };
         Ok((entry, output.text))

@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod manifest;
 pub mod registry;
 pub mod text;
+pub mod trace;
 
 pub use engine::{default_parallelism, parallel_map, Engine, RunSummary};
 pub use error::LabError;
@@ -25,3 +26,4 @@ pub use experiment::{Experiment, RunOutput, Scale};
 pub use manifest::{Manifest, ManifestEntry};
 pub use registry::{by_name, names, registry};
 pub use text::{ascii_plot, results_dir, rule, save_json};
+pub use trace::{run_trace, trace_names, TraceOutcome};

@@ -14,6 +14,9 @@ pub struct ManifestEntry {
     pub cache: String,
     /// Wall time this run spent on the experiment, milliseconds.
     pub wall_ms: f64,
+    /// Per-stage wall times (`cache_probe`, `compute`, `write_outputs`,
+    /// `cache_store`) inside `wall_ms`, in execution order.
+    pub stages: Vec<diskobs::Span>,
     /// Files written under `results/`, relative names.
     pub outputs: Vec<String>,
 }
@@ -52,7 +55,7 @@ mod tests {
     #[test]
     fn manifest_round_trips_through_json() {
         let m = Manifest {
-            schema: 1,
+            schema: 2,
             crate_version: "0.1.0".into(),
             threads: 4,
             total_wall_ms: 12.5,
@@ -61,12 +64,17 @@ mod tests {
                 digest: "abc".into(),
                 cache: "miss".into(),
                 wall_ms: 3.25,
+                stages: vec![diskobs::Span {
+                    name: "compute".into(),
+                    wall_ms: 3.0,
+                }],
                 outputs: vec!["figure1.json".into(), "figure1.txt".into()],
             }],
         };
         let text = serde_json::to_string_pretty(&m).unwrap();
         let back: Manifest = serde_json::from_str(&text).unwrap();
         assert_eq!(back.experiments[0].name, "figure1");
+        assert_eq!(back.experiments[0].stages[0].name, "compute");
         assert_eq!(back.hits(), 0);
         assert_eq!(back.misses(), 1);
     }

@@ -45,7 +45,7 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
     let path = results_dir()?.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).map_err(io::Error::other)?;
     fs::write(&path, json)?;
-    eprintln!("wrote {}", path.display());
+    diskobs::logger::info(&format!("wrote {}", path.display()));
     Ok(path)
 }
 

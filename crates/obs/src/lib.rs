@@ -1,0 +1,42 @@
+//! `diskobs` — deterministic event tracing, metrics, and profiling for
+//! the thermodisk stack.
+//!
+//! The paper's DTM argument is about *decisions over time* — when the
+//! controller detects thermal slack, when throttling engages, how
+//! temperature and queue depth co-evolve — yet aggregate reports flatten
+//! that timeline away. This crate is the observability layer the rest of
+//! the workspace threads through its hot paths:
+//!
+//! - [`Event`] / [`TimedEvent`]: a typed event vocabulary (request
+//!   issue/complete, RPM transitions, throttle engage/disengage,
+//!   coordinator actions, routing decisions, sensor readings, periodic
+//!   snapshots) stamped with **simulated time**, never wall time, so a
+//!   trace is byte-identical at any thread or shard count.
+//! - [`Sink`]: the per-component emission point. The default
+//!   [`Sink::null`] costs one discriminant branch per event site and
+//!   never constructs the event (construction is deferred behind a
+//!   closure), so instrumented hot paths stay within noise of
+//!   uninstrumented ones — `BENCH_obs.json` pins that claim.
+//! - [`Recorder`] implementations for real use: [`NullRecorder`],
+//!   a bounded [`RingRecorder`], and a streaming [`NdjsonRecorder`].
+//! - [`metrics`]: a registry of counters, gauges, and log-bucketed
+//!   histograms (generalizing `ResponseStats`' fixed CDF buckets), plus
+//!   a [`metrics::Timeseries`] for periodic snapshot probes, exportable
+//!   to CSV/JSON.
+//! - [`profile`]: wall-clock span timing for the experiment engine, so
+//!   `results/manifest.json` can record per-stage times.
+//! - [`logger`]: the leveled (quiet/normal/verbose) progress logger the
+//!   `lab` CLI routes its former bare `eprintln!` output through;
+//!   [`Sink::log`] mirrors a line into the trace as an [`Event::Log`].
+
+pub mod event;
+pub mod logger;
+pub mod metrics;
+pub mod profile;
+pub mod record;
+
+pub use event::{Event, TimedEvent};
+pub use logger::Level;
+pub use metrics::{LogHistogram, Registry, Timeseries};
+pub use profile::{Span, SpanSet};
+pub use record::{NdjsonRecorder, NullRecorder, Recorder, RingRecorder, Sink};

@@ -1,0 +1,89 @@
+//! The leveled progress logger behind the `lab` CLI's `-q`/`--verbose`
+//! flags.
+//!
+//! Progress narration ("wrote results/…", per-experiment summaries) used
+//! to be bare `eprintln!` calls scattered through `disklab`; it now
+//! funnels through [`info`]/[`verbose`] so one flag silences or expands
+//! all of it, and [`crate::Sink::log`] can mirror a line into a trace.
+//!
+//! The level is process-global (one atomic) because it is CLI state, not
+//! simulation state: it never influences simulated results, only what
+//! lands on stderr.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How chatty progress output is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Errors only (`-q`).
+    Quiet = 0,
+    /// The default: one-line progress summaries.
+    Normal = 1,
+    /// Everything (`--verbose`).
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
+
+/// Sets the process-global progress level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current progress level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Normal,
+        _ => Level::Verbose,
+    }
+}
+
+/// Whether a line at `at` would print under the current level.
+pub fn enabled(at: Level) -> bool {
+    at != Level::Quiet && at <= level()
+}
+
+/// Prints `message` to stderr if `at` passes the current level.
+pub fn line(at: Level, message: &str) {
+    if enabled(at) {
+        eprintln!("{message}");
+    }
+}
+
+/// A normal-level progress line.
+pub fn info(message: &str) {
+    line(Level::Normal, message);
+}
+
+/// A verbose-level progress line.
+pub fn verbose(message: &str) {
+    line(Level::Verbose, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global level is process state; this single test exercises all
+    // transitions so parallel test threads never fight over it.
+    #[test]
+    fn level_gates_enabled_lines() {
+        let restore = level();
+
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Normal));
+        assert!(!enabled(Level::Verbose));
+        assert!(!enabled(Level::Quiet), "quiet lines never print");
+
+        set_level(Level::Normal);
+        assert!(enabled(Level::Normal));
+        assert!(!enabled(Level::Verbose));
+
+        set_level(Level::Verbose);
+        assert!(enabled(Level::Normal));
+        assert!(enabled(Level::Verbose));
+
+        set_level(restore);
+    }
+}

@@ -1,0 +1,335 @@
+//! The metrics registry: counters, gauges, log-bucketed histograms, and
+//! snapshot timeseries.
+//!
+//! `disksim::ResponseStats` carries the paper's nine fixed CDF edges;
+//! [`LogHistogram`] generalizes that to geometric bucket edges so one
+//! shape covers response times, queue depths, and temperatures alike.
+//! Everything here exports to JSON (through the registry's `Serialize`)
+//! or CSV ([`Timeseries::to_csv`]) under `results/`.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A histogram over geometrically-spaced buckets.
+///
+/// Bucket `i` covers `(edge(i-1), edge(i)]` with
+/// `edge(i) = first_edge * growth^i`; one overflow bucket closes the
+/// range, mirroring `ResponseStats`' "200+" tail.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LogHistogram {
+    /// Upper edge of the first bucket.
+    first_edge: f64,
+    /// Geometric ratio between consecutive edges.
+    growth: f64,
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    counts: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of recorded values.
+    sum: f64,
+    /// Smallest recorded value.
+    min: f64,
+    /// Largest recorded value.
+    max: f64,
+}
+
+impl LogHistogram {
+    /// A histogram of `buckets` geometric buckets plus overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `first_edge > 0`, `growth > 1`, and `buckets > 0`.
+    pub fn new(first_edge: f64, growth: f64, buckets: usize) -> Self {
+        assert!(first_edge > 0.0, "first edge must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            first_edge,
+            growth,
+            counts: vec![0; buckets + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The response-time default: edges from 5 ms growing 1.6× for 12
+    /// buckets (5 ms … ~1.4 s), a geometric generalization of the
+    /// paper's 5–200 ms CDF edges.
+    pub fn response_ms() -> Self {
+        Self::new(5.0, 1.6, 12)
+    }
+
+    /// Records one value. Non-finite values land in the overflow bucket.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        let buckets = self.counts.len() - 1;
+        let idx = if !value.is_finite() {
+            buckets
+        } else if value <= self.first_edge {
+            0
+        } else {
+            // Smallest i with first_edge * growth^i >= value.
+            let i = ((value / self.first_edge).ln() / self.growth.ln()).ceil() as usize;
+            i.min(buckets)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The bucket edges, overflow excluded.
+    pub fn edges(&self) -> Vec<f64> {
+        (0..self.counts.len() - 1)
+            .map(|i| self.first_edge * self.growth.powi(i as i32))
+            .collect()
+    }
+
+    /// `(edge, cumulative_fraction)` pairs, closed by
+    /// `(f64::INFINITY, 1.0)` — the same shape `ResponseStats::cdf`
+    /// returns.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let total = self.count.max(1) as f64;
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, edge) in self.edges().into_iter().enumerate() {
+            acc += self.counts[i];
+            out.push((edge, acc as f64 / total));
+        }
+        out.push((f64::INFINITY, 1.0));
+        out
+    }
+
+    /// Upper-edge estimate of quantile `q` in `[0, 1]`: the first edge
+    /// whose cumulative fraction reaches `q` (conservative, like reading
+    /// a CDF plot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        for (edge, frac) in self.cdf() {
+            if frac >= q {
+                return edge.min(self.max.max(self.min));
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters, gauges, and histograms under one namespace, exportable as
+/// JSON (insertion-independent: maps are ordered by key).
+#[derive(Debug, Default, Serialize)]
+pub struct Registry {
+    /// Monotonic event counts.
+    counters: BTreeMap<String, u64>,
+    /// Last-write-wins instantaneous values.
+    gauges: BTreeMap<String, f64>,
+    /// Distributions.
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to a counter, creating it at zero.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records into a histogram, creating it with `make` on first use.
+    pub fn observe(&mut self, name: &str, value: f64, make: impl FnOnce() -> LogHistogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(make)
+            .record(value);
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Pretty JSON for `results/` export.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+}
+
+/// A fixed-schema table of snapshot rows for CSV export — the
+/// per-drive/per-bay probe timeline `lab trace` writes alongside the
+/// event stream.
+#[derive(Debug, Clone)]
+pub struct Timeseries {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Timeseries {
+    /// A table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a timeseries needs columns");
+        Self {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the header.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header + rows). Values print through
+    /// Rust's shortest-roundtrip float formatting, so equal runs render
+    /// equal bytes.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_geometric_and_cdf_closes_at_one() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        assert_eq!(h.edges(), vec![1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 3.0, 6.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        let cdf = h.cdf();
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        // 1/5 <= 1, 2/5 <= 2, 3/5 <= 4, 4/5 <= 8, overflow catches 100.
+        assert!((cdf[0].1 - 0.2).abs() < 1e-12);
+        assert!((cdf[3].1 - 0.8).abs() < 1e-12);
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_brackets_the_data() {
+        let mut h = LogHistogram::response_ms();
+        for i in 1..=1000 {
+            h.record(i as f64 / 5.0); // 0.2 .. 200 ms
+        }
+        let p50 = h.quantile(0.5);
+        assert!((5.0..=200.0).contains(&p50), "p50 was {p50}");
+        assert!(h.quantile(1.0) >= p50);
+        assert!((h.mean() - 100.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn histogram_handles_non_finite_values() {
+        let mut h = LogHistogram::new(1.0, 2.0, 2);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.cdf().last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn registry_counts_gauges_and_observes() {
+        let mut r = Registry::new();
+        r.count("requests", 2);
+        r.count("requests", 1);
+        r.gauge_set("max_air_c", 44.5);
+        r.observe("response_ms", 12.0, LogHistogram::response_ms);
+        r.observe("response_ms", 80.0, LogHistogram::response_ms);
+        assert_eq!(r.counter("requests"), 3);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("max_air_c"), Some(44.5));
+        assert_eq!(r.histogram("response_ms").unwrap().count(), 2);
+        let json = r.to_json_pretty();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"response_ms\""));
+    }
+
+    #[test]
+    fn timeseries_renders_stable_csv() {
+        let mut ts = Timeseries::new(&["t", "drive", "air_c"]);
+        ts.push(vec![0.25, 0.0, 40.5]);
+        ts.push(vec![0.5, 1.0, 41.0]);
+        assert_eq!(ts.len(), 2);
+        let csv = ts.to_csv();
+        assert_eq!(csv, "t,drive,air_c\n0.25,0,40.5\n0.5,1,41\n");
+        assert_eq!(csv, ts.to_csv());
+    }
+}

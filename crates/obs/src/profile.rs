@@ -1,0 +1,85 @@
+//! Wall-clock span timing for the experiment engine.
+//!
+//! Spans measure *host* time, so they never enter a trace (traces carry
+//! sim time only); they land in `results/manifest.json` as per-stage
+//! wall times and in the `lab profile` report.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One named span's measured wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Stage name (e.g. `"compute"`, `"write_outputs"`).
+    pub name: String,
+    /// Measured wall time, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// An ordered collection of timed spans for one unit of work.
+#[derive(Debug, Default, Clone)]
+pub struct SpanSet {
+    spans: Vec<Span>,
+}
+
+impl SpanSet {
+    /// An empty span set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `work`, recording its wall time under `name`. Repeated
+    /// names accumulate as separate spans in execution order.
+    pub fn time<R>(&mut self, name: &str, work: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let result = work();
+        self.spans.push(Span {
+            name: name.to_string(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+        result
+    }
+
+    /// The recorded spans in execution order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Consumes the set into its spans.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+
+    /// Sum of all span times, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.spans.iter().map(|s| s.wall_ms).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order_and_sum() {
+        let mut set = SpanSet::new();
+        let a = set.time("first", || 2 + 2);
+        assert_eq!(a, 4);
+        set.time("second", || std::thread::sleep(std::time::Duration::from_millis(2)));
+        let names: Vec<&str> = set.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["first", "second"]);
+        assert!(set.spans()[1].wall_ms >= 1.0);
+        assert!(set.total_ms() >= set.spans()[1].wall_ms);
+    }
+
+    #[test]
+    fn spans_round_trip_through_serde() {
+        let span = Span {
+            name: "compute".into(),
+            wall_ms: 12.5,
+        };
+        let json = serde_json::to_string(&span).unwrap();
+        let back: Span = serde_json::from_str(&json).unwrap();
+        assert_eq!(span, back);
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Thermal-kernel benchmark baseline: times the integrators, the
-# steady-state solver, and two end-to-end experiments, then writes the
-# numbers to BENCH_thermal.json at the repo root (pass --quick for a
-# fast smoke run that skips the write).
+# Benchmark baselines: times the integrators, the steady-state solver,
+# end-to-end experiments, the fleet event loop, and the instrumentation
+# overhead, then writes BENCH_thermal.json, BENCH_fleet.json, and
+# BENCH_obs.json at the repo root (pass --quick for a fast smoke run
+# that skips the writes and asserts the obs-overhead bound instead).
 set -eu
 
 cd "$(dirname "$0")/.."

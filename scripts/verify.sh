@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
@@ -27,7 +27,17 @@ echo "==> cargo run --release --bin lab -- run fleet_routing"
 # results/fleet_routing.json byte for byte.
 cargo run --release --bin lab -- run fleet_routing
 
+echo "==> cargo test -q -p disklab --test lab_determinism trace_bytes"
+# Trace determinism: the instrumented event stream must be
+# byte-identical at any shard count.
+cargo test -q -p disklab --test lab_determinism trace_bytes_are_identical_at_any_shard_count
+
+echo "==> cargo run --release --bin lab -- trace figure5"
+cargo run --release --bin lab -- trace figure5
+
 echo "==> cargo run --release --bin lab -- bench --quick"
+# Quick bench also asserts the instrumentation-overhead bound: paired
+# null-sink fleet runs must agree to within the noise margin.
 cargo run --release --bin lab -- bench --quick
 
 echo "verify: OK"

@@ -159,3 +159,36 @@ fn fleet_shard_count_does_not_change_results() {
     let serial = run(1);
     assert_eq!(serial, run(8), "fleet results differ between 1 and 8 shards");
 }
+
+#[test]
+fn trace_bytes_are_identical_at_any_shard_count() {
+    // The whole point of stamping events with sim time and merging
+    // buffered streams in the serial phases: `lab trace fleet_routing`
+    // must emit byte-identical NDJSON (and derived metrics/timeseries)
+    // whether the epoch loop runs on one shard or eight.
+    let dir1 = scratch("trace1");
+    let dir8 = scratch("trace8");
+    let one = disklab::run_trace("fleet_routing", 1, &dir1).unwrap();
+    let eight = disklab::run_trace("fleet_routing", 8, &dir8).unwrap();
+    assert!(one.events > 0);
+    assert_eq!(one.events, eight.events);
+    assert_eq!(one.files.len(), 3);
+    for (a, b) in one.files.iter().zip(&eight.files) {
+        assert_eq!(
+            a.file_name(),
+            b.file_name(),
+            "trace runs must produce the same file set"
+        );
+        let bytes_a = fs::read(a).unwrap();
+        let bytes_b = fs::read(b).unwrap();
+        assert!(!bytes_a.is_empty());
+        assert_eq!(
+            bytes_a,
+            bytes_b,
+            "{} differs between 1 and 8 shards",
+            a.file_name().unwrap().to_string_lossy()
+        );
+    }
+    let _ = fs::remove_dir_all(&dir1);
+    let _ = fs::remove_dir_all(&dir8);
+}
