@@ -72,6 +72,11 @@ pub struct DiskCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// `config.segment_sectors().max(1)`, resolved once — `fill` runs on
+    /// every medium access and the quotient never changes. Skipped in
+    /// serialization; a deserialized cache re-derives it lazily.
+    #[serde(skip)]
+    segment_clip: u64,
 }
 
 impl DiskCache {
@@ -83,6 +88,18 @@ impl DiskCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            segment_clip: config.segment_sectors().max(1),
+        }
+    }
+
+    /// The per-segment sector clip, tolerating a deserialized (zeroed)
+    /// field.
+    #[inline]
+    fn clip(&self) -> u64 {
+        if self.segment_clip != 0 {
+            self.segment_clip
+        } else {
+            self.config.segment_sectors().max(1)
         }
     }
 
@@ -116,7 +133,8 @@ impl DiskCache {
             return;
         }
         self.clock += 1;
-        let len = sectors.min(self.config.segment_sectors().max(1));
+        let cap = self.clip();
+        let len = sectors.min(cap);
         let new = Segment {
             start: lba,
             end: lba + len,
@@ -129,7 +147,6 @@ impl DiskCache {
                 seg.end = seg.end.max(new.end);
                 // Clip a merged over-long run to segment capacity,
                 // keeping the most recent (tail) end.
-                let cap = self.config.segment_sectors().max(1);
                 if seg.end - seg.start > cap {
                     seg.start = seg.end - cap;
                 }

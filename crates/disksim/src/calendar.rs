@@ -1,0 +1,471 @@
+//! A bucketed calendar queue for arrival events.
+//!
+//! [`StorageSystem`](crate::StorageSystem) used to order pending
+//! arrivals in a `BinaryHeap<Reverse<Arrival>>`: O(log n) per push/pop
+//! and a fresh sift through the heap array for every event. Arrival
+//! streams are almost sorted already (admission loops release requests
+//! a control window at a time), which is the textbook case for a
+//! calendar queue [Brown 1988]: a ring of fixed-width time buckets plus
+//! a sorted *front* bucket, giving O(1) amortized push and pop.
+//!
+//! The queue pops in **exactly** the order the heap did — ascending
+//! [`TimeKey`] under `f64::total_cmp`, submission sequence breaking
+//! ties — which is what keeps every simulation artifact byte-identical
+//! after the swap (see the equivalence property test in
+//! `tests/properties.rs`). Three structural invariants carry the
+//! argument:
+//!
+//! 1. every key in `front` precedes `base` in the total order, and
+//!    `front` is kept sorted (descending, so `pop` is `Vec::pop`);
+//! 2. ring bucket `i` holds exactly the keys in
+//!    `[base + iw, base + (i+1)w)`, so draining buckets in ring order
+//!    and sorting each drained bucket visits keys in global order;
+//! 3. nothing in `overflow` precedes `base + w`: pushes land there only
+//!    when beyond the ring horizon, and the refill loop merges the
+//!    overflow back *before* advancing `base` past its minimum.
+//!
+//! Non-finite times ride along: keys on the negative side of the total
+//! order (`-inf`, negative NaN) go straight to `front`, keys on the
+//! positive side (`+inf`, positive NaN) to `overflow`, and `-0.0` is
+//! canonicalized to `0.0` for bucket *placement* only so that keys the
+//! total order distinguishes but arithmetic does not can never straddle
+//! a bucket boundary.
+
+/// Orders event times totally. Compares the time via `f64::total_cmp`
+/// (total even for NaN), then the submission sequence — so two events
+/// at the same instant pop in submission order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeKey(f64, u64);
+
+impl TimeKey {
+    /// A key for an event at `time` with submission sequence `seq`.
+    pub fn new(time: f64, seq: u64) -> Self {
+        Self(time, seq)
+    }
+
+    /// The event time.
+    pub fn time(&self) -> f64 {
+        self.0
+    }
+
+    /// The submission sequence number (the tie-breaker).
+    pub fn seq(&self) -> u64 {
+        self.1
+    }
+}
+
+impl Eq for TimeKey {}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ring size. Large enough that a control-window admission pattern
+/// (everything within a second or two of the clock) never overflows.
+const BUCKETS: usize = 512;
+
+/// Default bucket width in seconds: 5 ms puts a 250 ms control window
+/// across 50 buckets and gives the ring a 2.56 s horizon.
+const DEFAULT_WIDTH: f64 = 0.005;
+
+/// Floor for the adaptive width so a degenerate spread (all ties)
+/// cannot collapse the ring into zero-width buckets.
+const MIN_WIDTH: f64 = 1e-9;
+
+/// Maps `-0.0` to `0.0` for bucket placement. `TimeKey`'s total order
+/// distinguishes the two zeros but bucket arithmetic does not; placing
+/// both in the same bucket lets the within-bucket sort order them.
+fn canon(t: f64) -> f64 {
+    if t == 0.0 {
+        0.0
+    } else {
+        t
+    }
+}
+
+/// A min-ordered event queue over [`TimeKey`] with O(1) amortized
+/// push/pop for near-sorted streams.
+///
+/// # Examples
+///
+/// ```
+/// use disksim::calendar::{CalendarQueue, TimeKey};
+///
+/// let mut q = CalendarQueue::new();
+/// q.push(TimeKey::new(2.0, 1), "late");
+/// q.push(TimeKey::new(1.0, 2), "early");
+/// assert_eq!(q.pop(), Some((TimeKey::new(1.0, 2), "early")));
+/// assert_eq!(q.pop(), Some((TimeKey::new(2.0, 1), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// Keys preceding `base`, sorted descending so `pop` is `Vec::pop`.
+    front: Vec<(TimeKey, T)>,
+    /// `ring[(cursor + i) % BUCKETS]` holds `[base + iw, base + (i+1)w)`.
+    ring: Vec<Vec<(TimeKey, T)>>,
+    cursor: usize,
+    base: f64,
+    width: f64,
+    ring_len: usize,
+    /// Events beyond the ring horizon (and `+inf` / positive-NaN keys).
+    overflow: Vec<(TimeKey, T)>,
+    overflow_min: Option<TimeKey>,
+    len: usize,
+    /// Reused by overflow merges so redistribution allocates nothing.
+    scratch: Vec<(TimeKey, T)>,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            front: Vec::new(),
+            ring: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            base: 0.0,
+            width: DEFAULT_WIDTH,
+            ring_len: 0,
+            overflow: Vec::new(),
+            overflow_min: None,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Events queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues an event.
+    pub fn push(&mut self, key: TimeKey, item: T) {
+        if self.len == 0 {
+            // Rebase an empty queue around the new event, so a long idle
+            // gap never forces events through the sorted front.
+            let t = canon(key.0);
+            if t.is_finite() {
+                self.base = t;
+            }
+        }
+        self.len += 1;
+        let t = canon(key.0);
+        if !t.is_finite() {
+            if t.is_sign_negative() {
+                // -inf / negative NaN precede every finite key.
+                self.push_front(key, item);
+            } else {
+                self.push_overflow(key, item);
+            }
+            return;
+        }
+        if t < self.base {
+            self.push_front(key, item);
+            return;
+        }
+        // Saturating cast: a huge quotient (or one past the horizon)
+        // lands in overflow.
+        let idx = ((t - self.base) / self.width) as usize;
+        if idx >= BUCKETS {
+            self.push_overflow(key, item);
+        } else {
+            self.ring[(self.cursor + idx) % BUCKETS].push((key, item));
+            self.ring_len += 1;
+        }
+    }
+
+    /// Removes and returns the minimum event.
+    pub fn pop(&mut self) -> Option<(TimeKey, T)> {
+        if self.front.is_empty() && !self.refill_front() {
+            return None;
+        }
+        let kv = self.front.pop()?;
+        self.len -= 1;
+        Some(kv)
+    }
+
+    /// The minimum key, staging the next events into the sorted front
+    /// (amortized O(1), like [`Self::pop`]).
+    pub fn peek(&mut self) -> Option<&TimeKey> {
+        if self.front.is_empty() && !self.refill_front() {
+            return None;
+        }
+        self.front.last().map(|(k, _)| k)
+    }
+
+    /// The minimum key without staging (for `&self` callers). Scans the
+    /// ring for its first occupied bucket, so prefer [`Self::peek`] in
+    /// hot loops.
+    pub fn min_key(&self) -> Option<TimeKey> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<TimeKey> = self.front.last().map(|(k, _)| *k);
+        if best.is_none() && self.ring_len > 0 {
+            let mut c = self.cursor;
+            loop {
+                if let Some(m) = self.ring[c].iter().map(|(k, _)| *k).min() {
+                    best = Some(m);
+                    break;
+                }
+                c = (c + 1) % BUCKETS;
+            }
+        }
+        match (best, self.overflow_min) {
+            (Some(b), Some(o)) => Some(b.min(o)),
+            (b, o) => b.or(o),
+        }
+    }
+
+    /// Sorted insert into the descending front.
+    fn push_front(&mut self, key: TimeKey, item: T) {
+        let pos = self.front.partition_point(|(k, _)| *k > key);
+        self.front.insert(pos, (key, item));
+    }
+
+    fn push_overflow(&mut self, key: TimeKey, item: T) {
+        self.overflow.push((key, item));
+        self.overflow_min = Some(match self.overflow_min {
+            Some(m) => m.min(key),
+            None => key,
+        });
+    }
+
+    /// Stages the next bucket's events into the sorted front. Returns
+    /// whether the front holds anything afterwards.
+    fn refill_front(&mut self) -> bool {
+        debug_assert!(self.front.is_empty());
+        loop {
+            if self.ring_len == 0 {
+                if self.overflow.is_empty() {
+                    return false;
+                }
+                self.rebase_from_overflow();
+                if !self.front.is_empty() {
+                    self.front.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+                    return true;
+                }
+                continue;
+            }
+            // Walk to the next occupied bucket — but never advance
+            // `base` past the overflow minimum (invariant 3): merge the
+            // overflow back into the ring first.
+            loop {
+                if self
+                    .overflow_min
+                    .is_some_and(|om| om.0 < self.base + self.width)
+                {
+                    self.merge_overflow();
+                    break;
+                }
+                if !self.ring[self.cursor].is_empty() {
+                    // Drain the bucket into the front wholesale; the
+                    // swap recycles both buffers' capacity.
+                    std::mem::swap(&mut self.front, &mut self.ring[self.cursor]);
+                    self.ring_len -= self.front.len();
+                    self.cursor = (self.cursor + 1) % BUCKETS;
+                    self.base += self.width;
+                    self.front.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+                    return true;
+                }
+                self.cursor = (self.cursor + 1) % BUCKETS;
+                self.base += self.width;
+            }
+            if !self.front.is_empty() {
+                self.front.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+                return true;
+            }
+        }
+    }
+
+    /// Re-aims the (empty) ring at the overflow: `base` moves to the
+    /// overflow minimum and the width adapts so the spread fits the
+    /// ring, then the overflow redistributes.
+    fn rebase_from_overflow(&mut self) {
+        debug_assert!(self.ring_len == 0 && self.front.is_empty());
+        let om = self.overflow_min.expect("overflow is non-empty");
+        if !canon(om.0).is_finite() {
+            // Only +inf / positive-NaN keys remain: the queue degrades
+            // to the sorted front, which orders them by `total_cmp`.
+            std::mem::swap(&mut self.front, &mut self.overflow);
+            self.overflow_min = None;
+            return;
+        }
+        self.base = canon(om.0);
+        let mut max_t = self.base;
+        for (k, _) in &self.overflow {
+            let t = canon(k.0);
+            if t.is_finite() && t > max_t {
+                max_t = t;
+            }
+        }
+        let span = max_t - self.base;
+        if span > 0.0 && span.is_finite() {
+            // Aim the whole spread at 3/4 of the ring so everything
+            // lands in one pass with headroom for new pushes.
+            self.width = (span / (BUCKETS as f64 * 0.75)).max(MIN_WIDTH);
+        }
+        self.merge_overflow();
+    }
+
+    /// Reclassifies every overflow event against the current `base` /
+    /// `width`: into the front (before `base`), the ring (within the
+    /// horizon), or back into the overflow. The front is left unsorted;
+    /// callers sort it once afterwards.
+    fn merge_overflow(&mut self) {
+        std::mem::swap(&mut self.overflow, &mut self.scratch);
+        for (key, item) in self.scratch.drain(..) {
+            let t = canon(key.0);
+            if !t.is_finite() {
+                self.overflow.push((key, item));
+                continue;
+            }
+            if t < self.base {
+                self.front.push((key, item));
+                continue;
+            }
+            let idx = ((t - self.base) / self.width) as usize;
+            if idx >= BUCKETS {
+                self.overflow.push((key, item));
+            } else {
+                self.ring[(self.cursor + idx) % BUCKETS].push((key, item));
+                self.ring_len += 1;
+            }
+        }
+        self.overflow_min = self.overflow.iter().map(|(k, _)| *k).min();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue<u64>) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        while let Some((k, v)) = q.pop() {
+            assert_eq!(k.seq(), v);
+            out.push((k.time(), v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        for (i, t) in [3.0, 1.0, 2.0, 1.0, 0.5].into_iter().enumerate() {
+            q.push(TimeKey::new(t, i as u64), i as u64);
+        }
+        let order: Vec<u64> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec![4, 1, 3, 2, 0], "ties pop in submission order");
+    }
+
+    #[test]
+    fn matches_a_binary_heap_on_a_bursty_stream() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = CalendarQueue::new();
+        let mut h = BinaryHeap::new();
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for seq in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Bursts near the clock plus occasional far-future jumps.
+            let t = (seq as f64) * 0.002 + (x % 1000) as f64 * 1e-4
+                + if x.is_multiple_of(97) { 50.0 } else { 0.0 };
+            q.push(TimeKey::new(t, seq), seq);
+            h.push(Reverse(TimeKey::new(t, seq)));
+            if seq % 3 == 0 {
+                assert_eq!(q.pop().map(|(k, _)| k), h.pop().map(|Reverse(k)| k));
+            }
+        }
+        while let Some(Reverse(k)) = h.pop() {
+            assert_eq!(q.pop().map(|(k, _)| k), Some(k));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn late_pushes_pop_first() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..100u64 {
+            q.push(TimeKey::new(seq as f64, seq), seq);
+        }
+        // Drain past t=10, then push an event in the past.
+        for _ in 0..12 {
+            q.pop();
+        }
+        q.push(TimeKey::new(0.25, 1_000), 1_000);
+        assert_eq!(q.pop().map(|(_, v)| v), Some(1_000));
+    }
+
+    #[test]
+    fn non_finite_times_sort_by_total_cmp() {
+        let mut q = CalendarQueue::new();
+        let neg_nan = -f64::NAN;
+        let keys = [f64::NAN, f64::NEG_INFINITY, 1.0, f64::INFINITY, neg_nan, -0.0, 0.0];
+        for (i, t) in keys.into_iter().enumerate() {
+            q.push(TimeKey::new(t, i as u64), i as u64);
+        }
+        let mut expected: Vec<TimeKey> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| TimeKey::new(t, i as u64))
+            .collect();
+        expected.sort();
+        let got: Vec<TimeKey> = std::iter::from_fn(|| q.pop().map(|(k, _)| k)).collect();
+        // Compare bit patterns: NaN != NaN under `PartialEq`.
+        let bits = |ks: &[TimeKey]| -> Vec<(u64, u64)> {
+            ks.iter().map(|k| (k.time().to_bits(), k.seq())).collect()
+        };
+        assert_eq!(bits(&got), bits(&expected));
+    }
+
+    #[test]
+    fn min_key_agrees_with_peek_without_staging() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..200u64 {
+            q.push(TimeKey::new((seq as f64 * 7.7) % 13.0 + 3.0, seq), seq);
+        }
+        while !q.is_empty() {
+            let scanned = q.min_key();
+            assert_eq!(q.peek().copied(), scanned);
+            q.pop();
+        }
+        assert_eq!(q.min_key(), None);
+    }
+
+    #[test]
+    fn far_future_spread_rebases_adaptively() {
+        let mut q = CalendarQueue::new();
+        // Spread far beyond the default 2.56 s horizon.
+        for seq in 0..1_000u64 {
+            q.push(TimeKey::new((seq % 500) as f64 * 60.0, seq), seq);
+        }
+        let order = drain(&mut q);
+        let mut sorted = order.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        assert_eq!(order, sorted);
+    }
+}

@@ -250,7 +250,27 @@ impl Disk {
                 capacity: total,
             });
         }
+        let loc = self
+            .spec
+            .geometry
+            .locate(lba)
+            .expect("range checked above");
+        Ok(self.service_located(loc, lba, sectors, kind, start))
+    }
 
+    /// Serves a request whose start [`Location`] is already resolved and
+    /// whose range is already checked — the queueing layer resolves every
+    /// physical request once at enqueue (it needs the cylinder for
+    /// scheduling anyway), so the hot path never re-runs the zone-table
+    /// lookup. Identical results to [`Self::service`].
+    pub fn service_located(
+        &mut self,
+        loc: diskgeom::Location,
+        lba: u64,
+        sectors: u32,
+        kind: RequestKind,
+        start: Seconds,
+    ) -> (Seconds, ServiceBreakdown) {
         let overhead = self.spec.controller_overhead;
         self.served += 1;
 
@@ -265,7 +285,7 @@ impl Disk {
             };
             let finish = start + breakdown.total();
             self.busy_time += breakdown.total();
-            return Ok((finish, breakdown));
+            return (finish, breakdown);
         }
         if !kind.is_read() {
             // Writes always pay the medium (write-through) but leave the
@@ -273,11 +293,6 @@ impl Disk {
             let _ = self.cache.lookup(lba, sectors);
         }
 
-        let loc = self
-            .spec
-            .geometry
-            .locate(lba)
-            .expect("range checked above");
         let zone = &self.spec.geometry.zones().zones()[loc.zone as usize];
         let spt = zone.sectors_per_track().get();
         let period = self.spec.rpm.rotation_period();
@@ -293,8 +308,19 @@ impl Disk {
         // Rotational wait: the platter's angle advances in real time.
         let ready = start + overhead + seek;
         let target_angle = loc.sector as f64 / spt as f64;
-        let current_angle = (ready.get() / period.get()).fract();
-        let wait_frac = (target_angle - current_angle).rem_euclid(1.0);
+        let turns = ready.get() / period.get();
+        // `turns.fract()` by integer cast: exact for finite values below
+        // 2^53 (every reachable schedule) and avoids the libm `trunc`
+        // call that dominates this expression on generic x86-64.
+        let current_angle = if (0.0..9.007199254740992e15).contains(&turns) {
+            turns - (turns as u64 as f64)
+        } else {
+            turns.fract()
+        };
+        // Both angles lie in [0, 1), so `rem_euclid(1.0)` — an exact
+        // libm fmod no-op for |x| < 1 — reduces to one sign branch.
+        let diff = target_angle - current_angle;
+        let wait_frac = if diff < 0.0 { diff + 1.0 } else { diff };
         let rotation = period * wait_frac;
 
         // Transfer: stream `sectors`, paying a head/track switch each
@@ -317,14 +343,26 @@ impl Disk {
         };
         self.cache.fill(lba, sectors as u64 + readahead);
 
-        // The head ends at the last sector's cylinder.
-        let last = self
+        // The head ends at the last sector's cylinder. When the run stays
+        // inside the start zone (almost always), that cylinder follows
+        // from `loc` with one division; only zone-crossing runs re-run
+        // the full lookup. Same value either way.
+        let last_lba = lba + sectors as u64 - 1;
+        let (zone_start, zone_end) = self
             .spec
             .geometry
-            .locate(lba + sectors as u64 - 1)
-            .expect("range checked above");
-        self.head_cylinder = last.cylinder;
-
+            .zone_lba_range(loc.zone)
+            .expect("located zone exists");
+        self.head_cylinder = if last_lba < zone_end {
+            let per_cylinder = spt * self.spec.geometry.surfaces() as u64;
+            zone.first_cylinder() + ((last_lba - zone_start) / per_cylinder) as u32
+        } else {
+            self.spec
+                .geometry
+                .locate(last_lba)
+                .expect("range checked above")
+                .cylinder
+        };
         let breakdown = ServiceBreakdown {
             overhead,
             seek,
@@ -335,7 +373,7 @@ impl Disk {
         };
         self.busy_time += breakdown.total();
         self.seek_time += seek;
-        Ok((start + breakdown.total(), breakdown))
+        (start + breakdown.total(), breakdown)
     }
 }
 

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod calendar;
 mod disk;
 mod energy;
 mod error;
@@ -48,6 +49,7 @@ mod stats;
 mod system;
 
 pub use cache::{CacheConfig, CacheOutcome, DiskCache};
+pub use calendar::{CalendarQueue, TimeKey};
 pub use disk::{Disk, DiskSpec, ServiceBreakdown};
 pub use energy::{EnergyMeter, EnergyModel, EnergyReport};
 pub use error::SimError;

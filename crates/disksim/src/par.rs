@@ -82,6 +82,45 @@ where
         .collect()
 }
 
+/// Runs `f` on every item of `items` in place across up to `threads`
+/// workers, splitting the slice into contiguous chunks.
+///
+/// The in-place form of [`parallel_map`] for callers that mutate
+/// long-lived state (the fleet advances its enclosures through each
+/// epoch this way): no per-call `Vec` of items is built and no results
+/// are collected, so a steady-state epoch loop allocates nothing here.
+/// Items never move, and `f` sees only its own item, so the outcome is
+/// exactly what the serial `items.iter_mut().for_each(f)` would
+/// produce at any thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_for_each<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let f = &f;
+        for slice in items.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for item in slice {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
 /// Pops from the worker's own deque, stealing from peers when empty.
 /// Exposed so the engine's experiment scheduler can share the exact
 /// stealing order.

@@ -190,6 +190,26 @@ impl RaidConfig {
         kind: RequestKind,
         failed: Option<u32>,
     ) -> Vec<PhysOp> {
+        let mut ops = Vec::new();
+        self.map_degraded_into(logical_lba, sectors, kind, failed, &mut ops);
+        ops
+    }
+
+    /// Like [`RaidConfig::map_degraded`], but appends the operations to
+    /// `ops` — the storage system maps every arrival through one
+    /// persistent scratch buffer instead of allocating per request.
+    ///
+    /// # Panics
+    ///
+    /// As [`RaidConfig::map_degraded`].
+    pub fn map_degraded_into(
+        &self,
+        logical_lba: u64,
+        sectors: u32,
+        kind: RequestKind,
+        failed: Option<u32>,
+        ops: &mut Vec<PhysOp>,
+    ) {
         if let Some(f) = failed {
             assert!(f < self.disks, "failed disk {f} outside the array");
             assert!(
@@ -197,7 +217,6 @@ impl RaidConfig {
                 "only RAID-5 supports degraded operation"
             );
         }
-        let mut ops = Vec::new();
         let mut lba = logical_lba;
         let mut remaining = sectors;
         while remaining > 0 {
@@ -322,7 +341,6 @@ impl RaidConfig {
             lba += in_unit as u64;
             remaining -= in_unit;
         }
-        ops
     }
 }
 

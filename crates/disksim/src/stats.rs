@@ -148,14 +148,28 @@ impl ResponseStats {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> Seconds {
+        let mut scratch = Vec::new();
+        self.percentile_with(&mut scratch, p)
+    }
+
+    /// Like [`ResponseStats::percentile`], but sorts the reservoir into
+    /// a caller-provided scratch buffer — repeated percentile queries
+    /// (per-epoch fleet tail-latency tracking) reuse one sort buffer
+    /// instead of cloning up to 64 K samples per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_with(&self, scratch: &mut Vec<f64>, p: f64) -> Seconds {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.samples.is_empty() {
             return Seconds::ZERO;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Seconds::from_millis(sorted[idx])
+        scratch.clear();
+        scratch.extend_from_slice(&self.samples);
+        scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let idx = ((p / 100.0) * (scratch.len() - 1) as f64).round() as usize;
+        Seconds::from_millis(scratch[idx])
     }
 }
 

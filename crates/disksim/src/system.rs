@@ -1,12 +1,11 @@
 //! The event-driven storage-system engine.
 
+use crate::calendar::{CalendarQueue, TimeKey};
 use crate::disk::{Disk, DiskSpec};
 use crate::error::SimError;
-use crate::raid::RaidConfig;
+use crate::raid::{PhysOp, RaidConfig};
 use crate::request::{Completion, Request, RequestKind};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use units::Seconds;
 
 /// Queue-dispatch policy at each disk.
@@ -109,18 +108,24 @@ impl SystemConfig {
     }
 }
 
-/// A physical sub-request in flight.
+/// The null slab index.
+const NIL: u32 = u32::MAX;
+
+/// A physical sub-request in flight. `parent_slot` indexes the parent
+/// slab; it is `NIL` when no gating parent exists (write-back
+/// acknowledgements) and is only dereferenced by gating operations,
+/// whose parent cannot be freed before they complete.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct PhysRequest {
-    parent: u64,
-    disk: u32,
+    parent_slot: u32,
     lba: u64,
     sectors: u32,
     kind: RequestKind,
     gates_completion: bool,
 }
 
-/// Book-keeping for a logical request split across members.
+/// Book-keeping for a logical request split across members, held in a
+/// free-listed slab (`StorageSystem::parents`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Parent {
     request: Request,
@@ -128,26 +133,34 @@ struct Parent {
     first_start: Option<Seconds>,
 }
 
-/// Orders floats in a heap. The order is total even for NaN
-/// (`f64::total_cmp`), though arrival times are always finite in
-/// practice.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct TimeKey(f64, u64);
-
-impl Eq for TimeKey {}
-
-impl Ord for TimeKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .total_cmp(&other.0)
-            .then_with(|| self.1.cmp(&other.1))
-    }
+/// One queued physical request in the shared slot slab, linked into its
+/// disk's intrusive queue. The physical location is resolved once at
+/// enqueue (geometry is fixed after construction), so scheduler scans
+/// never re-derive the cylinder and dispatch skips the zone-table
+/// lookup entirely.
+#[derive(Debug, Clone, Copy)]
+struct QueueSlot {
+    phys: PhysRequest,
+    loc: diskgeom::Location,
+    prev: u32,
+    next: u32,
 }
 
-impl PartialOrd for TimeKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Head/tail of one disk's queue in the slot slab. Links run in arrival
+/// order, which FCFS (and tie-breaking in the other policies) depends on.
+#[derive(Debug, Clone, Copy)]
+struct DiskQueue {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl DiskQueue {
+    const EMPTY: Self = Self {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
 }
 
 /// The simulated storage system.
@@ -161,10 +174,20 @@ pub struct StorageSystem {
     scheduler: Scheduler,
     raid: Option<RaidConfig>,
     logical_sectors: u64,
-    arrivals: BinaryHeap<Reverse<Arrival>>,
-    queues: Vec<Vec<PhysRequest>>,
+    /// Pending arrivals, ordered by (arrival time, submission sequence)
+    /// — the same total order the old `BinaryHeap<Reverse<Arrival>>`
+    /// used, but O(1) amortized for the near-sorted streams workloads
+    /// produce.
+    arrivals: CalendarQueue<Request>,
+    /// All queued physical requests, one slab shared by every disk;
+    /// `disk_queues` threads per-disk lists through it and `slot_free`
+    /// recycles indices, so steady-state queueing allocates nothing.
+    slots: Vec<QueueSlot>,
+    slot_free: Vec<u32>,
+    disk_queues: Vec<DiskQueue>,
     in_service: Vec<Option<(Seconds, PhysRequest)>>,
-    parents: HashMap<u64, Parent>,
+    parents: Vec<Parent>,
+    parent_free: Vec<u32>,
     clock: Seconds,
     completions: Vec<Completion>,
     seq: u64,
@@ -174,33 +197,10 @@ pub struct StorageSystem {
     /// Trace emission point. Defaults to the null sink: request
     /// issue/complete events then cost one branch and are never built.
     sink: diskobs::Sink,
-}
-
-/// One entry in the arrival heap. The heap is ordered by [`TimeKey`]
-/// alone (arrival time, then submission sequence, NaN-total via
-/// `f64::total_cmp`); the request payload deliberately carries no
-/// ordering of its own.
-#[derive(Debug, Clone, Copy)]
-struct Arrival {
-    key: TimeKey,
-    request: Request,
-}
-
-impl PartialEq for Arrival {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for Arrival {}
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
+    /// RAID fan-out scratch, reused across arrivals.
+    op_scratch: Vec<PhysOp>,
+    /// Disks touched by the current arrival, reused across arrivals.
+    touched_scratch: Vec<u32>,
 }
 
 impl StorageSystem {
@@ -241,10 +241,13 @@ impl StorageSystem {
             scheduler: config.scheduler,
             raid: config.raid,
             logical_sectors,
-            arrivals: BinaryHeap::new(),
-            queues: vec![Vec::new(); n],
+            arrivals: CalendarQueue::new(),
+            slots: Vec::new(),
+            slot_free: Vec::new(),
+            disk_queues: vec![DiskQueue::EMPTY; n],
             in_service: vec![None; n],
-            parents: HashMap::new(),
+            parents: Vec::new(),
+            parent_free: Vec::new(),
             clock: Seconds::ZERO,
             completions: Vec::new(),
             seq: 0,
@@ -252,6 +255,8 @@ impl StorageSystem {
             finished: 0,
             failed_disk: None,
             sink: diskobs::Sink::null(),
+            op_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
         })
     }
 
@@ -327,6 +332,13 @@ impl StorageSystem {
         self.sink.drain()
     }
 
+    /// Like [`Self::drain_events`], but appends into `out` — epoch
+    /// merge loops reuse one batch buffer instead of allocating a
+    /// fresh `Vec` per drive per epoch.
+    pub fn drain_events_into(&mut self, out: &mut Vec<diskobs::TimedEvent>) {
+        self.sink.drain_into(out);
+    }
+
     /// Requests submitted and finished so far.
     pub fn in_flight(&self) -> u64 {
         self.submitted - self.finished
@@ -362,10 +374,8 @@ impl StorageSystem {
         }
         self.seq += 1;
         self.submitted += 1;
-        self.arrivals.push(Reverse(Arrival {
-            key: TimeKey(request.arrival.get(), self.seq),
-            request,
-        }));
+        self.arrivals
+            .push(TimeKey::new(request.arrival.get(), self.seq), request);
         Ok(())
     }
 
@@ -389,7 +399,7 @@ impl StorageSystem {
                 .enumerate()
                 .filter_map(|(d, s)| s.map(|(finish, _)| (finish, d)))
                 .min_by(|a, b| a.0.get().total_cmp(&b.0.get()));
-            let next_arrival = self.arrivals.peek().map(|Reverse(a)| a.key.0);
+            let next_arrival = self.arrivals.peek().map(|k| k.time());
 
             // Completions win ties so the disk frees up before the
             // simultaneous arrival is routed.
@@ -412,7 +422,7 @@ impl StorageSystem {
                 if arrival > target.get() {
                     break;
                 }
-                let Reverse(Arrival { request, .. }) = self.arrivals.pop().expect("peeked");
+                let (_, request) = self.arrivals.pop().expect("peeked");
                 self.clock = self.clock.max(Seconds::new(arrival));
                 self.on_arrival(request);
             }
@@ -429,13 +439,19 @@ impl StorageSystem {
     /// Runs until every submitted request has completed.
     pub fn drain(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Like [`Self::drain`], but appends the completions to `out` so
+    /// repeated drains reuse one buffer.
+    pub fn drain_into(&mut self, out: &mut Vec<Completion>) {
         loop {
-            self.advance_to_into(Seconds::new(f64::INFINITY), &mut out);
+            self.advance_to_into(Seconds::new(f64::INFINITY), out);
             if self.arrivals.is_empty() && self.in_service.iter().all(Option::is_none) {
                 break;
             }
         }
-        out
     }
 
     /// Earliest pending event time, if any.
@@ -447,8 +463,8 @@ impl StorageSystem {
             .fold(f64::INFINITY, f64::min);
         let arrival = self
             .arrivals
-            .peek()
-            .map(|Reverse(a)| a.key.0)
+            .min_key()
+            .map(|k| k.time())
             .unwrap_or(f64::INFINITY);
         let t = completion.min(arrival);
         t.is_finite().then(|| Seconds::new(t))
@@ -462,30 +478,28 @@ impl StorageSystem {
             sectors: request.sectors,
             kind: if request.kind.is_read() { "read" } else { "write" },
         });
-        let phys: Vec<PhysRequest> = match &self.raid {
-            Some(raid) => raid
-                .map_degraded(request.lba, request.sectors, request.kind, self.failed_disk)
-                .into_iter()
-                .map(|op| PhysRequest {
-                    parent: request.id,
-                    disk: op.disk,
-                    lba: op.lba,
-                    sectors: op.sectors,
-                    kind: op.kind,
-                    gates_completion: op.gates_completion,
-                })
-                .collect(),
-            None => vec![PhysRequest {
-                parent: request.id,
+        // Take-then-reassign keeps the scratch buffers' capacity while
+        // freeing `self` for the enqueue/dispatch calls below.
+        let mut ops = std::mem::take(&mut self.op_scratch);
+        ops.clear();
+        match &self.raid {
+            Some(raid) => raid.map_degraded_into(
+                request.lba,
+                request.sectors,
+                request.kind,
+                self.failed_disk,
+                &mut ops,
+            ),
+            None => ops.push(PhysOp {
                 disk: request.device,
                 lba: request.lba,
                 sectors: request.sectors,
                 kind: request.kind,
                 gates_completion: true,
-            }],
-        };
-        let gating = phys.iter().filter(|p| p.gates_completion).count() as u32;
-        if gating == 0 {
+            }),
+        }
+        let gating = ops.iter().filter(|p| p.gates_completion).count() as u32;
+        let parent_slot = if gating == 0 {
             // Write-back caching: the controller acknowledges the host
             // immediately; the physical work proceeds in the background.
             self.finished += 1;
@@ -500,37 +514,51 @@ impl StorageSystem {
                 response_ms: done.response_time().to_millis(),
             });
             self.completions.push(done);
+            NIL
         } else {
-            self.parents.insert(
-                request.id,
-                Parent {
-                    request,
-                    remaining: gating,
-                    first_start: None,
+            self.alloc_parent(Parent {
+                request,
+                remaining: gating,
+                first_start: None,
+            })
+        };
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
+        for op in &ops {
+            // Consecutive dedup, matching the order the fan-out lists
+            // disks in.
+            if touched.last() != Some(&op.disk) {
+                touched.push(op.disk);
+            }
+        }
+        for op in &ops {
+            self.enqueue(
+                op.disk as usize,
+                PhysRequest {
+                    parent_slot,
+                    lba: op.lba,
+                    sectors: op.sectors,
+                    kind: op.kind,
+                    gates_completion: op.gates_completion,
                 },
             );
         }
-        let mut touched: Vec<u32> = phys.iter().map(|p| p.disk).collect();
-        touched.dedup();
-        for p in phys {
-            self.queues[p.disk as usize].push(p);
-        }
-        for d in touched {
+        self.op_scratch = ops;
+        for &d in &touched {
             self.try_dispatch(d as usize);
         }
+        self.touched_scratch = touched;
     }
 
     fn on_completion(&mut self, d: usize) {
         let (finish, phys) = self.in_service[d].take().expect("disk was busy");
         self.clock = self.clock.max(finish);
         if phys.gates_completion {
-            let parent = self
-                .parents
-                .get_mut(&phys.parent)
-                .expect("parent outlives its gating subs");
-            parent.remaining -= 1;
-            if parent.remaining == 0 {
-                let parent = self.parents.remove(&phys.parent).expect("present");
+            let slot = phys.parent_slot as usize;
+            self.parents[slot].remaining -= 1;
+            if self.parents[slot].remaining == 0 {
+                let parent = self.parents[slot];
+                self.parent_free.push(phys.parent_slot);
                 self.finished += 1;
                 let done = Completion {
                     request: parent.request,
@@ -548,76 +576,151 @@ impl StorageSystem {
         self.try_dispatch(d);
     }
 
+    /// Stores `parent` in the slab, recycling a freed slot when one
+    /// exists.
+    fn alloc_parent(&mut self, parent: Parent) -> u32 {
+        match self.parent_free.pop() {
+            Some(i) => {
+                self.parents[i as usize] = parent;
+                i
+            }
+            None => {
+                self.parents.push(parent);
+                (self.parents.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Appends `phys` to disk `d`'s queue (slab slot linked at the
+    /// tail, so list order is arrival order).
+    fn enqueue(&mut self, d: usize, phys: PhysRequest) {
+        let loc = self.disks[d]
+            .spec()
+            .geometry()
+            .locate(phys.lba)
+            .expect("physical requests are range-checked at submit");
+        let tail = self.disk_queues[d].tail;
+        let slot = QueueSlot {
+            phys,
+            loc,
+            prev: tail,
+            next: NIL,
+        };
+        let idx = match self.slot_free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if tail == NIL {
+            self.disk_queues[d].head = idx;
+        } else {
+            self.slots[tail as usize].next = idx;
+        }
+        self.disk_queues[d].tail = idx;
+        self.disk_queues[d].len += 1;
+    }
+
+    /// Unlinks `slot` from disk `d`'s queue and recycles it. O(1),
+    /// replacing the old order-preserving `Vec::remove` memmove.
+    fn unlink(&mut self, d: usize, slot: u32) {
+        let QueueSlot { prev, next, .. } = self.slots[slot as usize];
+        if prev == NIL {
+            self.disk_queues[d].head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.disk_queues[d].tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+        self.disk_queues[d].len -= 1;
+        self.slot_free.push(slot);
+    }
+
     fn try_dispatch(&mut self, d: usize) {
-        if self.in_service[d].is_some() || self.queues[d].is_empty() {
+        if self.in_service[d].is_some() || self.disk_queues[d].len == 0 {
             return;
         }
-        let idx = self.pick(d);
-        // Order-preserving removal: the queue's push order is arrival
-        // order, which FCFS (and tie-breaking in the other policies)
-        // depends on.
-        let phys = self.queues[d].remove(idx);
+        let slot = self.pick(d);
+        let QueueSlot { phys, loc, .. } = self.slots[slot as usize];
+        self.unlink(d, slot);
         let start = self.clock;
-        let (finish, _breakdown) = self.disks[d]
-            .service(phys.lba, phys.sectors, phys.kind, start)
-            .expect("physical requests are range-checked at submit");
+        let (finish, _breakdown) =
+            self.disks[d].service_located(loc, phys.lba, phys.sectors, phys.kind, start);
         if phys.gates_completion {
             // Deferred parity work can outlive its parent; only gating
             // operations contribute to the parent's service window.
-            if let Some(parent) = self.parents.get_mut(&phys.parent) {
-                parent.first_start = Some(parent.first_start.unwrap_or(start).min(start));
-            }
+            let parent = &mut self.parents[phys.parent_slot as usize];
+            parent.first_start = Some(parent.first_start.unwrap_or(start).min(start));
         }
         self.in_service[d] = Some((finish, phys));
     }
 
-    /// Chooses which queued request the disk serves next.
-    fn pick(&self, d: usize) -> usize {
-        let queue = &self.queues[d];
-        if queue.len() == 1 {
-            return 0;
+    /// Chooses which queued request the disk serves next, returning its
+    /// slot. Walks the disk's list in arrival order with strict-`<`
+    /// comparisons, so ties resolve to the earliest arrival — exactly
+    /// the first-minimum semantics of the old `Vec` + `min_by_key` scan.
+    fn pick(&self, d: usize) -> u32 {
+        let queue = self.disk_queues[d];
+        if queue.len == 1 {
+            return queue.head;
         }
         match self.scheduler {
-            Scheduler::Fcfs => 0,
+            Scheduler::Fcfs => queue.head,
             Scheduler::Sstf => {
                 let head = self.disks[d].head_cylinder();
-                queue
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, p)| {
-                        self.cylinder(d, p.lba).abs_diff(head)
-                    })
-                    .map(|(i, _)| i)
-                    .expect("queue non-empty")
+                let mut best = queue.head;
+                let mut best_dist = self.slots[best as usize].loc.cylinder.abs_diff(head);
+                let mut cur = self.slots[best as usize].next;
+                while cur != NIL {
+                    let s = &self.slots[cur as usize];
+                    let dist = s.loc.cylinder.abs_diff(head);
+                    if dist < best_dist {
+                        best = cur;
+                        best_dist = dist;
+                    }
+                    cur = s.next;
+                }
+                best
             }
             Scheduler::Elevator => {
                 let head = self.disks[d].head_cylinder();
                 // C-LOOK: nearest cylinder at or past the head, else wrap
                 // to the lowest pending cylinder.
-                let ahead = queue
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| self.cylinder(d, p.lba) >= head)
-                    .min_by_key(|(_, p)| self.cylinder(d, p.lba));
-                match ahead {
-                    Some((i, _)) => i,
-                    None => queue
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, p)| self.cylinder(d, p.lba))
-                        .map(|(i, _)| i)
-                        .expect("queue non-empty"),
+                let first_cyl = self.slots[queue.head as usize].loc.cylinder;
+                let mut lowest = queue.head;
+                let mut lowest_cyl = first_cyl;
+                let (mut ahead, mut ahead_cyl) = if first_cyl >= head {
+                    (queue.head, first_cyl)
+                } else {
+                    (NIL, u32::MAX)
+                };
+                let mut cur = self.slots[queue.head as usize].next;
+                while cur != NIL {
+                    let s = &self.slots[cur as usize];
+                    if s.loc.cylinder >= head && (ahead == NIL || s.loc.cylinder < ahead_cyl) {
+                        ahead = cur;
+                        ahead_cyl = s.loc.cylinder;
+                    }
+                    if s.loc.cylinder < lowest_cyl {
+                        lowest = cur;
+                        lowest_cyl = s.loc.cylinder;
+                    }
+                    cur = s.next;
+                }
+                if ahead != NIL {
+                    ahead
+                } else {
+                    lowest
                 }
             }
         }
-    }
-
-    fn cylinder(&self, d: usize, lba: u64) -> u32 {
-        self.disks[d]
-            .spec()
-            .geometry()
-            .cylinder_of(lba)
-            .unwrap_or(0)
     }
 }
 

@@ -1,7 +1,12 @@
 //! Property-based tests for the storage-system engine.
 
-use disksim::{DiskSpec, Request, RequestKind, Scheduler, StorageSystem, SystemConfig};
+use disksim::{
+    CalendarQueue, DiskSpec, Request, RequestKind, Scheduler, StorageSystem, SystemConfig,
+    TimeKey,
+};
 use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use units::{Rpm, Seconds};
 
 /// A random but valid request stream against a known capacity.
@@ -146,4 +151,94 @@ proptest! {
             prop_assert!(d.seek_time() <= d.busy_time());
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The calendar queue is a drop-in replacement for the
+    // `BinaryHeap<Reverse<_>>` it displaced: for any interleaving of
+    // pushes and pops — including exact ties, bucket-boundary
+    // multiples, far-future overflow keys, negative times, both zeros,
+    // and the non-finite values `f64::total_cmp` must order — both
+    // structures pop the identical sequence of keys and payloads.
+    // Bit-level comparison, because a derived `PartialEq` would call
+    // NaN unequal to itself.
+    #[test]
+    fn calendar_queue_pops_match_binary_heap(
+        ops in prop::collection::vec((0u8..4, event_time()), 1..300),
+    ) {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(TimeKey, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for &(op, t) in &ops {
+            if op == 0 {
+                let a = cal.pop();
+                let b = heap.pop().map(|Reverse(x)| x);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some((ka, va)), Some((kb, vb))) => {
+                        prop_assert_eq!(ka.time().to_bits(), kb.time().to_bits());
+                        prop_assert_eq!(ka.seq(), kb.seq());
+                        prop_assert_eq!(va, vb);
+                    }
+                    (a, b) => prop_assert!(false, "emptiness diverged: {a:?} vs {b:?}"),
+                }
+            } else {
+                let key = TimeKey::new(t, seq);
+                cal.push(key, seq as u32);
+                heap.push(Reverse((key, seq as u32)));
+                seq += 1;
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        while let Some((ka, va)) = cal.pop() {
+            let Reverse((kb, vb)) = heap.pop().expect("lengths agreed");
+            prop_assert_eq!(ka.time().to_bits(), kb.time().to_bits());
+            prop_assert_eq!(ka.seq(), kb.seq());
+            prop_assert_eq!(va, vb);
+        }
+        prop_assert!(heap.pop().is_none());
+    }
+
+    // Events with byte-identical times leave the queue in submission
+    // (sequence) order — the determinism guarantee the simulator's
+    // tie-breaking rests on — whatever the time value, NaN included.
+    #[test]
+    fn exact_ties_pop_in_submission_order(t in event_time(), n in 1u64..64) {
+        let mut cal = CalendarQueue::new();
+        for i in 0..n {
+            cal.push(TimeKey::new(t, i), i);
+        }
+        for i in 0..n {
+            let (key, val) = cal.pop().expect("queue holds n events");
+            prop_assert_eq!(key.time().to_bits(), t.to_bits());
+            prop_assert_eq!(key.seq(), i);
+            prop_assert_eq!(val, i);
+        }
+        prop_assert!(cal.pop().is_none());
+    }
+}
+
+/// Times that stress the calendar: dense near-term arrivals, exact
+/// bucket-boundary multiples (tie candidates), negatives, far-future
+/// overflow keys, and the special values whose ordering only
+/// `total_cmp` defines.
+fn event_time() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..30.0,
+        0.0f64..30.0,
+        (0u32..64).prop_map(|i| f64::from(i) * 0.005),
+        -10.0f64..0.0,
+        1.0e3f64..1.0e9,
+        prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(f64::MAX),
+            Just(-1.0e300),
+        ],
+    ]
 }

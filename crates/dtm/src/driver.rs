@@ -163,6 +163,40 @@ impl WindowedDrive {
         }
     }
 
+    /// Serves a whole sync epoch: `windows` control windows, each
+    /// admitting from `pending` (unless `gated`), serving, and
+    /// thermally stepping the drive. Window ends come from the *global*
+    /// window index `first_window` so every drive computes bit-identical
+    /// timestamps regardless of how a fleet shards them. Completions
+    /// append to `completions`; one [`WindowSample`] per window replaces
+    /// the contents of `samples` — both are caller scratch, so a whole
+    /// epoch reuses one buffer set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates admission errors (bad device or range).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_epoch(
+        &mut self,
+        pending: &mut VecDeque<Request>,
+        gated: bool,
+        first_window: u64,
+        windows: usize,
+        window: Seconds,
+        completions: &mut Vec<Completion>,
+        samples: &mut Vec<WindowSample>,
+    ) -> Result<(), SimError> {
+        samples.clear();
+        for w in 0..windows {
+            let window_end = Seconds::new((first_window + w as u64 + 1) as f64 * window.get());
+            if !gated {
+                self.admit_until(pending, window_end)?;
+            }
+            samples.push(self.serve_window(window_end, window, completions));
+        }
+        Ok(())
+    }
+
     /// Sets every member disk's spindle speed, emitting one
     /// `RpmTransition` per actual change into the system's trace sink.
     pub fn set_all_rpm(&mut self, rpm: Rpm) {
@@ -190,6 +224,12 @@ impl WindowedDrive {
     /// Drains buffered trace events from the underlying system's sink.
     pub fn drain_events(&mut self) -> Vec<diskobs::TimedEvent> {
         self.system.drain_events()
+    }
+
+    /// Like [`Self::drain_events`], but appends into `out`, reusing the
+    /// caller's batch buffer.
+    pub fn drain_events_into(&mut self, out: &mut Vec<diskobs::TimedEvent>) {
+        self.system.drain_events_into(out);
     }
 
     /// Current spindle speed (all members run in lockstep).

@@ -18,9 +18,9 @@ use crate::airflow::AirflowGraph;
 use crate::coordinator::{Coordinator, FleetDtmPolicy};
 use crate::error::FleetError;
 use crate::routing::{DriveSnapshot, Router, RoutingPolicy};
-use disksim::par::parallel_map;
+use disksim::par::parallel_for_each;
 use disksim::{Completion, DiskSpec, Request, ResponseStats, StorageSystem, SystemConfig};
-use dtm::WindowedDrive;
+use dtm::{WindowSample, WindowedDrive};
 use diskthermal::{
     drive_heat_estimate, DriveThermalSpec, OperatingPoint, ThermalModel, ThermalParams,
     THERMAL_ENVELOPE,
@@ -86,8 +86,8 @@ impl FleetConfig {
     }
 }
 
-/// One drive bay: the windowed drive plus its admission queue and
-/// accumulated statistics.
+/// One drive bay: the windowed drive plus its admission queue,
+/// accumulated statistics, and the epoch scratch its shard reuses.
 struct Enclosure {
     drive: WindowedDrive,
     pending: VecDeque<Request>,
@@ -102,33 +102,49 @@ struct Enclosure {
     time_over: Seconds,
     time_gated: Seconds,
     time_scaled: Seconds,
+    /// Whether the coordinator gates this bay for the current epoch
+    /// (written serially at the epoch boundary, read by the shard).
+    epoch_gated: bool,
+    /// This epoch's completions; cleared and refilled each epoch so the
+    /// shard never allocates in steady state.
+    completions: Vec<Completion>,
+    /// Per-window sample scratch, reused across epochs.
+    samples: Vec<WindowSample>,
+    /// Mean actuator duty / utilization over the last epoch.
+    epoch_duty: f64,
+    epoch_util: f64,
 }
 
 impl Enclosure {
-    /// Advances one sync epoch: `windows` control windows, each
-    /// admitting (unless gated), serving, and thermally stepping the
-    /// drive. Window ends come from the *global* window index so every
-    /// enclosure computes bit-identical timestamps regardless of
-    /// sharding. Returns the epoch's completions plus its mean duty.
+    /// Advances one sync epoch through
+    /// [`WindowedDrive::serve_epoch`], folding the window samples into
+    /// the bay's accumulated statistics. Everything lands in the bay's
+    /// own scratch (`completions`, `samples`, `epoch_duty`,
+    /// `epoch_util`), so the parallel phase allocates nothing and
+    /// returns nothing.
     fn advance_epoch(
         &mut self,
         first_window: u64,
         windows: usize,
         window: Seconds,
-        gated: bool,
         envelope: Celsius,
-    ) -> (Vec<Completion>, f64, f64) {
-        let mut completions = Vec::new();
+    ) {
+        self.completions.clear();
+        let mut samples = std::mem::take(&mut self.samples);
+        self.drive
+            .serve_epoch(
+                &mut self.pending,
+                self.epoch_gated,
+                first_window,
+                windows,
+                window,
+                &mut self.completions,
+                &mut samples,
+            )
+            .expect("routed requests are remapped into the drive's range");
         let mut duty_sum = 0.0;
         let mut util_sum = 0.0;
-        for w in 0..windows {
-            let window_end = Seconds::new((first_window + w as u64 + 1) as f64 * window.get());
-            if !gated {
-                self.drive
-                    .admit_until(&mut self.pending, window_end)
-                    .expect("routed requests are remapped into the drive's range");
-            }
-            let sample = self.drive.serve_window(window_end, window, &mut completions);
+        for sample in &samples {
             duty_sum += sample.duty;
             util_sum += sample.util;
             self.duty_sum += sample.duty;
@@ -140,11 +156,9 @@ impl Enclosure {
                 self.time_over += window;
             }
         }
-        (
-            completions,
-            duty_sum / windows as f64,
-            util_sum / windows as f64,
-        )
+        self.samples = samples;
+        self.epoch_duty = duty_sum / windows as f64;
+        self.epoch_util = util_sum / windows as f64;
     }
 }
 
@@ -195,6 +209,34 @@ pub struct FleetReport {
     pub epochs: u64,
     /// Per-enclosure detail, in airflow order.
     pub per_enclosure: Vec<EnclosureReport>,
+}
+
+/// Wall-clock spent in each phase of a fleet run: the parallel
+/// per-enclosure window sweeps versus the serial epoch-boundary work
+/// (routing, completion folding, airflow coupling, coordination). The
+/// serial fraction bounds shard speedup by Amdahl's law, which is why
+/// `BENCH_fleet.json` reports it alongside the shard numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetPhaseProfile {
+    /// Total wall-clock in the parallel window sweeps, milliseconds.
+    pub parallel_ms: f64,
+    /// Total wall-clock in the serial epoch-boundary phases,
+    /// milliseconds.
+    pub serial_ms: f64,
+    /// Sync epochs executed.
+    pub epochs: u64,
+}
+
+impl FleetPhaseProfile {
+    /// Fraction of the run's wall-clock spent in the serial phases.
+    pub fn serial_fraction(&self) -> f64 {
+        let total = self.parallel_ms + self.serial_ms;
+        if total > 0.0 {
+            self.serial_ms / total
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A thermally-coupled fleet of enclosures.
@@ -258,6 +300,11 @@ impl Fleet {
                 time_over: Seconds::ZERO,
                 time_gated: Seconds::ZERO,
                 time_scaled: Seconds::ZERO,
+                epoch_gated: false,
+                completions: Vec::new(),
+                samples: Vec::new(),
+                epoch_duty: 0.0,
+                epoch_util: 0.0,
             });
         }
 
@@ -312,9 +359,36 @@ impl Fleet {
     ///
     /// As [`Self::run`].
     pub fn run_with_sink(
+        self,
+        trace: Vec<Request>,
+        sink: &mut diskobs::Sink,
+    ) -> Result<FleetReport, FleetError> {
+        let mut profile = FleetPhaseProfile::default();
+        self.run_inner(trace, sink, &mut profile)
+    }
+
+    /// Like [`Self::run_with_sink`], but also reports where the
+    /// wall-clock went: parallel window sweeps versus serial
+    /// epoch-boundary synchronization.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_profiled(
+        self,
+        trace: Vec<Request>,
+        sink: &mut diskobs::Sink,
+    ) -> Result<(FleetReport, FleetPhaseProfile), FleetError> {
+        let mut profile = FleetPhaseProfile::default();
+        let report = self.run_inner(trace, sink, &mut profile)?;
+        Ok((report, profile))
+    }
+
+    fn run_inner(
         mut self,
         mut trace: Vec<Request>,
         sink: &mut diskobs::Sink,
+        profile: &mut FleetPhaseProfile,
     ) -> Result<FleetReport, FleetError> {
         if sink.is_enabled() {
             for (i, e) in self.enclosures.iter_mut().enumerate() {
@@ -340,28 +414,34 @@ impl Fleet {
         self.coordinator
             .prime(|i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
 
+        // Per-epoch scratch, hoisted so the epoch loop reuses one set
+        // of buffers for the whole run.
+        let mut batch: Vec<diskobs::TimedEvent> = Vec::new();
+        let mut snaps: Vec<DriveSnapshot> = Vec::with_capacity(n);
+        let mut heats: Vec<f64> = Vec::with_capacity(n);
+        let mut airs: Vec<Celsius> = Vec::with_capacity(n);
+
         loop {
+            let epoch_start = std::time::Instant::now();
             let epoch_end = now + epoch_len;
 
             // Events from this epoch (routing decisions stamped at
             // arrival, plus each enclosure's drained stream) collect
-            // here and are merged by time before reaching the sink, so
-            // the emitted stream is a single non-decreasing timeline.
-            let mut batch: Vec<diskobs::TimedEvent> = Vec::new();
+            // in `batch` and are merged by time before reaching the
+            // sink, so the emitted stream is a single non-decreasing
+            // timeline.
 
             // Serial phase 1 — routing. Placement uses the epoch-start
             // snapshot plus a running count of this epoch's placements,
             // so the decision sequence is independent of sharding.
-            let mut snaps: Vec<DriveSnapshot> = self
-                .enclosures
-                .iter()
-                .enumerate()
-                .map(|(i, e)| DriveSnapshot {
+            snaps.clear();
+            snaps.extend(self.enclosures.iter().enumerate().map(|(i, e)| {
+                DriveSnapshot {
                     air: e.drive.air(),
                     queue: e.drive.in_flight() + e.pending.len() as u64,
                     gated: self.coordinator.gated(i),
-                })
-                .collect();
+                }
+            }));
             while let Some(front) = incoming.front() {
                 if front.arrival > epoch_end {
                     break;
@@ -385,44 +465,37 @@ impl Fleet {
             }
 
             // Parallel phase — advance every enclosure through the
-            // epoch's windows. Enclosures only touch their own state,
-            // and `parallel_map` returns them in order, so any shard
-            // count produces the same bytes.
+            // epoch's windows, in place. Enclosures only touch their
+            // own state and never move, so any shard count produces
+            // the same bytes.
             let first_window = epochs * self.windows_per_epoch as u64;
             let (windows_per_epoch, window, envelope) =
                 (self.windows_per_epoch, self.window, self.envelope);
-            let gates: Vec<bool> = (0..n).map(|i| self.coordinator.gated(i)).collect();
-            let shards = parallel_map(
-                self.enclosures.into_iter().zip(gates).collect(),
-                self.threads,
-                move |(mut e, gated)| {
-                    let (completions, mean_duty, mean_util) =
-                        e.advance_epoch(first_window, windows_per_epoch, window, gated, envelope);
-                    (e, completions, mean_duty, mean_util)
-                },
-            );
+            for (i, e) in self.enclosures.iter_mut().enumerate() {
+                e.epoch_gated = self.coordinator.gated(i);
+            }
+            let parallel_start = std::time::Instant::now();
+            parallel_for_each(&mut self.enclosures, self.threads, |e| {
+                e.advance_epoch(first_window, windows_per_epoch, window, envelope);
+            });
+            let parallel_elapsed = parallel_start.elapsed();
+            profile.parallel_ms += parallel_elapsed.as_secs_f64() * 1e3;
 
             // Serial phase 2 — fold completions (enclosure order),
             // re-couple the airflow, and let the coordinator act.
-            self.enclosures = Vec::with_capacity(n);
-            let mut heats = Vec::with_capacity(n);
-            let mut airs = Vec::with_capacity(n);
-            let mut duties = Vec::with_capacity(n);
-            let mut utils = Vec::with_capacity(n);
-            for (mut e, completions, mean_duty, mean_util) in shards {
-                for c in &completions {
+            heats.clear();
+            airs.clear();
+            for e in self.enclosures.iter_mut() {
+                for c in &e.completions {
                     stats.record(c.response_time());
                 }
-                e.completed += completions.len() as u64;
+                e.completed += e.completions.len() as u64;
                 if sink.is_enabled() {
-                    batch.append(&mut e.drive.drain_events());
+                    e.drive.drain_events_into(&mut batch);
                 }
-                let op = OperatingPoint::new(e.drive.rpm(), mean_duty);
+                let op = OperatingPoint::new(e.drive.rpm(), e.epoch_duty);
                 heats.push(drive_heat_estimate(e.drive.model().spec(), op).get());
                 airs.push(e.drive.air());
-                duties.push(mean_duty);
-                utils.push(mean_util);
-                self.enclosures.push(e);
             }
             if sink.is_enabled() {
                 // Merge routing decisions and the per-enclosure streams
@@ -430,7 +503,7 @@ impl Fleet {
                 // equal timestamps keep insertion (enclosure) order and
                 // the bytes stay shard-independent.
                 batch.sort_by(|a, b| a.t.total_cmp(&b.t));
-                sink.extend(batch);
+                sink.extend(batch.drain(..));
             }
             for (e, ambient) in self.enclosures.iter_mut().zip(self.airflow.local_ambients(&heats))
             {
@@ -446,8 +519,8 @@ impl Fleet {
                         air_c: e.drive.air().get(),
                         ambient_c: e.drive.model().spec().ambient().get(),
                         queue,
-                        util: utils[i],
-                        duty: duties[i],
+                        util: e.epoch_util,
+                        duty: e.epoch_duty,
                         rpm: e.drive.rpm().get(),
                         gated: coordinator.gated(i),
                     });
@@ -479,9 +552,9 @@ impl Fleet {
                 // epoch end) in the enclosure buffers; fold them in now
                 // so the stream stays time-ordered.
                 for e in self.enclosures.iter_mut() {
-                    let events = e.drive.drain_events();
-                    sink.extend(events);
+                    e.drive.drain_events_into(&mut batch);
                 }
+                sink.extend(batch.drain(..));
             }
             for (i, e) in self.enclosures.iter_mut().enumerate() {
                 if self.coordinator.gated(i) {
@@ -494,6 +567,12 @@ impl Fleet {
 
             epochs += 1;
             now = epoch_end;
+            profile.serial_ms += epoch_start
+                .elapsed()
+                .saturating_sub(parallel_elapsed)
+                .as_secs_f64()
+                * 1e3;
+            profile.epochs = epochs;
 
             let drained = incoming.is_empty()
                 && self

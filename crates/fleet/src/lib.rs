@@ -54,5 +54,5 @@ mod routing;
 pub use airflow::AirflowGraph;
 pub use coordinator::{Coordinator, FleetDtmPolicy};
 pub use error::FleetError;
-pub use fleet::{EnclosureReport, Fleet, FleetConfig, FleetReport};
+pub use fleet::{EnclosureReport, Fleet, FleetConfig, FleetPhaseProfile, FleetReport};
 pub use routing::{DriveSnapshot, Router, RoutingPolicy};

@@ -183,6 +183,18 @@ impl DriveGeometry {
         self.locate(lba).map(|l| l.cylinder)
     }
 
+    /// Half-open LBA range `[start, end)` covered by zone `zone`, or
+    /// `None` for an out-of-range zone index. Lets hot paths that
+    /// already hold a [`Location`] resolve nearby LBAs with one
+    /// division instead of a full [`Self::locate`].
+    pub fn zone_lba_range(&self, zone: u32) -> Option<(u64, u64)> {
+        let i = zone as usize;
+        if i + 1 >= self.zone_lba_starts.len() {
+            return None;
+        }
+        Some((self.zone_lba_starts[i], self.zone_lba_starts[i + 1]))
+    }
+
     /// Number of cylinders the data band spans (seek distances range over
     /// `0 .. used_cylinders`).
     pub fn used_cylinders(&self) -> u32 {

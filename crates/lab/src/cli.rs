@@ -92,10 +92,13 @@ pub fn usage() -> String {
     format!(
         "usage: lab [all | list | bench | trace <scenario>... | profile [<experiment>...] |\n\
          \x20           [run] <experiment>...] [--threads N] [--no-cache] [--quick] [-q | --verbose]\n\n\
-         bench times the thermal kernel, the fleet event loop, end-to-end\n\
-         experiments, and the instrumentation overhead; a full (non --quick)\n\
-         bench writes BENCH_thermal.json, BENCH_fleet.json, and BENCH_obs.json\n\
-         at the repo root, while --quick asserts the obs-overhead bound.\n\n\
+         bench times the thermal kernel, the storage event core (window\n\
+         loop and calendar-vs-heap churn), the fleet event loop with its\n\
+         parallel/serial phase split, end-to-end experiments, and the\n\
+         instrumentation overhead; a full (non --quick) bench writes\n\
+         BENCH_thermal.json, BENCH_sim.json, BENCH_fleet.json, and\n\
+         BENCH_obs.json at the repo root, while --quick asserts the\n\
+         obs-overhead bound.\n\n\
          trace runs an instrumented scenario and writes its event stream\n\
          (NDJSON), metrics, and snapshot timeseries under results/.\n\
          profile reruns experiments with the cache off and prints per-stage\n\

@@ -271,6 +271,16 @@ impl Sink {
         }
     }
 
+    /// Like [`Sink::drain`], but appends into `out`, keeping this
+    /// sink's buffer capacity — merge loops that drain many sinks per
+    /// epoch reuse one batch buffer and allocate nothing in steady
+    /// state.
+    pub fn drain_into(&mut self, out: &mut Vec<TimedEvent>) {
+        if let SinkKind::Buffer(events) = &mut self.kind {
+            out.append(events);
+        }
+    }
+
     /// Feeds already-timed events through (used when merging per-shard
     /// buffers into one stream).
     pub fn extend(&mut self, events: impl IntoIterator<Item = TimedEvent>) {

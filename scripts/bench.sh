@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Benchmark baselines: times the integrators, the steady-state solver,
-# end-to-end experiments, the fleet event loop, and the instrumentation
-# overhead, then writes BENCH_thermal.json, BENCH_fleet.json, and
+# end-to-end experiments, the storage event core (window loop plus
+# calendar-vs-heap queue churn), the fleet event loop with its
+# parallel/serial phase split, and the instrumentation overhead, then
+# writes BENCH_thermal.json, BENCH_sim.json, BENCH_fleet.json, and
 # BENCH_obs.json at the repo root (pass --quick for a fast smoke run
 # that skips the writes and asserts the obs-overhead bound instead).
 set -eu

@@ -36,8 +36,10 @@ echo "==> cargo run --release --bin lab -- trace figure5"
 cargo run --release --bin lab -- trace figure5
 
 echo "==> cargo run --release --bin lab -- bench --quick"
-# Quick bench also asserts the instrumentation-overhead bound: paired
-# null-sink fleet runs must agree to within the noise margin.
+# Quick bench exercises every suite (thermal kernel, storage event
+# core, fleet phase split, obs) and asserts the instrumentation-
+# overhead bound: paired null-sink fleet runs must agree to within
+# the noise margin.
 cargo run --release --bin lab -- bench --quick
 
 echo "verify: OK"
