@@ -34,7 +34,7 @@
 /// Orders event times totally. Compares the time via `f64::total_cmp`
 /// (total even for NaN), then the submission sequence — so two events
 /// at the same instant pop in submission order.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimeKey(f64, u64);
 
 impl TimeKey {
@@ -236,6 +236,36 @@ impl<T> CalendarQueue<T> {
             (Some(b), Some(o)) => Some(b.min(o)),
             (b, o) => b.or(o),
         }
+    }
+
+    /// Every queued event in pop order (ascending key), for
+    /// checkpointing. Pop order is a pure function of the queued key
+    /// set (the heap-equivalence property above), so rebuilding a queue
+    /// from this list via [`Self::from_sorted_entries`] reproduces the
+    /// original's pop sequence exactly, whatever internal bucket layout
+    /// either queue happens to have.
+    pub fn sorted_entries(&self) -> Vec<(TimeKey, T)>
+    where
+        T: Clone,
+    {
+        let mut out: Vec<(TimeKey, T)> = Vec::with_capacity(self.len);
+        out.extend(self.front.iter().cloned());
+        for bucket in &self.ring {
+            out.extend(bucket.iter().cloned());
+        }
+        out.extend(self.overflow.iter().cloned());
+        out.sort_unstable_by_key(|entry| entry.0);
+        out
+    }
+
+    /// Rebuilds a queue holding exactly `entries` (ascending key
+    /// order). The inverse of [`Self::sorted_entries`].
+    pub fn from_sorted_entries(entries: Vec<(TimeKey, T)>) -> Self {
+        let mut q = Self::new();
+        for (key, item) in entries {
+            q.push(key, item);
+        }
+        q
     }
 
     /// Sorted insert into the descending front.

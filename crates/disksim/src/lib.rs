@@ -57,4 +57,4 @@ pub use raid::{RaidConfig, RaidLevel};
 pub use request::{Completion, Request, RequestKind};
 pub use shuffle::{AccessHistogram, ShuffleMap};
 pub use stats::{ResponseStats, CDF_BUCKETS_MS};
-pub use system::{Scheduler, StorageSystem, SystemConfig};
+pub use system::{Scheduler, StorageSystem, SystemConfig, SystemState};

@@ -115,7 +115,7 @@ const NIL: u32 = u32::MAX;
 /// slab; it is `NIL` when no gating parent exists (write-back
 /// acknowledgements) and is only dereferenced by gating operations,
 /// whose parent cannot be freed before they complete.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct PhysRequest {
     parent_slot: u32,
     lba: u64,
@@ -126,7 +126,7 @@ struct PhysRequest {
 
 /// Book-keeping for a logical request split across members, held in a
 /// free-listed slab (`StorageSystem::parents`).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct Parent {
     request: Request,
     remaining: u32,
@@ -138,7 +138,7 @@ struct Parent {
 /// enqueue (geometry is fixed after construction), so scheduler scans
 /// never re-derive the cylinder and dispatch skips the zone-table
 /// lookup entirely.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct QueueSlot {
     phys: PhysRequest,
     loc: diskgeom::Location,
@@ -148,7 +148,7 @@ struct QueueSlot {
 
 /// Head/tail of one disk's queue in the slot slab. Links run in arrival
 /// order, which FCFS (and tie-breaking in the other policies) depends on.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct DiskQueue {
     head: u32,
     tail: u32,
@@ -721,6 +721,137 @@ impl StorageSystem {
                 }
             }
         }
+    }
+}
+
+/// Complete dynamic state of a [`StorageSystem`], captured for
+/// checkpointing. Covers every field the event loop reads — disks
+/// (mechanical position, cache, activity counters), the arrival
+/// calendar (as its sorted entry list, including each entry's
+/// submission-sequence tie-breaker), the queued-request slab with its
+/// free list, per-disk intrusive queues, in-service operations, the
+/// parent slab and free list, and the scalar counters. The trace sink
+/// and the two scratch buffers are excluded: the sink is an
+/// observation channel re-attached by the owner, and the scratches are
+/// empty between events.
+///
+/// Restoring this state and advancing produces byte-identical output
+/// to advancing the original system: slabs and free lists are copied
+/// structurally, so even allocation patterns match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemState {
+    disks: Vec<Disk>,
+    scheduler: Scheduler,
+    raid: Option<RaidConfig>,
+    logical_sectors: u64,
+    arrivals: Vec<(TimeKey, Request)>,
+    slots: Vec<QueueSlot>,
+    slot_free: Vec<u32>,
+    disk_queues: Vec<DiskQueue>,
+    in_service: Vec<Option<(Seconds, PhysRequest)>>,
+    parents: Vec<Parent>,
+    parent_free: Vec<u32>,
+    clock: Seconds,
+    completions: Vec<Completion>,
+    seq: u64,
+    submitted: u64,
+    finished: u64,
+    failed_disk: Option<u32>,
+}
+
+impl StorageSystem {
+    /// Captures the complete dynamic state for checkpointing.
+    pub fn capture_state(&self) -> SystemState {
+        SystemState {
+            disks: self.disks.clone(),
+            scheduler: self.scheduler,
+            raid: self.raid,
+            logical_sectors: self.logical_sectors,
+            arrivals: self.arrivals.sorted_entries(),
+            slots: self.slots.clone(),
+            slot_free: self.slot_free.clone(),
+            disk_queues: self.disk_queues.clone(),
+            in_service: self.in_service.clone(),
+            parents: self.parents.clone(),
+            parent_free: self.parent_free.clone(),
+            clock: self.clock,
+            completions: self.completions.clone(),
+            seq: self.seq,
+            submitted: self.submitted,
+            finished: self.finished,
+            failed_disk: self.failed_disk,
+        }
+    }
+
+    /// Rebuilds a system from a captured state. The trace sink starts
+    /// as the null sink; callers that traced the original re-install
+    /// their sink afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] when the state's internal references are
+    /// inconsistent (index out of range, broken queue links, mismatched
+    /// per-disk vector lengths) — the shapes a corrupted checkpoint
+    /// body produces.
+    pub fn restore_state(state: SystemState) -> Result<Self, SimError> {
+        let n = state.disks.len();
+        if n == 0 {
+            return Err(SimError::BadConfig("state has no disks".into()));
+        }
+        if state.disk_queues.len() != n || state.in_service.len() != n {
+            return Err(SimError::BadConfig(format!(
+                "state shape mismatch: {} disks, {} queues, {} service slots",
+                n,
+                state.disk_queues.len(),
+                state.in_service.len()
+            )));
+        }
+        let slots = state.slots.len() as u32;
+        if state.slot_free.iter().any(|&i| i >= slots) {
+            return Err(SimError::BadConfig("slot free list out of range".into()));
+        }
+        let parents = state.parents.len() as u32;
+        if state.parent_free.iter().any(|&i| i >= parents) {
+            return Err(SimError::BadConfig("parent free list out of range".into()));
+        }
+        // Walk every disk queue: each link must stay in the slab and
+        // the walk must visit exactly `len` slots.
+        for q in &state.disk_queues {
+            let mut cur = q.head;
+            let mut seen = 0u32;
+            while cur != NIL {
+                if cur >= slots || seen >= q.len {
+                    return Err(SimError::BadConfig("broken disk queue links".into()));
+                }
+                seen += 1;
+                cur = state.slots[cur as usize].next;
+            }
+            if seen != q.len {
+                return Err(SimError::BadConfig("disk queue length mismatch".into()));
+            }
+        }
+        Ok(Self {
+            disks: state.disks,
+            scheduler: state.scheduler,
+            raid: state.raid,
+            logical_sectors: state.logical_sectors,
+            arrivals: CalendarQueue::from_sorted_entries(state.arrivals),
+            slots: state.slots,
+            slot_free: state.slot_free,
+            disk_queues: state.disk_queues,
+            in_service: state.in_service,
+            parents: state.parents,
+            parent_free: state.parent_free,
+            clock: state.clock,
+            completions: state.completions,
+            seq: state.seq,
+            submitted: state.submitted,
+            finished: state.finished,
+            failed_disk: state.failed_disk,
+            sink: diskobs::Sink::null(),
+            op_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+        })
     }
 }
 

@@ -10,8 +10,11 @@
 //! whole array) coupled to one thermal transient, advanced a window at
 //! a time.
 
-use disksim::{Completion, Request, SimError, StorageSystem};
-use diskthermal::{NodeTemps, OperatingPoint, ThermalModel, TransientSim};
+use disksim::{Completion, Request, SimError, StorageSystem, SystemState};
+use diskthermal::{
+    DriveThermalSpec, NodeTemps, OperatingPoint, ThermalModel, ThermalParams, TransientSim,
+};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use units::{Celsius, Rpm, Seconds};
 
@@ -261,6 +264,59 @@ impl WindowedDrive {
     pub fn model(&self) -> &ThermalModel {
         &self.model
     }
+
+    /// Captures the complete dynamic state for checkpointing: the
+    /// storage system, the thermal boundary conditions (spec + fitted
+    /// parameters, from which the model rebuilds exactly), the
+    /// transient's node temperatures and clock, and the duty-measurement
+    /// baselines.
+    pub fn capture_state(&self) -> DriveState {
+        DriveState {
+            system: self.system.capture_state(),
+            spec: *self.model.spec(),
+            params: *self.model.params(),
+            temps: self.sim.temps(),
+            sim_time: self.sim.time(),
+            prev_seek: self.prev_seek,
+            prev_busy: self.prev_busy,
+        }
+    }
+
+    /// Rebuilds a drive from a captured state. The trace sink starts
+    /// null, as after [`WindowedDrive::new`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::BadConfig`] for an internally inconsistent
+    /// storage-system state.
+    pub fn restore_state(state: DriveState) -> Result<Self, SimError> {
+        let system = StorageSystem::restore_state(state.system)?;
+        let model = ThermalModel::with_params(state.spec, state.params);
+        let sim = TransientSim::with_initial(state.temps)
+            .with_step(THERMAL_STEP)
+            .expect("constant step is positive")
+            .with_time(state.sim_time);
+        Ok(Self {
+            system,
+            model,
+            sim,
+            prev_seek: state.prev_seek,
+            prev_busy: state.prev_busy,
+        })
+    }
+}
+
+/// Complete dynamic state of a [`WindowedDrive`], captured for
+/// checkpointing (see [`WindowedDrive::capture_state`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveState {
+    system: SystemState,
+    spec: DriveThermalSpec,
+    params: ThermalParams,
+    temps: NodeTemps,
+    sim_time: Seconds,
+    prev_seek: f64,
+    prev_busy: f64,
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ mod slack;
 mod throttle;
 
 pub use controller::{DtmController, DtmPolicy, DtmReport};
-pub use driver::{WindowSample, WindowedDrive};
+pub use driver::{DriveState, WindowSample, WindowedDrive};
 pub use mirror::{MirrorReport, MirroredPair};
 pub use slack::{slack_roadmap, slack_table, SlackConfig, SlackRoadmapPoint, SlackRow};
 pub use throttle::{throttling_curve, throttling_ratio, ThrottleExperiment, ThrottlePolicy};

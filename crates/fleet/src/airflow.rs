@@ -113,6 +113,12 @@ impl AirflowGraph {
         self.upstream.len()
     }
 
+    /// Moves the rack inlet temperature (the "what if the CRAC setpoint
+    /// rose 5 °C?" perturbation). The coupling topology is untouched.
+    pub fn set_inlet(&mut self, inlet: Celsius) {
+        self.inlet = inlet;
+    }
+
     /// Whether the graph is empty (never true for a validated graph).
     pub fn is_empty(&self) -> bool {
         self.upstream.is_empty()

@@ -46,10 +46,28 @@ pub enum FleetDtmPolicy {
 }
 
 /// Per-drive control state.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct DriveCtl {
     scaled_down: bool,
     gated: bool,
+}
+
+/// Complete dynamic state of a [`Coordinator`], captured for
+/// checkpointing. Hysteresis position (which drives are currently
+/// tripped) is part of the state: restoring without it would let a
+/// gated drive resume admission one epoch early.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorState {
+    policy: FleetDtmPolicy,
+    envelope: Celsius,
+    states: Vec<DriveCtl>,
+}
+
+impl CoordinatorState {
+    /// Number of drives this state covers (a restore sanity check).
+    pub fn drives(&self) -> usize {
+        self.states.len()
+    }
 }
 
 /// Applies a [`FleetDtmPolicy`] to every enclosure at epoch boundaries.
@@ -84,6 +102,48 @@ impl Coordinator {
     /// scaled down).
     pub fn engaged(&self) -> usize {
         self.states.iter().filter(|s| s.gated || s.scaled_down).count()
+    }
+
+    /// The policy this coordinator applies.
+    pub fn policy(&self) -> FleetDtmPolicy {
+        self.policy
+    }
+
+    /// The shared thermal envelope the policy defends.
+    pub fn envelope(&self) -> Celsius {
+        self.envelope
+    }
+
+    /// Captures the coordinator's full control state for checkpointing.
+    pub fn capture_state(&self) -> CoordinatorState {
+        CoordinatorState {
+            policy: self.policy,
+            envelope: self.envelope,
+            states: self.states.clone(),
+        }
+    }
+
+    /// Rebuilds a coordinator mid-flight from a captured state.
+    pub fn restore_state(state: CoordinatorState) -> Self {
+        Self {
+            policy: state.policy,
+            envelope: state.envelope,
+            states: state.states,
+        }
+    }
+
+    /// Extends the coordinator with `extra` fresh drives (a what-if
+    /// fork adding enclosures). New drives start untripped and, under a
+    /// speed-scaling policy, are primed at the high speed through the
+    /// actuator — exactly as [`Self::prime`] would at startup.
+    pub fn grow(&mut self, extra: usize, mut set_rpm: impl FnMut(usize, Rpm)) {
+        let first = self.states.len();
+        self.states.resize(first + extra, DriveCtl::default());
+        if let FleetDtmPolicy::SpeedScale { high, .. } = self.policy {
+            for i in first..self.states.len() {
+                set_rpm(i, high);
+            }
+        }
     }
 
     /// Announces the starting speed of speed-modulating policies

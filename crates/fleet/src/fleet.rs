@@ -15,12 +15,12 @@
 //! shard count.
 
 use crate::airflow::AirflowGraph;
-use crate::coordinator::{Coordinator, FleetDtmPolicy};
+use crate::coordinator::{Coordinator, CoordinatorState, FleetDtmPolicy};
 use crate::error::FleetError;
 use crate::routing::{DriveSnapshot, Router, RoutingPolicy};
 use disksim::par::parallel_for_each;
 use disksim::{Completion, DiskSpec, Request, ResponseStats, StorageSystem, SystemConfig};
-use dtm::{WindowSample, WindowedDrive};
+use dtm::{DriveState, WindowSample, WindowedDrive};
 use diskthermal::{
     drive_heat_estimate, DriveThermalSpec, OperatingPoint, ThermalModel, ThermalParams,
     THERMAL_ENVELOPE,
@@ -115,7 +115,100 @@ struct Enclosure {
     epoch_util: f64,
 }
 
+/// Complete dynamic state of one [`Enclosure`], captured for
+/// checkpointing. Epoch scratch (`epoch_gated`, `completions`,
+/// `samples`) is rebuilt empty on restore: every field of it is
+/// overwritten before its next read, so the scratch never carries
+/// state across an epoch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EnclosureState {
+    drive: DriveState,
+    pending: Vec<Request>,
+    capacity: u64,
+    routed: u64,
+    completed: u64,
+    max_air: Celsius,
+    max_local_ambient: Celsius,
+    air_integral: f64,
+    duty_sum: f64,
+    windows: u64,
+    time_over: Seconds,
+    time_gated: Seconds,
+    time_scaled: Seconds,
+    epoch_duty: f64,
+    epoch_util: f64,
+}
+
 impl Enclosure {
+    /// A freshly assembled bay with zeroed statistics.
+    fn fresh(drive: WindowedDrive, capacity: u64, ambient: Celsius) -> Self {
+        Self {
+            max_air: drive.air(),
+            drive,
+            pending: VecDeque::new(),
+            capacity,
+            routed: 0,
+            completed: 0,
+            max_local_ambient: ambient,
+            air_integral: 0.0,
+            duty_sum: 0.0,
+            windows: 0,
+            time_over: Seconds::ZERO,
+            time_gated: Seconds::ZERO,
+            time_scaled: Seconds::ZERO,
+            epoch_gated: false,
+            completions: Vec::new(),
+            samples: Vec::new(),
+            epoch_duty: 0.0,
+            epoch_util: 0.0,
+        }
+    }
+
+    /// Captures the bay's complete dynamic state.
+    fn capture_state(&self) -> EnclosureState {
+        EnclosureState {
+            drive: self.drive.capture_state(),
+            pending: self.pending.iter().copied().collect(),
+            capacity: self.capacity,
+            routed: self.routed,
+            completed: self.completed,
+            max_air: self.max_air,
+            max_local_ambient: self.max_local_ambient,
+            air_integral: self.air_integral,
+            duty_sum: self.duty_sum,
+            windows: self.windows,
+            time_over: self.time_over,
+            time_gated: self.time_gated,
+            time_scaled: self.time_scaled,
+            epoch_duty: self.epoch_duty,
+            epoch_util: self.epoch_util,
+        }
+    }
+
+    /// Rebuilds a bay mid-flight from a captured state.
+    fn restore_state(state: EnclosureState) -> Result<Self, FleetError> {
+        Ok(Self {
+            drive: WindowedDrive::restore_state(state.drive)?,
+            pending: state.pending.into(),
+            capacity: state.capacity,
+            routed: state.routed,
+            completed: state.completed,
+            max_air: state.max_air,
+            max_local_ambient: state.max_local_ambient,
+            air_integral: state.air_integral,
+            duty_sum: state.duty_sum,
+            windows: state.windows,
+            time_over: state.time_over,
+            time_gated: state.time_gated,
+            time_scaled: state.time_scaled,
+            epoch_gated: false,
+            completions: Vec::new(),
+            samples: Vec::new(),
+            epoch_duty: state.epoch_duty,
+            epoch_util: state.epoch_util,
+        })
+    }
+
     /// Advances one sync epoch through
     /// [`WindowedDrive::serve_epoch`], folding the window samples into
     /// the bay's accumulated statistics. Everything lands in the bay's
@@ -240,6 +333,13 @@ impl FleetPhaseProfile {
 }
 
 /// A thermally-coupled fleet of enclosures.
+///
+/// [`Fleet::run`] drives a whole trace to completion; the stepwise API
+/// ([`Fleet::offer`] / [`Fleet::step_epoch`] / [`Fleet::is_drained`] /
+/// [`Fleet::report`]) exposes the same loop one sync epoch at a time so
+/// a caller — the digital-twin server — can keep a fleet warm
+/// indefinitely, feed it arrivals incrementally, and checkpoint it
+/// between epochs with [`Fleet::capture_state`].
 pub struct Fleet {
     enclosures: Vec<Enclosure>,
     router: Router,
@@ -249,6 +349,62 @@ pub struct Fleet {
     window: Seconds,
     windows_per_epoch: usize,
     threads: usize,
+    /// Requests accepted but not yet routed, in arrival order.
+    incoming: VecDeque<Request>,
+    /// Response-time statistics folded at every epoch boundary.
+    stats: ResponseStats,
+    epochs: u64,
+    now: Seconds,
+    /// Whether the coordinator has announced its starting speeds.
+    primed: bool,
+    // Per-epoch scratch, reused across the whole run so the epoch loop
+    // allocates nothing in steady state.
+    batch: Vec<diskobs::TimedEvent>,
+    snaps: Vec<DriveSnapshot>,
+    heats: Vec<f64>,
+    airs: Vec<Celsius>,
+}
+
+/// Complete dynamic state of a [`Fleet`], captured between sync epochs
+/// for checkpointing. Restoring and advancing is byte-identical to
+/// never having checkpointed: every mid-epoch scratch buffer is
+/// rebuilt empty because it is overwritten before its next read, and
+/// everything that survives an epoch boundary — drive state, queues,
+/// hysteresis trips, the router cursor, accumulated statistics — is
+/// captured exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetState {
+    enclosures: Vec<EnclosureState>,
+    routing: RoutingPolicy,
+    router_cursor: usize,
+    coordinator: CoordinatorState,
+    airflow: AirflowGraph,
+    envelope: Celsius,
+    window: Seconds,
+    windows_per_epoch: usize,
+    threads: usize,
+    incoming: Vec<Request>,
+    stats: ResponseStats,
+    epochs: u64,
+    now: Seconds,
+    primed: bool,
+}
+
+impl FleetState {
+    /// The sync epoch this state was captured at.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Simulated time at capture.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Number of enclosures the state carries.
+    pub fn enclosures(&self) -> usize {
+        self.enclosures.len()
+    }
 }
 
 impl Fleet {
@@ -286,26 +442,7 @@ impl Fleet {
             );
             let start = model.steady_state(idle);
             let drive = WindowedDrive::new(system, model).with_initial_temps(start);
-            enclosures.push(Enclosure {
-                max_air: drive.air(),
-                drive,
-                pending: VecDeque::new(),
-                capacity,
-                routed: 0,
-                completed: 0,
-                max_local_ambient: ambient,
-                air_integral: 0.0,
-                duty_sum: 0.0,
-                windows: 0,
-                time_over: Seconds::ZERO,
-                time_gated: Seconds::ZERO,
-                time_scaled: Seconds::ZERO,
-                epoch_gated: false,
-                completions: Vec::new(),
-                samples: Vec::new(),
-                epoch_duty: 0.0,
-                epoch_util: 0.0,
-            });
+            enclosures.push(Enclosure::fresh(drive, capacity, ambient));
         }
 
         Ok(Self {
@@ -317,6 +454,15 @@ impl Fleet {
             window: config.window,
             windows_per_epoch: config.windows_per_epoch,
             threads: config.threads.max(1),
+            incoming: VecDeque::new(),
+            stats: ResponseStats::new(),
+            epochs: 0,
+            now: Seconds::ZERO,
+            primed: false,
+            batch: Vec::new(),
+            snaps: Vec::with_capacity(n),
+            heats: Vec::with_capacity(n),
+            airs: Vec::with_capacity(n),
         })
     }
 
@@ -403,27 +549,67 @@ impl Fleet {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.id.cmp(&b.id))
         });
-        let mut incoming: VecDeque<Request> = trace.into();
+        self.incoming = trace.into();
+
+        loop {
+            self.step_epoch(sink, profile);
+            if self.is_drained() {
+                break;
+            }
+            // Safety cap: a fleet gated forever still terminates.
+            if self.now.get() > 24.0 * 3600.0 {
+                break;
+            }
+        }
+
+        Ok(self.report())
+    }
+
+    /// Queues logical requests for routing at the next epoch boundary.
+    ///
+    /// Requests are appended as-is: the stepwise caller must offer them
+    /// in non-decreasing arrival order (the batch `run` entry points
+    /// sort instead).
+    pub fn offer(&mut self, requests: impl IntoIterator<Item = Request>) {
+        self.incoming.extend(requests);
+    }
+
+    /// Whether no work remains anywhere: nothing queued for routing,
+    /// nothing pending admission, nothing in flight.
+    pub fn is_drained(&self) -> bool {
+        self.incoming.is_empty()
+            && self
+                .enclosures
+                .iter()
+                .all(|e| e.pending.is_empty() && e.drive.in_flight() == 0)
+    }
+
+    /// Advances the fleet through exactly one sync epoch: routes the
+    /// epoch's arrivals, sweeps every enclosure's windows in parallel,
+    /// folds completions, re-couples the airflow, and lets the
+    /// coordinator act. [`Self::run`] is a loop over this method; the
+    /// digital twin calls it directly to keep a fleet warm while it
+    /// serves queries.
+    pub fn step_epoch(&mut self, sink: &mut diskobs::Sink, profile: &mut FleetPhaseProfile) {
+        if !self.primed {
+            self.coordinator
+                .prime(|i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
+            self.primed = true;
+        }
 
         let n = self.enclosures.len();
         let epoch_len = self.window * self.windows_per_epoch as f64;
-        let mut stats = ResponseStats::new();
-        let mut epochs = 0u64;
-        let mut now = Seconds::ZERO;
+        // The scratch lives on `self` so repeated calls reuse one set
+        // of buffers; it moves into locals for the epoch to keep the
+        // borrows disjoint.
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut snaps = std::mem::take(&mut self.snaps);
+        let mut heats = std::mem::take(&mut self.heats);
+        let mut airs = std::mem::take(&mut self.airs);
 
-        self.coordinator
-            .prime(|i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
-
-        // Per-epoch scratch, hoisted so the epoch loop reuses one set
-        // of buffers for the whole run.
-        let mut batch: Vec<diskobs::TimedEvent> = Vec::new();
-        let mut snaps: Vec<DriveSnapshot> = Vec::with_capacity(n);
-        let mut heats: Vec<f64> = Vec::with_capacity(n);
-        let mut airs: Vec<Celsius> = Vec::with_capacity(n);
-
-        loop {
+        {
             let epoch_start = std::time::Instant::now();
-            let epoch_end = now + epoch_len;
+            let epoch_end = self.now + epoch_len;
 
             // Events from this epoch (routing decisions stamped at
             // arrival, plus each enclosure's drained stream) collect
@@ -442,12 +628,12 @@ impl Fleet {
                     gated: self.coordinator.gated(i),
                 }
             }));
-            while let Some(front) = incoming.front() {
+            while let Some(front) = self.incoming.front() {
                 if front.arrival > epoch_end {
                     break;
                 }
                 let r = *front;
-                incoming.pop_front();
+                self.incoming.pop_front();
                 let i = self.router.pick(&snaps);
                 if sink.is_enabled() {
                     batch.push(diskobs::TimedEvent {
@@ -468,7 +654,7 @@ impl Fleet {
             // epoch's windows, in place. Enclosures only touch their
             // own state and never move, so any shard count produces
             // the same bytes.
-            let first_window = epochs * self.windows_per_epoch as u64;
+            let first_window = self.epochs * self.windows_per_epoch as u64;
             let (windows_per_epoch, window, envelope) =
                 (self.windows_per_epoch, self.window, self.envelope);
             for (i, e) in self.enclosures.iter_mut().enumerate() {
@@ -487,7 +673,7 @@ impl Fleet {
             airs.clear();
             for e in self.enclosures.iter_mut() {
                 for c in &e.completions {
-                    stats.record(c.response_time());
+                    self.stats.record(c.response_time());
                 }
                 e.completed += e.completions.len() as u64;
                 if sink.is_enabled() {
@@ -565,29 +751,28 @@ impl Fleet {
                 }
             }
 
-            epochs += 1;
-            now = epoch_end;
+            self.epochs += 1;
+            self.now = epoch_end;
             profile.serial_ms += epoch_start
                 .elapsed()
                 .saturating_sub(parallel_elapsed)
                 .as_secs_f64()
                 * 1e3;
-            profile.epochs = epochs;
-
-            let drained = incoming.is_empty()
-                && self
-                    .enclosures
-                    .iter()
-                    .all(|e| e.pending.is_empty() && e.drive.in_flight() == 0);
-            if drained {
-                break;
-            }
-            // Safety cap: a fleet gated forever still terminates.
-            if now.get() > 24.0 * 3600.0 {
-                break;
-            }
+            profile.epochs = self.epochs;
         }
 
+        self.batch = batch;
+        self.snaps = snaps;
+        self.heats = heats;
+        self.airs = airs;
+    }
+
+    /// Assembles a [`FleetReport`] from the fleet's current state
+    /// without consuming it, so the stepwise caller can keep advancing
+    /// afterwards.
+    pub fn report(&self) -> FleetReport {
+        let n = self.enclosures.len();
+        let now = self.now;
         let per_enclosure: Vec<EnclosureReport> = self
             .enclosures
             .iter()
@@ -628,16 +813,196 @@ impl Fleet {
             .iter()
             .fold(Seconds::ZERO, |acc, e| acc + e.time_over_envelope);
 
-        Ok(FleetReport {
+        FleetReport {
             enclosures: n,
-            stats,
+            stats: self.stats.clone(),
             max_air,
             peak_local_ambient,
             mean_air,
             total_time: now,
             time_over_envelope,
-            epochs,
+            epochs: self.epochs,
             per_enclosure,
+        }
+    }
+
+    /// Response-time statistics accumulated so far.
+    pub fn stats(&self) -> &ResponseStats {
+        &self.stats
+    }
+
+    /// Discards the accumulated response-time statistics. What-if forks
+    /// call this on both the baseline and the perturbed copy at the
+    /// fork point so the comparison covers only the forked horizon.
+    pub fn reset_stats(&mut self) {
+        self.stats = ResponseStats::new();
+    }
+
+    /// Current simulated time (epoch boundary).
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Simulated length of one sync epoch.
+    pub fn epoch_len(&self) -> Seconds {
+        self.window * self.windows_per_epoch as f64
+    }
+
+    /// The rack inlet temperature before preheat.
+    pub fn inlet(&self) -> Celsius {
+        self.airflow.inlet()
+    }
+
+    /// Sync epochs executed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The hottest internal-air temperature across the fleet right now.
+    pub fn peak_air(&self) -> Celsius {
+        self.enclosures
+            .iter()
+            .map(|e| e.drive.air())
+            .fold(self.airflow.inlet(), Celsius::max)
+    }
+
+    /// The hottest preheated local ambient across the fleet right now.
+    pub fn peak_local_ambient(&self) -> Celsius {
+        self.enclosures
+            .iter()
+            .map(|e| e.drive.model().spec().ambient())
+            .fold(self.airflow.inlet(), Celsius::max)
+    }
+
+    /// Number of drives currently under coordinator control action.
+    pub fn engaged_count(&self) -> usize {
+        self.coordinator.engaged()
+    }
+
+    /// Moves the rack inlet temperature (the CRAC-setpoint what-if).
+    /// Takes effect at the next epoch's airflow coupling.
+    pub fn set_inlet(&mut self, inlet: Celsius) {
+        self.airflow.set_inlet(inlet);
+    }
+
+    /// Grows the fleet in place: `airflow` replaces the coupling graph
+    /// and must contain every existing bay (same indices) plus the new
+    /// ones at the tail. New bays are assembled exactly as
+    /// [`Self::new`] would — idle-preheated against the new graph —
+    /// and the coordinator primes them through its policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a graph that does not grow the fleet and propagates
+    /// simulator construction failures.
+    pub fn add_enclosures(
+        &mut self,
+        spec: &DiskSpec,
+        thermal: &DriveThermalSpec,
+        airflow: AirflowGraph,
+    ) -> Result<(), FleetError> {
+        let old = self.enclosures.len();
+        let n = airflow.len();
+        if n <= old {
+            return Err(FleetError::Config(format!(
+                "replacement airflow graph must grow the fleet: {n} nodes for {old} existing bays"
+            )));
+        }
+        let rpm = spec.rpm();
+        let idle = OperatingPoint::idle_vcm(rpm);
+        let idle_heat = drive_heat_estimate(thermal, idle).get();
+        let ambients = airflow.local_ambients(&vec![idle_heat; n]);
+        for ambient in ambients.into_iter().skip(old) {
+            let system = StorageSystem::new(SystemConfig::single_disk(spec.clone()))?;
+            let capacity = system.logical_sectors();
+            let model =
+                ThermalModel::with_params(thermal.with_ambient(ambient), ThermalParams::default());
+            let start = model.steady_state(idle);
+            let drive = WindowedDrive::new(system, model).with_initial_temps(start);
+            self.enclosures.push(Enclosure::fresh(drive, capacity, ambient));
+        }
+        self.airflow = airflow;
+        self.coordinator
+            .grow(n - old, |i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
+        Ok(())
+    }
+
+    /// Captures the fleet's complete dynamic state between sync epochs.
+    pub fn capture_state(&self) -> FleetState {
+        FleetState {
+            enclosures: self.enclosures.iter().map(Enclosure::capture_state).collect(),
+            routing: self.router.policy(),
+            router_cursor: self.router.cursor(),
+            coordinator: self.coordinator.capture_state(),
+            airflow: self.airflow.clone(),
+            envelope: self.envelope,
+            window: self.window,
+            windows_per_epoch: self.windows_per_epoch,
+            threads: self.threads,
+            incoming: self.incoming.iter().copied().collect(),
+            stats: self.stats.clone(),
+            epochs: self.epochs,
+            now: self.now,
+            primed: self.primed,
+        }
+    }
+
+    /// Rebuilds a fleet mid-flight from a captured state. Advancing the
+    /// restored fleet produces byte-identical results to advancing the
+    /// original.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inconsistent states (mismatched enclosure / airflow /
+    /// coordinator sizes, degenerate windows) and propagates simulator
+    /// restore failures — the checks that catch a corrupted checkpoint
+    /// body whose JSON still parses.
+    pub fn restore_state(state: FleetState) -> Result<Self, FleetError> {
+        if state.enclosures.is_empty() {
+            return Err(FleetError::Config("fleet state has no enclosures".into()));
+        }
+        let n = state.enclosures.len();
+        if state.airflow.len() != n {
+            return Err(FleetError::Config(format!(
+                "airflow graph covers {} drives but the state carries {n} enclosures",
+                state.airflow.len()
+            )));
+        }
+        if state.coordinator.drives() != n {
+            return Err(FleetError::Config(format!(
+                "coordinator state covers {} drives but the state carries {n} enclosures",
+                state.coordinator.drives()
+            )));
+        }
+        if state.window.get() <= 0.0 {
+            return Err(FleetError::Config("control window must be positive".into()));
+        }
+        if state.windows_per_epoch == 0 {
+            return Err(FleetError::Config("an epoch needs at least one window".into()));
+        }
+        let enclosures = state
+            .enclosures
+            .into_iter()
+            .map(Enclosure::restore_state)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            enclosures,
+            router: Router::new(state.routing).with_cursor(state.router_cursor),
+            coordinator: Coordinator::restore_state(state.coordinator),
+            airflow: state.airflow,
+            envelope: state.envelope,
+            window: state.window,
+            windows_per_epoch: state.windows_per_epoch,
+            threads: state.threads.max(1),
+            incoming: state.incoming.into(),
+            stats: state.stats,
+            epochs: state.epochs,
+            now: state.now,
+            primed: state.primed,
+            batch: Vec::new(),
+            snaps: Vec::with_capacity(n),
+            heats: Vec::with_capacity(n),
+            airs: Vec::with_capacity(n),
         })
     }
 }

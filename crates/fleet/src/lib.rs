@@ -52,7 +52,9 @@ mod fleet;
 mod routing;
 
 pub use airflow::AirflowGraph;
-pub use coordinator::{Coordinator, FleetDtmPolicy};
+pub use coordinator::{Coordinator, CoordinatorState, FleetDtmPolicy};
 pub use error::FleetError;
-pub use fleet::{EnclosureReport, Fleet, FleetConfig, FleetPhaseProfile, FleetReport};
+pub use fleet::{
+    EnclosureReport, Fleet, FleetConfig, FleetPhaseProfile, FleetReport, FleetState,
+};
 pub use routing::{DriveSnapshot, Router, RoutingPolicy};

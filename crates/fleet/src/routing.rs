@@ -59,6 +59,19 @@ impl Router {
         self.policy
     }
 
+    /// The round-robin cursor (always zero for stateless policies),
+    /// captured for checkpointing.
+    pub fn cursor(&self) -> usize {
+        self.next_rr
+    }
+
+    /// Restores a previously captured round-robin cursor.
+    #[must_use]
+    pub fn with_cursor(mut self, cursor: usize) -> Self {
+        self.next_rr = cursor;
+        self
+    }
+
     /// Picks the drive for the next request. Gated drives are skipped
     /// unless every drive is gated, in which case the request queues at
     /// the policy's normal choice and waits for the coordinator to

@@ -29,9 +29,13 @@
 //!   plus this tree's kernel numbers diffed against the committed
 //!   baselines.
 //!
+//! - the digital twin: checkpoint encode/restore throughput, in-memory
+//!   fork latency, and one end-to-end what-if query.
+//!
 //! A full run writes the numbers (stamped with [`Provenance`]) to
-//! `BENCH_thermal.json`, `BENCH_sim.json`, `BENCH_fleet.json`, and
-//! `BENCH_obs.json` at the workspace root so regressions have
+//! `BENCH_thermal.json`, `BENCH_sim.json`, `BENCH_fleet.json`,
+//! `BENCH_obs.json`, and `BENCH_twin.json` at the workspace root so
+//! regressions have
 //! checked-in baselines to diff against; `--quick` shrinks the
 //! iteration counts, skips the writes, and instead *asserts* the
 //! instrumentation-overhead bound in-process.
@@ -46,6 +50,7 @@ use disksim::{
 use diskthermal::{
     DriveThermalSpec, Integrator, OperatingPoint, ThermalModel, TransientSim,
 };
+use disktwin::{decode, encode, whatif, Twin, TwinConfig, WhatIf};
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -802,6 +807,90 @@ pub fn obs_bench(quick: bool) -> Result<ObsBenchReport, LabError> {
 
 /// Runs the benchmark suite. Quick mode shrinks the iteration counts to
 /// smoke-test territory and does not write `BENCH_thermal.json`.
+/// What the digital-twin benchmark measured. A full `lab bench` run
+/// writes this to `BENCH_twin.json` at the workspace root.
+#[derive(Debug, Serialize)]
+pub struct TwinBenchReport {
+    /// True when the quick (smoke-test) iteration counts were used.
+    pub quick: bool,
+    /// Where/when this run happened.
+    pub provenance: Provenance,
+    /// Serialized checkpoint size for the benchmarked twin, bytes.
+    pub state_bytes: u64,
+    /// Checkpoint serializations (state → versioned bytes) per second.
+    pub checkpoint_encode_per_sec: f64,
+    /// Encode throughput in MB/s of checkpoint bytes produced.
+    pub checkpoint_encode_mb_per_sec: f64,
+    /// Checkpoint restores (bytes → validated state → live twin) per
+    /// second.
+    pub checkpoint_restore_per_sec: f64,
+    /// Mean in-memory fork latency (capture + rebuild), ms.
+    pub fork_latency_ms: f64,
+    /// One pinned what-if query (two forks over the horizon), ms.
+    pub whatif_wall_ms: f64,
+}
+
+/// Times the digital-twin state machinery: checkpoint encode/restore
+/// throughput, in-memory fork latency, and one end-to-end what-if.
+pub fn twin_bench(quick: bool) -> Result<TwinBenchReport, LabError> {
+    let fail = |e: &dyn std::fmt::Display| LabError::Experiment(format!("twin bench: {e}"));
+    let (reps, warm_epochs, horizon) = if quick { (20u32, 2, 2) } else { (200u32, 4, 8) };
+    let mut twin =
+        Twin::new(TwinConfig::preset(workloads::oltp(), 4)).map_err(|e| fail(&e))?;
+    for _ in 0..warm_epochs {
+        twin.advance_epoch();
+    }
+    let state = twin.capture_state();
+
+    let start = Instant::now();
+    let mut bytes = 0u64;
+    for _ in 0..reps {
+        bytes = black_box(encode(&state).map_err(|e| fail(&e))?).len() as u64;
+    }
+    let encode_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let encoded = encode(&state).map_err(|e| fail(&e))?;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let restored =
+            Twin::restore_state(decode(&encoded).map_err(|e| fail(&e))?).map_err(|e| fail(&e))?;
+        black_box(restored.epoch());
+    }
+    let restore_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let fork = twin.fork().map_err(|e| fail(&e))?;
+        black_box(fork.epoch());
+    }
+    let fork_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let start = Instant::now();
+    let report = whatif(
+        &state,
+        &WhatIf {
+            inlet_delta_c: Some(5.0),
+            ..WhatIf::default()
+        },
+        horizon,
+        None,
+    )
+    .map_err(|e| fail(&e))?;
+    black_box(report.baseline.completed);
+    let whatif_s = start.elapsed().as_secs_f64();
+
+    Ok(TwinBenchReport {
+        quick,
+        provenance: Provenance::collect(),
+        state_bytes: bytes,
+        checkpoint_encode_per_sec: f64::from(reps) / encode_s,
+        checkpoint_encode_mb_per_sec: (bytes * u64::from(reps)) as f64 / encode_s / 1e6,
+        checkpoint_restore_per_sec: f64::from(reps) / restore_s,
+        fork_latency_ms: fork_s * 1e3 / f64::from(reps),
+        whatif_wall_ms: whatif_s * 1e3,
+    })
+}
+
 pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
     let (kernel_steps, cold_solves, memo_solves) = if quick {
         (20_000, 2_000, 20_000)
@@ -968,6 +1057,26 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
         );
     }
 
+    let twin = twin_bench(quick)?;
+    println!("digital twin (4 drives, OLTP stream):");
+    println!(
+        "  checkpoint encode:           {:>12.0} states/s  ({:.1} MB/s, {} bytes/state)",
+        twin.checkpoint_encode_per_sec, twin.checkpoint_encode_mb_per_sec, twin.state_bytes
+    );
+    println!(
+        "  checkpoint restore:          {:>12.0} states/s",
+        twin.checkpoint_restore_per_sec
+    );
+    println!(
+        "  fork latency:                {:>12.3} ms",
+        twin.fork_latency_ms
+    );
+    println!(
+        "  what-if (2 forks, {} epochs): {:>11.1} ms",
+        if quick { 2 } else { 8 },
+        twin.whatif_wall_ms
+    );
+
     if quick {
         // The in-process bound `--quick` asserts: two interleaved
         // null-sink measurements of the same kernel must agree to
@@ -991,6 +1100,7 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
             ("BENCH_sim.json", serde_json::to_string_pretty(&sim)),
             ("BENCH_fleet.json", serde_json::to_string_pretty(&fleet)),
             ("BENCH_obs.json", serde_json::to_string_pretty(&obs)),
+            ("BENCH_twin.json", serde_json::to_string_pretty(&twin)),
         ] {
             let path = root.join(name);
             let json = json.map_err(|e| LabError::Parse(e.to_string()))?;
@@ -1039,6 +1149,17 @@ mod tests {
     fn queue_hold_churn_is_deterministic_and_positive() {
         assert!(queue_hold_ops_per_sec(2_000, true) > 0.0);
         assert!(queue_hold_ops_per_sec(2_000, false) > 0.0);
+    }
+
+    #[test]
+    fn twin_bench_reports_positive_rates() {
+        let report = twin_bench(true).unwrap();
+        assert!(report.state_bytes > 0);
+        assert!(report.checkpoint_encode_per_sec > 0.0);
+        assert!(report.checkpoint_encode_mb_per_sec > 0.0);
+        assert!(report.checkpoint_restore_per_sec > 0.0);
+        assert!(report.fork_latency_ms > 0.0);
+        assert!(report.whatif_wall_ms > 0.0);
     }
 
     #[test]

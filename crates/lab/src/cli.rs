@@ -18,6 +18,11 @@ pub struct Options {
     pub bench: bool,
     /// Run instrumented trace scenarios instead of experiments.
     pub trace: bool,
+    /// Digital-twin server/client mode; `names` holds the raw
+    /// `twin ...` arguments.
+    pub twin: bool,
+    /// Print the help text to stdout and exit 0.
+    pub help: bool,
     /// Profile experiments (cache off) and print per-stage wall times.
     pub profile: bool,
     /// Worker threads.
@@ -38,6 +43,8 @@ impl Default for Options {
             list: false,
             bench: false,
             trace: false,
+            twin: false,
+            help: false,
             profile: false,
             threads: 1,
             use_cache: true,
@@ -61,6 +68,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             "bench" => opts.bench = true,
             "trace" => opts.trace = true,
             "profile" => opts.profile = true,
+            // The twin subcommand has its own flags (`--addr`, ...);
+            // hand the rest of the line over verbatim.
+            "twin" => {
+                opts.twin = true;
+                opts.names = args.collect();
+                break;
+            }
             "--verbose" | "-v" => opts.verbosity = diskobs::logger::Level::Verbose,
             "--quiet" | "-q" => opts.verbosity = diskobs::logger::Level::Quiet,
             "--threads" => {
@@ -72,15 +86,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
             }
             "--no-cache" => opts.use_cache = false,
             "--quick" => opts.quick = true,
-            "--help" | "-h" => {
-                return Err(usage());
-            }
+            "--help" | "-h" => opts.help = true,
             name if !name.starts_with('-') => opts.names.push(name.to_string()),
-            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+            other => return Err(format!("unknown flag {other:?} (try: lab --help)")),
         }
     }
-    if !opts.all && !opts.list && !opts.bench && !opts.trace && !opts.profile
-        && opts.names.is_empty()
+    if !opts.all && !opts.list && !opts.bench && !opts.trace && !opts.profile && !opts.twin
+        && !opts.help && opts.names.is_empty()
     {
         opts.list = true;
     }
@@ -91,7 +103,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 pub fn usage() -> String {
     format!(
         "usage: lab [all | list | bench | trace <scenario>... | profile [<experiment>...] |\n\
-         \x20           [run] <experiment>...] [--threads N] [--no-cache] [--quick] [-q | --verbose]\n\n\
+         \x20           twin serve|query ... | [run] <experiment>...]\n\
+         \x20           [--threads N] [--no-cache] [--quick] [-q | --verbose]\n\n\
+         twin serve [--addr A] [--enclosures N] [--workload W] [--checkpoint PATH]\n\
+         starts the digital-twin what-if server (line-delimited JSON over TCP);\n\
+         twin query --addr HOST:PORT '<json>' sends one request and prints the answer.\n\n\
          bench times the thermal kernel, the storage event core (window\n\
          loop and calendar-vs-heap churn), the fleet event loop with its\n\
          parallel/serial phase split, end-to-end experiments, and the\n\
@@ -114,9 +130,12 @@ pub fn usage() -> String {
 /// directory. Returns a process exit code.
 pub fn run(opts: &Options) -> i32 {
     diskobs::logger::set_level(opts.verbosity);
-    if opts.list {
+    if opts.help || opts.list {
         println!("{}", usage());
         return 0;
+    }
+    if opts.twin {
+        return crate::twin_cli::run_twin(&opts.names);
     }
     if opts.bench {
         return match crate::bench::run_bench(opts.quick) {
@@ -142,7 +161,7 @@ pub fn run(opts: &Options) -> i32 {
             match registry::by_name(name, scale) {
                 Some(exp) => chosen.push(exp),
                 None => {
-                    eprintln!("unknown experiment {name:?}\n\n{}", usage());
+                    eprintln!("lab: unknown experiment {name:?} (run 'lab list' for the registry)");
                     return 2;
                 }
             }
@@ -243,7 +262,7 @@ fn run_profile_command(opts: &Options) -> i32 {
             match registry::by_name(name, scale) {
                 Some(exp) => chosen.push(exp),
                 None => {
-                    eprintln!("unknown experiment {name:?}\n\n{}", usage());
+                    eprintln!("lab: unknown experiment {name:?} (run 'lab list' for the registry)");
                     return 2;
                 }
             }
@@ -403,6 +422,29 @@ mod tests {
         let opts = parse(&["profile"]);
         assert!(opts.profile);
         assert!(!opts.list, "profile with no names means all experiments");
+    }
+
+    #[test]
+    fn help_parses_instead_of_erroring() {
+        assert!(parse(&["--help"]).help);
+        assert!(parse(&["-h"]).help);
+        assert!(!parse(&["--help"]).list, "help prints usage via its own path");
+    }
+
+    #[test]
+    fn unknown_flags_fail_with_a_single_line() {
+        let err = parse_args(["--wat".to_string()]).unwrap_err();
+        assert!(!err.contains('\n'), "error must be one line: {err:?}");
+        assert!(err.contains("--wat"));
+    }
+
+    #[test]
+    fn twin_subcommand_passes_arguments_through_verbatim() {
+        let opts = parse(&["twin", "serve", "--addr", "127.0.0.1:0", "--quick"]);
+        assert!(opts.twin);
+        assert_eq!(opts.names, ["serve", "--addr", "127.0.0.1:0", "--quick"]);
+        assert!(!opts.quick, "twin flags are not lab flags");
+        assert!(!opts.list);
     }
 
     #[test]

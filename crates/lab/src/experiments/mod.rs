@@ -18,6 +18,7 @@ pub mod plan;
 pub mod shuffle;
 pub mod table1;
 pub mod table3;
+pub mod twin_whatif;
 
 use serde_json::{Map, Value};
 

@@ -1,0 +1,184 @@
+//! Digital-twin what-if queries, answered by the live server.
+//!
+//! Boots a [`disktwin::TwinServer`] in-process on an ephemeral port,
+//! lets the warm fleet advance, then asks the paper's three capacity
+//! questions over the wire — more drives in the rack, a hotter CRAC
+//! inlet, heavier traffic — each pinned to the same snapshot epoch so
+//! the answers are byte-identical across runs even though the live
+//! twin keeps moving while the queries execute.
+
+use crate::experiments::config_object;
+use crate::text::outln;
+use crate::{Experiment, LabError, RunOutput, Scale};
+use disktwin::{query_line, ServerConfig, Twin, TwinConfig, TwinServer};
+use serde::Serialize as _;
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// The three capacity questions, as wire-format query lines (without
+/// the pin and horizon, which the experiment appends).
+const QUERIES: [(&str, &str); 3] = [
+    ("add_drives", r#""add_drives":2"#),
+    ("inlet_delta", r#""inlet_delta_c":5.0"#),
+    ("traffic_scale", r#""traffic_scale":1.3"#),
+];
+
+/// The in-process twin-server what-if experiment.
+pub struct TwinWhatif {
+    /// Fleet size of the live twin.
+    pub enclosures: usize,
+    /// Snapshot epoch every query pins to.
+    pub at_epoch: u64,
+    /// Fork horizon in sync epochs.
+    pub horizon_epochs: u64,
+    /// Arrival-stream seed.
+    pub seed: u64,
+}
+
+impl TwinWhatif {
+    /// Paper-shaped defaults at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => TwinWhatif {
+                enclosures: 4,
+                at_epoch: 4,
+                horizon_epochs: 8,
+                seed: 42,
+            },
+            Scale::Quick => TwinWhatif {
+                enclosures: 2,
+                at_epoch: 2,
+                horizon_epochs: 2,
+                seed: 42,
+            },
+        }
+    }
+}
+
+impl Experiment for TwinWhatif {
+    fn name(&self) -> &'static str {
+        "twin_whatif"
+    }
+
+    fn config(&self) -> Value {
+        config_object(vec![
+            ("enclosures", self.enclosures.to_value()),
+            ("at_epoch", self.at_epoch.to_value()),
+            ("horizon_epochs", self.horizon_epochs.to_value()),
+            ("seed", self.seed.to_value()),
+            ("queries", QUERIES.len().to_value()),
+        ])
+    }
+
+    fn run(&self) -> Result<RunOutput, LabError> {
+        let fail = |e: &dyn std::fmt::Display| LabError::Experiment(format!("twin_whatif: {e}"));
+        let mut config = TwinConfig::preset(workloads::oltp(), self.enclosures);
+        config.seed = self.seed;
+        let twin = Twin::new(config).map_err(|e| fail(&e))?;
+        let server = TwinServer::start(
+            twin,
+            ServerConfig {
+                epoch_interval_ms: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| fail(&e))?;
+        let addr = server.addr().to_string();
+
+        // Wait for the live twin to reach the pinned epoch.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while server.epoch() < self.at_epoch {
+            if Instant::now() >= deadline {
+                return Err(fail(&format!(
+                    "twin never reached epoch {} (at {})",
+                    self.at_epoch,
+                    server.epoch()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let mut report = String::new();
+        outln!(
+            report,
+            "digital twin: {} drives, OLTP stream, queries pinned at epoch {} over a \
+             {}-epoch horizon",
+            self.enclosures,
+            self.at_epoch,
+            self.horizon_epochs
+        );
+        outln!(
+            report,
+            "{:>14} {:>14} {:>14} {:>14} {:>12}",
+            "what-if",
+            "peak air dC",
+            "mean dms",
+            "p99 dms",
+            "d engaged"
+        );
+
+        let mut rows: Vec<Value> = Vec::new();
+        for (label, knob) in QUERIES {
+            let line = format!(
+                "{{\"cmd\":\"whatif\",{knob},\"horizon_epochs\":{},\"at_epoch\":{}}}",
+                self.horizon_epochs, self.at_epoch
+            );
+            let answer = query_line(&addr, &line, Duration::from_secs(120)).map_err(|e| fail(&e))?;
+            let parsed: Value =
+                serde_json::from_str(&answer).map_err(|e| LabError::Parse(e.to_string()))?;
+            if parsed.get("error").is_some() {
+                return Err(fail(&format!("{label} query failed: {answer}")));
+            }
+            let num = |key: &str| parsed.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+            outln!(
+                report,
+                "{:>14} {:>14.3} {:>14.3} {:>14.3} {:>12.0}",
+                label,
+                num("peak_air_delta_c"),
+                num("mean_response_delta_ms"),
+                num("p99_response_delta_ms"),
+                num("engaged_delta")
+            );
+            rows.push(config_object(vec![
+                ("label", label.to_value()),
+                ("report", parsed),
+            ]));
+        }
+        server.stop();
+        outln!(
+            report,
+            "all answers forked from the same immutable snapshot; rerunning reproduces \
+             them byte-identically"
+        );
+        Ok(RunOutput::single("twin_whatif", Value::Array(rows), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whatif_rows_are_deterministic_and_complete() {
+        let exp = TwinWhatif::at_scale(Scale::Quick);
+        let a = exp.run().unwrap();
+        let b = exp.run().unwrap();
+        assert_eq!(
+            serde_json::to_string(&a.json[0].1).unwrap(),
+            serde_json::to_string(&b.json[0].1).unwrap(),
+            "pinned queries must reproduce byte-identically"
+        );
+        let rows = a.json[0].1.as_array().expect("array payload");
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            let report = row.get("report").expect("report present");
+            assert_eq!(
+                report.get("from_epoch").and_then(Value::as_u64),
+                Some(2),
+                "answers are pinned to the requested epoch"
+            );
+            assert!(report.get("baseline").is_some());
+            assert!(report.get("perturbed").is_some());
+        }
+    }
+}

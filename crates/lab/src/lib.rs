@@ -19,6 +19,7 @@ pub mod manifest;
 pub mod registry;
 pub mod text;
 pub mod trace;
+pub mod twin_cli;
 
 pub use engine::{default_parallelism, parallel_map, Engine, RunSummary};
 pub use error::LabError;

@@ -5,6 +5,7 @@ use crate::experiments::{
     figure1::Figure1, figure2::Figure2, figure3::Figure3, figure4::Figure4, figure5::Figure5,
     figure7::Figure7, fleet_routing::FleetRouting, fleet_scaling::FleetScaling,
     formfactor::FormFactor, plan::Plan, shuffle::Shuffle, table1::Table1, table3::Table3,
+    twin_whatif::TwinWhatif,
 };
 
 /// Every registered experiment, in name order, at the given scale.
@@ -23,6 +24,7 @@ pub fn registry(scale: Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(Shuffle::at_scale(scale)),
         Box::new(Table1),
         Box::new(Table3),
+        Box::new(TwinWhatif::at_scale(scale)),
     ]
 }
 
@@ -47,7 +49,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must stay in sorted name order");
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
     }
 
     #[test]
@@ -64,7 +66,7 @@ mod tests {
             .iter()
             .map(|e| e.config_digest())
             .collect();
-        assert_eq!(digests.len(), 13);
+        assert_eq!(digests.len(), 14);
     }
 
     #[test]
@@ -75,7 +77,7 @@ mod tests {
             let differs = f.config_digest() != q.config_digest();
             let simulation_heavy = matches!(
                 f.name(),
-                "figure4" | "fleet_routing" | "fleet_scaling" | "shuffle"
+                "figure4" | "fleet_routing" | "fleet_scaling" | "shuffle" | "twin_whatif"
             );
             assert_eq!(differs, simulation_heavy, "{}", f.name());
         }

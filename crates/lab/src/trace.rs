@@ -226,14 +226,11 @@ fn write_outputs(name: &str, events: &[TimedEvent], dir: &Path) -> Result<TraceO
     let mut files = Vec::new();
 
     let ndjson = dir.join(format!("trace_{name}.ndjson"));
-    let mut recorder = NdjsonRecorder::create(&ndjson)?;
+    let mut recorder = NdjsonRecorder::create_atomic(&ndjson)?;
     for e in events {
         recorder.record(e);
     }
-    recorder.flush();
-    if let Some(e) = recorder.error() {
-        return Err(LabError::Io(std::io::Error::other(e.to_string())));
-    }
+    recorder.commit()?;
     files.push(ndjson);
 
     let metrics = dir.join(format!("trace_{name}_metrics.json"));

@@ -39,4 +39,4 @@ pub use event::{Event, TimedEvent};
 pub use logger::Level;
 pub use metrics::{LogHistogram, Registry, Timeseries};
 pub use profile::{Span, SpanSet};
-pub use record::{NdjsonRecorder, NullRecorder, Recorder, RingRecorder, Sink};
+pub use record::{AtomicFile, NdjsonRecorder, NullRecorder, Recorder, RingRecorder, Sink};

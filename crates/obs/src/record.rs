@@ -16,8 +16,98 @@ use crate::event::{Event, TimedEvent};
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use units::Seconds;
+
+/// A crash-safe file writer: bytes land in a `.tmp` sibling, and
+/// [`AtomicFile::commit`] fsyncs them and renames the file into place.
+/// A reader therefore sees either the previous complete file or the new
+/// complete file, never a torn write — the contract checkpoint and
+/// trace artifacts need. Dropping without committing discards the
+/// temporary.
+pub struct AtomicFile {
+    out: Option<BufWriter<File>>,
+    tmp: PathBuf,
+    path: PathBuf,
+}
+
+impl AtomicFile {
+    /// Starts writing `path` through its `.tmp` sibling (truncating any
+    /// stale temporary from a previous crash).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let out = BufWriter::new(File::create(&tmp)?);
+        Ok(Self {
+            out: Some(out),
+            tmp,
+            path,
+        })
+    }
+
+    /// The final path the file will land at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes, fsyncs, and renames the temporary into place. Also
+    /// best-effort fsyncs the parent directory so the rename itself is
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush, sync, and rename failures; on error the
+    /// temporary is removed and the destination is untouched.
+    pub fn commit(mut self) -> io::Result<()> {
+        let out = self.out.take().expect("commit consumes the writer");
+        let result = (|| {
+            let file = out.into_inner().map_err(|e| e.into_error())?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&self.tmp, &self.path)
+        })();
+        match result {
+            Ok(()) => {
+                if let Some(dir) = self.path.parent() {
+                    if let Ok(d) = File::open(dir) {
+                        // Directory fsync is not supported everywhere;
+                        // the rename is already atomic without it.
+                        let _ = d.sync_all();
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&self.tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.out.as_mut().expect("writer present until commit").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.as_mut().expect("writer present until commit").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.out.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
 
 /// Consumes a stream of timed events at the collection boundary.
 pub trait Recorder {
@@ -100,6 +190,35 @@ impl NdjsonRecorder<BufWriter<File>> {
     /// Propagates file-creation failures.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl NdjsonRecorder<AtomicFile> {
+    /// Creates an NDJSON trace file written crash-safely: lines land in
+    /// a `.tmp` sibling and [`NdjsonRecorder::commit`] fsyncs and
+    /// renames the finished trace into place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create_atomic(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(AtomicFile::create(path)?))
+    }
+
+    /// Finishes the trace: surfaces any recording error, then fsyncs
+    /// and atomically renames the file into place. Returns the number
+    /// of lines written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first recording error or the commit failure.
+    pub fn commit(self) -> io::Result<u64> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let lines = self.lines;
+        self.out.commit()?;
+        Ok(lines)
     }
 }
 

@@ -1,0 +1,83 @@
+//! Twin-level errors.
+
+use crate::checkpoint::CheckpointError;
+
+/// Everything that can go wrong running or querying a twin.
+#[derive(Debug)]
+pub enum TwinError {
+    /// A bad twin or server configuration.
+    Config(String),
+    /// A malformed or out-of-range query.
+    BadQuery(String),
+    /// The bounded query queue is full; retry later.
+    Overloaded,
+    /// The query exceeded its deadline.
+    Timeout,
+    /// The requested snapshot epoch has already left the history ring.
+    Evicted(u64),
+    /// A simulator failure surfaced through the fleet.
+    Sim(String),
+    /// A checkpoint could not be written or read.
+    Checkpoint(CheckpointError),
+    /// A socket or file failure.
+    Io(String),
+}
+
+impl std::fmt::Display for TwinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "bad twin configuration: {msg}"),
+            Self::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            Self::Overloaded => write!(f, "query queue full; retry later"),
+            Self::Timeout => write!(f, "query exceeded its deadline"),
+            Self::Evicted(epoch) => {
+                write!(f, "snapshot for epoch {epoch} has left the history ring")
+            }
+            Self::Sim(msg) => write!(f, "simulation failure: {msg}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            Self::Io(msg) => write!(f, "i/o failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TwinError {}
+
+impl TwinError {
+    /// The stable machine-readable kind tag the wire protocol reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Config(_) => "config",
+            Self::BadQuery(_) => "bad_query",
+            Self::Overloaded => "overloaded",
+            Self::Timeout => "timeout",
+            Self::Evicted(_) => "evicted",
+            Self::Sim(_) => "sim",
+            Self::Checkpoint(_) => "checkpoint",
+            Self::Io(_) => "io",
+        }
+    }
+}
+
+impl From<disksim::SimError> for TwinError {
+    fn from(e: disksim::SimError) -> Self {
+        Self::Sim(e.to_string())
+    }
+}
+
+impl From<diskfleet::FleetError> for TwinError {
+    fn from(e: diskfleet::FleetError) -> Self {
+        Self::Sim(e.to_string())
+    }
+}
+
+impl From<CheckpointError> for TwinError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for TwinError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}

@@ -1,0 +1,107 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Each request is one compact JSON object on one line; each response
+//! is one JSON object on one line. Commands:
+//!
+//! | `cmd`        | fields                                                        | response |
+//! |--------------|---------------------------------------------------------------|----------|
+//! | `status`     | —                                                             | [`StatusMsg`] |
+//! | `whatif`     | `add_drives`, `inlet_delta_c`, `traffic_scale`, `horizon_epochs`, `at_epoch` | [`WhatIfReport`](crate::WhatIfReport) |
+//! | `checkpoint` | —                                                             | [`CheckpointMsg`] |
+//! | `metrics`    | —                                                             | the server's metrics registry |
+//! | `shutdown`   | —                                                             | [`OkMsg`] |
+//!
+//! Errors come back as `{"error":{"kind":...,"message":...}}` — see
+//! [`ErrorMsg`]. Pinning `at_epoch` makes a what-if answer a pure
+//! function of the server's configuration: the same query against the
+//! same epoch returns byte-identical JSON, however many clients race.
+
+use crate::error::TwinError;
+use serde::{Deserialize, Serialize};
+
+/// One parsed request line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryMsg {
+    /// The command: `status`, `whatif`, `checkpoint`, `metrics`, or
+    /// `shutdown`.
+    pub cmd: String,
+    /// `whatif`: extra drives appended to the serial rack.
+    pub add_drives: Option<u64>,
+    /// `whatif`: rack-inlet shift, °C.
+    pub inlet_delta_c: Option<f64>,
+    /// `whatif`: arrival-rate multiplier.
+    pub traffic_scale: Option<f64>,
+    /// `whatif`: fork horizon in sync epochs (server default when
+    /// omitted).
+    pub horizon_epochs: Option<u64>,
+    /// `whatif`: pin the query to this snapshot epoch. Omitted: the
+    /// freshest snapshot. Pinned queries are deterministic across runs.
+    pub at_epoch: Option<u64>,
+}
+
+/// The body of an error response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable kind (`overloaded`, `timeout`, …).
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// An error response line: `{"error":{...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorMsg {
+    /// The error.
+    pub error: ErrorBody,
+}
+
+impl ErrorMsg {
+    /// Wraps a twin error for the wire.
+    pub fn from_error(e: &TwinError) -> Self {
+        Self {
+            error: ErrorBody {
+                kind: e.kind().to_string(),
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// Response to `status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusMsg {
+    /// Freshest snapshot epoch.
+    pub epoch: u64,
+    /// Simulated time at that epoch, seconds.
+    pub sim_time_s: f64,
+    /// Hottest internal air across the fleet, °C.
+    pub peak_air_c: f64,
+    /// Drives currently under DTM control action.
+    pub engaged: u64,
+    /// Fleet size.
+    pub enclosures: u64,
+    /// What-if queries currently executing.
+    pub inflight: u64,
+    /// Oldest snapshot epoch still in the history ring.
+    pub oldest_epoch: u64,
+}
+
+/// Response to `checkpoint`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointMsg {
+    /// Where the checkpoint landed.
+    pub path: String,
+    /// Checkpoint size in bytes.
+    pub bytes: u64,
+    /// Serialization plus write time, ms.
+    pub duration_ms: f64,
+    /// The epoch that was checkpointed.
+    pub epoch: u64,
+}
+
+/// Response to `shutdown`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OkMsg {
+    /// Always true.
+    pub ok: bool,
+}

@@ -1,0 +1,171 @@
+//! The checkpoint contract: `restore(checkpoint(s))` then `advance(k)`
+//! is byte-identical to `advance(k)` on the original — across every
+//! workload preset and with a RAID-5 array mid-rebuild — and corrupted
+//! or truncated checkpoint files are rejected with typed errors.
+
+use disksim::{DiskSpec, Request, RequestKind, StorageSystem, SystemConfig};
+use disktwin::{decode, encode, read_checkpoint, write_checkpoint, CheckpointError, Twin, TwinConfig};
+use proptest::prelude::*;
+use units::{Rpm, Seconds};
+
+fn twin_for(preset_idx: usize) -> Twin {
+    let presets = workloads::presets();
+    let preset = presets[preset_idx % presets.len()].clone();
+    Twin::new(TwinConfig::preset(preset, 3)).expect("twin builds")
+}
+
+fn state_json(twin: &Twin) -> String {
+    serde_json::to_string(&twin.capture_state()).expect("state serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // The tentpole invariant, across all five workload presets:
+    // checkpointing is invisible. Encode → decode → restore, then
+    // advance both twins in lockstep — every captured state byte
+    // matches.
+    #[test]
+    fn restore_then_advance_matches_never_checkpointing(
+        preset in 0usize..5,
+        warmup in 0u64..3,
+        k in 1u64..4,
+    ) {
+        let mut original = twin_for(preset);
+        for _ in 0..warmup {
+            original.advance_epoch();
+        }
+        let bytes = encode(&original.capture_state()).expect("encode");
+        let mut restored =
+            Twin::restore_state(decode(&bytes).expect("decode")).expect("restore");
+        prop_assert_eq!(state_json(&original), state_json(&restored));
+        for _ in 0..k {
+            original.advance_epoch();
+            restored.advance_epoch();
+            prop_assert_eq!(state_json(&original), state_json(&restored));
+        }
+    }
+}
+
+/// A RAID-5 array serving degraded (one member failed, reconstruction
+/// reads in flight) round-trips through the same serialization layer
+/// and keeps advancing byte-identically.
+#[test]
+fn mid_raid_rebuild_state_round_trips() {
+    let cfg = SystemConfig::raid5(DiskSpec::era_2001(Rpm::new(10_000.0)), 5, 16)
+        .expect("raid5 config");
+    let mut sys = StorageSystem::new(cfg).expect("system builds");
+    let span = sys.logical_sectors() - 256;
+    for i in 0..200u64 {
+        let kind = if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read };
+        let r = Request::new(
+            i,
+            Seconds::from_millis(i as f64 * 0.7),
+            0,
+            (i * 7_919) % span,
+            8,
+            kind,
+        );
+        sys.submit(r).expect("submit");
+    }
+    let _ = sys.advance_to(Seconds::from_millis(40.0));
+    sys.fail_disk(2).expect("raid5 member fails");
+    // Serve degraded for a while so reconstruction work is in flight.
+    let _ = sys.advance_to(Seconds::from_millis(60.0));
+
+    let json = serde_json::to_string(&sys.capture_state()).expect("state serializes");
+    let mut restored =
+        StorageSystem::restore_state(serde_json::from_str(&json).expect("state parses"))
+            .expect("restore");
+    assert_eq!(restored.failed_disk(), Some(2), "degraded mode survives restore");
+
+    let a = sys.drain();
+    let b = restored.drain();
+    assert_eq!(a.len(), b.len(), "both drains complete the same requests");
+    assert_eq!(
+        serde_json::to_string(&sys.capture_state()).unwrap(),
+        serde_json::to_string(&restored.capture_state()).unwrap(),
+        "drained states are byte-identical"
+    );
+}
+
+fn sample_bytes() -> Vec<u8> {
+    let twin = twin_for(1);
+    encode(&twin.capture_state()).expect("encode")
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_before_parsing() {
+    let good = sample_bytes();
+    assert!(decode(&good).is_ok(), "the uncorrupted bytes decode");
+
+    // A flipped bit deep in the body fails the checksum.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    assert!(
+        matches!(decode(&flipped), Err(CheckpointError::ChecksumMismatch)),
+        "bit flip must fail the checksum"
+    );
+
+    // A truncated file fails the length check.
+    let truncated = &good[..good.len() - good.len() / 3];
+    assert!(
+        matches!(
+            decode(truncated),
+            Err(CheckpointError::Truncated { .. })
+        ),
+        "truncation must be detected"
+    );
+
+    // The wrong magic is not a checkpoint at all.
+    let mut wrong_magic = good.clone();
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        decode(&wrong_magic),
+        Err(CheckpointError::BadHeader(_))
+    ));
+
+    // A future version is refused, not misparsed.
+    let header_end = good.iter().position(|&b| b == b'\n').unwrap();
+    let header = String::from_utf8(good[..header_end].to_vec()).unwrap();
+    let bumped = header.replacen(" 1 ", " 999 ", 1);
+    let mut wrong_version = bumped.into_bytes();
+    wrong_version.extend_from_slice(&good[header_end..]);
+    assert!(matches!(
+        decode(&wrong_version),
+        Err(CheckpointError::WrongVersion { found: 999 })
+    ));
+
+    // No header line at all.
+    assert!(matches!(
+        decode(b"not a checkpoint"),
+        Err(CheckpointError::BadHeader(_))
+    ));
+    assert!(matches!(decode(b""), Err(CheckpointError::BadHeader(_))));
+}
+
+#[test]
+fn checkpoint_files_write_atomically_and_read_back() {
+    let dir = std::env::temp_dir().join(format!("disktwin-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("twin.ckpt");
+
+    let mut twin = twin_for(0);
+    twin.advance_epoch();
+    let state = twin.capture_state();
+    let bytes = write_checkpoint(&path, &state).expect("write");
+    assert_eq!(bytes, std::fs::metadata(&path).expect("file exists").len());
+    assert!(
+        !dir.join("twin.ckpt.tmp").exists(),
+        "the staging file must not survive a successful commit"
+    );
+
+    let back = read_checkpoint(&path).expect("read back");
+    assert_eq!(
+        serde_json::to_string(&back).unwrap(),
+        serde_json::to_string(&state).unwrap(),
+        "the file round-trips byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -152,6 +152,55 @@ impl ArrivalStream {
     }
 }
 
+/// Complete dynamic state of an [`ArrivalStream`], captured for
+/// checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalStreamState {
+    model: ArrivalModel,
+    now: f64,
+    state_left: f64,
+    in_burst: bool,
+    started: bool,
+}
+
+impl ArrivalStream {
+    /// Captures the stream's position (clock and burst phase) together
+    /// with its model.
+    pub fn capture_state(&self) -> ArrivalStreamState {
+        ArrivalStreamState {
+            model: self.model,
+            now: self.now,
+            state_left: self.state_left,
+            in_burst: self.in_burst,
+            started: self.started,
+        }
+    }
+
+    /// Rebuilds a stream mid-flight from a captured state.
+    pub fn restore_state(state: ArrivalStreamState) -> Self {
+        Self {
+            model: state.model,
+            now: state.now,
+            state_left: state.state_left,
+            in_burst: state.in_burst,
+            started: state.started,
+        }
+    }
+
+    /// Rescales the model's long-run mean rate by `factor` in place,
+    /// keeping the clock and burst phase — the "what if traffic grew
+    /// 30%?" perturbation applied to a live stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite (via
+    /// [`ArrivalModel::with_mean_rate`]).
+    pub fn scale_rate(&mut self, factor: f64) {
+        let target = self.model.mean_rate() * factor;
+        self.model = self.model.with_mean_rate(target);
+    }
+}
+
 /// Draws an exponential variate with the given rate.
 fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
     debug_assert!(rate > 0.0, "exponential rate must be positive");

@@ -2,14 +2,15 @@
 //! profile over one or more devices.
 
 use crate::access::{AccessProfile, ZipfSampler};
-use crate::arrival::{ArrivalModel, ArrivalStream};
+use crate::arrival::{ArrivalModel, ArrivalStream, ArrivalStreamState};
 use disksim::{Request, RequestKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Per-device generator state: where the last sequential run ended and
 /// the device's region popularity ranking.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct DeviceState {
     next_sequential_lba: u64,
     /// Permutation mapping Zipf rank -> region index, so each device has
@@ -80,12 +81,19 @@ impl TraceGenerator {
 
     /// Generates `n` requests deterministically from `seed`.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+        let mut stream = self.stream(seed);
+        (0..n).map(|_| stream.next_request()).collect()
+    }
+
+    /// Opens an incremental request stream seeded from `seed`. The
+    /// stream draws exactly the requests [`Self::generate`] would, one
+    /// at a time, and its state can be captured mid-flight for
+    /// checkpointing.
+    pub fn stream(&self, seed: u64) -> TraceStream {
         let mut rng = StdRng::seed_from_u64(seed);
         let zipf = ZipfSampler::try_new(self.profile.hot_regions, self.profile.zipf_theta)
             .expect("profile was validated at construction");
-        let region_sectors = (self.sectors_per_device / self.profile.hot_regions as u64).max(1);
-
-        let mut devices: Vec<DeviceState> = (0..self.devices)
+        let devices: Vec<DeviceState> = (0..self.devices)
             .map(|_| {
                 let mut perm: Vec<usize> = (0..self.profile.hot_regions).collect();
                 // Fisher-Yates with the seeded generator.
@@ -99,45 +107,138 @@ impl TraceGenerator {
                 }
             })
             .collect();
-
-        let mut stream = ArrivalStream::new(self.arrivals);
-        let mut out = Vec::with_capacity(n);
-        for id in 0..n {
-            let arrival = stream.next_arrival(&mut rng);
-            let device = rng.gen_range(0..self.devices);
-            let state = &mut devices[device as usize];
-            let sectors = self.profile.size.sample(&mut rng);
-
-            let max_start = self.sectors_per_device.saturating_sub(sectors as u64 + 1);
-            let lba = if rng.gen_bool(self.profile.sequential_fraction) {
-                // Continue the device's current run, wrapping at the end.
-                let lba = state.next_sequential_lba.min(max_start);
-                state.next_sequential_lba = lba + sectors as u64;
-                if state.next_sequential_lba >= max_start {
-                    state.next_sequential_lba = 0;
-                }
-                lba
-            } else {
-                // Skewed random: pick a region by popularity, uniform
-                // inside it; the new position also re-seeds the
-                // sequential run.
-                let rank = zipf.sample(&mut rng);
-                let region = state.region_of_rank[rank] as u64;
-                let base = region * region_sectors;
-                let span = region_sectors.max(sectors as u64 + 1);
-                let lba = (base + rng.gen_range(0..span)).min(max_start);
-                state.next_sequential_lba = lba + sectors as u64;
-                lba
-            };
-
-            let kind = if rng.gen_bool(self.profile.read_fraction) {
-                RequestKind::Read
-            } else {
-                RequestKind::Write
-            };
-            out.push(Request::new(id as u64, arrival, device, lba, sectors, kind));
+        TraceStream {
+            profile: self.profile.clone(),
+            devices: self.devices,
+            sectors_per_device: self.sectors_per_device,
+            zipf,
+            rng,
+            device_states: devices,
+            stream: ArrivalStream::new(self.arrivals),
+            next_id: 0,
         }
-        out
+    }
+}
+
+/// An endless, checkpointable request stream — the incremental
+/// counterpart of [`TraceGenerator::generate`], drawing identical
+/// requests in identical order for a given seed.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    profile: AccessProfile,
+    devices: u32,
+    sectors_per_device: u64,
+    /// Pure function of the profile; rebuilt on restore.
+    zipf: ZipfSampler,
+    rng: StdRng,
+    device_states: Vec<DeviceState>,
+    stream: ArrivalStream,
+    next_id: u64,
+}
+
+/// Complete dynamic state of a [`TraceStream`], captured for
+/// checkpointing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStreamState {
+    profile: AccessProfile,
+    devices: u32,
+    sectors_per_device: u64,
+    rng: [u64; 4],
+    device_states: Vec<DeviceState>,
+    arrivals: ArrivalStreamState,
+    next_id: u64,
+}
+
+impl TraceStream {
+    /// Draws the next request.
+    pub fn next_request(&mut self) -> Request {
+        let rng = &mut self.rng;
+        let arrival = self.stream.next_arrival(rng);
+        let device = rng.gen_range(0..self.devices);
+        let state = &mut self.device_states[device as usize];
+        let sectors = self.profile.size.sample(rng);
+        let region_sectors = (self.sectors_per_device / self.profile.hot_regions as u64).max(1);
+
+        let max_start = self.sectors_per_device.saturating_sub(sectors as u64 + 1);
+        let lba = if rng.gen_bool(self.profile.sequential_fraction) {
+            // Continue the device's current run, wrapping at the end.
+            let lba = state.next_sequential_lba.min(max_start);
+            state.next_sequential_lba = lba + sectors as u64;
+            if state.next_sequential_lba >= max_start {
+                state.next_sequential_lba = 0;
+            }
+            lba
+        } else {
+            // Skewed random: pick a region by popularity, uniform
+            // inside it; the new position also re-seeds the
+            // sequential run.
+            let rank = self.zipf.sample(rng);
+            let region = state.region_of_rank[rank] as u64;
+            let base = region * region_sectors;
+            let span = region_sectors.max(sectors as u64 + 1);
+            let lba = (base + rng.gen_range(0..span)).min(max_start);
+            state.next_sequential_lba = lba + sectors as u64;
+            lba
+        };
+
+        let kind = if rng.gen_bool(self.profile.read_fraction) {
+            RequestKind::Read
+        } else {
+            RequestKind::Write
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::new(id, arrival, device, lba, sectors, kind)
+    }
+
+    /// Rescales the arrival process's long-run mean rate by `factor`,
+    /// keeping the clock and burst phase (traffic what-if perturbation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite.
+    pub fn scale_traffic(&mut self, factor: f64) {
+        self.stream.scale_rate(factor);
+    }
+
+    /// Captures the complete stream state for checkpointing.
+    pub fn capture_state(&self) -> TraceStreamState {
+        TraceStreamState {
+            profile: self.profile.clone(),
+            devices: self.devices,
+            sectors_per_device: self.sectors_per_device,
+            rng: self.rng.state(),
+            device_states: self.device_states.clone(),
+            arrivals: self.stream.capture_state(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Rebuilds a stream mid-flight from a captured state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the profile's validation message when the captured
+    /// profile is degenerate (a corrupted checkpoint body).
+    pub fn restore_state(state: TraceStreamState) -> Result<Self, String> {
+        state.profile.validate()?;
+        let zipf = ZipfSampler::try_new(state.profile.hot_regions, state.profile.zipf_theta)?;
+        if state.devices == 0 {
+            return Err("no devices".into());
+        }
+        if state.device_states.len() != state.devices as usize {
+            return Err("device state count mismatch".into());
+        }
+        Ok(Self {
+            profile: state.profile,
+            devices: state.devices,
+            sectors_per_device: state.sectors_per_device,
+            zipf,
+            rng: StdRng::from_state(state.rng),
+            device_states: state.device_states,
+            stream: ArrivalStream::restore_state(state.arrivals),
+            next_id: state.next_id,
+        })
     }
 }
 

@@ -36,7 +36,7 @@ mod trace;
 pub use access::{AccessProfile, SizeModel, ZipfSampler};
 pub use analyze::{analyze, TraceProfile};
 pub use ascii::{read_ascii_trace, write_ascii_trace};
-pub use arrival::ArrivalModel;
-pub use generator::TraceGenerator;
+pub use arrival::{ArrivalModel, ArrivalStream, ArrivalStreamState};
+pub use generator::{TraceGenerator, TraceStream, TraceStreamState};
 pub use presets::{openmail, oltp, presets, search_engine, tpcc, tpch, WorkloadPreset};
 pub use trace::{read_trace, write_trace};

@@ -95,6 +95,27 @@ impl WorkloadPreset {
         Ok(generator.generate(n, seed))
     }
 
+    /// Opens an endless request stream of this workload — the digital
+    /// twin's arrival feed. Draws exactly the requests
+    /// [`Self::generate`] would, one at a time, and its state can be
+    /// captured mid-flight for checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator configuration errors (the preset itself is
+    /// always internally consistent).
+    pub fn stream(&self, seed: u64) -> Result<crate::TraceStream, SimError> {
+        let system = StorageSystem::new(self.system_config(self.base_rpm)?)?;
+        let generator = TraceGenerator::new(
+            self.profile.clone(),
+            self.arrivals,
+            self.logical_devices(),
+            system.logical_sectors(),
+        )
+        .map_err(SimError::BadConfig)?;
+        Ok(generator.stream(seed))
+    }
+
     /// Generates, simulates and summarizes `n` requests at the given
     /// spindle speed.
     ///

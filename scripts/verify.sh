@@ -42,4 +42,45 @@ echo "==> cargo run --release --bin lab -- bench --quick"
 # the noise margin.
 cargo run --release --bin lab -- bench --quick
 
+echo "==> twin smoke test (serve, 3 concurrent what-if queries, 2 runs)"
+# The digital-twin server must answer concurrent pinned queries
+# byte-identically — within a run (racing clients) and across two
+# fresh server processes.
+LAB=target/release/lab
+TWIN_TMP=$(mktemp -d)
+trap 'rm -rf "$TWIN_TMP"' EXIT
+TWIN_QUERY='{"cmd":"whatif","inlet_delta_c":5.0,"horizon_epochs":2,"at_epoch":2}'
+twin_round() {
+    round="$1"
+    "$LAB" twin serve --enclosures 2 --epoch-ms 1 > "$TWIN_TMP/addr.$round" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^twin listening on //p' "$TWIN_TMP/addr.$round")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "twin server never printed its address"; exit 1; }
+    "$LAB" twin query --addr "$addr" "$TWIN_QUERY" > "$TWIN_TMP/$round.a" &
+    qa=$!
+    "$LAB" twin query --addr "$addr" "$TWIN_QUERY" > "$TWIN_TMP/$round.b" &
+    qb=$!
+    "$LAB" twin query --addr "$addr" "$TWIN_QUERY" > "$TWIN_TMP/$round.c" &
+    qc=$!
+    wait "$qa" "$qb" "$qc"
+    "$LAB" twin query --addr "$addr" '{"cmd":"shutdown"}' > /dev/null
+    wait "$serve_pid"
+    cmp -s "$TWIN_TMP/$round.a" "$TWIN_TMP/$round.b" || {
+        echo "twin: concurrent queries disagreed in round $round"; exit 1; }
+    cmp -s "$TWIN_TMP/$round.b" "$TWIN_TMP/$round.c" || {
+        echo "twin: concurrent queries disagreed in round $round"; exit 1; }
+    grep -q '"perturbed"' "$TWIN_TMP/$round.a" || {
+        echo "twin: round $round returned no report"; cat "$TWIN_TMP/$round.a"; exit 1; }
+}
+twin_round 1
+twin_round 2
+cmp -s "$TWIN_TMP/1.a" "$TWIN_TMP/2.a" || {
+    echo "twin: answers differ across server runs"; exit 1; }
+echo "twin smoke test: OK"
+
 echo "verify: OK"
