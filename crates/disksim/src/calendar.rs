@@ -214,6 +214,16 @@ impl<T> CalendarQueue<T> {
         self.front.last().map(|(k, _)| k)
     }
 
+    /// The time of the minimum event, via the [`Self::peek`] fast path.
+    ///
+    /// The k-way merge at the fleet's epoch boundary asks every shard
+    /// for its next event time before deciding which shard advances;
+    /// this answers without popping, so no pop/re-push churn at epoch
+    /// boundaries and no ring scan (amortized O(1)).
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.peek().map(TimeKey::time)
+    }
+
     /// The minimum key without staging (for `&self` callers). Scans the
     /// ring for its first occupied bucket, so prefer [`Self::peek`] in
     /// hot loops.
@@ -484,6 +494,18 @@ mod tests {
             q.pop();
         }
         assert_eq!(q.min_key(), None);
+    }
+
+    #[test]
+    fn peek_time_reports_without_popping() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(TimeKey::new(4.5, 0), 0);
+        q.push(TimeKey::new(1.25, 1), 1);
+        assert_eq!(q.peek_time(), Some(1.25));
+        assert_eq!(q.len(), 2, "peek_time must not pop");
+        assert_eq!(q.pop().map(|(_, v)| v), Some(1));
+        assert_eq!(q.peek_time(), Some(4.5));
     }
 
     #[test]

@@ -121,6 +121,60 @@ where
     });
 }
 
+/// Merges pre-sorted runs into one sorted vector, equal to the *stable*
+/// sort of their concatenation: on ties (`cmp` returns `Equal`) the
+/// element from the earlier run wins, and within a run original order is
+/// kept. Runs merge pairwise-adjacent in `ceil(log2(k))` rounds, each
+/// round fanned out through [`parallel_map`], so the result is
+/// byte-identical at any thread count while the heavy merging
+/// parallelizes. Empty runs are fine; each run must already be sorted
+/// under `cmp` (ascending).
+///
+/// This is the fleet's epoch-boundary event merge: every enclosure
+/// emits a time-sorted event run per epoch and the global trace is the
+/// stable merge of those runs — exactly what the old global
+/// `sort_by(total_cmp)` over the concatenation produced, without the
+/// serial O(n log n) sort.
+pub fn parallel_merge_by<T, F>(runs: Vec<Vec<T>>, threads: usize, cmp: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    let mut runs = runs;
+    while runs.len() > 1 {
+        let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(left) = it.next() {
+            pairs.push((left, it.next()));
+        }
+        runs = parallel_map(pairs, threads, |(left, right)| match right {
+            Some(right) => merge_two(left, right, &cmp),
+            None => left,
+        });
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Stable two-way merge: ties and within-run order favour `left`.
+fn merge_two<T, F>(left: Vec<T>, right: Vec<T>, cmp: &F) -> Vec<T>
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut left = left.into_iter().peekable();
+    let mut right = right.into_iter().peekable();
+    while let (Some(l), Some(r)) = (left.peek(), right.peek()) {
+        if cmp(l, r) != std::cmp::Ordering::Greater {
+            out.extend(left.next());
+        } else {
+            out.extend(right.next());
+        }
+    }
+    out.extend(left);
+    out.extend(right);
+    out
+}
+
 /// Pops from the worker's own deque, stealing from peers when empty.
 /// Exposed so the engine's experiment scheduler can share the exact
 /// stealing order.
@@ -155,6 +209,30 @@ mod tests {
     fn parallel_map_handles_empty_and_tiny_inputs() {
         assert_eq!(parallel_map(Vec::<u8>::new(), 8, |x| x), Vec::<u8>::new());
         assert_eq!(parallel_map(vec![7], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn merge_matches_stable_sort_with_ties_and_empty_runs() {
+        // Keys repeat across runs; payloads record (run, slot) so the
+        // stable tie order (earlier run first, then within-run order) is
+        // observable.
+        let runs: Vec<Vec<(u32, usize, usize)>> = vec![
+            vec![(1, 0, 0), (3, 0, 1), (3, 0, 2), (9, 0, 3)],
+            vec![],
+            vec![(0, 2, 0), (3, 2, 1), (9, 2, 2)],
+            vec![(3, 3, 0)],
+            vec![],
+        ];
+        let mut expected: Vec<(u32, usize, usize)> = runs.concat();
+        expected.sort_by_key(|e| e.0); // sort_by_key is stable
+        for threads in [1, 2, 8] {
+            let got = parallel_merge_by(runs.clone(), threads, |a, b| a.0.cmp(&b.0));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        assert_eq!(
+            parallel_merge_by(Vec::<Vec<u8>>::new(), 4, |a, b| a.cmp(b)),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

@@ -98,6 +98,63 @@ impl ResponseStats {
         s
     }
 
+    /// Folds another statistics object into this one, deterministically.
+    ///
+    /// Counts, moments, the max, and the CDF buckets merge exactly.
+    /// While the combined reservoirs fit under the cap they hold every
+    /// sample either side saw, so appending keeps percentiles *exact*
+    /// (the sorted multiset equals the global stream's). Past the cap,
+    /// each side keeps a share of the reservoir proportional to the
+    /// population it represents, chosen by a partial Fisher–Yates
+    /// shuffle keyed on splitmix64 over the two counts — a pure
+    /// function of the inputs, so folding per-enclosure statistics in
+    /// enclosure order gives bit-identical results at any shard count.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (n_self, n_other) = (self.count, other.count);
+        let mut state = splitmix64(n_self.rotate_left(32) ^ n_other);
+        self.count += n_other;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.bucket_counts.iter_mut().zip(&other.bucket_counts) {
+            *mine += theirs;
+        }
+        if self.samples.len() + other.samples.len() <= RESERVOIR {
+            self.samples.extend_from_slice(&other.samples);
+            return;
+        }
+        // Proportional allocation, with either side's unused slack
+        // granted to the other so the reservoir stays as full as it can.
+        let total = (n_self + n_other) as f64;
+        let keep_self = ((RESERVOIR as f64 * n_self as f64 / total).round() as usize)
+            .min(self.samples.len());
+        let keep_other = (RESERVOIR - keep_self).min(other.samples.len());
+        let keep_self = (RESERVOIR - keep_other).min(self.samples.len());
+        let mut draw = |bound: usize| {
+            state = splitmix64(state);
+            (state % bound as u64) as usize
+        };
+        for i in 0..keep_self {
+            let j = i + draw(self.samples.len() - i);
+            self.samples.swap(i, j);
+        }
+        self.samples.truncate(keep_self);
+        let mut theirs = other.samples.clone();
+        for i in 0..keep_other {
+            let j = i + draw(theirs.len() - i);
+            theirs.swap(i, j);
+        }
+        theirs.truncate(keep_other);
+        self.samples.extend_from_slice(&theirs);
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -284,6 +341,65 @@ mod tests {
             again.record(Seconds::from_millis(i as f64));
         }
         assert_eq!(s, again);
+    }
+
+    #[test]
+    fn merge_below_the_cap_is_exact() {
+        let values: Vec<f64> = (1..=1000).map(|i| (i as f64 * 7.3) % 211.0 + 0.5).collect();
+        let global = stats_of(&values);
+        let mut merged = ResponseStats::new();
+        for chunk in values.chunks(137) {
+            merged.merge(&stats_of(chunk));
+        }
+        assert_eq!(merged.count(), global.count());
+        assert_eq!(merged.bucket_counts, global.bucket_counts);
+        assert_eq!(merged.max(), global.max());
+        // Below the cap the merged reservoir is the whole stream, so
+        // every percentile is exactly the global stream's.
+        for p in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(merged.percentile(p), global.percentile(p), "p{p}");
+        }
+        assert!((merged.mean().to_millis() - global.mean().to_millis()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_past_the_cap_is_deterministic_and_proportional() {
+        let ramp = |n: u64, scale: f64| {
+            let mut s = ResponseStats::new();
+            for i in 1..=n {
+                s.record(Seconds::from_millis(i as f64 * scale));
+            }
+            s
+        };
+        let big = ramp(2 * RESERVOIR as u64, 1.0);
+        let small = ramp(RESERVOIR as u64 / 2, 1.0);
+        let mut once = big.clone();
+        once.merge(&small);
+        let mut again = big.clone();
+        again.merge(&small);
+        assert_eq!(once, again, "merge must be a pure function of its inputs");
+        assert_eq!(once.samples.len(), RESERVOIR);
+        assert_eq!(once.count(), big.count() + small.count());
+        // The combined multiset holds 2.5R values; its median m solves
+        // m + R/2 = 1.25R, i.e. m = 0.75R. The subsampled reservoir
+        // should land within a few percent.
+        let truth = 0.75 * RESERVOIR as f64;
+        let got = once.percentile(50.0).to_millis();
+        assert!(
+            (got - truth).abs() / truth < 0.05,
+            "median {got} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = stats_of(&[3.0, 9.0, 27.0]);
+        let mut left = s.clone();
+        left.merge(&ResponseStats::new());
+        assert_eq!(left, s);
+        let mut right = ResponseStats::new();
+        right.merge(&s);
+        assert_eq!(right, s);
     }
 
     #[test]

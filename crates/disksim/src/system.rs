@@ -454,18 +454,17 @@ impl StorageSystem {
         }
     }
 
-    /// Earliest pending event time, if any.
-    pub fn next_event_time(&self) -> Option<Seconds> {
+    /// Earliest pending event time, if any. Uses the calendar queue's
+    /// [`CalendarQueue::peek_time`](crate::calendar::CalendarQueue::peek_time)
+    /// fast path (hence `&mut self`): shards polled at every epoch
+    /// boundary answer in amortized O(1) instead of scanning the ring.
+    pub fn next_event_time(&mut self) -> Option<Seconds> {
         let completion = self
             .in_service
             .iter()
             .filter_map(|s| s.map(|(f, _)| f.get()))
             .fold(f64::INFINITY, f64::min);
-        let arrival = self
-            .arrivals
-            .min_key()
-            .map(|k| k.time())
-            .unwrap_or(f64::INFINITY);
+        let arrival = self.arrivals.peek_time().unwrap_or(f64::INFINITY);
         let t = completion.min(arrival);
         t.is_finite().then(|| Seconds::new(t))
     }

@@ -201,6 +201,36 @@ proptest! {
         prop_assert!(heap.pop().is_none());
     }
 
+    // The fleet's epoch boundary replaces one global stable time-sort
+    // with a k-way merge of pre-sorted per-enclosure runs. The two must
+    // agree byte-for-byte at any thread count — including exact ties
+    // (same `t` in different runs must keep earlier-run-first order)
+    // and empty runs.
+    #[test]
+    fn kway_merge_equals_global_stable_sort(
+        raw in prop::collection::vec(prop::collection::vec(0u8..6, 0..40), 0..9),
+        threads in 1usize..9,
+    ) {
+        // Times on a coarse grid so exact cross-run ties are common;
+        // payloads record (run, slot) to make tie order observable.
+        let runs: Vec<Vec<(f64, usize, usize)>> = raw
+            .iter()
+            .enumerate()
+            .map(|(run, times)| {
+                let mut ts = times.clone();
+                ts.sort_unstable();
+                ts.iter()
+                    .enumerate()
+                    .map(|(slot, &t)| (f64::from(t) * 0.125, run, slot))
+                    .collect()
+            })
+            .collect();
+        let mut expected: Vec<(f64, usize, usize)> = runs.concat();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0)); // the old global stable sort
+        let got = disksim::par::parallel_merge_by(runs, threads, |a, b| a.0.total_cmp(&b.0));
+        prop_assert_eq!(got, expected);
+    }
+
     // Events with byte-identical times leave the queue in submission
     // (sequence) order — the determinism guarantee the simulator's
     // tie-breaking rests on — whatever the time value, NaN included.

@@ -10,22 +10,63 @@
 //! output does not depend on temperature — so one pass per sync epoch
 //! suffices, exactly like [`diskthermal::AirflowPath::bay_states`]'s
 //! single-pass argument.
+//!
+//! Two topologies share that contract. [`AirflowGraph::new`] (and the
+//! `serial` / `columns` shorthands) store the coupling lists
+//! explicitly — fine at rack scale, O(n²) memory and time for dense
+//! graphs. [`AirflowGraph::hall`] instead stores a three-level
+//! **rack → row → hall hierarchy**: drives within a rack couple at
+//! `k_drive` K/W in bay order, whole racks couple to later racks in
+//! their row at `k_rack` against the *rack total* heat, and whole rows
+//! couple to later rows at `k_row` against the row total. The implied
+//! dense matrix is never materialized; prefix sums over per-rack
+//! aggregates evaluate the same linear form in O(n), and the per-rack
+//! folds are independent, so the fleet parallelizes them while only the
+//! small per-level aggregates couple serially.
 
 use crate::error::FleetError;
 use serde::{Deserialize, Serialize};
 use units::{Celsius, TempDelta};
 
+/// The per-level shape and coupling coefficients of a
+/// [`AirflowGraph::hall`] hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct HallShape {
+    /// Drives per rack (the last rack may be partial).
+    pub per_rack: usize,
+    /// Racks per row (the last row may be partial).
+    pub racks_per_row: usize,
+    /// K/W from each upstream drive in the same rack.
+    pub k_drive: f64,
+    /// K/W from each upstream rack's total heat, within the row.
+    pub k_rack: f64,
+    /// K/W from each upstream row's total heat.
+    pub k_row: f64,
+}
+
+/// How the coupling matrix is represented.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Topology {
+    /// Explicit per-drive `(source, kelvin_per_watt)` lists.
+    Flat(Vec<Vec<(usize, f64)>>),
+    /// The rack → row → hall hierarchy; the matrix is implied.
+    Hierarchy { drives: usize, shape: HallShape },
+}
+
 /// A directed acyclic thermal-coupling graph over the fleet's drives.
 ///
-/// `upstream[i]` lists `(source, kelvin_per_watt)` couplings; drive `i`'s
-/// local ambient is the rack inlet preheated by every listed source's
-/// heat. Sources must have a smaller index than the drive they preheat
-/// (air flows forward through the rack), which keeps the graph acyclic
-/// by construction.
+/// In the flat form, `upstream[i]` lists `(source, kelvin_per_watt)`
+/// couplings; drive `i`'s local ambient is the rack inlet preheated by
+/// every listed source's heat. Sources must have a smaller index than
+/// the drive they preheat (air flows forward through the rack), which
+/// keeps the graph acyclic by construction. The hierarchical form
+/// ([`AirflowGraph::hall`]) keeps the same forward-only discipline
+/// level by level: bay order within a rack, rack order within a row,
+/// row order within the hall.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AirflowGraph {
     inlet: Celsius,
-    upstream: Vec<Vec<(usize, f64)>>,
+    topology: Topology,
 }
 
 impl AirflowGraph {
@@ -55,7 +96,60 @@ impl AirflowGraph {
                 }
             }
         }
-        Ok(Self { inlet, upstream })
+        Ok(Self {
+            inlet,
+            topology: Topology::Flat(upstream),
+        })
+    }
+
+    /// A rack → row → hall hierarchy: racks of `per_rack` drives stand
+    /// in rows of `racks_per_row` racks. A drive is preheated at
+    /// `k_drive` K/W by each drive above it in its own rack, at
+    /// `k_rack` K/W by each earlier rack's *total* heat within its row,
+    /// and at `k_row` K/W by each earlier row's total heat. The last
+    /// rack and row may be partial.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `drives == 0`, zero `per_rack` / `racks_per_row`, and
+    /// non-finite or negative coefficients.
+    pub fn hall(
+        drives: usize,
+        per_rack: usize,
+        racks_per_row: usize,
+        inlet: Celsius,
+        k_drive: f64,
+        k_rack: f64,
+        k_row: f64,
+    ) -> Result<Self, FleetError> {
+        if drives == 0 {
+            return Err(FleetError::Config("airflow graph has no drives".into()));
+        }
+        if per_rack == 0 || racks_per_row == 0 {
+            return Err(FleetError::Config(
+                "hall racks and rows need at least one member each".into(),
+            ));
+        }
+        for (name, k) in [("k_drive", k_drive), ("k_rack", k_rack), ("k_row", k_row)] {
+            if !k.is_finite() || k < 0.0 {
+                return Err(FleetError::Config(format!(
+                    "hall coupling {name} must be finite and non-negative, got {k}"
+                )));
+            }
+        }
+        Ok(Self {
+            inlet,
+            topology: Topology::Hierarchy {
+                drives,
+                shape: HallShape {
+                    per_rack,
+                    racks_per_row,
+                    k_drive,
+                    k_rack,
+                    k_row,
+                },
+            },
+        })
     }
 
     /// One serial airflow path: every drive is preheated by *all* drives
@@ -110,7 +204,10 @@ impl AirflowGraph {
 
     /// Number of drives in the graph.
     pub fn len(&self) -> usize {
-        self.upstream.len()
+        match &self.topology {
+            Topology::Flat(upstream) => upstream.len(),
+            Topology::Hierarchy { drives, .. } => *drives,
+        }
     }
 
     /// Moves the rack inlet temperature (the "what if the CRAC setpoint
@@ -121,7 +218,7 @@ impl AirflowGraph {
 
     /// Whether the graph is empty (never true for a validated graph).
     pub fn is_empty(&self) -> bool {
-        self.upstream.is_empty()
+        self.len() == 0
     }
 
     /// The rack inlet temperature.
@@ -132,18 +229,88 @@ impl AirflowGraph {
     /// Local ambient each drive sees when the fleet rejects `heats_w`
     /// watts per drive: inlet plus the weighted upstream preheat.
     ///
+    /// The hierarchical form evaluates in O(n) via the same per-rack
+    /// prefix-sum helpers the fleet's split-phase epoch boundary uses,
+    /// so both paths produce bit-identical temperatures.
+    ///
     /// # Panics
     ///
     /// Panics if `heats_w.len()` does not match the graph.
     pub fn local_ambients(&self, heats_w: &[f64]) -> Vec<Celsius> {
         assert_eq!(heats_w.len(), self.len(), "one heat term per drive");
-        self.upstream
-            .iter()
-            .map(|sources| {
-                let preheat: f64 = sources.iter().map(|&(j, k)| heats_w[j] * k).sum();
-                self.inlet + TempDelta::new(preheat)
-            })
-            .collect()
+        match &self.topology {
+            Topology::Flat(upstream) => upstream
+                .iter()
+                .map(|sources| {
+                    let preheat: f64 = sources.iter().map(|&(j, k)| heats_w[j] * k).sum();
+                    self.inlet + TempDelta::new(preheat)
+                })
+                .collect(),
+            Topology::Hierarchy { shape, .. } => {
+                let bases = self.rack_preheats(shape, &rack_heats(shape, heats_w));
+                let mut out = Vec::with_capacity(heats_w.len());
+                for (rack, chunk) in heats_w.chunks(shape.per_rack).enumerate() {
+                    rack_ambients_into(self.inlet, bases[rack], shape.k_drive, chunk, &mut out);
+                }
+                out
+            }
+        }
+    }
+
+    /// The hierarchy's shape, if this graph is hierarchical. The fleet
+    /// uses this to split ambient evaluation into a parallel per-rack
+    /// pass plus a tiny serial per-level reduce.
+    pub(crate) fn hall_shape(&self) -> Option<HallShape> {
+        match &self.topology {
+            Topology::Flat(_) => None,
+            Topology::Hierarchy { shape, .. } => Some(*shape),
+        }
+    }
+
+    /// Per-rack preheat above the inlet (kelvin) from the *other*
+    /// levels: earlier rows at `k_row`, earlier racks in the same row
+    /// at `k_rack`. Intra-rack preheat is the caller's per-rack fold.
+    /// O(racks), serial — this is the only cross-rack coupling step.
+    pub(crate) fn rack_preheats(&self, shape: &HallShape, rack_heats: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(rack_heats.len());
+        let mut row_prefix = 0.0;
+        for row_racks in rack_heats.chunks(shape.racks_per_row) {
+            let mut rack_prefix = 0.0;
+            for &heat in row_racks {
+                out.push(shape.k_row * row_prefix + shape.k_rack * rack_prefix);
+                rack_prefix += heat;
+            }
+            row_prefix += rack_prefix;
+        }
+        out
+    }
+}
+
+/// Total heat per rack, folded in bay order (the last rack may be
+/// short). Independent across racks, so the fleet folds them in
+/// parallel.
+pub(crate) fn rack_heats(shape: &HallShape, heats_w: &[f64]) -> Vec<f64> {
+    heats_w
+        .chunks(shape.per_rack)
+        .map(|rack| rack.iter().sum())
+        .collect()
+}
+
+/// Appends one rack's drive ambients: `base_preheat` kelvin above the
+/// inlet from the rack/row levels, plus `k_drive` per upstream drive in
+/// this rack, folded in bay order. Pure in its inputs, so racks
+/// evaluate independently (and in parallel) without changing a bit.
+pub(crate) fn rack_ambients_into(
+    inlet: Celsius,
+    base_preheat: f64,
+    k_drive: f64,
+    rack_heats_w: &[f64],
+    out: &mut Vec<Celsius>,
+) {
+    let mut prefix = 0.0;
+    for &heat in rack_heats_w {
+        out.push(inlet + TempDelta::new(base_preheat + k_drive * prefix));
+        prefix += heat;
     }
 }
 
@@ -189,6 +356,81 @@ mod tests {
             AirflowGraph::new(Celsius::new(28.0), vec![vec![], vec![(0, f64::NAN)]]).is_err()
         );
         assert!(AirflowGraph::serial(3, Celsius::new(28.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn hall_matches_the_equivalent_flat_graph() {
+        // 2 rows of 3 racks of 2 drives. Build the dense matrix the
+        // hierarchy implies and check both forms agree bit-for-bit
+        // (modulo summation order, hence the 1e-9 tolerance).
+        let (per_rack, racks_per_row) = (2usize, 3usize);
+        let (kd, kr, kw) = (0.05, 0.02, 0.01);
+        let drives = 12;
+        let hall = AirflowGraph::hall(
+            drives,
+            per_rack,
+            racks_per_row,
+            Celsius::new(28.0),
+            kd,
+            kr,
+            kw,
+        )
+        .unwrap();
+        let upstream: Vec<Vec<(usize, f64)>> = (0..drives)
+            .map(|i| {
+                let (rack_i, row_i) = (i / per_rack, i / per_rack / racks_per_row);
+                (0..i)
+                    .map(|j| {
+                        let (rack_j, row_j) = (j / per_rack, j / per_rack / racks_per_row);
+                        if rack_j == rack_i {
+                            (j, kd)
+                        } else if row_j == row_i {
+                            (j, kr)
+                        } else {
+                            (j, kw)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let flat = AirflowGraph::new(Celsius::new(28.0), upstream).unwrap();
+        let heats: Vec<f64> = (0..drives).map(|i| 6.0 + i as f64 * 0.5).collect();
+        for (i, (h, f)) in hall
+            .local_ambients(&heats)
+            .iter()
+            .zip(flat.local_ambients(&heats))
+            .enumerate()
+        {
+            assert!((h.get() - f.get()).abs() < 1e-9, "drive {i}: {h} vs {f}");
+        }
+    }
+
+    #[test]
+    fn hall_levels_preheat_in_order() {
+        // 2 racks per row, 2 drives per rack, 8 drives = 2 rows.
+        let g = AirflowGraph::hall(8, 2, 2, Celsius::new(25.0), 0.1, 0.05, 0.01).unwrap();
+        let a = g.local_ambients(&[10.0; 8]);
+        assert_eq!(a[0], Celsius::new(25.0), "first drive sees pristine inlet");
+        // Second drive in rack 0: intra-rack preheat only.
+        assert!((a[1].get() - 26.0).abs() < 1e-12);
+        // First drive of rack 1 (same row): rack-level preheat of 20 W.
+        assert!((a[2].get() - 26.0).abs() < 1e-12);
+        // First drive of row 1: row-level preheat of 40 W at 0.01.
+        assert!((a[4].get() - 25.4).abs() < 1e-12);
+        // Partial tail rack is fine.
+        let partial = AirflowGraph::hall(7, 2, 2, Celsius::new(25.0), 0.1, 0.05, 0.01).unwrap();
+        assert_eq!(partial.len(), 7);
+        assert_eq!(partial.local_ambients(&[10.0; 7]).len(), 7);
+    }
+
+    #[test]
+    fn hall_rejects_bad_shapes() {
+        let inlet = Celsius::new(25.0);
+        assert!(AirflowGraph::hall(0, 2, 2, inlet, 0.1, 0.1, 0.1).is_err());
+        assert!(AirflowGraph::hall(8, 0, 2, inlet, 0.1, 0.1, 0.1).is_err());
+        assert!(AirflowGraph::hall(8, 2, 0, inlet, 0.1, 0.1, 0.1).is_err());
+        assert!(AirflowGraph::hall(8, 2, 2, inlet, -0.1, 0.1, 0.1).is_err());
+        assert!(AirflowGraph::hall(8, 2, 2, inlet, 0.1, f64::NAN, 0.1).is_err());
     }
 
     #[test]

@@ -161,11 +161,33 @@ impl Coordinator {
     /// per-drive actuation with hysteresis. Speed changes go through
     /// `set_rpm`; gating is published via [`Self::gated`].
     ///
+    /// Implemented as [`Self::propose`] + [`Self::commit_one`] per
+    /// drive, so this serial pass and the fleet's parallel two-phase
+    /// epoch boundary can never disagree.
+    ///
     /// # Panics
     ///
     /// Panics if `airs` does not carry one reading per drive.
     pub fn apply(&mut self, airs: &[Celsius], mut set_rpm: impl FnMut(usize, Rpm)) {
         assert_eq!(airs.len(), self.states.len(), "one reading per drive");
+        for (i, &air) in airs.iter().enumerate() {
+            let proposal = self.propose(i, air);
+            if let Some(rpm) = proposal.rpm {
+                set_rpm(i, rpm);
+            }
+            self.commit_one(i, proposal);
+        }
+    }
+
+    /// Phase 1 of the two-phase epoch commit: drive `i`'s control
+    /// transition against its *epoch-start* hysteresis state, without
+    /// applying it. Each drive's decision reads only its own state and
+    /// air reading, so shards propose every drive in parallel; nothing
+    /// changes under them because commits happen strictly afterwards.
+    pub(crate) fn propose(&self, i: usize, air: Celsius) -> CtlProposal {
+        let state = self.states[i];
+        let mut next = state;
+        let (mut action, mut rpm) = (None, None);
         match self.policy {
             FleetDtmPolicy::None => {}
             FleetDtmPolicy::SpeedScale {
@@ -175,14 +197,14 @@ impl Coordinator {
                 resume_margin,
             } => {
                 let trip = self.envelope - guard;
-                for (i, state) in self.states.iter_mut().enumerate() {
-                    if !state.scaled_down && airs[i] >= trip {
-                        set_rpm(i, low);
-                        state.scaled_down = true;
-                    } else if state.scaled_down && airs[i] <= trip - resume_margin {
-                        set_rpm(i, high);
-                        state.scaled_down = false;
-                    }
+                if !state.scaled_down && air >= trip {
+                    next.scaled_down = true;
+                    action = Some("downshift");
+                    rpm = Some(low);
+                } else if state.scaled_down && air <= trip - resume_margin {
+                    next.scaled_down = false;
+                    action = Some("upshift");
+                    rpm = Some(high);
                 }
             }
             FleetDtmPolicy::Throttle {
@@ -190,15 +212,72 @@ impl Coordinator {
                 resume_margin,
             } => {
                 let trip = self.envelope - guard;
-                for (i, state) in self.states.iter_mut().enumerate() {
-                    if !state.gated && airs[i] >= trip {
-                        state.gated = true;
-                    } else if state.gated && airs[i] <= trip - resume_margin {
-                        state.gated = false;
-                    }
+                if !state.gated && air >= trip {
+                    next.gated = true;
+                    action = Some("gate");
+                } else if state.gated && air <= trip - resume_margin {
+                    next.gated = false;
+                    action = Some("ungate");
                 }
             }
         }
+        CtlProposal { next, action, rpm }
+    }
+
+    /// Phase 2: installs drive `i`'s proposed hysteresis state. The
+    /// fleet calls this in enclosure order — a cheap deterministic
+    /// reduce over what the shards proposed.
+    pub(crate) fn commit_one(&mut self, i: usize, proposal: CtlProposal) {
+        self.states[i] = proposal.next;
+    }
+
+    /// Phase 2 over the whole fleet: installs one proposal per drive in
+    /// enclosure order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proposals` does not carry one entry per drive.
+    pub(crate) fn commit_all(&mut self, proposals: &[CtlProposal]) {
+        assert_eq!(proposals.len(), self.states.len(), "one proposal per drive");
+        for (i, &p) in proposals.iter().enumerate() {
+            self.commit_one(i, p);
+        }
+    }
+}
+
+/// A proposed per-drive control transition: the next hysteresis state,
+/// the trace label when a transition fires (`"gate"`, `"ungate"`,
+/// `"downshift"`, `"upshift"`), and the speed to actuate for
+/// speed-scaling transitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CtlProposal {
+    next: DriveCtl,
+    /// Trace label, `None` when the drive holds steady.
+    pub action: Option<&'static str>,
+    /// Spindle speed to actuate, `None` unless a speed transition fired.
+    pub rpm: Option<Rpm>,
+}
+
+impl CtlProposal {
+    /// A hold-steady proposal for an untripped drive; the fleet's
+    /// proposal scratch is initialized with these before every slot is
+    /// overwritten by the parallel propose pass.
+    pub(crate) fn noop() -> Self {
+        Self {
+            next: DriveCtl::default(),
+            action: None,
+            rpm: None,
+        }
+    }
+
+    /// Whether the proposed state has admission gated.
+    pub(crate) fn gates(&self) -> bool {
+        self.next.gated
+    }
+
+    /// Whether the proposed state runs at the reduced speed.
+    pub(crate) fn scales(&self) -> bool {
+        self.next.scaled_down
     }
 }
 

@@ -3,22 +3,22 @@
 //!
 //! Each enclosure wraps one [`dtm::WindowedDrive`] (a `StorageSystem`
 //! coupled to a `TransientSim`). Between *sync epochs* the enclosures
-//! are fully independent, so the loop advances them in parallel through
-//! `disksim::par::parallel_map` (the same primitive `disklab::engine`
-//! re-exports for its experiment scheduler). At every epoch boundary the
-//! fleet synchronizes serially: it routes the epoch's arrivals, folds
-//! completions in enclosure order, converts each drive's measured duty
-//! into rejected heat, pushes the airflow graph's preheated ambients
-//! back into the thermal models, and lets the coordinator act. Every
-//! cross-enclosure interaction happens in that serial phase from
-//! epoch-start snapshots, which is why the run is byte-identical at any
-//! shard count.
+//! are fully independent, so the loop advances them in parallel. The
+//! epoch boundary itself is parallel too: shards *propose* against the
+//! epoch-start snapshot (statistics folds, heat estimates, per-rack
+//! airflow prefixes, coordinator transitions, pre-sorted per-enclosure
+//! event runs) and only two cheap deterministic reduces run serially —
+//! the O(log n)-per-request routing commit and the per-level airflow /
+//! coordinator commit in enclosure order. The per-enclosure event runs
+//! merge through `disksim::par::parallel_merge_by`, which equals the
+//! old global stable time-sort byte for byte. Every cross-enclosure
+//! interaction reads epoch-start state and commits in enclosure order,
+//! which is why the run is byte-identical at any shard count.
 
-use crate::airflow::AirflowGraph;
-use crate::coordinator::{Coordinator, CoordinatorState, FleetDtmPolicy};
+use crate::airflow::{rack_heats, AirflowGraph};
+use crate::coordinator::{Coordinator, CoordinatorState, CtlProposal, FleetDtmPolicy};
 use crate::error::FleetError;
-use crate::routing::{DriveSnapshot, Router, RoutingPolicy};
-use disksim::par::parallel_for_each;
+use crate::routing::{Router, RoutingPolicy, RoutingScratch};
 use disksim::{Completion, DiskSpec, Request, ResponseStats, StorageSystem, SystemConfig};
 use dtm::{DriveState, WindowSample, WindowedDrive};
 use diskthermal::{
@@ -113,13 +113,20 @@ struct Enclosure {
     /// Mean actuator duty / utilization over the last epoch.
     epoch_duty: f64,
     epoch_util: f64,
+    /// Response-time statistics over this bay's completions, folded by
+    /// the shard so the epoch boundary only merges per-bay summaries.
+    stats: ResponseStats,
+    /// This epoch's pre-sorted event run (the drained drive stream plus
+    /// the bay's boundary events), consumed by the k-way merge.
+    run: Vec<diskobs::TimedEvent>,
 }
 
 /// Complete dynamic state of one [`Enclosure`], captured for
 /// checkpointing. Epoch scratch (`epoch_gated`, `completions`,
-/// `samples`) is rebuilt empty on restore: every field of it is
+/// `samples`, `run`) is rebuilt empty on restore: every field of it is
 /// overwritten before its next read, so the scratch never carries
-/// state across an epoch boundary.
+/// state across an epoch boundary. The bay's response-time statistics
+/// live here (not fleet-wide) since the shards fold them.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct EnclosureState {
     drive: DriveState,
@@ -137,6 +144,7 @@ struct EnclosureState {
     time_scaled: Seconds,
     epoch_duty: f64,
     epoch_util: f64,
+    stats: ResponseStats,
 }
 
 impl Enclosure {
@@ -161,6 +169,8 @@ impl Enclosure {
             samples: Vec::new(),
             epoch_duty: 0.0,
             epoch_util: 0.0,
+            stats: ResponseStats::new(),
+            run: Vec::new(),
         }
     }
 
@@ -182,6 +192,7 @@ impl Enclosure {
             time_scaled: self.time_scaled,
             epoch_duty: self.epoch_duty,
             epoch_util: self.epoch_util,
+            stats: self.stats.clone(),
         }
     }
 
@@ -206,6 +217,8 @@ impl Enclosure {
             samples: Vec::new(),
             epoch_duty: state.epoch_duty,
             epoch_util: state.epoch_util,
+            stats: state.stats,
+            run: Vec::new(),
         })
     }
 
@@ -255,6 +268,269 @@ impl Enclosure {
     }
 }
 
+/// Per-epoch constants threaded through the parallel passes.
+#[derive(Clone, Copy)]
+struct EpochCtx {
+    first_window: u64,
+    windows_per_epoch: usize,
+    window: Seconds,
+    envelope: Celsius,
+    epoch_end: f64,
+    epoch_len: Seconds,
+    sink_enabled: bool,
+}
+
+/// Hot per-drive state in structure-of-arrays layout. The serial
+/// reduces — the routing commit over `air`/`queue`/`gated`, the
+/// airflow roll-up over `heat`, the coordinator commit over
+/// `proposals` — each walk one dense array instead of hopping across
+/// enclosure structs. The parallel passes refresh the arrays through
+/// disjoint contiguous chunk splits, which keeps everything in safe
+/// code and byte-identical at any worker count.
+#[derive(Default)]
+struct FleetHotState {
+    /// Internal-air temperature per drive at the epoch boundary.
+    air: Vec<Celsius>,
+    /// Requests held against each drive (in flight + pending).
+    queue: Vec<u64>,
+    /// Coordinator gating per drive (mirrors the committed state).
+    gated: Vec<bool>,
+    /// Rejected heat per drive over the last epoch, watts.
+    heat: Vec<f64>,
+    /// Coordinator proposals staged by pass B, committed serially.
+    proposals: Vec<CtlProposal>,
+    /// Per-rack heat totals (hierarchical airflow only).
+    rack_heat: Vec<f64>,
+    /// Per-rack preheat from the rack/row levels (hierarchical only).
+    rack_base: Vec<f64>,
+    /// Dense per-drive ambients (flat-topology fallback).
+    flat_ambients: Vec<Celsius>,
+}
+
+impl FleetHotState {
+    /// (Re)builds the arrays from authoritative state. A cheap length
+    /// check while the fleet size is stable; after construction,
+    /// restore, or growth the arrays rebuild from the enclosures and
+    /// coordinator, after which the epoch passes keep them current.
+    fn ensure(&mut self, enclosures: &[Enclosure], coordinator: &Coordinator) {
+        let n = enclosures.len();
+        if self.air.len() == n {
+            return;
+        }
+        self.air.clear();
+        self.queue.clear();
+        self.gated.clear();
+        for (i, e) in enclosures.iter().enumerate() {
+            self.air.push(e.drive.air());
+            self.queue.push(e.drive.in_flight() + e.pending.len() as u64);
+            self.gated.push(coordinator.gated(i));
+        }
+        self.heat.clear();
+        self.heat.resize(n, 0.0);
+        self.proposals.clear();
+        self.proposals.resize(n, CtlProposal::noop());
+    }
+
+    /// Parallel pass A: advances every enclosure through the epoch's
+    /// windows and folds the per-bay outputs — response statistics, the
+    /// drained (pre-sorted) event run, the heat estimate, the boundary
+    /// air reading — without touching any shared state. Chunks are
+    /// contiguous and enclosures never move, so any worker count
+    /// produces the same bytes.
+    fn pass_a(&mut self, enclosures: &mut [Enclosure], threads: usize, ctx: &EpochCtx) {
+        let Self { air, gated, heat, .. } = self;
+        let one = |e: &mut Enclosure, heat: &mut f64, air: &mut Celsius, gate: bool| {
+            e.epoch_gated = gate;
+            e.advance_epoch(ctx.first_window, ctx.windows_per_epoch, ctx.window, ctx.envelope);
+            for c in &e.completions {
+                e.stats.record(c.response_time());
+            }
+            e.completed += e.completions.len() as u64;
+            if ctx.sink_enabled {
+                e.run.clear();
+                e.drive.drain_events_into(&mut e.run);
+                debug_assert!(diskobs::is_time_sorted(&e.run), "drive streams are time-sorted");
+            }
+            let op = OperatingPoint::new(e.drive.rpm(), e.epoch_duty);
+            *heat = drive_heat_estimate(e.drive.model().spec(), op).get();
+            *air = e.drive.air();
+        };
+
+        let n = enclosures.len();
+        let workers = threads.clamp(1, n.max(1));
+        let chunk = n.div_ceil(workers);
+        if workers <= 1 || chunk >= n {
+            for ((e, h), (a, &g)) in enclosures
+                .iter_mut()
+                .zip(heat.iter_mut())
+                .zip(air.iter_mut().zip(gated.iter()))
+            {
+                one(e, h, a, g);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let one = &one;
+            let mut rest = (enclosures, &mut heat[..], &mut air[..], &gated[..]);
+            while !rest.0.is_empty() {
+                let take = chunk.min(rest.0.len());
+                let (e_c, e_r) = rest.0.split_at_mut(take);
+                let (h_c, h_r) = rest.1.split_at_mut(take);
+                let (a_c, a_r) = rest.2.split_at_mut(take);
+                let (g_c, g_r) = rest.3.split_at(take);
+                rest = (e_r, h_r, a_r, g_r);
+                scope.spawn(move || {
+                    for ((e, h), (a, &g)) in
+                        e_c.iter_mut().zip(h_c.iter_mut()).zip(a_c.iter_mut().zip(g_c.iter()))
+                    {
+                        one(e, h, a, g);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Parallel pass B: pushes the preheated ambients back into the
+    /// thermal models (per-rack prefix sums for the hierarchy, the
+    /// precomputed dense ambients for flat graphs), emits each bay's
+    /// boundary events into its run, and stages the coordinator's
+    /// proposal for the serial commit. Hierarchy chunks align to rack
+    /// boundaries so every intra-rack prefix stays on one worker and
+    /// the arithmetic matches [`AirflowGraph::local_ambients`] bit for
+    /// bit.
+    fn pass_b(
+        &mut self,
+        enclosures: &mut [Enclosure],
+        coordinator: &Coordinator,
+        airflow: &AirflowGraph,
+        threads: usize,
+        ctx: &EpochCtx,
+    ) {
+        let n = enclosures.len();
+        let inlet = airflow.inlet();
+        let shape = airflow.hall_shape();
+        let Self {
+            air,
+            queue,
+            gated,
+            heat,
+            proposals,
+            rack_base,
+            flat_ambients,
+            ..
+        } = self;
+        let (air, heat) = (&air[..], &heat[..]);
+        let (rack_base, flat_ambients) = (&rack_base[..], &flat_ambients[..]);
+
+        // One bay: couple, snapshot, propose, actuate, account.
+        let one = |i: usize,
+                   e: &mut Enclosure,
+                   ambient: Celsius,
+                   depth_out: &mut u64,
+                   gate_out: &mut bool,
+                   proposal_out: &mut CtlProposal| {
+            e.drive.set_ambient(ambient);
+            e.max_local_ambient = e.max_local_ambient.max(ambient);
+            let depth = e.drive.in_flight() + e.pending.len() as u64;
+            if ctx.sink_enabled {
+                e.run.push(diskobs::TimedEvent {
+                    t: ctx.epoch_end,
+                    event: diskobs::Event::Snapshot {
+                        drive: i,
+                        air_c: e.drive.air().get(),
+                        ambient_c: e.drive.model().spec().ambient().get(),
+                        queue: depth,
+                        util: e.epoch_util,
+                        duty: e.epoch_duty,
+                        rpm: e.drive.rpm().get(),
+                        gated: coordinator.gated(i),
+                    },
+                });
+            }
+            let p = coordinator.propose(i, air[i]);
+            if let Some(rpm) = p.rpm {
+                e.drive.set_all_rpm(rpm);
+            }
+            if ctx.sink_enabled {
+                if let Some(action) = p.action {
+                    e.run.push(diskobs::TimedEvent {
+                        t: ctx.epoch_end,
+                        event: diskobs::Event::CoordinatorAction { drive: i, action },
+                    });
+                }
+                e.drive.drain_events_into(&mut e.run);
+            }
+            if p.gates() {
+                e.time_gated += ctx.epoch_len;
+            }
+            if p.scales() {
+                e.time_scaled += ctx.epoch_len;
+            }
+            *depth_out = depth;
+            *gate_out = p.gates();
+            *proposal_out = p;
+        };
+
+        // One contiguous chunk of bays starting at global index `start`.
+        let run_chunk = |start: usize,
+                         e_c: &mut [Enclosure],
+                         q_c: &mut [u64],
+                         g_c: &mut [bool],
+                         p_c: &mut [CtlProposal]| {
+            match &shape {
+                Some(s) => {
+                    for (rk, rack) in e_c.chunks_mut(s.per_rack).enumerate() {
+                        let rack_start = start + rk * s.per_rack;
+                        let base = rack_base[rack_start / s.per_rack];
+                        let mut prefix = 0.0;
+                        for (off, e) in rack.iter_mut().enumerate() {
+                            let i = rack_start + off;
+                            let ambient = inlet + units::TempDelta::new(base + s.k_drive * prefix);
+                            prefix += heat[i];
+                            let l = i - start;
+                            one(i, e, ambient, &mut q_c[l], &mut g_c[l], &mut p_c[l]);
+                        }
+                    }
+                }
+                None => {
+                    for (off, e) in e_c.iter_mut().enumerate() {
+                        let i = start + off;
+                        one(i, e, flat_ambients[i], &mut q_c[off], &mut g_c[off], &mut p_c[off]);
+                    }
+                }
+            }
+        };
+
+        let workers = threads.clamp(1, n.max(1));
+        // Hierarchy chunks round up to whole racks so each intra-rack
+        // prefix is computed by exactly one worker.
+        let chunk = match &shape {
+            Some(s) => s.per_rack * n.div_ceil(s.per_rack).div_ceil(workers),
+            None => n.div_ceil(workers),
+        };
+        if workers <= 1 || chunk >= n {
+            run_chunk(0, enclosures, &mut queue[..], &mut gated[..], &mut proposals[..]);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let run_chunk = &run_chunk;
+            let mut start = 0usize;
+            let mut rest = (enclosures, &mut queue[..], &mut gated[..], &mut proposals[..]);
+            while !rest.0.is_empty() {
+                let take = chunk.min(rest.0.len());
+                let (e_c, e_r) = rest.0.split_at_mut(take);
+                let (q_c, q_r) = rest.1.split_at_mut(take);
+                let (g_c, g_r) = rest.2.split_at_mut(take);
+                let (p_c, p_r) = rest.3.split_at_mut(take);
+                rest = (e_r, q_r, g_r, p_r);
+                let s = start;
+                scope.spawn(move || run_chunk(s, e_c, q_c, g_c, p_c));
+                start += take;
+            }
+        });
+    }
+}
+
 /// Per-enclosure slice of a [`FleetReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnclosureReport {
@@ -285,8 +561,9 @@ pub struct EnclosureReport {
 pub struct FleetReport {
     /// Fleet size.
     pub enclosures: usize,
-    /// Response-time statistics over every completed request, folded in
-    /// enclosure order at each epoch boundary (deterministic).
+    /// Response-time statistics over every completed request: each
+    /// bay's shard folds its own completions and the report merges the
+    /// per-bay summaries in enclosure order (deterministic).
     pub stats: ResponseStats,
     /// Hottest internal-air temperature any drive reached.
     pub max_air: Celsius,
@@ -351,18 +628,16 @@ pub struct Fleet {
     threads: usize,
     /// Requests accepted but not yet routed, in arrival order.
     incoming: VecDeque<Request>,
-    /// Response-time statistics folded at every epoch boundary.
-    stats: ResponseStats,
     epochs: u64,
     now: Seconds,
     /// Whether the coordinator has announced its starting speeds.
     primed: bool,
-    // Per-epoch scratch, reused across the whole run so the epoch loop
-    // allocates nothing in steady state.
-    batch: Vec<diskobs::TimedEvent>,
-    snaps: Vec<DriveSnapshot>,
-    heats: Vec<f64>,
-    airs: Vec<Celsius>,
+    // Per-epoch scratch, reused across the whole run so the untraced
+    // epoch loop allocates nothing in steady state (the traced path
+    // hands its event runs to the merge, which consumes them).
+    hot: FleetHotState,
+    route: RoutingScratch,
+    routing_run: Vec<diskobs::TimedEvent>,
 }
 
 /// Complete dynamic state of a [`Fleet`], captured between sync epochs
@@ -384,7 +659,6 @@ pub struct FleetState {
     windows_per_epoch: usize,
     threads: usize,
     incoming: Vec<Request>,
-    stats: ResponseStats,
     epochs: u64,
     now: Seconds,
     primed: bool,
@@ -455,14 +729,12 @@ impl Fleet {
             windows_per_epoch: config.windows_per_epoch,
             threads: config.threads.max(1),
             incoming: VecDeque::new(),
-            stats: ResponseStats::new(),
             epochs: 0,
             now: Seconds::ZERO,
             primed: false,
-            batch: Vec::new(),
-            snaps: Vec::with_capacity(n),
-            heats: Vec::with_capacity(n),
-            airs: Vec::with_capacity(n),
+            hot: FleetHotState::default(),
+            route: RoutingScratch::default(),
+            routing_run: Vec::new(),
         })
     }
 
@@ -496,10 +768,10 @@ impl Fleet {
     /// with its bay index through the sink scope), one `Snapshot` per
     /// enclosure per sync epoch, and the coordinator's actions.
     ///
-    /// All timestamps are sim time and every cross-enclosure merge
-    /// happens in the serial phases (buffered per-enclosure streams are
-    /// drained in enclosure order and stably sorted by time), so the
-    /// emitted byte stream is identical at any shard count.
+    /// All timestamps are sim time and the buffered per-enclosure
+    /// streams merge through a stable k-way merge (routing decisions
+    /// first, then bay order on ties), so the emitted byte stream is
+    /// identical at any shard count.
     ///
     /// # Errors
     ///
@@ -584,12 +856,21 @@ impl Fleet {
                 .all(|e| e.pending.is_empty() && e.drive.in_flight() == 0)
     }
 
-    /// Advances the fleet through exactly one sync epoch: routes the
-    /// epoch's arrivals, sweeps every enclosure's windows in parallel,
-    /// folds completions, re-couples the airflow, and lets the
-    /// coordinator act. [`Self::run`] is a loop over this method; the
-    /// digital twin calls it directly to keep a fleet warm while it
-    /// serves queries.
+    /// Advances the fleet through exactly one sync epoch: commits the
+    /// epoch's routing, sweeps every enclosure's windows in parallel,
+    /// rolls the airflow hierarchy up and back down, stages and commits
+    /// the coordinator's decisions, and merges the per-enclosure event
+    /// runs. [`Self::run`] is a loop over this method; the digital twin
+    /// calls it directly to keep a fleet warm while it serves queries.
+    ///
+    /// The boundary itself is split-phase: the shards *propose* in two
+    /// parallel passes (window sweeps and statistics folds in pass A,
+    /// ambient push-back and coordinator proposals in pass B) and only
+    /// three cheap reduces run serially — the O(log n)-per-request
+    /// routing commit, the O(racks) airflow roll-up, and the in-order
+    /// coordinator commit. Every proposal reads epoch-start state and
+    /// every commit happens in enclosure order, so the results are
+    /// byte-identical at any shard count.
     pub fn step_epoch(&mut self, sink: &mut diskobs::Sink, profile: &mut FleetPhaseProfile) {
         if !self.primed {
             self.coordinator
@@ -599,172 +880,108 @@ impl Fleet {
 
         let n = self.enclosures.len();
         let epoch_len = self.window * self.windows_per_epoch as f64;
-        // The scratch lives on `self` so repeated calls reuse one set
-        // of buffers; it moves into locals for the epoch to keep the
-        // borrows disjoint.
-        let mut batch = std::mem::take(&mut self.batch);
-        let mut snaps = std::mem::take(&mut self.snaps);
-        let mut heats = std::mem::take(&mut self.heats);
-        let mut airs = std::mem::take(&mut self.airs);
+        let epoch_start = std::time::Instant::now();
+        let epoch_end = self.now + epoch_len;
+        let ctx = EpochCtx {
+            first_window: self.epochs * self.windows_per_epoch as u64,
+            windows_per_epoch: self.windows_per_epoch,
+            window: self.window,
+            envelope: self.envelope,
+            epoch_end: epoch_end.get(),
+            epoch_len,
+            sink_enabled: sink.is_enabled(),
+        };
 
-        {
-            let epoch_start = std::time::Instant::now();
-            let epoch_end = self.now + epoch_len;
-
-            // Events from this epoch (routing decisions stamped at
-            // arrival, plus each enclosure's drained stream) collect
-            // in `batch` and are merged by time before reaching the
-            // sink, so the emitted stream is a single non-decreasing
-            // timeline.
-
-            // Serial phase 1 — routing. Placement uses the epoch-start
-            // snapshot plus a running count of this epoch's placements,
-            // so the decision sequence is independent of sharding.
-            snaps.clear();
-            snaps.extend(self.enclosures.iter().enumerate().map(|(i, e)| {
-                DriveSnapshot {
-                    air: e.drive.air(),
-                    queue: e.drive.in_flight() + e.pending.len() as u64,
-                    gated: self.coordinator.gated(i),
-                }
-            }));
-            while let Some(front) = self.incoming.front() {
-                if front.arrival > epoch_end {
-                    break;
-                }
-                let r = *front;
-                self.incoming.pop_front();
-                let i = self.router.pick(&snaps);
-                if sink.is_enabled() {
-                    batch.push(diskobs::TimedEvent {
-                        t: r.arrival.get(),
-                        event: diskobs::Event::RoutingDecision {
-                            request: r.id,
-                            drive: i,
-                        },
-                    });
-                }
-                snaps[i].queue += 1;
-                let e = &mut self.enclosures[i];
-                e.pending.push_back(remap(r, e.capacity));
-                e.routed += 1;
+        // Serial reduce 1 — the routing commit. Placements score the
+        // epoch-start snapshot (the hot arrays, refreshed by the last
+        // epoch's parallel passes) plus a running count of this epoch's
+        // placements, so the decision sequence is independent of
+        // sharding; the tournament tree makes each commit O(log n)
+        // instead of the old O(n) scan.
+        self.hot.ensure(&self.enclosures, &self.coordinator);
+        let mut routing_run = std::mem::take(&mut self.routing_run);
+        routing_run.clear();
+        self.route
+            .begin(self.router.policy(), &self.hot.air, &self.hot.queue, &self.hot.gated);
+        while let Some(front) = self.incoming.front() {
+            if front.arrival > epoch_end {
+                break;
             }
-
-            // Parallel phase — advance every enclosure through the
-            // epoch's windows, in place. Enclosures only touch their
-            // own state and never move, so any shard count produces
-            // the same bytes.
-            let first_window = self.epochs * self.windows_per_epoch as u64;
-            let (windows_per_epoch, window, envelope) =
-                (self.windows_per_epoch, self.window, self.envelope);
-            for (i, e) in self.enclosures.iter_mut().enumerate() {
-                e.epoch_gated = self.coordinator.gated(i);
-            }
-            let parallel_start = std::time::Instant::now();
-            parallel_for_each(&mut self.enclosures, self.threads, |e| {
-                e.advance_epoch(first_window, windows_per_epoch, window, envelope);
-            });
-            let parallel_elapsed = parallel_start.elapsed();
-            profile.parallel_ms += parallel_elapsed.as_secs_f64() * 1e3;
-
-            // Serial phase 2 — fold completions (enclosure order),
-            // re-couple the airflow, and let the coordinator act.
-            heats.clear();
-            airs.clear();
-            for e in self.enclosures.iter_mut() {
-                for c in &e.completions {
-                    self.stats.record(c.response_time());
-                }
-                e.completed += e.completions.len() as u64;
-                if sink.is_enabled() {
-                    e.drive.drain_events_into(&mut batch);
-                }
-                let op = OperatingPoint::new(e.drive.rpm(), e.epoch_duty);
-                heats.push(drive_heat_estimate(e.drive.model().spec(), op).get());
-                airs.push(e.drive.air());
-            }
-            if sink.is_enabled() {
-                // Merge routing decisions and the per-enclosure streams
-                // into one time-ordered stream; the sort is stable, so
-                // equal timestamps keep insertion (enclosure) order and
-                // the bytes stay shard-independent.
-                batch.sort_by(|a, b| a.t.total_cmp(&b.t));
-                sink.extend(batch.drain(..));
-            }
-            for (e, ambient) in self.enclosures.iter_mut().zip(self.airflow.local_ambients(&heats))
-            {
-                e.drive.set_ambient(ambient);
-                e.max_local_ambient = e.max_local_ambient.max(ambient);
-            }
-            if sink.is_enabled() {
-                for (i, e) in self.enclosures.iter().enumerate() {
-                    let queue = e.drive.in_flight() + e.pending.len() as u64;
-                    let coordinator = &self.coordinator;
-                    sink.emit(epoch_end, || diskobs::Event::Snapshot {
+            let r = *front;
+            self.incoming.pop_front();
+            let i = self
+                .route
+                .place(&mut self.router, &self.hot.gated, &mut self.hot.queue);
+            if ctx.sink_enabled {
+                routing_run.push(diskobs::TimedEvent {
+                    t: r.arrival.get(),
+                    event: diskobs::Event::RoutingDecision {
+                        request: r.id,
                         drive: i,
-                        air_c: e.drive.air().get(),
-                        ambient_c: e.drive.model().spec().ambient().get(),
-                        queue,
-                        util: e.epoch_util,
-                        duty: e.epoch_duty,
-                        rpm: e.drive.rpm().get(),
-                        gated: coordinator.gated(i),
-                    });
-                }
+                    },
+                });
             }
-            let ctl_before: Option<Vec<(bool, bool)>> = sink.is_enabled().then(|| {
-                (0..n)
-                    .map(|i| (self.coordinator.gated(i), self.coordinator.scaled_down(i)))
-                    .collect()
-            });
-            self.coordinator
-                .apply(&airs, |i, rpm| self.enclosures[i].drive.set_all_rpm(rpm));
-            if let Some(before) = ctl_before {
-                for (i, (was_gated, was_scaled)) in before.into_iter().enumerate() {
-                    if self.coordinator.gated(i) != was_gated {
-                        sink.emit(epoch_end, || diskobs::Event::CoordinatorAction {
-                            drive: i,
-                            action: if was_gated { "ungate" } else { "gate" },
-                        });
-                    }
-                    if self.coordinator.scaled_down(i) != was_scaled {
-                        sink.emit(epoch_end, || diskobs::Event::CoordinatorAction {
-                            drive: i,
-                            action: if was_scaled { "upshift" } else { "downshift" },
-                        });
-                    }
-                }
-                // The apply above lands RPM transitions (stamped at the
-                // epoch end) in the enclosure buffers; fold them in now
-                // so the stream stays time-ordered.
-                for e in self.enclosures.iter_mut() {
-                    e.drive.drain_events_into(&mut batch);
-                }
-                sink.extend(batch.drain(..));
-            }
-            for (i, e) in self.enclosures.iter_mut().enumerate() {
-                if self.coordinator.gated(i) {
-                    e.time_gated += epoch_len;
-                }
-                if self.coordinator.scaled_down(i) {
-                    e.time_scaled += epoch_len;
-                }
-            }
-
-            self.epochs += 1;
-            self.now = epoch_end;
-            profile.serial_ms += epoch_start
-                .elapsed()
-                .saturating_sub(parallel_elapsed)
-                .as_secs_f64()
-                * 1e3;
-            profile.epochs = self.epochs;
+            let e = &mut self.enclosures[i];
+            e.pending.push_back(remap(r, e.capacity));
+            e.routed += 1;
         }
 
-        self.batch = batch;
-        self.snaps = snaps;
-        self.heats = heats;
-        self.airs = airs;
+        // Parallel pass A — window sweeps plus per-bay folds.
+        let stamp = std::time::Instant::now();
+        self.hot.pass_a(&mut self.enclosures, self.threads, &ctx);
+        let mut parallel = stamp.elapsed();
+
+        // Serial reduce 2 — the only cross-rack thermal coupling:
+        // per-rack heat totals roll up into per-level preheat prefixes,
+        // O(racks). Flat graphs keep the dense evaluation.
+        if let Some(shape) = self.airflow.hall_shape() {
+            self.hot.rack_heat = rack_heats(&shape, &self.hot.heat);
+            self.hot.rack_base = self.airflow.rack_preheats(&shape, &self.hot.rack_heat);
+        } else {
+            self.hot.flat_ambients = self.airflow.local_ambients(&self.hot.heat);
+        }
+
+        // Parallel pass B — ambient push-back, boundary events, and
+        // coordinator proposals.
+        let stamp = std::time::Instant::now();
+        self.hot.pass_b(
+            &mut self.enclosures,
+            &self.coordinator,
+            &self.airflow,
+            self.threads,
+            &ctx,
+        );
+        parallel += stamp.elapsed();
+
+        // Serial reduce 3 — install the proposals in enclosure order.
+        self.coordinator.commit_all(&self.hot.proposals);
+
+        if ctx.sink_enabled {
+            // Parallel k-way merge of the pre-sorted runs (routing
+            // decisions first, then each bay's stream): equal
+            // timestamps keep run order, exactly as the old global
+            // stable time-sort did, so the bytes are shard-independent.
+            let stamp = std::time::Instant::now();
+            let mut runs = Vec::with_capacity(n + 1);
+            runs.push(routing_run);
+            runs.extend(self.enclosures.iter_mut().map(|e| std::mem::take(&mut e.run)));
+            let merged =
+                disksim::par::parallel_merge_by(runs, self.threads, |a, b| a.t.total_cmp(&b.t));
+            sink.extend(merged);
+            parallel += stamp.elapsed();
+        } else {
+            self.routing_run = routing_run;
+        }
+
+        self.epochs += 1;
+        self.now = epoch_end;
+        profile.parallel_ms += parallel.as_secs_f64() * 1e3;
+        profile.serial_ms += epoch_start
+            .elapsed()
+            .saturating_sub(parallel)
+            .as_secs_f64()
+            * 1e3;
+        profile.epochs = self.epochs;
     }
 
     /// Assembles a [`FleetReport`] from the fleet's current state
@@ -815,7 +1032,7 @@ impl Fleet {
 
         FleetReport {
             enclosures: n,
-            stats: self.stats.clone(),
+            stats: self.stats(),
             max_air,
             peak_local_ambient,
             mean_air,
@@ -826,16 +1043,24 @@ impl Fleet {
         }
     }
 
-    /// Response-time statistics accumulated so far.
-    pub fn stats(&self) -> &ResponseStats {
-        &self.stats
+    /// Response-time statistics accumulated so far: the per-enclosure
+    /// folds merged in enclosure order, which is deterministic at any
+    /// shard count.
+    pub fn stats(&self) -> ResponseStats {
+        let mut total = ResponseStats::new();
+        for e in &self.enclosures {
+            total.merge(&e.stats);
+        }
+        total
     }
 
     /// Discards the accumulated response-time statistics. What-if forks
     /// call this on both the baseline and the perturbed copy at the
     /// fork point so the comparison covers only the forked horizon.
     pub fn reset_stats(&mut self) {
-        self.stats = ResponseStats::new();
+        for e in &mut self.enclosures {
+            e.stats = ResponseStats::new();
+        }
     }
 
     /// Current simulated time (epoch boundary).
@@ -940,7 +1165,6 @@ impl Fleet {
             windows_per_epoch: self.windows_per_epoch,
             threads: self.threads,
             incoming: self.incoming.iter().copied().collect(),
-            stats: self.stats.clone(),
             epochs: self.epochs,
             now: self.now,
             primed: self.primed,
@@ -995,14 +1219,12 @@ impl Fleet {
             windows_per_epoch: state.windows_per_epoch,
             threads: state.threads.max(1),
             incoming: state.incoming.into(),
-            stats: state.stats,
             epochs: state.epochs,
             now: state.now,
             primed: state.primed,
-            batch: Vec::new(),
-            snaps: Vec::with_capacity(n),
-            heats: Vec::with_capacity(n),
-            airs: Vec::with_capacity(n),
+            hot: FleetHotState::default(),
+            route: RoutingScratch::default(),
+            routing_run: Vec::new(),
         })
     }
 }
@@ -1089,6 +1311,39 @@ mod tests {
         };
         let serial = run(1);
         assert_eq!(serial, run(4));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn hall_topology_is_byte_identical_at_any_shard_count() {
+        // 24 drives as 2 rows of 3 racks × 4 bays, with DTM engaged so
+        // the two-phase commit actually has transitions to order.
+        let run = |threads: usize| {
+            let airflow = AirflowGraph::hall(
+                24,
+                4,
+                3,
+                Celsius::new(28.0),
+                0.05,
+                0.01,
+                0.004,
+            )
+            .unwrap();
+            let mut cfg = config(24, 15_020.0, 10.0);
+            cfg.airflow = airflow;
+            cfg.threads = threads;
+            cfg.routing = RoutingPolicy::ThermalAware {
+                envelope: THERMAL_ENVELOPE,
+            };
+            cfg.dtm = FleetDtmPolicy::Throttle {
+                guard: TempDelta::new(0.3),
+                resume_margin: TempDelta::new(0.3),
+            };
+            serde_json::to_string(&Fleet::new(cfg).unwrap().run(trace(2_000, 500.0)).unwrap())
+                .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(3), "3 shards split racks unevenly");
         assert_eq!(serial, run(8));
     }
 

@@ -20,10 +20,12 @@
 //!   events/sec through a single-shard `StorageSystem` window loop on
 //!   the figure-scale trace, plus the calendar arrival queue against
 //!   the `BinaryHeap` it replaced under a hold-model churn;
-//! - drive-windows/sec through the fleet's sharded epoch loop at one
-//!   shard and at the machine's parallelism, split into parallel-sweep
-//!   and serial-synchronization phase times, plus the end-to-end
-//!   `fleet_routing` experiment;
+//! - drive-windows/sec through the fleet's sharded epoch loop: the
+//!   8-drive rack at one shard and at the machine's parallelism, and a
+//!   64-drive hierarchical hall swept across shard counts 1/2/4/8, each
+//!   split into parallel-sweep and serial-reduce phase times (the
+//!   measured serial fraction is the Amdahl input behind the reported
+//!   shard speedup), plus the end-to-end `fleet_routing` experiment;
 //! - the observability tax: the fleet kernel under a null sink (twice,
 //!   interleaved, bounding the noise floor) and under a recording sink,
 //!   plus this tree's kernel numbers diffed against the committed
@@ -43,7 +45,7 @@
 use crate::registry;
 use crate::text::results_dir;
 use crate::{LabError, Scale};
-use diskfleet::{Fleet, FleetConfig, FleetPhaseProfile};
+use diskfleet::{AirflowGraph, Fleet, FleetConfig, FleetPhaseProfile};
 use disksim::{
     CalendarQueue, DiskSpec, Request, RequestKind, StorageSystem, SystemConfig, TimeKey,
 };
@@ -430,49 +432,99 @@ pub fn sim_bench(quick: bool) -> Result<SimBenchReport, LabError> {
 const FLEET_BENCH_ENCLOSURES: usize = 8;
 /// Control windows per sync epoch (the `FleetConfig::serial` default).
 const FLEET_BENCH_WINDOWS_PER_EPOCH: usize = 4;
+/// Drives in the shard-sweep hall (8 rows of 8 racks of 16 bays) — big
+/// enough that the parallel window sweeps dominate the epoch boundary.
+const FLEET_HALL_BENCH_ENCLOSURES: usize = 1_024;
+/// Bays per rack in the shard-sweep hall.
+const FLEET_HALL_PER_RACK: usize = 16;
+/// Racks per row in the shard-sweep hall.
+const FLEET_HALL_RACKS_PER_ROW: usize = 8;
+/// Fleet-wide arrival rate for the shard-sweep hall, requests/s. Low
+/// per drive on purpose: each request is routed in the serial phase but
+/// simulated in the parallel one, so a light per-drive load is the
+/// regime where the epoch boundary itself — not the disks — is on
+/// trial.
+const FLEET_HALL_RATE: f64 = 800.0;
+/// Shard counts the sweep measures.
+const FLEET_SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One shard count's measurement in the hall shard sweep.
+#[derive(Debug, Serialize)]
+pub struct FleetShardRow {
+    /// Shards this row ran on.
+    pub shards: usize,
+    /// Drive-windows/sec through the epoch loop.
+    pub windows_per_sec: f64,
+    /// Wall-clock spent in the parallel phases (window sweeps, airflow
+    /// folds, event merge), ms.
+    pub parallel_phase_ms: f64,
+    /// Wall-clock spent in the serial reduces (routing commit, airflow
+    /// coupling, coordinator commit), ms.
+    pub serial_phase_ms: f64,
+    /// This row's wall-clock speedup over the one-shard row. On a host
+    /// with fewer cores than shards this hovers near 1.0 — the honest
+    /// number; see `shard_speedup_basis` on the report.
+    pub wall_speedup_vs_serial: f64,
+}
 
 /// What `lab bench` measured about the fleet event loop. A full run
 /// writes this to `BENCH_fleet.json` at the workspace root.
 ///
-/// The phase fields split each run's wall-clock into the parallel
-/// per-enclosure window sweeps versus the serial epoch-boundary work
-/// (routing, completion folding, airflow coupling). By Amdahl's law
-/// the serial fraction caps `shard_speedup` at
-/// `1 / (serial_fraction + (1 - serial_fraction) / shards)` — on this
-/// workload the sweeps are short relative to the per-epoch
-/// synchronization, which is why the shard payoff is modest and why
-/// these numbers are reported alongside it.
+/// Two workloads: the historical 8-drive *rack* (whose one-shard
+/// `serial_windows_per_sec` is the baseline `BENCH_sim.json` diffs
+/// against), and a 64-drive hierarchical *hall* swept across shard
+/// counts. The phase fields split each run's wall-clock into the
+/// parallel per-enclosure work versus the serial epoch-boundary
+/// reduces. By Amdahl's law the serial fraction caps the shard payoff
+/// at `1 / (serial_fraction + (1 - serial_fraction) / shards)`; the
+/// split-phase epoch boundary exists to keep that fraction small, and
+/// `shard_speedup_basis` records whether `shard_speedup` is a wall-clock
+/// measurement (host has >= 8 cores) or the Amdahl projection from the
+/// measured serial fraction (fewer cores — extra shards cannot beat
+/// physics, so the wall clock says nothing about scaling).
 #[derive(Debug, Serialize)]
 pub struct FleetBenchReport {
     /// True when the quick (smoke-test) request counts were used.
     pub quick: bool,
     /// Where and when these numbers were taken.
     pub provenance: Provenance,
-    /// Shard count actually used by the sharded measurement
+    /// Shard count actually used by the sharded rack measurement
     /// (`disksim::par::default_parallelism()` on the benchmarking
     /// host).
     pub shards: usize,
-    /// Drive-windows/sec through the epoch loop on one shard.
+    /// Drive-windows/sec through the rack epoch loop on one shard.
     pub serial_windows_per_sec: f64,
-    /// Wall-clock the one-shard run spent in the (nominally parallel)
-    /// window sweeps, ms.
+    /// Wall-clock the one-shard rack run spent in the (nominally
+    /// parallel) window sweeps, ms.
     pub serial_run_parallel_phase_ms: f64,
-    /// Wall-clock the one-shard run spent in serial epoch-boundary
+    /// Wall-clock the one-shard rack run spent in serial epoch-boundary
     /// synchronization, ms.
     pub serial_run_serial_phase_ms: f64,
-    /// Drive-windows/sec with the sharded (work-stealing) loop.
+    /// Drive-windows/sec through the rack with the sharded loop.
     pub sharded_windows_per_sec: f64,
-    /// Wall-clock the sharded run spent in the parallel window sweeps,
-    /// ms.
+    /// Wall-clock the sharded rack run spent in the parallel window
+    /// sweeps, ms.
     pub sharded_run_parallel_phase_ms: f64,
-    /// Wall-clock the sharded run spent in serial epoch-boundary
+    /// Wall-clock the sharded rack run spent in serial epoch-boundary
     /// synchronization, ms.
     pub sharded_run_serial_phase_ms: f64,
-    /// `sharded / serial` — the payoff of sharding the event loop.
-    pub shard_speedup: f64,
-    /// Fraction of the one-shard run's wall-clock that is serial
-    /// synchronization — the Amdahl input that bounds `shard_speedup`.
+    /// Drives in the shard-sweep hall.
+    pub hall_enclosures: usize,
+    /// The hall workload at each sweep shard count, in sweep order.
+    pub shard_sweep: Vec<FleetShardRow>,
+    /// Fraction of the one-shard hall run's wall-clock in the serial
+    /// reduces — the Amdahl input that bounds every shard payoff.
     pub serial_fraction: f64,
+    /// `1 / (serial_fraction + (1 - serial_fraction) / 8)` — what
+    /// Amdahl's law permits at 8 shards given the measured serial
+    /// fraction.
+    pub amdahl_speedup_at_8: f64,
+    /// The 8-shard payoff: measured wall-clock ratio when the host has
+    /// at least 8 cores, otherwise the Amdahl projection above.
+    pub shard_speedup: f64,
+    /// `"measured"`, or `"amdahl-projected (host_parallelism=N)"` when
+    /// the host cannot exercise 8 shards in parallel.
+    pub shard_speedup_basis: String,
     /// End-to-end wall time of the `fleet_routing` experiment, in ms
     /// (quick scale under `--quick`, full scale otherwise).
     pub fleet_routing_wall_ms: f64,
@@ -521,13 +573,58 @@ fn fleet_windows_per_sec(
     Ok((windows as f64 / elapsed, profile))
 }
 
-/// Benchmarks the fleet event loop at one shard and at the machine's
-/// parallelism, plus the end-to-end `fleet_routing` experiment.
+/// Times one hall-workload fleet run (hierarchical airflow,
+/// thermal-aware routing) at the given shard count, returning
+/// drive-windows advanced per second and where the wall-clock went.
+fn fleet_hall_windows_per_sec(
+    threads: usize,
+    requests: u64,
+) -> Result<(f64, FleetPhaseProfile), LabError> {
+    let fail = |e: &dyn std::fmt::Display| LabError::Experiment(format!("fleet hall bench: {e}"));
+    let thermal = DriveThermalSpec::new(Inches::new(2.6), 1);
+    let mut config = FleetConfig::serial(
+        FLEET_HALL_BENCH_ENCLOSURES,
+        DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+        thermal,
+        12.0,
+    )
+    .map_err(|e| fail(&e))?;
+    config.airflow = AirflowGraph::hall(
+        FLEET_HALL_BENCH_ENCLOSURES,
+        FLEET_HALL_PER_RACK,
+        FLEET_HALL_RACKS_PER_ROW,
+        thermal.ambient(),
+        4.0e-3,
+        1.2e-4,
+        7.0e-5,
+    )
+    .map_err(|e| fail(&e))?;
+    config.routing = diskfleet::RoutingPolicy::ThermalAware {
+        envelope: diskthermal::THERMAL_ENVELOPE,
+    };
+    config.threads = threads;
+    let fleet = Fleet::new(config).map_err(|e| fail(&e))?;
+    let trace = fleet_bench_trace(requests, FLEET_HALL_RATE);
+    let mut sink = diskobs::Sink::null();
+    let start = Instant::now();
+    let (report, profile) = fleet.run_profiled(trace, &mut sink).map_err(|e| fail(&e))?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let windows =
+        report.epochs * (FLEET_BENCH_WINDOWS_PER_EPOCH * FLEET_HALL_BENCH_ENCLOSURES) as u64;
+    Ok((windows as f64 / elapsed, profile))
+}
+
+/// Benchmarks the fleet event loop: the 8-drive rack at one shard and
+/// at the machine's parallelism, the 64-drive hall across the shard
+/// sweep, plus the end-to-end `fleet_routing` experiment.
 ///
 /// The first fleet run in a process pays one-time costs (page faults,
 /// lazy thread-pool and scratch initialization) worth ~25% of this
 /// workload; a discarded warm-up run keeps them out of the steady
 /// state, and each configuration keeps its best of several passes.
+/// The hall sweep does not shrink under `--quick`: the measured serial
+/// fraction is the number `scripts/verify.sh` gates on, and a smaller
+/// workload would only add noise to it.
 pub fn fleet_bench(quick: bool) -> Result<FleetBenchReport, LabError> {
     let (requests, reps) = if quick { (800, 1) } else { (6_000, 3) };
     let shards = disksim::par::default_parallelism();
@@ -544,11 +641,56 @@ pub fn fleet_bench(quick: bool) -> Result<FleetBenchReport, LabError> {
     };
     let (serial, serial_profile) = best(1)?;
     let (sharded, sharded_profile) = best(shards)?;
+
+    let (hall_requests, hall_reps) = if quick { (12_000, 1) } else { (12_000, 2) };
+    let _ = fleet_hall_windows_per_sec(1, 2_000)?;
+    let mut sweep = Vec::new();
+    let mut base_wps = 0.0;
+    let mut base_profile = FleetPhaseProfile::default();
+    for count in FLEET_SHARD_SWEEP {
+        let mut best = fleet_hall_windows_per_sec(count, hall_requests)?;
+        for _ in 1..hall_reps {
+            let run = fleet_hall_windows_per_sec(count, hall_requests)?;
+            if run.0 > best.0 {
+                best = run;
+            }
+        }
+        if count == 1 {
+            base_wps = best.0;
+            base_profile = best.1;
+        }
+        sweep.push(FleetShardRow {
+            shards: count,
+            windows_per_sec: best.0,
+            parallel_phase_ms: best.1.parallel_ms,
+            serial_phase_ms: best.1.serial_ms,
+            wall_speedup_vs_serial: best.0 / base_wps,
+        });
+    }
+    let serial_fraction = base_profile.serial_fraction();
+    let amdahl_speedup_at_8 = 1.0 / (serial_fraction + (1.0 - serial_fraction) / 8.0);
+    let provenance = Provenance::collect();
+    let measured_at_8 = sweep
+        .iter()
+        .find(|r| r.shards == 8)
+        .map_or(1.0, |r| r.wall_speedup_vs_serial);
+    let (shard_speedup, shard_speedup_basis) = if provenance.host_parallelism >= 8 {
+        (measured_at_8, "measured".to_string())
+    } else {
+        (
+            amdahl_speedup_at_8,
+            format!(
+                "amdahl-projected (host_parallelism={})",
+                provenance.host_parallelism
+            ),
+        )
+    };
+
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let routing_ms = experiment_wall_ms_at("fleet_routing", scale)?;
     Ok(FleetBenchReport {
         quick,
-        provenance: Provenance::collect(),
+        provenance,
         shards,
         serial_windows_per_sec: serial,
         serial_run_parallel_phase_ms: serial_profile.parallel_ms,
@@ -556,8 +698,12 @@ pub fn fleet_bench(quick: bool) -> Result<FleetBenchReport, LabError> {
         sharded_windows_per_sec: sharded,
         sharded_run_parallel_phase_ms: sharded_profile.parallel_ms,
         sharded_run_serial_phase_ms: sharded_profile.serial_ms,
-        shard_speedup: sharded / serial,
-        serial_fraction: serial_profile.serial_fraction(),
+        hall_enclosures: FLEET_HALL_BENCH_ENCLOSURES,
+        shard_sweep: sweep,
+        serial_fraction,
+        amdahl_speedup_at_8,
+        shard_speedup,
+        shard_speedup_basis,
         fleet_routing_wall_ms: routing_ms,
     })
 }
@@ -991,20 +1137,48 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
     println!(
         "fleet event loop ({FLEET_BENCH_ENCLOSURES} drives, serial airflow):"
     );
+    let rack_total = fleet.serial_run_parallel_phase_ms + fleet.serial_run_serial_phase_ms;
     println!(
         "  1 shard:                     {:>12.0} drive-windows/s  ({:.1} ms sweep + {:.1} ms sync, {:.0}% serial)",
         fleet.serial_windows_per_sec,
         fleet.serial_run_parallel_phase_ms,
         fleet.serial_run_serial_phase_ms,
-        fleet.serial_fraction * 100.0
+        if rack_total > 0.0 {
+            fleet.serial_run_serial_phase_ms / rack_total * 100.0
+        } else {
+            0.0
+        }
     );
     println!(
         "  {} shards:                    {:>12.0} drive-windows/s  ({:.1}x; {:.1} ms sweep + {:.1} ms sync)",
         fleet.shards,
         fleet.sharded_windows_per_sec,
-        fleet.shard_speedup,
+        fleet.sharded_windows_per_sec / fleet.serial_windows_per_sec,
         fleet.sharded_run_parallel_phase_ms,
         fleet.sharded_run_serial_phase_ms
+    );
+    println!(
+        "fleet shard sweep ({} drives, hierarchical hall airflow, thermal-aware routing):",
+        fleet.hall_enclosures
+    );
+    for row in &fleet.shard_sweep {
+        println!(
+            "  {} shard(s):                  {:>12.0} drive-windows/s  ({:.2}x wall; {:.1} ms parallel + {:.1} ms serial)",
+            row.shards,
+            row.windows_per_sec,
+            row.wall_speedup_vs_serial,
+            row.parallel_phase_ms,
+            row.serial_phase_ms
+        );
+    }
+    println!(
+        "  serial fraction:             {:>12.2} %  (Amdahl cap at 8 shards: {:.1}x)",
+        fleet.serial_fraction * 100.0,
+        fleet.amdahl_speedup_at_8
+    );
+    println!(
+        "  shard speedup at 8:          {:>12.1} x  ({})",
+        fleet.shard_speedup, fleet.shard_speedup_basis
     );
     println!(
         "  fleet_routing experiment:    {:>12.1} ms",
@@ -1093,6 +1267,24 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
             )));
         }
         println!("obs overhead bound holds: null-sink noise {:.2}% < 4%", obs.null_noise_pct);
+        // The shard-scaling bound `--quick` asserts: the hall workload's
+        // epoch boundary must stay almost entirely parallel. The
+        // committed BENCH_fleet.json pins the tighter < 3%; the gate
+        // doubles it so host noise on a busy CI box costs a rerun, not
+        // a false regression.
+        if fleet.serial_fraction >= 0.06 {
+            return Err(LabError::Experiment(format!(
+                "fleet shard-scaling bound violated: serial fraction {:.2}% >= 6% \
+                 ({:.1} ms serial vs {:.1} ms parallel on the hall workload)",
+                fleet.serial_fraction * 100.0,
+                fleet.shard_sweep[0].serial_phase_ms,
+                fleet.shard_sweep[0].parallel_phase_ms
+            )));
+        }
+        println!(
+            "fleet shard-scaling bound holds: serial fraction {:.2}% < 6%",
+            fleet.serial_fraction * 100.0
+        );
     } else {
         let root = workspace_root()?;
         for (name, json) in [

@@ -11,6 +11,7 @@ pub mod figure3;
 pub mod figure4;
 pub mod figure5;
 pub mod figure7;
+pub mod fleet_hall;
 pub mod fleet_routing;
 pub mod fleet_scaling;
 pub mod formfactor;

@@ -3,7 +3,8 @@
 use crate::experiment::{Experiment, Scale};
 use crate::experiments::{
     figure1::Figure1, figure2::Figure2, figure3::Figure3, figure4::Figure4, figure5::Figure5,
-    figure7::Figure7, fleet_routing::FleetRouting, fleet_scaling::FleetScaling,
+    figure7::Figure7, fleet_hall::FleetHall, fleet_routing::FleetRouting,
+    fleet_scaling::FleetScaling,
     formfactor::FormFactor, plan::Plan, shuffle::Shuffle, table1::Table1, table3::Table3,
     twin_whatif::TwinWhatif,
 };
@@ -17,6 +18,7 @@ pub fn registry(scale: Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(Figure4::at_scale(scale)),
         Box::new(Figure5),
         Box::new(Figure7::default()),
+        Box::new(FleetHall::at_scale(scale)),
         Box::new(FleetRouting::at_scale(scale)),
         Box::new(FleetScaling::at_scale(scale)),
         Box::new(FormFactor),
@@ -49,7 +51,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must stay in sorted name order");
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
     }
 
     #[test]
@@ -66,7 +68,7 @@ mod tests {
             .iter()
             .map(|e| e.config_digest())
             .collect();
-        assert_eq!(digests.len(), 14);
+        assert_eq!(digests.len(), 15);
     }
 
     #[test]
@@ -77,7 +79,8 @@ mod tests {
             let differs = f.config_digest() != q.config_digest();
             let simulation_heavy = matches!(
                 f.name(),
-                "figure4" | "fleet_routing" | "fleet_scaling" | "shuffle" | "twin_whatif"
+                "figure4" | "fleet_hall" | "fleet_routing" | "fleet_scaling" | "shuffle"
+                    | "twin_whatif"
             );
             assert_eq!(differs, simulation_heavy, "{}", f.name());
         }

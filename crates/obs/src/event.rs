@@ -127,9 +127,33 @@ impl TimedEvent {
     }
 }
 
+/// Whether `events` is nondecreasing in `t` under `f64::total_cmp`.
+///
+/// The k-way merge at the fleet's epoch boundary assumes every
+/// per-enclosure event run is already time-sorted (each enclosure emits
+/// events as its own clock advances); this is the debug-assert guard
+/// for that contract. Returns `true` for empty and single-event runs.
+pub fn is_time_sorted(events: &[TimedEvent]) -> bool {
+    events
+        .windows(2)
+        .all(|w| w[0].t.total_cmp(&w[1].t) != std::cmp::Ordering::Greater)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn is_time_sorted_accepts_ties_and_rejects_regressions() {
+        let at = |t: f64| TimedEvent {
+            t,
+            event: Event::RoutingDecision { request: 0, drive: 0 },
+        };
+        assert!(is_time_sorted(&[]));
+        assert!(is_time_sorted(&[at(1.0)]));
+        assert!(is_time_sorted(&[at(1.0), at(1.0), at(2.0)]));
+        assert!(!is_time_sorted(&[at(2.0), at(1.0)]));
+    }
 
     #[test]
     fn events_render_stable_ndjson() {

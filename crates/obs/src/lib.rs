@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod profile;
 pub mod record;
 
-pub use event::{Event, TimedEvent};
+pub use event::{is_time_sorted, Event, TimedEvent};
 pub use logger::Level;
 pub use metrics::{LogHistogram, Registry, Timeseries};
 pub use profile::{Span, SpanSet};

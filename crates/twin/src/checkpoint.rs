@@ -24,7 +24,14 @@ pub const CHECKPOINT_MAGIC: &str = "DISKTWIN";
 
 /// The current checkpoint format version. Bump on any incompatible
 /// change to [`TwinState`]'s serialized shape.
-pub const STATE_VERSION: u32 = 1;
+///
+/// History:
+/// - 1: initial format.
+/// - 2: response statistics moved from one fleet-wide accumulator into
+///   per-enclosure folds (the fleet's parallel epoch boundary), so the
+///   enclosure states gained a `stats` object and the fleet state lost
+///   its own.
+pub const STATE_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]
@@ -34,7 +41,7 @@ pub enum CheckpointError {
     /// The header line is missing or malformed.
     BadHeader(String),
     /// The file is a checkpoint, but of an incompatible version.
-    WrongVersion {
+    VersionMismatch {
         /// Version found in the header.
         found: u32,
     },
@@ -56,7 +63,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             Self::Io(msg) => write!(f, "checkpoint i/o: {msg}"),
             Self::BadHeader(msg) => write!(f, "bad checkpoint header: {msg}"),
-            Self::WrongVersion { found } => write!(
+            Self::VersionMismatch { found } => write!(
                 f,
                 "checkpoint version {found} is not the supported version {STATE_VERSION}"
             ),
@@ -114,7 +121,7 @@ pub fn encode(state: &TwinState) -> Result<Vec<u8>, CheckpointError> {
 /// # Errors
 ///
 /// Every way a corrupted file can fail: [`CheckpointError::BadHeader`],
-/// [`CheckpointError::WrongVersion`], [`CheckpointError::Truncated`],
+/// [`CheckpointError::VersionMismatch`], [`CheckpointError::Truncated`],
 /// [`CheckpointError::ChecksumMismatch`], [`CheckpointError::BadBody`].
 pub fn decode(bytes: &[u8]) -> Result<TwinState, CheckpointError> {
     let newline = bytes
@@ -135,7 +142,7 @@ pub fn decode(bytes: &[u8]) -> Result<TwinState, CheckpointError> {
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| CheckpointError::BadHeader("unparsable version".into()))?;
     if version != STATE_VERSION {
-        return Err(CheckpointError::WrongVersion { found: version });
+        return Err(CheckpointError::VersionMismatch { found: version });
     }
     let body_len: u64 = fields
         .next()

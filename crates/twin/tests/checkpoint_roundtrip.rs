@@ -4,7 +4,10 @@
 //! or truncated checkpoint files are rejected with typed errors.
 
 use disksim::{DiskSpec, Request, RequestKind, StorageSystem, SystemConfig};
-use disktwin::{decode, encode, read_checkpoint, write_checkpoint, CheckpointError, Twin, TwinConfig};
+use disktwin::{
+    decode, encode, read_checkpoint, write_checkpoint, CheckpointError, Twin, TwinConfig,
+    STATE_VERSION,
+};
 use proptest::prelude::*;
 use units::{Rpm, Seconds};
 
@@ -126,16 +129,23 @@ fn corrupted_checkpoints_are_rejected_before_parsing() {
         Err(CheckpointError::BadHeader(_))
     ));
 
-    // A future version is refused, not misparsed.
+    // Any other version — future or past — is refused with a typed
+    // error before the JSON parser ever runs. The v1 case is the real
+    // migration hazard: a pre-v2 checkpoint (fleet-wide statistics, no
+    // per-enclosure folds) must fail loudly, not half-deserialize.
     let header_end = good.iter().position(|&b| b == b'\n').unwrap();
     let header = String::from_utf8(good[..header_end].to_vec()).unwrap();
-    let bumped = header.replacen(" 1 ", " 999 ", 1);
-    let mut wrong_version = bumped.into_bytes();
-    wrong_version.extend_from_slice(&good[header_end..]);
-    assert!(matches!(
-        decode(&wrong_version),
-        Err(CheckpointError::WrongVersion { found: 999 })
-    ));
+    let current = format!(" {STATE_VERSION} ");
+    for old in [1u32, 999] {
+        let bumped = header.replacen(&current, &format!(" {old} "), 1);
+        assert_ne!(bumped, header, "the version field must be rewritten");
+        let mut wrong_version = bumped.into_bytes();
+        wrong_version.extend_from_slice(&good[header_end..]);
+        match decode(&wrong_version) {
+            Err(CheckpointError::VersionMismatch { found }) => assert_eq!(found, old),
+            other => panic!("version {old} must be refused as VersionMismatch, got {other:?}"),
+        }
+    }
 
     // No header line at all.
     assert!(matches!(

@@ -35,11 +35,22 @@ cargo test -q -p disklab --test lab_determinism trace_bytes_are_identical_at_any
 echo "==> cargo run --release --bin lab -- trace figure5"
 cargo run --release --bin lab -- trace figure5
 
+echo "==> shard-scaling smoke: 4 shards byte-identical to serial"
+# The parallel epoch boundary must be invisible in the results: the
+# hall experiment and the raw fleet kernel both have to produce
+# byte-identical payloads whether the epoch loop runs on one shard or
+# many.
+cargo test -q -p disklab --test lab_determinism -- \
+    fleet_hall_payload_is_byte_identical_at_any_shard_count \
+    fleet_shard_count_does_not_change_results
+
 echo "==> cargo run --release --bin lab -- bench --quick"
 # Quick bench exercises every suite (thermal kernel, storage event
-# core, fleet phase split, obs) and asserts the instrumentation-
-# overhead bound: paired null-sink fleet runs must agree to within
-# the noise margin.
+# core, fleet phase split, obs) and asserts two in-process bounds:
+# paired null-sink fleet runs must agree to within the noise margin,
+# and the hall workload's measured serial fraction must stay under
+# the shard-scaling gate (the committed BENCH_fleet.json pins the
+# tighter < 3%).
 cargo run --release --bin lab -- bench --quick
 
 echo "==> twin smoke test (serve, 3 concurrent what-if queries, 2 runs)"

@@ -161,6 +161,27 @@ fn fleet_shard_count_does_not_change_results() {
 }
 
 #[test]
+fn fleet_hall_payload_is_byte_identical_at_any_shard_count() {
+    use disklab::experiments::fleet_hall::FleetHall;
+    use disklab::Experiment;
+
+    // The hall experiment exercises the hierarchical airflow reduce and
+    // the rack-aligned pass-B chunking; its payload and report must not
+    // depend on how many shards the epoch loop ran on.
+    let at = |threads: usize| {
+        let mut exp = FleetHall::at_scale(Scale::Quick);
+        exp.threads = threads;
+        exp.run().unwrap()
+    };
+    let one = at(1);
+    for threads in [3, 8] {
+        let many = at(threads);
+        assert_eq!(one.text, many.text, "report differs at {threads} shards");
+        assert_eq!(one.json, many.json, "payload differs at {threads} shards");
+    }
+}
+
+#[test]
 fn trace_bytes_are_identical_at_any_shard_count() {
     // The whole point of stamping events with sim time and merging
     // buffered streams in the serial phases: `lab trace fleet_routing`
