@@ -25,6 +25,12 @@ pub enum SimError {
     /// The system configuration was inconsistent (e.g. RAID-5 with fewer
     /// than three disks).
     BadConfig(String),
+    /// A disk failure was injected into an array that is already running
+    /// degraded (RAID-5 survives exactly one member loss).
+    AlreadyDegraded {
+        /// The member that is already marked failed.
+        device: u32,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -44,6 +50,9 @@ impl core::fmt::Display for SimError {
                 lba + *sectors as u64
             ),
             Self::BadConfig(msg) => write!(f, "bad system configuration: {msg}"),
+            Self::AlreadyDegraded { device } => {
+                write!(f, "array already degraded: member {device} is failed")
+            }
         }
     }
 }

@@ -267,8 +267,10 @@ impl StorageSystem {
     ///
     /// # Errors
     ///
-    /// [`SimError::BadConfig`] when the system is not RAID-5 or the
-    /// index is out of range.
+    /// [`SimError::BadConfig`] when the system is not RAID-5,
+    /// [`SimError::NoSuchDevice`] when the index is out of range, and
+    /// [`SimError::AlreadyDegraded`] when a member is already failed
+    /// (RAID-5 survives exactly one loss).
     pub fn fail_disk(&mut self, disk: u32) -> Result<(), SimError> {
         match &self.raid {
             Some(raid) if matches!(raid.level(), crate::raid::RaidLevel::Raid5) => {
@@ -278,6 +280,9 @@ impl StorageSystem {
                         available: raid.disks(),
                     });
                 }
+                if let Some(device) = self.failed_disk {
+                    return Err(SimError::AlreadyDegraded { device });
+                }
                 self.failed_disk = Some(disk);
                 Ok(())
             }
@@ -285,6 +290,12 @@ impl StorageSystem {
                 "degraded mode requires a RAID-5 system".into(),
             )),
         }
+    }
+
+    /// Clears the failed-member mark after a completed rebuild: the
+    /// array maps requests normally again. A no-op on a healthy system.
+    pub fn repair_disk(&mut self) {
+        self.failed_disk = None;
     }
 
     /// The failed member, if any.
@@ -1097,6 +1108,14 @@ mod tests {
         assert!(raid.fail_disk(7).is_err());
         assert!(raid.fail_disk(3).is_ok());
         assert_eq!(raid.failed_disk(), Some(3));
+        assert_eq!(
+            raid.fail_disk(1),
+            Err(SimError::AlreadyDegraded { device: 3 }),
+            "a second failure on a degraded RAID-5 must be a typed error"
+        );
+        raid.repair_disk();
+        assert_eq!(raid.failed_disk(), None);
+        assert!(raid.fail_disk(1).is_ok(), "a repaired array can fail again");
     }
 
     #[test]

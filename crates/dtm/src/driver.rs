@@ -260,6 +260,12 @@ impl WindowedDrive {
         &self.system
     }
 
+    /// Mutable access to the underlying storage system (failure
+    /// injection and repair; speed control goes through the DTM APIs).
+    pub fn system_mut(&mut self) -> &mut StorageSystem {
+        &mut self.system
+    }
+
     /// The thermal model currently coupled to the transient.
     pub fn model(&self) -> &ThermalModel {
         &self.model

@@ -13,6 +13,14 @@ pub enum FleetError {
     /// The fleet configuration itself is inconsistent (mismatched
     /// airflow graph, zero enclosures, bad coupling coefficients, ...).
     Config(String),
+    /// An injection addressed an enclosure index the fleet does not
+    /// have.
+    NoSuchEnclosure {
+        /// Enclosure index requested.
+        enclosure: usize,
+        /// Enclosures in the fleet.
+        fleet: usize,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -20,6 +28,9 @@ impl fmt::Display for FleetError {
         match self {
             FleetError::Sim(e) => write!(f, "simulator error: {e}"),
             FleetError::Config(msg) => write!(f, "fleet configuration error: {msg}"),
+            FleetError::NoSuchEnclosure { enclosure, fleet } => {
+                write!(f, "enclosure {enclosure} requested but the fleet has {fleet}")
+            }
         }
     }
 }
@@ -28,7 +39,7 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Sim(e) => Some(e),
-            FleetError::Config(_) => None,
+            _ => None,
         }
     }
 }

@@ -29,11 +29,86 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use units::{Celsius, Rpm, Seconds};
 
+/// RAID-5 geometry for every enclosure: instead of one bare drive, each
+/// bay holds an `disks`-member array presented as one logical volume.
+/// Failure injection ([`Fleet::fail_drive`]) needs this redundancy to
+/// have something to rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnclosureArray {
+    /// Member disks per enclosure (min 3 for RAID-5).
+    pub disks: u32,
+    /// Stripe unit in sectors.
+    pub stripe_sectors: u32,
+}
+
+/// Knobs for the background rebuild a [`Fleet::fail_drive`] injection
+/// starts: a sequential scan over the degraded volume whose reads
+/// reconstruct from the survivors — the classic rebuild storm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebuildSpec {
+    /// Scan rate in logical sectors per second. Non-positive disables
+    /// the rebuild: the array stays degraded.
+    pub rate_sectors_per_sec: f64,
+    /// Sectors per rebuild read.
+    pub chunk_sectors: u32,
+}
+
+impl Default for RebuildSpec {
+    /// ~48 MiB/s scan in 512 KiB reads.
+    fn default() -> Self {
+        Self { rate_sectors_per_sec: 98_304.0, chunk_sectors: 1_024 }
+    }
+}
+
+/// Requests the rebuild scan injects carry ids at or above this base so
+/// the statistics folds can keep background reconstruction I/O out of
+/// the foreground response-time numbers.
+pub const REBUILD_ID_BASE: u64 = 1 << 62;
+
+/// One in-flight rebuild: a sequential scan over a degraded enclosure's
+/// logical volume, budgeted per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rebuild {
+    enclosure: usize,
+    disk: u32,
+    next_lba: u64,
+    total: u64,
+    done: u64,
+    rate: f64,
+    chunk: u32,
+    carry: f64,
+}
+
+impl Rebuild {
+    /// The enclosure being rebuilt.
+    pub fn enclosure(&self) -> usize {
+        self.enclosure
+    }
+
+    /// The failed member under reconstruction.
+    pub fn disk(&self) -> u32 {
+        self.disk
+    }
+
+    /// Sectors scanned so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// Sectors in the full scan.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
 /// How a fleet is assembled.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Per-enclosure disk specification (every enclosure is one drive).
     pub spec: DiskSpec,
+    /// When set, every enclosure is a RAID-5 array of `spec` drives
+    /// instead of a single disk (enables failure injection).
+    pub array: Option<EnclosureArray>,
     /// Per-drive thermal geometry; its ambient is the rack inlet before
     /// preheat.
     pub thermal: DriveThermalSpec,
@@ -74,6 +149,7 @@ impl FleetConfig {
         let airflow = AirflowGraph::serial(enclosures, thermal.ambient(), stream_w_per_k)?;
         Ok(Self {
             spec,
+            array: None,
             thermal,
             airflow,
             routing: RoutingPolicy::RoundRobin,
@@ -343,9 +419,13 @@ impl FleetHotState {
             e.epoch_gated = gate;
             e.advance_epoch(ctx.first_window, ctx.windows_per_epoch, ctx.window, ctx.envelope);
             for c in &e.completions {
-                e.stats.record(c.response_time());
+                // Background rebuild reads heat the drives and contend
+                // for the queue but stay out of the foreground numbers.
+                if c.request.id < REBUILD_ID_BASE {
+                    e.stats.record(c.response_time());
+                    e.completed += 1;
+                }
             }
-            e.completed += e.completions.len() as u64;
             if ctx.sink_enabled {
                 e.run.clear();
                 e.drive.drain_events_into(&mut e.run);
@@ -405,10 +485,18 @@ impl FleetHotState {
         airflow: &AirflowGraph,
         threads: usize,
         ctx: &EpochCtx,
+        bias: &[f64],
     ) {
         let n = enclosures.len();
         let inlet = airflow.inlet();
         let shape = airflow.hall_shape();
+        // Cooling-excursion bias: an absent or zero entry is exactly a
+        // no-op, so unbiased runs stay byte-identical to the pre-bias
+        // code path.
+        let biased = move |i: usize, a: Celsius| match bias.get(i) {
+            Some(&b) if b != 0.0 => a + units::TempDelta::new(b),
+            _ => a,
+        };
         let Self {
             air,
             queue,
@@ -485,7 +573,8 @@ impl FleetHotState {
                         let mut prefix = 0.0;
                         for (off, e) in rack.iter_mut().enumerate() {
                             let i = rack_start + off;
-                            let ambient = inlet + units::TempDelta::new(base + s.k_drive * prefix);
+                            let ambient =
+                                biased(i, inlet + units::TempDelta::new(base + s.k_drive * prefix));
                             prefix += heat[i];
                             let l = i - start;
                             one(i, e, ambient, &mut q_c[l], &mut g_c[l], &mut p_c[l]);
@@ -495,7 +584,7 @@ impl FleetHotState {
                 None => {
                     for (off, e) in e_c.iter_mut().enumerate() {
                         let i = start + off;
-                        one(i, e, flat_ambients[i], &mut q_c[off], &mut g_c[off], &mut p_c[off]);
+                        one(i, e, biased(i, flat_ambients[i]), &mut q_c[off], &mut g_c[off], &mut p_c[off]);
                     }
                 }
             }
@@ -632,6 +721,18 @@ pub struct Fleet {
     now: Seconds,
     /// Whether the coordinator has announced its starting speeds.
     primed: bool,
+    /// Per-enclosure array geometry (None: single-disk bays).
+    array: Option<EnclosureArray>,
+    /// Active rebuild scans, in injection order.
+    rebuilds: Vec<Rebuild>,
+    /// Per-enclosure inlet bias in Celsius (cooling excursions); empty
+    /// means no bias anywhere. A zero entry is exactly a no-op, so an
+    /// all-zero vector leaves the run byte-identical to no bias.
+    ambient_bias: Vec<f64>,
+    /// Events injected between epochs (failures, excursions, traffic
+    /// phases), stamped with the boundary time and drained into the
+    /// next epoch's merged stream.
+    boundary_events: Vec<diskobs::Event>,
     // Per-epoch scratch, reused across the whole run so the untraced
     // epoch loop allocates nothing in steady state (the traced path
     // hands its event runs to the merge, which consumes them).
@@ -662,6 +763,9 @@ pub struct FleetState {
     epochs: u64,
     now: Seconds,
     primed: bool,
+    array: Option<EnclosureArray>,
+    rebuilds: Vec<Rebuild>,
+    ambient_bias: Vec<f64>,
 }
 
 impl FleetState {
@@ -708,7 +812,7 @@ impl Fleet {
 
         let mut enclosures = Vec::with_capacity(n);
         for ambient in ambients {
-            let system = StorageSystem::new(SystemConfig::single_disk(config.spec.clone()))?;
+            let system = StorageSystem::new(bay_config(&config.spec, config.array)?)?;
             let capacity = system.logical_sectors();
             let model = ThermalModel::with_params(
                 config.thermal.with_ambient(ambient),
@@ -732,6 +836,10 @@ impl Fleet {
             epochs: 0,
             now: Seconds::ZERO,
             primed: false,
+            array: config.array,
+            rebuilds: Vec::new(),
+            ambient_bias: Vec::new(),
+            boundary_events: Vec::new(),
             hot: FleetHotState::default(),
             route: RoutingScratch::default(),
             routing_run: Vec::new(),
@@ -809,9 +917,7 @@ impl Fleet {
         profile: &mut FleetPhaseProfile,
     ) -> Result<FleetReport, FleetError> {
         if sink.is_enabled() {
-            for (i, e) in self.enclosures.iter_mut().enumerate() {
-                e.drive.set_sink(diskobs::Sink::buffer().with_scope(i));
-            }
+            self.enable_drive_sinks();
         }
         // Deterministic arrival order whatever the caller produced.
         trace.sort_by(|a, b| {
@@ -844,6 +950,26 @@ impl Fleet {
     /// sort instead).
     pub fn offer(&mut self, requests: impl IntoIterator<Item = Request>) {
         self.incoming.extend(requests);
+    }
+
+    /// Turns on per-enclosure event emission for stepwise callers (the
+    /// batch `run` entry points do this themselves): each drive gets a
+    /// buffer sink tagged with its bay index, and [`Self::step_epoch`]
+    /// drains them through its deterministic k-way merge into the sink
+    /// it is handed. Call once before the first `step_epoch`; pair with
+    /// [`Self::disable_drive_sinks`] when switching back to untraced
+    /// stepping, or buffered events accumulate undrained.
+    pub fn enable_drive_sinks(&mut self) {
+        for (i, e) in self.enclosures.iter_mut().enumerate() {
+            e.drive.set_sink(diskobs::Sink::buffer().with_scope(i));
+        }
+    }
+
+    /// Reverts every drive to the no-op sink (no per-request events).
+    pub fn disable_drive_sinks(&mut self) {
+        for e in &mut self.enclosures {
+            e.drive.set_sink(diskobs::Sink::null());
+        }
     }
 
     /// Whether no work remains anywhere: nothing queued for routing,
@@ -901,6 +1027,68 @@ impl Fleet {
         self.hot.ensure(&self.enclosures, &self.coordinator);
         let mut routing_run = std::mem::take(&mut self.routing_run);
         routing_run.clear();
+
+        // Boundary injections (failures, excursions, traffic phases)
+        // land at exactly `now`, ahead of this epoch's arrivals, so the
+        // merged stream stays time-sorted. They were queued between
+        // epochs by `fail_drive` / the scenario engine, serially, so
+        // they are identical at any shard count.
+        if ctx.sink_enabled {
+            for event in self.boundary_events.drain(..) {
+                routing_run.push(diskobs::TimedEvent { t: self.now.get(), event });
+            }
+        } else {
+            self.boundary_events.clear();
+        }
+
+        // Rebuild scans: budget each active rebuild `rate × epoch` of
+        // sequential logical reads, queued ahead of the epoch's routed
+        // arrivals. On a degraded array every read reconstructs from
+        // the survivors — the storm. This is serial per-epoch work of
+        // O(active rebuilds) bookkeeping, so it cannot perturb shard
+        // byte-identity.
+        let mut k = 0;
+        while k < self.rebuilds.len() {
+            let rb = &mut self.rebuilds[k];
+            let e = &mut self.enclosures[rb.enclosure];
+            let mut budget = rb.rate * epoch_len.get() + rb.carry;
+            while budget >= rb.chunk as f64 && rb.done < rb.total {
+                let sectors = (rb.chunk as u64).min(rb.total - rb.next_lba) as u32;
+                e.pending.push_back(Request::new(
+                    REBUILD_ID_BASE + rb.next_lba,
+                    self.now,
+                    0,
+                    rb.next_lba,
+                    sectors,
+                    disksim::RequestKind::Read,
+                ));
+                budget -= sectors as f64;
+                rb.done += sectors as u64;
+                rb.next_lba = if rb.next_lba + sectors as u64 >= rb.total {
+                    0
+                } else {
+                    rb.next_lba + sectors as u64
+                };
+            }
+            rb.carry = budget.min(rb.rate * epoch_len.get());
+            if ctx.sink_enabled {
+                routing_run.push(diskobs::TimedEvent {
+                    t: self.now.get(),
+                    event: diskobs::Event::RebuildProgress {
+                        enclosure: rb.enclosure,
+                        done: rb.done,
+                        total: rb.total,
+                    },
+                });
+            }
+            if rb.done >= rb.total {
+                e.drive.system_mut().repair_disk();
+                self.rebuilds.remove(k);
+            } else {
+                k += 1;
+            }
+        }
+
         self.route
             .begin(self.router.policy(), &self.hot.air, &self.hot.queue, &self.hot.gated);
         while let Some(front) = self.incoming.front() {
@@ -950,6 +1138,7 @@ impl Fleet {
             &self.airflow,
             self.threads,
             &ctx,
+            &self.ambient_bias,
         );
         parallel += stamp.elapsed();
 
@@ -1110,6 +1299,83 @@ impl Fleet {
         self.airflow.set_inlet(inlet);
     }
 
+    /// Fails one RAID-5 member of an enclosure and starts the rebuild
+    /// scan `rebuild` describes (a non-positive rate leaves the array
+    /// degraded with no rebuild). Subsequent requests map through
+    /// degraded-mode reconstruction; the scan completes at the epoch
+    /// granularity and repairs the array when it covers the volume.
+    ///
+    /// Call between epochs (it queues a `DriveFailed` boundary event
+    /// for the next epoch's stream, stamped at the boundary time).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchEnclosure`] for an out-of-range enclosure;
+    /// [`disksim::SimError::NoSuchDevice`] for an out-of-range member,
+    /// [`disksim::SimError::AlreadyDegraded`] for a double failure, and
+    /// [`disksim::SimError::BadConfig`] on a non-RAID fleet (all via
+    /// [`FleetError::Sim`]).
+    pub fn fail_drive(
+        &mut self,
+        enclosure: usize,
+        disk: u32,
+        rebuild: RebuildSpec,
+    ) -> Result<(), FleetError> {
+        let fleet = self.enclosures.len();
+        let Some(e) = self.enclosures.get_mut(enclosure) else {
+            return Err(FleetError::NoSuchEnclosure { enclosure, fleet });
+        };
+        e.drive.system_mut().fail_disk(disk)?;
+        if rebuild.rate_sectors_per_sec > 0.0 && rebuild.chunk_sectors > 0 {
+            self.rebuilds.push(Rebuild {
+                enclosure,
+                disk,
+                next_lba: 0,
+                total: e.drive.system().logical_sectors(),
+                done: 0,
+                rate: rebuild.rate_sectors_per_sec,
+                chunk: rebuild.chunk_sectors,
+                carry: 0.0,
+            });
+        }
+        self.boundary_events.push(diskobs::Event::DriveFailed { enclosure, disk });
+        Ok(())
+    }
+
+    /// Active rebuild scans, in injection order.
+    pub fn rebuilds(&self) -> &[Rebuild] {
+        &self.rebuilds
+    }
+
+    /// Installs a per-enclosure inlet-temperature bias in Celsius
+    /// (cooling excursions). An empty slice clears every bias; a zero
+    /// entry is exactly a no-op for that bay. Takes effect at the next
+    /// epoch's airflow coupling.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-empty slice whose length differs from the fleet's.
+    pub fn set_ambient_bias(&mut self, bias: &[f64]) -> Result<(), FleetError> {
+        if !bias.is_empty() && bias.len() != self.enclosures.len() {
+            return Err(FleetError::Config(format!(
+                "ambient bias covers {} drives but the fleet has {}",
+                bias.len(),
+                self.enclosures.len()
+            )));
+        }
+        self.ambient_bias.clear();
+        self.ambient_bias.extend_from_slice(bias);
+        Ok(())
+    }
+
+    /// Queues an observability event for the next epoch boundary
+    /// (stamped at the boundary time, ahead of the epoch's arrivals).
+    /// The scenario engine announces excursions and traffic phases
+    /// through this.
+    pub fn push_boundary_event(&mut self, event: diskobs::Event) {
+        self.boundary_events.push(event);
+    }
+
     /// Grows the fleet in place: `airflow` replaces the coupling graph
     /// and must contain every existing bay (same indices) plus the new
     /// ones at the tail. New bays are assembled exactly as
@@ -1138,7 +1404,7 @@ impl Fleet {
         let idle_heat = drive_heat_estimate(thermal, idle).get();
         let ambients = airflow.local_ambients(&vec![idle_heat; n]);
         for ambient in ambients.into_iter().skip(old) {
-            let system = StorageSystem::new(SystemConfig::single_disk(spec.clone()))?;
+            let system = StorageSystem::new(bay_config(spec, self.array)?)?;
             let capacity = system.logical_sectors();
             let model =
                 ThermalModel::with_params(thermal.with_ambient(ambient), ThermalParams::default());
@@ -1168,6 +1434,9 @@ impl Fleet {
             epochs: self.epochs,
             now: self.now,
             primed: self.primed,
+            array: self.array,
+            rebuilds: self.rebuilds.clone(),
+            ambient_bias: self.ambient_bias.clone(),
         }
     }
 
@@ -1204,6 +1473,18 @@ impl Fleet {
         if state.windows_per_epoch == 0 {
             return Err(FleetError::Config("an epoch needs at least one window".into()));
         }
+        if let Some(rb) = state.rebuilds.iter().find(|rb| rb.enclosure >= n) {
+            return Err(FleetError::Config(format!(
+                "rebuild targets enclosure {} but the state carries {n}",
+                rb.enclosure
+            )));
+        }
+        if !state.ambient_bias.is_empty() && state.ambient_bias.len() != n {
+            return Err(FleetError::Config(format!(
+                "ambient bias covers {} drives but the state carries {n} enclosures",
+                state.ambient_bias.len()
+            )));
+        }
         let enclosures = state
             .enclosures
             .into_iter()
@@ -1222,11 +1503,24 @@ impl Fleet {
             epochs: state.epochs,
             now: state.now,
             primed: state.primed,
+            array: state.array,
+            rebuilds: state.rebuilds,
+            ambient_bias: state.ambient_bias,
+            boundary_events: Vec::new(),
             hot: FleetHotState::default(),
             route: RoutingScratch::default(),
             routing_run: Vec::new(),
         })
     }
+}
+
+/// The per-bay storage configuration: one drive, or a RAID-5 array
+/// presented as one logical volume.
+fn bay_config(spec: &DiskSpec, array: Option<EnclosureArray>) -> Result<SystemConfig, FleetError> {
+    Ok(match array {
+        Some(a) => SystemConfig::raid5(spec.clone(), a.disks, a.stripe_sectors)?,
+        None => SystemConfig::single_disk(spec.clone()),
+    })
 }
 
 /// Remaps a fleet-logical request onto one drive: device 0 and an LBA
@@ -1429,6 +1723,83 @@ mod tests {
             12.0,
         )
         .is_err());
+    }
+
+    #[test]
+    fn fail_drive_errors_are_typed_and_rebuild_repairs() {
+        // Large stripes keep the degraded reconstruct fan-out (ops per
+        // stripe touched) small enough for a whole-volume scan in-test.
+        let mut cfg = config(3, 15_020.0, 12.0);
+        cfg.array = Some(EnclosureArray { disks: 4, stripe_sectors: 65_536 });
+        let mut fleet = Fleet::new(cfg).unwrap();
+        assert!(matches!(
+            fleet.fail_drive(9, 0, RebuildSpec::default()),
+            Err(FleetError::NoSuchEnclosure { enclosure: 9, fleet: 3 })
+        ));
+        assert!(matches!(
+            fleet.fail_drive(1, 9, RebuildSpec::default()),
+            Err(FleetError::Sim(disksim::SimError::NoSuchDevice { .. }))
+        ));
+        // A rate that covers the whole volume in one epoch's budget.
+        let flood = RebuildSpec { rate_sectors_per_sec: 1e12, chunk_sectors: 1_000_000 };
+        fleet.fail_drive(1, 2, flood).unwrap();
+        assert!(matches!(
+            fleet.fail_drive(1, 0, RebuildSpec::default()),
+            Err(FleetError::Sim(disksim::SimError::AlreadyDegraded { device: 2 }))
+        ));
+        assert_eq!(fleet.rebuilds().len(), 1);
+        assert_eq!(fleet.rebuilds()[0].enclosure(), 1);
+        let mut sink = diskobs::Sink::null();
+        let mut profile = FleetPhaseProfile::default();
+        fleet.step_epoch(&mut sink, &mut profile);
+        assert!(fleet.rebuilds().is_empty(), "one-epoch budget must finish the scan");
+        // Repaired: the same member can fail again.
+        assert!(fleet.fail_drive(1, 2, RebuildSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn fail_drive_on_a_single_disk_fleet_is_an_error() {
+        let mut fleet = Fleet::new(config(2, 15_020.0, 12.0)).unwrap();
+        assert!(matches!(
+            fleet.fail_drive(0, 0, RebuildSpec::default()),
+            Err(FleetError::Sim(disksim::SimError::BadConfig(_)))
+        ));
+    }
+
+    #[test]
+    fn ambient_bias_must_match_the_fleet() {
+        let mut fleet = Fleet::new(config(4, 15_020.0, 12.0)).unwrap();
+        assert!(fleet.set_ambient_bias(&[1.0; 4]).is_ok());
+        assert!(fleet.set_ambient_bias(&[]).is_ok());
+        assert!(matches!(
+            fleet.set_ambient_bias(&[1.0; 3]),
+            Err(FleetError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn zero_bias_is_byte_identical_to_no_bias() {
+        let run = |biased: bool| {
+            let mut cfg = config(4, 15_020.0, 10.0);
+            cfg.dtm = FleetDtmPolicy::SpeedScale {
+                high: Rpm::new(15_020.0),
+                low: Rpm::new(12_000.0),
+                guard: TempDelta::new(0.3),
+                resume_margin: TempDelta::new(0.3),
+            };
+            let mut fleet = Fleet::new(cfg).unwrap();
+            if biased {
+                fleet.set_ambient_bias(&[0.0; 4]).unwrap();
+            }
+            fleet.offer(trace(800, 300.0));
+            let mut sink = diskobs::Sink::null();
+            let mut profile = FleetPhaseProfile::default();
+            for _ in 0..12 {
+                fleet.step_epoch(&mut sink, &mut profile);
+            }
+            serde_json::to_string(&fleet.report()).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

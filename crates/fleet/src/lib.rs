@@ -55,6 +55,7 @@ pub use airflow::AirflowGraph;
 pub use coordinator::{Coordinator, CoordinatorState, FleetDtmPolicy};
 pub use error::FleetError;
 pub use fleet::{
-    EnclosureReport, Fleet, FleetConfig, FleetPhaseProfile, FleetReport, FleetState,
+    EnclosureArray, EnclosureReport, Fleet, FleetConfig, FleetPhaseProfile, FleetReport,
+    FleetState, Rebuild, RebuildSpec, REBUILD_ID_BASE,
 };
 pub use routing::{DriveSnapshot, Router, RoutingPolicy};

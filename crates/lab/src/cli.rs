@@ -102,7 +102,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 /// The help text.
 pub fn usage() -> String {
     format!(
-        "usage: lab [all | list | bench | trace <scenario>... | profile [<experiment>...] |\n\
+        "usage: lab [all | list | bench [scenario] | trace <scenario>... | profile [<experiment>...] |\n\
          \x20           twin serve|query ... | [run] <experiment>...]\n\
          \x20           [--threads N] [--no-cache] [--quick] [-q | --verbose]\n\n\
          twin serve [--addr A] [--enclosures N] [--workload W] [--checkpoint PATH]\n\
@@ -114,7 +114,9 @@ pub fn usage() -> String {
          instrumentation overhead; a full (non --quick) bench writes\n\
          BENCH_thermal.json, BENCH_sim.json, BENCH_fleet.json, and\n\
          BENCH_obs.json at the repo root, while --quick asserts the\n\
-         obs-overhead bound.\n\n\
+         obs-overhead bound. bench scenario runs only the scenario\n\
+         subsystem suite (trace-replay draw throughput, rebuild-storm\n\
+         epoch cost) and writes BENCH_scenario.json.\n\n\
          trace runs an instrumented scenario and writes its event stream\n\
          (NDJSON), metrics, and snapshot timeseries under results/.\n\
          profile reruns experiments with the cache off and prints per-stage\n\
@@ -138,8 +140,16 @@ pub fn run(opts: &Options) -> i32 {
         return crate::twin_cli::run_twin(&opts.names);
     }
     if opts.bench {
-        return match crate::bench::run_bench(opts.quick) {
-            Ok(_) => 0,
+        let outcome = match opts.names.first().map(String::as_str) {
+            None => crate::bench::run_bench(opts.quick).map(|_| ()),
+            Some("scenario") => crate::bench::run_scenario_bench(opts.quick).map(|_| ()),
+            Some(other) => {
+                eprintln!("lab: unknown bench suite {other:?} (have: scenario)");
+                return 2;
+            }
+        };
+        return match outcome {
+            Ok(()) => 0,
             Err(e) => {
                 eprintln!("bench failed: {e}");
                 1
@@ -375,6 +385,14 @@ mod tests {
         assert!(opts.bench);
         assert!(opts.quick);
         assert!(!opts.list);
+    }
+
+    #[test]
+    fn bench_scenario_suite_parses_as_a_name() {
+        let opts = parse(&["bench", "scenario", "--quick"]);
+        assert!(opts.bench);
+        assert_eq!(opts.names, ["scenario"]);
+        assert!(opts.quick);
     }
 
     #[test]

@@ -194,8 +194,8 @@ impl Engine {
         Ok((entry, output.text))
     }
 
-    /// Writes `<stem>.json` per payload and `<name>.txt`, returning the
-    /// file names written.
+    /// Writes `<stem>.json` per payload, each side file verbatim, and
+    /// `<name>.txt`, returning the file names written.
     fn write_outputs(&self, name: &str, output: &RunOutput) -> Result<Vec<String>, LabError> {
         let mut written = Vec::new();
         for (stem, payload) in &output.json {
@@ -204,6 +204,10 @@ impl Engine {
                 .map_err(|e| LabError::Parse(e.to_string()))?;
             fs::write(self.results_dir.join(&file), pretty)?;
             written.push(file);
+        }
+        for (file, contents) in &output.files {
+            fs::write(self.results_dir.join(file), contents)?;
+            written.push(file.clone());
         }
         let text_file = format!("{name}.txt");
         fs::write(self.results_dir.join(&text_file), &output.text)?;
@@ -218,11 +222,16 @@ fn render_cached(name: &str, digest: &str, output: &RunOutput) -> String {
     for (stem, payload) in &output.json {
         outputs.insert(stem.clone(), payload.clone());
     }
+    let mut files = Map::new();
+    for (file, contents) in &output.files {
+        files.insert(file.clone(), Value::String(contents.clone()));
+    }
     let mut doc = Map::new();
     doc.insert("name", Value::String(name.to_string()));
     doc.insert("digest", Value::String(digest.to_string()));
     doc.insert("text", Value::String(output.text.clone()));
     doc.insert("outputs", Value::Object(outputs));
+    doc.insert("files", Value::Object(files));
     serde_json::to_string_pretty(&Value::Object(doc)).unwrap_or_default()
 }
 
@@ -243,7 +252,18 @@ fn read_cached(path: &Path) -> Result<RunOutput, LabError> {
         .iter()
         .map(|(stem, payload)| (stem.clone(), payload.clone()))
         .collect();
-    Ok(RunOutput { json, text })
+    // Cache documents written before side files existed have no
+    // `files` key; treat them as having none.
+    let files = doc
+        .get("files")
+        .and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(f, c)| Some((f.clone(), c.as_str()?.to_string())))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(RunOutput { json, files, text })
 }
 
 #[cfg(test)]

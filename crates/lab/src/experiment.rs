@@ -17,12 +17,16 @@ pub enum Scale {
 }
 
 /// Everything one experiment produces: machine-readable JSON payloads
-/// (one per output stem, e.g. `figure5_slack` and `figure5_roadmap`) and
+/// (one per output stem, e.g. `figure5_slack` and `figure5_roadmap`),
+/// optional verbatim side files (e.g. per-epoch CSV timeseries), and
 /// the human-readable text report that used to go to stdout.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     /// `(stem, payload)` pairs; each becomes `results/<stem>.json`.
     pub json: Vec<(String, Value)>,
+    /// `(file name, contents)` pairs written byte-for-byte under
+    /// `results/` — the extension is the experiment's to choose.
+    pub files: Vec<(String, String)>,
     /// The text report; becomes `results/<name>.txt`.
     pub text: String,
 }
@@ -32,8 +36,16 @@ impl RunOutput {
     pub fn single(stem: &str, payload: Value, text: String) -> Self {
         RunOutput {
             json: vec![(stem.to_string(), payload)],
+            files: Vec::new(),
             text,
         }
+    }
+
+    /// Attaches a verbatim side file (builder style).
+    #[must_use]
+    pub fn with_file(mut self, name: &str, contents: String) -> Self {
+        self.files.push((name.to_string(), contents));
+        self
     }
 }
 

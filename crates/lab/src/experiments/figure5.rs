@@ -89,6 +89,7 @@ impl Experiment for Figure5 {
                 ("figure5_slack".to_string(), rows.to_value()),
                 ("figure5_roadmap".to_string(), points.to_value()),
             ],
+            files: Vec::new(),
             text: report,
         })
     }

@@ -16,6 +16,10 @@ pub mod fleet_routing;
 pub mod fleet_scaling;
 pub mod formfactor;
 pub mod plan;
+pub mod scenario_cooling;
+pub mod scenario_diurnal;
+pub mod scenario_rebuild;
+mod scenario_support;
 pub mod shuffle;
 pub mod table1;
 pub mod table3;

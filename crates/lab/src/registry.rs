@@ -5,8 +5,9 @@ use crate::experiments::{
     figure1::Figure1, figure2::Figure2, figure3::Figure3, figure4::Figure4, figure5::Figure5,
     figure7::Figure7, fleet_hall::FleetHall, fleet_routing::FleetRouting,
     fleet_scaling::FleetScaling,
-    formfactor::FormFactor, plan::Plan, shuffle::Shuffle, table1::Table1, table3::Table3,
-    twin_whatif::TwinWhatif,
+    formfactor::FormFactor, plan::Plan, scenario_cooling::ScenarioCooling,
+    scenario_diurnal::ScenarioDiurnal, scenario_rebuild::ScenarioRebuild, shuffle::Shuffle,
+    table1::Table1, table3::Table3, twin_whatif::TwinWhatif,
 };
 
 /// Every registered experiment, in name order, at the given scale.
@@ -23,6 +24,9 @@ pub fn registry(scale: Scale) -> Vec<Box<dyn Experiment>> {
         Box::new(FleetScaling::at_scale(scale)),
         Box::new(FormFactor),
         Box::new(Plan),
+        Box::new(ScenarioCooling::at_scale(scale)),
+        Box::new(ScenarioDiurnal::at_scale(scale)),
+        Box::new(ScenarioRebuild::at_scale(scale)),
         Box::new(Shuffle::at_scale(scale)),
         Box::new(Table1),
         Box::new(Table3),
@@ -51,7 +55,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must stay in sorted name order");
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 18);
     }
 
     #[test]
@@ -68,7 +72,7 @@ mod tests {
             .iter()
             .map(|e| e.config_digest())
             .collect();
-        assert_eq!(digests.len(), 15);
+        assert_eq!(digests.len(), 18);
     }
 
     #[test]
@@ -79,8 +83,8 @@ mod tests {
             let differs = f.config_digest() != q.config_digest();
             let simulation_heavy = matches!(
                 f.name(),
-                "figure4" | "fleet_hall" | "fleet_routing" | "fleet_scaling" | "shuffle"
-                    | "twin_whatif"
+                "figure4" | "fleet_hall" | "fleet_routing" | "fleet_scaling" | "scenario_cooling"
+                    | "scenario_diurnal" | "scenario_rebuild" | "shuffle" | "twin_whatif"
             );
             assert_eq!(differs, simulation_heavy, "{}", f.name());
         }

@@ -26,7 +26,7 @@ use units::{Inches, Rpm, Seconds, TempDelta};
 
 /// The registered trace scenarios.
 pub fn trace_names() -> &'static [&'static str] {
-    &["figure5", "fleet_routing"]
+    &["figure5", "fleet_routing", "scenario_rebuild"]
 }
 
 /// What one trace run produced.
@@ -54,6 +54,7 @@ pub fn run_trace(name: &str, threads: usize, dir: &Path) -> Result<TraceOutcome,
     match name {
         "figure5" => trace_figure5(&mut sink)?,
         "fleet_routing" => trace_fleet_routing(threads, &mut sink)?,
+        "scenario_rebuild" => trace_scenario_rebuild(threads, &mut sink)?,
         other => {
             return Err(LabError::Experiment(format!(
                 "unknown trace scenario {other:?} (have: {})",
@@ -128,6 +129,56 @@ fn trace_fleet_routing(threads: usize, sink: &mut Sink) -> Result<(), LabError> 
     Ok(())
 }
 
+/// A rebuild storm through the scenario engine: a RAID-5 member fails
+/// at an epoch boundary mid-run, so the stream carries the scenario
+/// vocabulary — `drive_failed`, per-epoch `rebuild_progress` — next to
+/// the routing, snapshot, and completion events of the fleet loop.
+fn trace_scenario_rebuild(threads: usize, sink: &mut Sink) -> Result<(), LabError> {
+    use diskfleet::{EnclosureArray, RebuildSpec};
+    use diskscenario::{ArrivalSource, Injection, Scenario, ScenarioEngine};
+
+    let fail =
+        |e: &dyn std::fmt::Display| LabError::Experiment(format!("trace scenario_rebuild: {e}"));
+    let mut config = FleetConfig::serial(
+        4,
+        DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+        DriveThermalSpec::new(Inches::new(2.6), 1),
+        10.0,
+    )
+    .map_err(|e| fail(&e))?;
+    config.array = Some(EnclosureArray {
+        disks: 4,
+        stripe_sectors: 65_536,
+    });
+    config.routing = RoutingPolicy::ThermalAware {
+        envelope: THERMAL_ENVELOPE,
+    };
+    config.threads = threads;
+    let mut fleet = Fleet::new(config).map_err(|e| fail(&e))?;
+    let capacity = StorageSystem::new(SystemConfig::single_disk(DiskSpec::era(
+        2002,
+        1,
+        Rpm::new(15_020.0),
+    )))
+    .map_err(|e| fail(&e))?
+    .logical_sectors();
+    let mut source = ArrivalSource::replay(synthetic_trace(1_200, 200.0, capacity))
+        .map_err(|e| fail(&LabError::Experiment(e)))?;
+    let mut engine = ScenarioEngine::new(Scenario::new().with(Injection::DriveFailure {
+        at_epoch: 2,
+        enclosure: 1,
+        disk: 1,
+        rebuild: RebuildSpec {
+            rate_sectors_per_sec: 4_000_000.0,
+            chunk_sectors: 16_384,
+        },
+    }));
+    let mut samples = Vec::new();
+    diskscenario::run_scenario(&mut fleet, &mut source, &mut engine, 6, sink, &mut samples)
+        .map_err(|e| fail(&e))?;
+    Ok(())
+}
+
 /// A deterministic seek-heavy request stream (no RNG: arithmetic
 /// striding only, so the scenario needs no seed plumbing).
 fn synthetic_trace(n: u64, rate: f64, capacity: u64) -> Vec<Request> {
@@ -179,6 +230,10 @@ pub fn registry_from(events: &[TimedEvent]) -> Registry {
                     LogHistogram::new(1.0, 2.0, 10)
                 });
             }
+            Event::DriveFailed { .. } => reg.count("drive_failed", 1),
+            Event::RebuildProgress { .. } => reg.count("rebuild_progress", 1),
+            Event::CoolingExcursion { .. } => reg.count("cooling_excursion", 1),
+            Event::TrafficPhase { .. } => reg.count("traffic_phase", 1),
             Event::Log { .. } => reg.count("log", 1),
         }
     }

@@ -100,6 +100,38 @@ pub enum Event {
         /// Whether admission is currently gated.
         gated: bool,
     },
+    /// A drive in a RAID-5 enclosure failed (scenario injection).
+    DriveFailed {
+        /// Enclosure index within the fleet.
+        enclosure: usize,
+        /// Failed member disk within the array.
+        disk: u32,
+    },
+    /// Rebuild progress over a degraded array, sampled once per epoch.
+    RebuildProgress {
+        /// Enclosure index within the fleet.
+        enclosure: usize,
+        /// Sectors rebuilt so far.
+        done: u64,
+        /// Total sectors to rebuild.
+        total: u64,
+    },
+    /// An inlet-temperature excursion started or ended over a range of
+    /// enclosures (cooling failure or recovery).
+    CoolingExcursion {
+        /// First affected enclosure index (inclusive).
+        lo: usize,
+        /// Last affected enclosure index (exclusive).
+        hi: usize,
+        /// Inlet bias now in force, Celsius (0.0 on recovery).
+        delta_c: f64,
+    },
+    /// The scenario traffic multiplier changed (diurnal phase or flash
+    /// crowd boundary).
+    TrafficPhase {
+        /// Multiplier now applied over the workload's base rate.
+        factor: f64,
+    },
     /// A progress line from the leveled logger, captured in the trace.
     Log {
         /// `"info"` or `"verbose"`.
@@ -195,6 +227,10 @@ mod tests {
                 rpm: 15_020.0,
                 gated: false,
             },
+            Event::DriveFailed { enclosure: 2, disk: 1 },
+            Event::RebuildProgress { enclosure: 2, done: 512, total: 4096 },
+            Event::CoolingExcursion { lo: 0, hi: 8, delta_c: 6.0 },
+            Event::TrafficPhase { factor: 1.75 },
             Event::Log { level: "info", message: "hello".into() },
         ];
         for event in variants {

@@ -31,7 +31,17 @@ pub const CHECKPOINT_MAGIC: &str = "DISKTWIN";
 ///   per-enclosure folds (the fleet's parallel epoch boundary), so the
 ///   enclosure states gained a `stats` object and the fleet state lost
 ///   its own.
-pub const STATE_VERSION: u32 = 2;
+/// - 3: the scenario subsystem. The fleet state gained `array`,
+///   `rebuilds`, and `ambient_bias`; the twin's `trace` field (a bare
+///   synthetic-stream state) became `source` (synthetic stream *or*
+///   trace replay) and a pending scenario schedule — injections, fired
+///   flags, the traffic factor in force — rides along so a checkpoint
+///   taken mid-rebuild or mid-excursion resumes it exactly. Version-2
+///   bodies place the stream where `source` now lives, so they cannot
+///   be read as version 3; old files fail fast with a typed
+///   [`CheckpointError::VersionMismatch`] instead of a JSON parse
+///   error.
+pub const STATE_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Debug)]

@@ -6,7 +6,7 @@
 //! | `cmd`        | fields                                                        | response |
 //! |--------------|---------------------------------------------------------------|----------|
 //! | `status`     | —                                                             | [`StatusMsg`] |
-//! | `whatif`     | `add_drives`, `inlet_delta_c`, `traffic_scale`, `horizon_epochs`, `at_epoch` | [`WhatIfReport`](crate::WhatIfReport) |
+//! | `whatif`     | `add_drives`, `inlet_delta_c`, `traffic_scale`, `fail_enclosure`, `fail_disk`, `cooling_delta_c`, `cooling_epochs`, `horizon_epochs`, `at_epoch` | [`WhatIfReport`](crate::WhatIfReport) |
 //! | `checkpoint` | —                                                             | [`CheckpointMsg`] |
 //! | `metrics`    | —                                                             | the server's metrics registry |
 //! | `shutdown`   | —                                                             | [`OkMsg`] |
@@ -31,6 +31,17 @@ pub struct QueryMsg {
     pub inlet_delta_c: Option<f64>,
     /// `whatif`: arrival-rate multiplier.
     pub traffic_scale: Option<f64>,
+    /// `whatif`: fail a RAID-5 member in this enclosure (array fleets
+    /// only).
+    pub fail_enclosure: Option<usize>,
+    /// `whatif`: member index of the failed disk (default 0).
+    pub fail_disk: Option<u32>,
+    /// `whatif`: fleet-wide inlet excursion, °C, starting at the fork
+    /// epoch.
+    pub cooling_delta_c: Option<f64>,
+    /// `whatif`: excursion length in epochs (0/omitted = whole
+    /// horizon).
+    pub cooling_epochs: Option<u64>,
     /// `whatif`: fork horizon in sync epochs (server default when
     /// omitted).
     pub horizon_epochs: Option<u64>,

@@ -249,7 +249,13 @@ fn publish(shared: &Shared, state: Arc<TwinState>) {
 fn epoch_loop(mut twin: Twin, shared: &Shared) {
     let interval = Duration::from_millis(shared.cfg.epoch_interval_ms);
     while !shared.stop.load(Ordering::SeqCst) {
-        twin.advance_epoch();
+        if let Err(e) = twin.advance_epoch() {
+            // A bad injection schedule cannot be recovered mid-flight;
+            // stop advancing and let the final checkpoint capture the
+            // last good boundary.
+            diskobs::logger::info(&format!("epoch loop stopped: {e}"));
+            break;
+        }
         let state = Arc::new(twin.capture_state());
         {
             let mut m = shared.metrics_lock();
@@ -454,6 +460,10 @@ fn handle_whatif(writer: &mut TcpStream, shared: &Shared, msg: &QueryMsg) -> boo
             add_drives: msg.add_drives,
             inlet_delta_c: msg.inlet_delta_c,
             traffic_scale: msg.traffic_scale,
+            fail_enclosure: msg.fail_enclosure,
+            fail_disk: msg.fail_disk,
+            cooling_delta_c: msg.cooling_delta_c,
+            cooling_epochs: msg.cooling_epochs,
         };
         let horizon = msg.horizon_epochs.unwrap_or(shared.cfg.default_horizon);
         whatif(&state, &query, horizon, Some(deadline))

@@ -4,13 +4,18 @@
 
 use crate::checkpoint::STATE_VERSION;
 use crate::error::TwinError;
-use diskfleet::{AirflowGraph, Fleet, FleetConfig, FleetDtmPolicy, FleetState, RoutingPolicy};
+use diskfleet::{
+    AirflowGraph, Fleet, FleetConfig, FleetDtmPolicy, FleetState, RebuildSpec, RoutingPolicy,
+};
+use diskscenario::{
+    ArrivalSource, ArrivalSourceState, CoolingScope, Injection, Scenario, ScenarioEngine,
+};
 use disksim::{DiskSpec, Request};
 use diskthermal::DriveThermalSpec;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use units::{Celsius, TempDelta};
-use workloads::{TraceStream, TraceStreamState, WorkloadPreset};
+use workloads::WorkloadPreset;
 
 /// How a twin is assembled.
 #[derive(Debug, Clone)]
@@ -29,6 +34,10 @@ pub struct TwinConfig {
     pub dtm: FleetDtmPolicy,
     /// Shards for the fleet's parallel epoch loop.
     pub threads: usize,
+    /// Per-enclosure RAID-5 arrays (`None` = one disk per bay). Arrays
+    /// are what make the `fail_drive` what-if meaningful: a failed
+    /// member degrades its bay and a rebuild storm follows.
+    pub array: Option<diskfleet::EnclosureArray>,
     /// The workload whose arrival stream feeds the twin.
     pub workload: WorkloadPreset,
     /// Arrival-stream seed.
@@ -50,6 +59,7 @@ impl TwinConfig {
             },
             dtm: FleetDtmPolicy::None,
             threads: 1,
+            array: None,
             workload,
             seed: 42,
         }
@@ -58,9 +68,10 @@ impl TwinConfig {
 
 /// Complete dynamic state of a [`Twin`]: everything needed to continue
 /// the simulation byte-identically — the fleet (drives, queues, RNG-free
-/// event state, thermal state, coordinator hysteresis), the arrival
-/// stream (model, clock, RNG), and the one request drawn ahead of the
-/// current epoch boundary.
+/// event state, thermal state, coordinator hysteresis, rebuilds and
+/// ambient biases), the arrival source (synthetic stream or trace
+/// replay), the pending scenario schedule with its fired flags, and the
+/// one request drawn ahead of the current epoch boundary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TwinState {
     /// Format version ([`STATE_VERSION`]); checked on restore.
@@ -69,7 +80,8 @@ pub struct TwinState {
     thermal: DriveThermalSpec,
     stream_w_per_k: f64,
     fleet: FleetState,
-    trace: TraceStreamState,
+    source: ArrivalSourceState,
+    scenario: Option<ScenarioEngine>,
     lookahead: Option<Request>,
 }
 
@@ -95,7 +107,9 @@ impl TwinState {
 /// stream, advanced one sync epoch per [`Twin::advance_epoch`] call.
 pub struct Twin {
     fleet: Fleet,
-    trace: TraceStream,
+    source: ArrivalSource,
+    /// Pending injection schedule, applied at each epoch boundary.
+    scenario: Option<ScenarioEngine>,
     /// The first request drawn past the current epoch's end; offered at
     /// the start of the next epoch so the stream is consumed exactly
     /// once regardless of where checkpoints land.
@@ -107,12 +121,26 @@ pub struct Twin {
 }
 
 impl Twin {
-    /// Assembles a fresh twin from a configuration.
+    /// Assembles a fresh twin from a configuration, fed by the
+    /// configured workload's synthetic stream.
     ///
     /// # Errors
     ///
     /// Propagates fleet and workload construction failures.
     pub fn new(config: TwinConfig) -> Result<Self, TwinError> {
+        let source = ArrivalSource::Synthetic(config.workload.stream(config.seed)?);
+        Self::with_source(config, source)
+    }
+
+    /// Assembles a twin fed by an explicit arrival source — the replay
+    /// entry point: the same recorded trace that drives a batch fleet
+    /// run drives the twin identically. The config's `workload` and
+    /// `seed` only shape the fleet, not the arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet construction failures.
+    pub fn with_source(config: TwinConfig, source: ArrivalSource) -> Result<Self, TwinError> {
         if !(config.stream_w_per_k.is_finite() && config.stream_w_per_k > 0.0) {
             return Err(TwinError::Config(format!(
                 "stream capacity rate must be positive and finite, got {}",
@@ -128,11 +156,12 @@ impl Twin {
         fleet_cfg.routing = config.routing;
         fleet_cfg.dtm = config.dtm;
         fleet_cfg.threads = config.threads;
+        fleet_cfg.array = config.array;
         let fleet = Fleet::new(fleet_cfg)?;
-        let trace = config.workload.stream(config.seed)?;
         Ok(Self {
             fleet,
-            trace,
+            source,
+            scenario: None,
             lookahead: None,
             spec: config.spec,
             thermal: config.thermal,
@@ -141,16 +170,55 @@ impl Twin {
         })
     }
 
-    /// Advances the twin exactly one sync epoch: draws every arrival up
-    /// to the next epoch boundary from the workload stream, offers them
-    /// to the fleet, and steps the fleet's epoch loop (routing, the
-    /// parallel window sweep, airflow coupling, coordination).
-    pub fn advance_epoch(&mut self) {
+    /// Installs (or replaces) an injection schedule. Epochs already due
+    /// fire at the next [`Self::advance_epoch`]; the schedule's state
+    /// — fired flags and the traffic factor in force — rides along in
+    /// every checkpoint.
+    pub fn set_scenario(&mut self, scenario: Scenario) {
+        self.scenario = Some(ScenarioEngine::new(scenario));
+    }
+
+    /// The pending schedule's engine, if one is installed.
+    pub fn scenario(&self) -> Option<&ScenarioEngine> {
+        self.scenario.as_ref()
+    }
+
+    /// Advances the twin exactly one sync epoch: applies any scenario
+    /// injections due at this boundary, draws every arrival up to the
+    /// next epoch boundary from the arrival source, offers them to the
+    /// fleet, and steps the fleet's epoch loop (routing, the parallel
+    /// window sweep, airflow coupling, coordination).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a scenario injection naming a nonexistent enclosure
+    /// or disk, or double-failing an array.
+    pub fn advance_epoch(&mut self) -> Result<(), TwinError> {
+        self.advance_epoch_with_sink(&mut diskobs::Sink::null())
+    }
+
+    /// [`Self::advance_epoch`] with an observability sink: the fleet's
+    /// event stream (snapshots, boundary events, request lifecycles)
+    /// lands in `sink`, byte-identical to a batch fleet run driven from
+    /// the same source.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::advance_epoch`].
+    pub fn advance_epoch_with_sink(&mut self, sink: &mut diskobs::Sink) -> Result<(), TwinError> {
+        if sink.is_enabled() {
+            self.fleet.enable_drive_sinks();
+        } else {
+            self.fleet.disable_drive_sinks();
+        }
+        if let Some(engine) = &mut self.scenario {
+            engine.apply_epoch(&mut self.fleet, &mut self.source)?;
+        }
         let epoch_end = self.fleet.now() + self.fleet.epoch_len();
         loop {
             let r = match self.lookahead.take() {
                 Some(r) => r,
-                None => self.trace.next_request(),
+                None => self.source.next_request(),
             };
             if r.arrival > epoch_end {
                 self.lookahead = Some(r);
@@ -158,8 +226,8 @@ impl Twin {
             }
             self.fleet.offer(std::iter::once(r));
         }
-        let mut sink = diskobs::Sink::null();
-        self.fleet.step_epoch(&mut sink, &mut self.profile);
+        self.fleet.step_epoch(sink, &mut self.profile);
+        Ok(())
     }
 
     /// Sync epochs executed so far.
@@ -191,7 +259,8 @@ impl Twin {
             thermal: self.thermal,
             stream_w_per_k: self.stream_w_per_k,
             fleet: self.fleet.capture_state(),
-            trace: self.trace.capture_state(),
+            source: self.source.capture_state(),
+            scenario: self.scenario.clone(),
             lookahead: self.lookahead,
         }
     }
@@ -217,10 +286,11 @@ impl Twin {
             )));
         }
         let fleet = Fleet::restore_state(state.fleet)?;
-        let trace = TraceStream::restore_state(state.trace).map_err(TwinError::Config)?;
+        let source = ArrivalSource::restore_state(state.source).map_err(TwinError::Config)?;
         Ok(Self {
             fleet,
-            trace,
+            source,
+            scenario: state.scenario,
             lookahead: state.lookahead,
             spec: state.spec,
             thermal: state.thermal,
@@ -292,7 +362,53 @@ impl Twin {
                 "traffic_scale must be positive and finite, got {factor}"
             )));
         }
-        self.trace.scale_traffic(factor);
+        self.source.scale_traffic(factor);
+        Ok(())
+    }
+
+    /// Fails one RAID-5 member now and starts its rebuild storm (the
+    /// degraded-array what-if). The fleet must have been assembled with
+    /// per-enclosure arrays.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a nonexistent enclosure or disk, a double failure, and
+    /// single-disk (non-array) fleets — all typed through the fleet.
+    pub fn fail_drive(
+        &mut self,
+        enclosure: usize,
+        disk: u32,
+        rebuild: RebuildSpec,
+    ) -> Result<(), TwinError> {
+        self.fleet.fail_drive(enclosure, disk, rebuild)?;
+        Ok(())
+    }
+
+    /// Starts a fleet-wide inlet-temperature excursion of `delta_c`
+    /// degrees at the next epoch boundary, recovering after
+    /// `duration_epochs` (0 = never). Scheduled through the scenario
+    /// engine — appended to any installed schedule without disturbing
+    /// its fired flags — so it survives checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite delta.
+    pub fn cooling_event(&mut self, delta_c: f64, duration_epochs: u64) -> Result<(), TwinError> {
+        if !delta_c.is_finite() {
+            return Err(TwinError::BadQuery(format!(
+                "cooling_delta_c must be finite, got {delta_c}"
+            )));
+        }
+        let injection = Injection::CoolingEvent {
+            at_epoch: self.fleet.epochs(),
+            duration_epochs,
+            ramp_epochs: 0,
+            delta_c,
+            scope: CoolingScope::All,
+        };
+        self.scenario
+            .get_or_insert_with(|| ScenarioEngine::new(Scenario::new()))
+            .push(injection);
         Ok(())
     }
 }
@@ -308,6 +424,17 @@ pub struct WhatIf {
     pub inlet_delta_c: Option<f64>,
     /// Arrival-rate multiplier.
     pub traffic_scale: Option<f64>,
+    /// Fail one RAID-5 member: the enclosure holding it (requires an
+    /// array fleet; pairs with [`Self::fail_disk`]).
+    pub fail_enclosure: Option<usize>,
+    /// Member index of the failed disk (defaults to 0 when only
+    /// `fail_enclosure` is set).
+    pub fail_disk: Option<u32>,
+    /// Fleet-wide inlet excursion in degrees Celsius, scheduled at the
+    /// fork epoch through the scenario engine.
+    pub cooling_delta_c: Option<f64>,
+    /// Excursion length in epochs (0 or omitted = the whole horizon).
+    pub cooling_epochs: Option<u64>,
 }
 
 /// What one fork saw over the query horizon.
@@ -384,7 +511,7 @@ fn run_fork(
                 return Err(TwinError::Timeout);
             }
         }
-        twin.advance_epoch();
+        twin.advance_epoch()?;
         peak_air = peak_air.max(twin.fleet.peak_air());
         peak_ambient = peak_ambient.max(twin.fleet.peak_local_ambient());
         max_engaged = max_engaged.max(twin.fleet.engaged_count());
@@ -446,6 +573,15 @@ pub fn whatif(
     }
     if let Some(factor) = query.traffic_scale {
         perturbed.scale_traffic(factor)?;
+    }
+    if query.fail_enclosure.is_some() || query.fail_disk.is_some() {
+        let enclosure = query.fail_enclosure.ok_or_else(|| {
+            TwinError::BadQuery("fail_disk needs fail_enclosure".into())
+        })?;
+        perturbed.fail_drive(enclosure, query.fail_disk.unwrap_or(0), RebuildSpec::default())?;
+    }
+    if let Some(delta) = query.cooling_delta_c {
+        perturbed.cooling_event(delta, query.cooling_epochs.unwrap_or(0))?;
     }
     let from_epoch = baseline.epoch();
     let from_time_s = baseline.now().get();

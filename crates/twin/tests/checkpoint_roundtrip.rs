@@ -36,17 +36,80 @@ proptest! {
     ) {
         let mut original = twin_for(preset);
         for _ in 0..warmup {
-            original.advance_epoch();
+            original.advance_epoch().expect("advance");
         }
         let bytes = encode(&original.capture_state()).expect("encode");
         let mut restored =
             Twin::restore_state(decode(&bytes).expect("decode")).expect("restore");
         prop_assert_eq!(state_json(&original), state_json(&restored));
         for _ in 0..k {
-            original.advance_epoch();
-            restored.advance_epoch();
+            original.advance_epoch().expect("advance original");
+            restored.advance_epoch().expect("advance restored");
             prop_assert_eq!(state_json(&original), state_json(&restored));
         }
+    }
+}
+
+/// The scenario contract: a checkpoint taken mid-rebuild, with a
+/// cooling excursion still pending in the schedule, restores and keeps
+/// advancing byte-identically — the pending injection fires in both
+/// twins at the same boundary.
+#[test]
+fn mid_rebuild_checkpoint_restores_with_its_pending_schedule() {
+    use diskfleet::{EnclosureArray, RebuildSpec};
+    use diskscenario::{CoolingScope, Injection, Scenario};
+
+    let presets = workloads::presets();
+    let mut config = TwinConfig::preset(presets[1].clone(), 3);
+    config.array = Some(EnclosureArray {
+        disks: 3,
+        stripe_sectors: 65_536,
+    });
+    let mut original = Twin::new(config).expect("twin builds");
+    original.set_scenario(
+        Scenario::new()
+            .with(Injection::DriveFailure {
+                at_epoch: 1,
+                enclosure: 2,
+                disk: 0,
+                rebuild: RebuildSpec {
+                    rate_sectors_per_sec: 200_000.0,
+                    chunk_sectors: 4_096,
+                },
+            })
+            .with(Injection::CoolingEvent {
+                at_epoch: 6,
+                duration_epochs: 3,
+                ramp_epochs: 0,
+                delta_c: 5.0,
+                scope: CoolingScope::All,
+            }),
+    );
+
+    // Advance past the failure but short of the excursion: the rebuild
+    // is in flight and the cooling injection is still pending.
+    for _ in 0..3 {
+        original.advance_epoch().expect("advance");
+    }
+    assert!(
+        !original.fleet().rebuilds().is_empty(),
+        "the checkpoint must land mid-rebuild"
+    );
+
+    let bytes = encode(&original.capture_state()).expect("encode");
+    let mut restored = Twin::restore_state(decode(&bytes).expect("decode")).expect("restore");
+    assert_eq!(state_json(&original), state_json(&restored));
+
+    // Cross the pending excursion and keep going: every boundary
+    // matches, so the restored schedule fired identically.
+    for epoch in 0..7 {
+        original.advance_epoch().expect("advance original");
+        restored.advance_epoch().expect("advance restored");
+        assert_eq!(
+            state_json(&original),
+            state_json(&restored),
+            "states diverge {epoch} epochs after restore"
+        );
     }
 }
 
@@ -130,13 +193,14 @@ fn corrupted_checkpoints_are_rejected_before_parsing() {
     ));
 
     // Any other version — future or past — is refused with a typed
-    // error before the JSON parser ever runs. The v1 case is the real
-    // migration hazard: a pre-v2 checkpoint (fleet-wide statistics, no
-    // per-enclosure folds) must fail loudly, not half-deserialize.
+    // error before the JSON parser ever runs. The v2 case is the real
+    // migration hazard: a pre-v3 checkpoint carries a bare stream state
+    // where `source` now lives and no scenario schedule, so it must
+    // fail loudly, not half-deserialize.
     let header_end = good.iter().position(|&b| b == b'\n').unwrap();
     let header = String::from_utf8(good[..header_end].to_vec()).unwrap();
     let current = format!(" {STATE_VERSION} ");
-    for old in [1u32, 999] {
+    for old in [1u32, 2, 999] {
         let bumped = header.replacen(&current, &format!(" {old} "), 1);
         assert_ne!(bumped, header, "the version field must be rewritten");
         let mut wrong_version = bumped.into_bytes();
@@ -162,7 +226,7 @@ fn checkpoint_files_write_atomically_and_read_back() {
     let path = dir.join("twin.ckpt");
 
     let mut twin = twin_for(0);
-    twin.advance_epoch();
+    twin.advance_epoch().expect("advance");
     let state = twin.capture_state();
     let bytes = write_checkpoint(&path, &state).expect("write");
     assert_eq!(bytes, std::fs::metadata(&path).expect("file exists").len());

@@ -30,12 +30,14 @@ mod analyze;
 mod arrival;
 pub mod ascii;
 mod generator;
+pub mod msr;
 mod presets;
 mod trace;
 
 pub use access::{AccessProfile, SizeModel, ZipfSampler};
 pub use analyze::{analyze, TraceProfile};
 pub use ascii::{read_ascii_trace, write_ascii_trace};
+pub use msr::{read_msr_trace, write_msr_trace};
 pub use arrival::{ArrivalModel, ArrivalStream, ArrivalStreamState};
 pub use generator::{TraceGenerator, TraceStream, TraceStreamState};
 pub use presets::{openmail, oltp, presets, search_engine, tpcc, tpch, WorkloadPreset};

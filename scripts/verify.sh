@@ -44,6 +44,18 @@ cargo test -q -p disklab --test lab_determinism -- \
     fleet_hall_payload_is_byte_identical_at_any_shard_count \
     fleet_shard_count_does_not_change_results
 
+echo "==> scenario smoke: rebuild storm byte-identical at any shard count"
+# Scenario injections fire in the serial stretch of the epoch boundary,
+# so a rebuild storm must replay byte-identically however many shards
+# the loop runs on.
+cargo test -q -p disklab --test lab_determinism -- \
+    scenario_rebuild_is_byte_identical_at_any_shard_count
+
+echo "==> cargo run --release --bin lab -- bench scenario --quick"
+# Scenario subsystem bench: trace-replay draw throughput plus the
+# epoch-cost overhead of a rebuild storm against a clean baseline.
+cargo run --release --bin lab -- bench scenario --quick
+
 echo "==> cargo run --release --bin lab -- bench --quick"
 # Quick bench exercises every suite (thermal kernel, storage event
 # core, fleet phase split, obs) and asserts two in-process bounds:

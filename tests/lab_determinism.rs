@@ -182,6 +182,30 @@ fn fleet_hall_payload_is_byte_identical_at_any_shard_count() {
 }
 
 #[test]
+fn scenario_rebuild_is_byte_identical_at_any_shard_count() {
+    use disklab::experiments::scenario_rebuild::ScenarioRebuild;
+    use disklab::Experiment;
+
+    // The rebuild storm drives every scenario mechanism — epoch-boundary
+    // failure injection, degraded reads fanning across the survivors,
+    // background rebuild I/O — through the sharded epoch loop. Payload,
+    // report, and the attached CSV timeseries must not depend on the
+    // shard count.
+    let at = |threads: usize| {
+        let mut exp = ScenarioRebuild::at_scale(Scale::Quick);
+        exp.threads = threads;
+        exp.run().unwrap()
+    };
+    let one = at(1);
+    for threads in [4, 8] {
+        let many = at(threads);
+        assert_eq!(one.text, many.text, "report differs at {threads} shards");
+        assert_eq!(one.json, many.json, "payload differs at {threads} shards");
+        assert_eq!(one.files, many.files, "csv differs at {threads} shards");
+    }
+}
+
+#[test]
 fn trace_bytes_are_identical_at_any_shard_count() {
     // The whole point of stamping events with sim time and merging
     // buffered streams in the serial phases: `lab trace fleet_routing`
