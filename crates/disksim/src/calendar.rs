@@ -270,8 +270,47 @@ impl<T> CalendarQueue<T> {
 
     /// Rebuilds a queue holding exactly `entries` (ascending key
     /// order). The inverse of [`Self::sorted_entries`].
+    ///
+    /// Bucket sizes are counted up front and reserved in one pass, so a
+    /// checkpoint restore fills each bucket at its final capacity
+    /// instead of growing every bucket incrementally.
     pub fn from_sorted_entries(entries: Vec<(TimeKey, T)>) -> Self {
         let mut q = Self::new();
+        if let Some(&(first, _)) = entries.first() {
+            // Mirror `push`'s placement rules against the base the first
+            // entry will establish, counting how many land in each slot.
+            let base = canon(first.0);
+            let base = if base.is_finite() { base } else { q.base };
+            let mut front = 0usize;
+            let mut overflow = 0usize;
+            let mut ring_counts = vec![0u32; BUCKETS];
+            for (key, _) in &entries {
+                let t = canon(key.0);
+                if !t.is_finite() {
+                    if t.is_sign_negative() {
+                        front += 1;
+                    } else {
+                        overflow += 1;
+                    }
+                    continue;
+                }
+                if t < base {
+                    front += 1;
+                    continue;
+                }
+                let idx = ((t - base) / q.width) as usize;
+                if idx >= BUCKETS {
+                    overflow += 1;
+                } else {
+                    ring_counts[idx] += 1;
+                }
+            }
+            q.front.reserve(front);
+            q.overflow.reserve(overflow);
+            for (bucket, &count) in q.ring.iter_mut().zip(&ring_counts) {
+                bucket.reserve(count as usize);
+            }
+        }
         for (key, item) in entries {
             q.push(key, item);
         }

@@ -228,6 +228,14 @@ impl ResponseStats {
         let idx = ((p / 100.0) * (scratch.len() - 1) as f64).round() as usize;
         Seconds::from_millis(scratch[idx])
     }
+
+    /// The retained reservoir samples, in milliseconds. A uniform
+    /// subsample of the full response stream (exact below the reservoir
+    /// cap), suitable for re-bucketing into coarser structures such as
+    /// `diskobs::LogHistogram` without another pass over completions.
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples
+    }
 }
 
 impl core::fmt::Display for ResponseStats {

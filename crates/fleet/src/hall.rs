@@ -1,0 +1,130 @@
+//! Parameterized machine-room halls: the knob set a capacity-planning
+//! sweep turns.
+//!
+//! The §4.2.2 hall experiments hard-code one geometry (20-drive racks,
+//! 25-rack rows); capacity planning asks the opposite question — how do
+//! peak temperature, DTM engagement, and tail latency move as rack
+//! density, row width, and inlet temperature vary? [`HallSpec`] names
+//! those knobs once so every caller (the `fleet_hall` experiment, the
+//! surrogate training sweep, ad-hoc what-ifs) builds the identical
+//! [`FleetConfig`] from the identical parameters.
+
+use crate::airflow::AirflowGraph;
+use crate::error::FleetError;
+use crate::fleet::FleetConfig;
+use disksim::DiskSpec;
+use diskthermal::DriveThermalSpec;
+use serde::Serialize;
+use units::Celsius;
+
+/// The geometry and coupling knobs of a hierarchical hall
+/// ([`AirflowGraph::hall`]): rows of racks of drive bays, preheated
+/// within the rack, along the row, and row-to-row.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HallSpec {
+    /// Drive bays per rack.
+    pub per_rack: usize,
+    /// Racks per row.
+    pub racks_per_row: usize,
+    /// Rows in the hall.
+    pub rows: usize,
+    /// Cold-aisle inlet temperature before any preheat.
+    pub inlet: Celsius,
+    /// Intra-rack preheat, K/W per upstream drive.
+    pub k_drive: f64,
+    /// Within-row preheat, K/W of each earlier rack's total heat.
+    pub k_rack: f64,
+    /// Row-to-row recirculation, K/W of each earlier row's total heat.
+    pub k_row: f64,
+}
+
+impl HallSpec {
+    /// The paper-shaped defaults of the `fleet_hall` experiment: the
+    /// hall's coupling constants with a caller-chosen geometry and
+    /// inlet.
+    pub fn new(per_rack: usize, racks_per_row: usize, rows: usize, inlet: Celsius) -> Self {
+        HallSpec {
+            per_rack,
+            racks_per_row,
+            rows,
+            inlet,
+            k_drive: 4.0e-3,
+            k_rack: 1.2e-4,
+            k_row: 7.0e-5,
+        }
+    }
+
+    /// Total drive count: every row full.
+    pub fn drives(&self) -> usize {
+        self.per_rack * self.racks_per_row * self.rows
+    }
+
+    /// The hierarchical airflow graph this hall induces.
+    ///
+    /// # Errors
+    ///
+    /// As [`AirflowGraph::hall`]: zero-size geometry or bad coupling
+    /// coefficients.
+    pub fn airflow(&self) -> Result<AirflowGraph, FleetError> {
+        AirflowGraph::hall(
+            self.drives(),
+            self.per_rack,
+            self.racks_per_row,
+            self.inlet,
+            self.k_drive,
+            self.k_rack,
+            self.k_row,
+        )
+    }
+
+    /// A fleet configuration for this hall: serial defaults (routing,
+    /// DTM, envelope, windows) with the hall's airflow swapped in.
+    /// Callers adjust routing/DTM/threads on the returned config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation from [`FleetConfig::serial`] and
+    /// [`Self::airflow`].
+    pub fn config(&self, spec: DiskSpec, thermal: DriveThermalSpec) -> Result<FleetConfig, FleetError> {
+        let mut config = FleetConfig::serial(self.drives(), spec, thermal, 1.0)?;
+        config.airflow = self.airflow()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use units::{Inches, Rpm};
+
+    fn spec() -> HallSpec {
+        HallSpec::new(4, 3, 2, Celsius::new(28.0))
+    }
+
+    #[test]
+    fn drive_count_is_the_product_of_the_geometry() {
+        assert_eq!(spec().drives(), 24);
+    }
+
+    #[test]
+    fn config_builds_a_runnable_fleet_with_the_hall_inlet() {
+        let hall = spec();
+        let config = hall
+            .config(
+                DiskSpec::era(2002, 1, Rpm::new(15_020.0)),
+                DriveThermalSpec::new(Inches::new(2.6), 1),
+            )
+            .unwrap();
+        assert_eq!(config.airflow.len(), 24);
+        let fleet = Fleet::new(config).unwrap();
+        assert_eq!(fleet.inlet(), Celsius::new(28.0));
+    }
+
+    #[test]
+    fn zero_geometry_is_rejected() {
+        let mut hall = spec();
+        hall.rows = 0;
+        assert!(hall.airflow().is_err());
+    }
+}

@@ -49,11 +49,13 @@ mod airflow;
 mod coordinator;
 mod error;
 mod fleet;
+mod hall;
 mod routing;
 
 pub use airflow::AirflowGraph;
 pub use coordinator::{Coordinator, CoordinatorState, FleetDtmPolicy};
 pub use error::FleetError;
+pub use hall::HallSpec;
 pub use fleet::{
     EnclosureArray, EnclosureReport, Fleet, FleetConfig, FleetPhaseProfile, FleetReport,
     FleetState, Rebuild, RebuildSpec, REBUILD_ID_BASE,

@@ -45,6 +45,13 @@
 //! `lab bench scenario` runs the scenario-subsystem suite on its own —
 //! replay-source draw throughput and the per-epoch cost of a rebuild
 //! storm — and writes `BENCH_scenario.json` in full mode.
+//!
+//! `lab bench surrogate` times the two-stage capacity planner's stages
+//! against each other: the measured wall cost of screening one
+//! candidate configuration through a fitted [`disksurrogate`] grid
+//! versus simulating it in full, and writes `BENCH_surrogate.json` in
+//! full mode. The run fails if the measured speedup falls below the
+//! 100x floor the planner's design assumes.
 
 use crate::registry;
 use crate::text::results_dir;
@@ -770,6 +777,97 @@ fn baseline_field(file: &str, field: &str) -> Option<f64> {
     value.get(field)?.as_f64()
 }
 
+/// Reads one string field out of a committed `BENCH_*.json`, if the
+/// file exists and has it.
+fn baseline_str_field(file: &str, field: &str) -> Option<String> {
+    let path = workspace_root().ok()?.join(file);
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    value.get(field)?.as_str().map(str::to_string)
+}
+
+/// Fractional regression the `--quick` gate tolerates when diffing this
+/// run's re-measured numbers against the committed full-run
+/// `BENCH_*.json` baselines: a rate may fall to half its baseline, a
+/// wall time may grow to 1.5x. Quick iteration counts are smoke-test
+/// sized and CI hosts are noisy, so the gate is deliberately loose —
+/// it exists to catch structural regressions (a lost cache, an
+/// accidentally quadratic loop), not percent-level drift. A genuine
+/// host change that trips it calls for regenerating the baselines with
+/// a full `lab bench` run, not for widening the tolerance.
+pub const REGRESSION_TOLERANCE: f64 = 0.5;
+
+/// One quick-gate comparison: a metric this run re-measured against
+/// the same field in a committed baseline file.
+struct GateCheck {
+    /// Baseline file name at the workspace root.
+    file: &'static str,
+    /// Field inside it (and the display name of the metric).
+    field: &'static str,
+    /// This run's measurement.
+    now: f64,
+    /// Whether the metric is a rate (bigger = faster) or a wall/latency
+    /// number (smaller = faster).
+    higher_is_better: bool,
+}
+
+/// Diffs quick-run measurements against the committed `BENCH_*.json`
+/// baselines and fails past [`REGRESSION_TOLERANCE`], so `lab bench
+/// --quick` (and `scripts/verify.sh` through it) exits non-zero when a
+/// change costs a kernel its committed performance. Checks whose
+/// baseline file or field is missing are skipped — a fresh checkout
+/// without baselines still benches cleanly. Skipped entirely (with a
+/// note) in unoptimized builds, where every number is an artifact of
+/// the missing optimizer, not of the code under test.
+fn gate_against_baselines(checks: &[GateCheck]) -> Result<(), LabError> {
+    if cfg!(debug_assertions) {
+        println!(
+            "regression gate: skipped (unoptimized build; baselines are release numbers)"
+        );
+        return Ok(());
+    }
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for check in checks {
+        let Some(base) = baseline_field(check.file, check.field) else {
+            continue;
+        };
+        if !(base.is_finite() && base > 0.0) {
+            continue;
+        }
+        compared += 1;
+        let regression = if check.higher_is_better {
+            (base - check.now) / base
+        } else {
+            (check.now - base) / base
+        };
+        if regression > REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{}:{} regressed {:.0}%: {:.3e} now vs {:.3e} committed",
+                check.file,
+                check.field,
+                regression * 100.0,
+                check.now,
+                base
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "regression gate: {compared} baseline metric(s) within {:.0}% of committed",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        Ok(())
+    } else {
+        Err(LabError::Experiment(format!(
+            "quick-bench regression gate failed ({} of {} checks):\n  {}",
+            failures.len(),
+            compared,
+            failures.join("\n  ")
+        )))
+    }
+}
+
 /// CPU nanoseconds this process has consumed.
 ///
 /// On Linux/x86_64, `clock_gettime(CLOCK_PROCESS_CPUTIME_ID)` by raw
@@ -978,7 +1076,29 @@ pub struct TwinBenchReport {
     pub fork_latency_ms: f64,
     /// One pinned what-if query (two forks over the horizon), ms.
     pub whatif_wall_ms: f64,
+    /// Provenance notes on the restore path: what moved the committed
+    /// numbers and why.
+    pub notes: String,
 }
+
+/// Why restore now sits near encode parity instead of 55x behind it
+/// (744/s encode vs 13.6/s restore in the baseline committed at
+/// 8d04c84). Profiling split that 73 ms restore into ~62 ms of JSON
+/// parsing and ~0.03 ms of actual state rebuild: the vendored parser
+/// re-validated UTF-8 over the whole remaining input for every string
+/// character (quadratic in body size). Unescaped runs are now
+/// bulk-copied and validated once — the framed FNV-1a checksum plus one
+/// linear UTF-8 pass is all the byte-level validation a body needs —
+/// and `CalendarQueue::from_sorted_entries` preallocates its buckets
+/// from the recorded sizes. The structural re-validation in
+/// `StorageSystem::restore_state` stays: it guards against states whose
+/// JSON parses but whose links are inconsistent, and it measures in the
+/// tens of microseconds.
+const TWIN_RESTORE_NOTES: &str = "restore was parser-bound, not validation-bound: \
+    quadratic per-char UTF-8 re-validation in the vendored JSON parser cost ~62 ms \
+    of the 73 ms restore; unescaped runs are now copied in bulk and validated once, \
+    and calendar buckets preallocate from recorded sizes. Structural link validation \
+    (~0.03 ms) is kept.";
 
 /// Times the digital-twin state machinery: checkpoint encode/restore
 /// throughput, in-memory fork latency, and one end-to-end what-if.
@@ -1038,6 +1158,7 @@ pub fn twin_bench(quick: bool) -> Result<TwinBenchReport, LabError> {
         checkpoint_restore_per_sec: f64::from(reps) / restore_s,
         fork_latency_ms: fork_s * 1e3 / f64::from(reps),
         whatif_wall_ms: whatif_s * 1e3,
+        notes: TWIN_RESTORE_NOTES.to_string(),
     })
 }
 
@@ -1175,9 +1296,205 @@ pub fn run_scenario_bench(quick: bool) -> Result<ScenarioBenchReport, LabError> 
         "  epoch cost, rebuild storm:   {:>12.2} ms/epoch  ({:+.1}%)",
         report.storm_epoch_ms, report.storm_overhead_pct
     );
-    if !quick {
+    if quick {
+        // Per-epoch and per-draw costs are scale-free, so they diff
+        // cleanly against the committed full run.
+        gate_against_baselines(&[
+            GateCheck {
+                file: "BENCH_scenario.json",
+                field: "replay_draws_per_sec",
+                now: report.replay_draws_per_sec,
+                higher_is_better: true,
+            },
+            GateCheck {
+                file: "BENCH_scenario.json",
+                field: "baseline_epoch_ms",
+                now: report.baseline_epoch_ms,
+                higher_is_better: false,
+            },
+        ])?;
+    } else {
         let root = workspace_root()?;
         let path = root.join("BENCH_scenario.json");
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| LabError::Parse(e.to_string()))?;
+        std::fs::write(&path, json + "\n")?;
+        diskobs::logger::info(&format!("wrote {}", path.display()));
+    }
+    Ok(report)
+}
+
+/// What the surrogate-screening benchmark measured: the per-candidate
+/// wall cost of the capacity planner's stage one (a fitted
+/// [`disksurrogate::GridSurrogate`] screen) against its stage two (a
+/// full fleet simulation), both timed on this host. `lab bench
+/// surrogate` writes this to `BENCH_surrogate.json` at the workspace
+/// root.
+#[derive(Debug, Serialize)]
+pub struct SurrogateBenchReport {
+    /// True when the quick (smoke-test) iteration counts were used.
+    pub quick: bool,
+    /// Where/when this run happened.
+    pub provenance: Provenance,
+    /// Grid points in the training sweep (one full fleet sim each).
+    pub training_points: usize,
+    /// Wall time of the parallel training sweep, ms.
+    pub train_sweep_ms: f64,
+    /// Wall time of the one-off grid fit, ms.
+    pub fit_ms: f64,
+    /// Full fleet simulations timed for the per-candidate baseline.
+    pub full_sims_timed: usize,
+    /// Measured mean wall time of one full fleet simulation — what
+    /// verifying a candidate without the surrogate costs, ms.
+    pub full_sim_ms_per_candidate: f64,
+    /// Candidate screenings in the timing loop (slate size times laps).
+    pub candidates_screened: usize,
+    /// Measured mean cost of screening one candidate — predicting
+    /// every output and checking envelope/latency feasibility — ns.
+    pub screen_ns_per_candidate: f64,
+    /// `full_sim_ms_per_candidate` over the per-candidate screening
+    /// cost. Measured on this host, never projected; a full (non
+    /// `--quick`) run fails below 100x.
+    pub screening_speedup: f64,
+}
+
+/// Times the two stages of the surrogate-accelerated capacity planner
+/// against each other on the same candidate shapes the `capacity_plan`
+/// experiment walks.
+pub fn surrogate_bench(quick: bool) -> Result<SurrogateBenchReport, LabError> {
+    use crate::experiments::capacity_plan::P95_LIMIT_MS;
+    use crate::sweep::SweepSpec;
+    use disksurrogate::{screen, Constraint, GridSurrogate};
+    let fail = |e: &dyn std::fmt::Display| LabError::Experiment(format!("surrogate bench: {e}"));
+    let (requests, sims_timed, screen_laps) = if quick { (300, 2, 50) } else { (2_000, 8, 500) };
+
+    // The training sweep: the quick-scale capacity-plan grid for one
+    // preset, every point a full fleet simulation.
+    let spec = SweepSpec {
+        preset: "oltp".into(),
+        rows: 1,
+        requests,
+        seed: 23,
+        rates: vec![200.0, 400.0],
+        per_rack: vec![4.0, 16.0],
+        racks_per_row: vec![2.0],
+        inlets_c: vec![28.0, 32.0],
+        dtm: vec![0.0, 1.0],
+    };
+    let grid = spec.grid();
+    let axes = spec.axes()?;
+    let start = Instant::now();
+    let samples = spec.run(&grid, crate::default_parallelism())?;
+    let train_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let model = GridSurrogate::fit(axes, &samples).map_err(|e| fail(&e))?;
+    let fit_s = start.elapsed().as_secs_f64();
+
+    // Stage-two baseline: serial full sims at points spread across the
+    // grid, so the mean covers cool/hot and DTM-on/off costs alike.
+    let step = (grid.len() / sims_timed).max(1);
+    let timed: Vec<&Vec<f64>> = grid.iter().step_by(step).take(sims_timed).collect();
+    let start = Instant::now();
+    for coords in &timed {
+        black_box(spec.evaluate(coords)?);
+    }
+    let sim_s = start.elapsed().as_secs_f64();
+
+    // Stage-one cost: screen the dense slate the planner builds —
+    // every integral bay count between the sweep's per-rack nodes —
+    // against the same envelope and latency constraints it applies.
+    let constraints = [
+        Constraint {
+            output: "peak_air_c".into(),
+            max: diskthermal::THERMAL_ENVELOPE.get(),
+        },
+        Constraint {
+            output: "p95_ms".into(),
+            max: P95_LIMIT_MS,
+        },
+    ];
+    let mut candidates = Vec::new();
+    for &rate in &spec.rates {
+        for bays in 4..=16u32 {
+            for &inlet in &spec.inlets_c {
+                for &dtm in &spec.dtm {
+                    candidates.push(vec![rate, f64::from(bays), 2.0, inlet, dtm]);
+                }
+            }
+        }
+    }
+    let start = Instant::now();
+    let mut feasible = 0usize;
+    for _ in 0..screen_laps {
+        let screened = screen(&model, &candidates, &constraints).map_err(|e| fail(&e))?;
+        feasible += screened.iter().filter(|s| s.feasible).count();
+    }
+    let screen_s = start.elapsed().as_secs_f64().max(1e-9);
+    black_box(feasible);
+
+    let candidates_screened = candidates.len() * screen_laps;
+    let full_sim_ms = sim_s * 1e3 / timed.len() as f64;
+    let screen_ns = screen_s * 1e9 / candidates_screened as f64;
+    let speedup = full_sim_ms * 1e6 / screen_ns;
+    // Quick mode shrinks the sims to smoke-test size, which shrinks
+    // the ratio with them; the floor is enforced where the artifact is
+    // produced.
+    if !quick && speedup < 100.0 {
+        return Err(fail(&format!(
+            "measured screening speedup {speedup:.1}x is below the 100x floor"
+        )));
+    }
+
+    Ok(SurrogateBenchReport {
+        quick,
+        provenance: Provenance::collect(),
+        training_points: grid.len(),
+        train_sweep_ms: train_s * 1e3,
+        fit_ms: fit_s * 1e3,
+        full_sims_timed: timed.len(),
+        full_sim_ms_per_candidate: full_sim_ms,
+        candidates_screened,
+        screen_ns_per_candidate: screen_ns,
+        screening_speedup: speedup,
+    })
+}
+
+/// `lab bench surrogate` — run only the surrogate suite, print it, and
+/// (full mode) write `BENCH_surrogate.json` at the workspace root.
+pub fn run_surrogate_bench(quick: bool) -> Result<SurrogateBenchReport, LabError> {
+    let report = surrogate_bench(quick)?;
+    println!("surrogate screening (capacity-plan knob grid, OLTP preset):");
+    println!(
+        "  training sweep:              {:>12.1} ms  ({} full sims)",
+        report.train_sweep_ms, report.training_points
+    );
+    println!("  grid fit:                    {:>12.2} ms", report.fit_ms);
+    println!(
+        "  full sim per candidate:      {:>12.2} ms  (mean of {})",
+        report.full_sim_ms_per_candidate, report.full_sims_timed
+    );
+    println!(
+        "  surrogate screen:            {:>12.0} ns/candidate  ({} screenings)",
+        report.screen_ns_per_candidate, report.candidates_screened
+    );
+    println!(
+        "  screening speedup:           {:>12.0}x  (measured; floor 100x)",
+        report.screening_speedup
+    );
+    if quick {
+        // The speedup ratio itself shrinks with the quick sims, so the
+        // gate pins the scale-free side: the per-candidate screening
+        // cost against the same slate the committed run timed.
+        gate_against_baselines(&[GateCheck {
+            file: "BENCH_surrogate.json",
+            field: "screen_ns_per_candidate",
+            now: report.screen_ns_per_candidate,
+            higher_is_better: false,
+        }])?;
+    } else {
+        let root = workspace_root()?;
+        let path = root.join("BENCH_surrogate.json");
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| LabError::Parse(e.to_string()))?;
         std::fs::write(&path, json + "\n")?;
@@ -1434,6 +1751,82 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, LabError> {
             "fleet shard-scaling bound holds: serial fraction {:.2}% < 6%",
             fleet.serial_fraction * 100.0
         );
+        // The cross-run gate: this quick run's rates against the
+        // committed baselines. Scale-dependent numbers stay out (quick
+        // shrinks them by design); the hall shard speedup only enters
+        // when both sides are wall-clock measurements — on a small
+        // host the committed number may be an Amdahl projection, and a
+        // projection diffed against a measurement gates physics, not
+        // code.
+        let mut checks = vec![
+            GateCheck {
+                file: "BENCH_thermal.json",
+                field: "be_cached_steps_per_sec",
+                now: report.be_cached_steps_per_sec,
+                higher_is_better: true,
+            },
+            GateCheck {
+                file: "BENCH_thermal.json",
+                field: "fe_steps_per_sec",
+                now: report.fe_steps_per_sec,
+                higher_is_better: true,
+            },
+            GateCheck {
+                file: "BENCH_thermal.json",
+                field: "steady_memoized_solves_per_sec",
+                now: report.steady_memoized_solves_per_sec,
+                higher_is_better: true,
+            },
+            GateCheck {
+                file: "BENCH_thermal.json",
+                field: "figure5_wall_ms",
+                now: report.figure5_wall_ms,
+                higher_is_better: false,
+            },
+            GateCheck {
+                file: "BENCH_sim.json",
+                field: "windows_per_sec",
+                now: sim.windows_per_sec,
+                higher_is_better: true,
+            },
+            // No calendar-vs-heap check: the calendar queue spends its
+            // first few hundred thousand holds in a bucket-resize
+            // transient, so quick op counts measure the transient, not
+            // the steady state the committed number records (measured
+            // ratio climbs 0.15 -> 1.46 between 50k and 2M holds).
+            // The window loop above churns the same queue on the real
+            // event path and is scale-free per window.
+            GateCheck {
+                file: "BENCH_fleet.json",
+                field: "serial_windows_per_sec",
+                now: fleet.serial_windows_per_sec,
+                higher_is_better: true,
+            },
+            GateCheck {
+                file: "BENCH_twin.json",
+                field: "checkpoint_encode_per_sec",
+                now: twin.checkpoint_encode_per_sec,
+                higher_is_better: true,
+            },
+            GateCheck {
+                file: "BENCH_twin.json",
+                field: "checkpoint_restore_per_sec",
+                now: twin.checkpoint_restore_per_sec,
+                higher_is_better: true,
+            },
+        ];
+        let committed_basis = baseline_str_field("BENCH_fleet.json", "shard_speedup_basis");
+        if fleet.shard_speedup_basis == "measured"
+            && committed_basis.as_deref() == Some("measured")
+        {
+            checks.push(GateCheck {
+                file: "BENCH_fleet.json",
+                field: "shard_speedup",
+                now: fleet.shard_speedup,
+                higher_is_better: true,
+            });
+        }
+        gate_against_baselines(&checks)?;
     } else {
         let root = workspace_root()?;
         for (name, json) in [
@@ -1539,3 +1932,4 @@ mod tests {
         assert!(events.len() > 150, "expected a rich stream, got {}", events.len());
     }
 }
+

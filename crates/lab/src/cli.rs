@@ -102,7 +102,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, St
 /// The help text.
 pub fn usage() -> String {
     format!(
-        "usage: lab [all | list | bench [scenario] | trace <scenario>... | profile [<experiment>...] |\n\
+        "usage: lab [all | list | bench [scenario | surrogate] | trace <scenario>... | profile [<experiment>...] |\n\
          \x20           twin serve|query ... | [run] <experiment>...]\n\
          \x20           [--threads N] [--no-cache] [--quick] [-q | --verbose]\n\n\
          twin serve [--addr A] [--enclosures N] [--workload W] [--checkpoint PATH]\n\
@@ -116,7 +116,9 @@ pub fn usage() -> String {
          BENCH_obs.json at the repo root, while --quick asserts the\n\
          obs-overhead bound. bench scenario runs only the scenario\n\
          subsystem suite (trace-replay draw throughput, rebuild-storm\n\
-         epoch cost) and writes BENCH_scenario.json.\n\n\
+         epoch cost) and writes BENCH_scenario.json. bench surrogate\n\
+         times capacity-plan screening against full simulation and\n\
+         writes BENCH_surrogate.json.\n\n\
          trace runs an instrumented scenario and writes its event stream\n\
          (NDJSON), metrics, and snapshot timeseries under results/.\n\
          profile reruns experiments with the cache off and prints per-stage\n\
@@ -143,8 +145,9 @@ pub fn run(opts: &Options) -> i32 {
         let outcome = match opts.names.first().map(String::as_str) {
             None => crate::bench::run_bench(opts.quick).map(|_| ()),
             Some("scenario") => crate::bench::run_scenario_bench(opts.quick).map(|_| ()),
+            Some("surrogate") => crate::bench::run_surrogate_bench(opts.quick).map(|_| ()),
             Some(other) => {
-                eprintln!("lab: unknown bench suite {other:?} (have: scenario)");
+                eprintln!("lab: unknown bench suite {other:?} (have: scenario, surrogate)");
                 return 2;
             }
         };

@@ -5,6 +5,7 @@
 //! same JSON payload(s) it saved, so regenerated artifacts keep their
 //! shape.
 
+pub mod capacity_plan;
 pub mod figure1;
 pub mod figure2;
 pub mod figure3;

@@ -17,6 +17,7 @@ pub mod experiment;
 pub mod experiments;
 pub mod manifest;
 pub mod registry;
+pub mod sweep;
 pub mod text;
 pub mod trace;
 pub mod twin_cli;

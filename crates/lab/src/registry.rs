@@ -2,6 +2,7 @@
 
 use crate::experiment::{Experiment, Scale};
 use crate::experiments::{
+    capacity_plan::CapacityPlan,
     figure1::Figure1, figure2::Figure2, figure3::Figure3, figure4::Figure4, figure5::Figure5,
     figure7::Figure7, fleet_hall::FleetHall, fleet_routing::FleetRouting,
     fleet_scaling::FleetScaling,
@@ -13,6 +14,7 @@ use crate::experiments::{
 /// Every registered experiment, in name order, at the given scale.
 pub fn registry(scale: Scale) -> Vec<Box<dyn Experiment>> {
     vec![
+        Box::new(CapacityPlan::at_scale(scale)),
         Box::new(Figure1::default()),
         Box::new(Figure2),
         Box::new(Figure3),
@@ -55,7 +57,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must stay in sorted name order");
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
     }
 
     #[test]
@@ -72,7 +74,7 @@ mod tests {
             .iter()
             .map(|e| e.config_digest())
             .collect();
-        assert_eq!(digests.len(), 18);
+        assert_eq!(digests.len(), 19);
     }
 
     #[test]
@@ -83,7 +85,8 @@ mod tests {
             let differs = f.config_digest() != q.config_digest();
             let simulation_heavy = matches!(
                 f.name(),
-                "figure4" | "fleet_hall" | "fleet_routing" | "fleet_scaling" | "scenario_cooling"
+                "capacity_plan" | "figure4" | "fleet_hall" | "fleet_routing" | "fleet_scaling"
+                    | "scenario_cooling"
                     | "scenario_diurnal" | "scenario_rebuild" | "shuffle" | "twin_whatif"
             );
             assert_eq!(differs, simulation_heavy, "{}", f.name());

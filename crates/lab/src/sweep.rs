@@ -1,0 +1,476 @@
+//! The surrogate training sweep: full-sim evaluation of machine-room
+//! hall configurations over a knob grid.
+//!
+//! Every point is one complete fleet simulation — a [`HallSpec`]
+//! geometry under thermal-aware routing, driven by one of the workload
+//! presets — reduced to the deterministic target vector a
+//! [`disksurrogate::GridSurrogate`] fits: peak exit-air temperature,
+//! DTM engagement rate, and response-time quantiles (the reservoir p95
+//! plus the `LogHistogram`-bucketed p50/p95), exported through
+//! [`diskobs::Registry::flatten`]. Points run in parallel through the
+//! same work-stealing [`parallel_map`] the fleet shards its event loop
+//! with; each point runs its fleet single-threaded and is a pure
+//! function of its coordinates, so sweep results are byte-identical at
+//! any `threads`.
+//!
+//! The per-point reduction is allocation-free after warm-up: the trace
+//! buffer refills via `TraceGenerator::generate_into`, the histogram
+//! re-buckets in place after `reset_histograms`, percentiles sort into
+//! a reused scratch buffer, and the target vector lands in a reused
+//! `Vec<f64>` via `flatten_values_into`. `tests/alloc_budget.rs` pins
+//! that path at zero heap allocations per point.
+
+use crate::error::LabError;
+use diskfleet::{Fleet, FleetDtmPolicy, FleetReport, HallSpec, RoutingPolicy};
+use diskobs::{LogHistogram, Registry};
+use disksim::par::parallel_map;
+use disksim::{DiskSpec, Request, StorageSystem, SystemConfig};
+use disksurrogate::{Axis, TrainingSample};
+use diskthermal::{DriveThermalSpec, THERMAL_ENVELOPE};
+use serde::Serialize;
+use std::cell::RefCell;
+use units::{Celsius, Inches, Rpm, TempDelta};
+use workloads::{TraceGenerator, WorkloadPreset};
+
+/// Knob names, in axis order. `dtm` is a two-level factor (0 = none,
+/// 1 = the §5.2 speed-scaling coordinator); the others are numeric.
+pub const KNOBS: [&str; 5] = ["rate", "per_rack", "racks_per_row", "inlet_c", "dtm"];
+
+/// Axis index of `per_rack` — the capacity-planning objective knob.
+pub const PER_RACK_AXIS: usize = 1;
+
+/// Quantiles the histogram contributes to the target vector.
+pub const TARGET_QUANTILES: [f64; 2] = [0.5, 0.95];
+
+/// Full spindle speed (the 2002 15k-RPM point every fleet experiment
+/// uses).
+const HIGH_RPM: f64 = 15_020.0;
+/// The speed-scaling coordinator's fallback speed.
+const LOW_RPM: f64 = 12_000.0;
+
+/// A training/holdout sweep over hall knobs for one workload preset.
+///
+/// The grid is the Cartesian product of the five knob value lists;
+/// `rows`, `requests`, and `seed` are held fixed across the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Workload preset name (see `workloads::presets`).
+    pub preset: String,
+    /// Rows in every hall (geometry beyond the two swept knobs).
+    pub rows: usize,
+    /// Requests per simulated trace.
+    pub requests: usize,
+    /// Trace-generator seed.
+    pub seed: u64,
+    /// Fleet-wide offered load values, requests/s.
+    pub rates: Vec<f64>,
+    /// Drive bays per rack (integral values).
+    pub per_rack: Vec<f64>,
+    /// Racks per row (integral values).
+    pub racks_per_row: Vec<f64>,
+    /// Cold-aisle inlet temperatures, degrees Celsius.
+    pub inlets_c: Vec<f64>,
+    /// DTM factor levels; each must be 0.0 or 1.0.
+    pub dtm: Vec<f64>,
+}
+
+impl SweepSpec {
+    /// The sweep's surrogate axes, in [`KNOBS`] order.
+    ///
+    /// # Errors
+    ///
+    /// Any knob list empty or not strictly increasing.
+    pub fn axes(&self) -> Result<Vec<Axis>, LabError> {
+        let lists = [
+            &self.rates,
+            &self.per_rack,
+            &self.racks_per_row,
+            &self.inlets_c,
+            &self.dtm,
+        ];
+        KNOBS
+            .iter()
+            .zip(lists)
+            .map(|(name, values)| {
+                Axis::new(*name, values.clone())
+                    .map_err(|e| LabError::Experiment(format!("sweep axes: {e}")))
+            })
+            .collect()
+    }
+
+    /// Every grid point, row-major with the last knob fastest — the
+    /// same cell order `GridSurrogate` stores.
+    pub fn grid(&self) -> Vec<Vec<f64>> {
+        let mut points = vec![Vec::new()];
+        for values in [
+            &self.rates,
+            &self.per_rack,
+            &self.racks_per_row,
+            &self.inlets_c,
+            &self.dtm,
+        ] {
+            let mut next = Vec::with_capacity(points.len() * values.len());
+            for prefix in &points {
+                for &v in values.iter() {
+                    let mut p = prefix.clone();
+                    p.push(v);
+                    next.push(p);
+                }
+            }
+            points = next;
+        }
+        points
+    }
+
+    /// Held-out cross-validation points: for each DTM level, the
+    /// midpoint of the first adjacent node pair on every numeric axis
+    /// (integer knobs round to the nearest bay/rack). These never enter
+    /// the fit, so the surrogate's error on them is an honest estimate
+    /// of its screening error between grid nodes.
+    pub fn holdout(&self) -> Vec<Vec<f64>> {
+        let mid = |v: &[f64]| {
+            if v.len() >= 2 {
+                (v[0] + v[1]) / 2.0
+            } else {
+                v[0]
+            }
+        };
+        let int_mid = |v: &[f64]| mid(v).round();
+        self.dtm
+            .iter()
+            .map(|&dtm| {
+                vec![
+                    mid(&self.rates),
+                    int_mid(&self.per_rack),
+                    int_mid(&self.racks_per_row),
+                    mid(&self.inlets_c),
+                    dtm,
+                ]
+            })
+            .collect()
+    }
+
+    /// Runs the full simulator at one knob point and reduces the fleet
+    /// report to the target vector.
+    ///
+    /// # Errors
+    ///
+    /// Malformed coordinates (wrong arity, fractional integer knobs, a
+    /// DTM level other than 0/1, an unknown preset) or any simulator
+    /// failure.
+    pub fn evaluate(&self, coords: &[f64]) -> Result<TrainingSample, LabError> {
+        SCRATCH.with(|cell| self.evaluate_with(coords, &mut cell.borrow_mut()))
+    }
+
+    /// [`Self::evaluate`] against caller-owned scratch — the reusable
+    /// buffers `tests/alloc_budget.rs` pins.
+    pub fn evaluate_with(
+        &self,
+        coords: &[f64],
+        scratch: &mut SweepScratch,
+    ) -> Result<TrainingSample, LabError> {
+        let report = self.simulate(coords, scratch)?;
+        let outputs = extract_targets(&report, scratch);
+        Ok(TrainingSample::new(coords.to_vec(), outputs))
+    }
+
+    /// Evaluates many points across `threads` workers. Points map to
+    /// results in order, and every point is a pure function of its
+    /// coordinates, so the result is byte-identical at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// The first failing point (in input order).
+    pub fn run(
+        &self,
+        points: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<Vec<TrainingSample>, LabError> {
+        parallel_map(points.to_vec(), threads, |coords| self.evaluate(&coords))
+            .into_iter()
+            .collect()
+    }
+
+    /// One full fleet simulation at `coords`. Public so
+    /// `tests/alloc_budget.rs` can obtain a report to reduce on its
+    /// own; everything else goes through [`Self::evaluate`].
+    pub fn simulate(
+        &self,
+        coords: &[f64],
+        scratch: &mut SweepScratch,
+    ) -> Result<FleetReport, LabError> {
+        let fail =
+            |e: &dyn std::fmt::Display| LabError::Experiment(format!("sweep point {coords:?}: {e}"));
+        let [rate, per_rack, racks_per_row, inlet_c, dtm] = coords else {
+            return Err(fail(&format!(
+                "expected {} coordinates, got {}",
+                KNOBS.len(),
+                coords.len()
+            )));
+        };
+        let as_count = |name: &str, v: f64| -> Result<usize, LabError> {
+            if v.fract() != 0.0 || v < 1.0 {
+                return Err(fail(&format!("{name} must be a positive integer, got {v}")));
+            }
+            Ok(v as usize)
+        };
+        let per_rack = as_count("per_rack", *per_rack)?;
+        let racks_per_row = as_count("racks_per_row", *racks_per_row)?;
+        if *dtm != 0.0 && *dtm != 1.0 {
+            return Err(fail(&format!("dtm level must be 0 or 1, got {dtm}")));
+        }
+
+        let spec = DiskSpec::era(2002, 1, Rpm::new(HIGH_RPM));
+        let thermal = DriveThermalSpec::new(Inches::new(2.6), 1);
+        let hall = HallSpec::new(per_rack, racks_per_row, self.rows, Celsius::new(*inlet_c));
+        let mut config = hall.config(spec.clone(), thermal).map_err(|e| fail(&e))?;
+        config.routing = RoutingPolicy::ThermalAware {
+            envelope: THERMAL_ENVELOPE,
+        };
+        config.dtm = if *dtm == 1.0 {
+            FleetDtmPolicy::SpeedScale {
+                high: Rpm::new(HIGH_RPM),
+                low: Rpm::new(LOW_RPM),
+                guard: TempDelta::new(0.3),
+                resume_margin: TempDelta::new(0.3),
+            }
+        } else {
+            FleetDtmPolicy::None
+        };
+        // Each point is one worker's job; parallelism lives across
+        // points, and a serial fleet keeps the point's cost minimal.
+        config.threads = 1;
+
+        let preset = preset_by_name(&self.preset)
+            .ok_or_else(|| fail(&format!("unknown workload preset {:?}", self.preset)))?;
+        let capacity = StorageSystem::new(SystemConfig::single_disk(spec))
+            .map_err(|e| fail(&e))?
+            .logical_sectors();
+        let generator = TraceGenerator::new(
+            preset.profile.clone(),
+            preset.arrivals.with_mean_rate(*rate),
+            1,
+            capacity,
+        )
+        .map_err(|e| fail(&e))?;
+        generator.generate_into(self.requests, self.seed, &mut scratch.trace);
+
+        let fleet = Fleet::new(config).map_err(|e| fail(&e))?;
+        fleet.run(scratch.trace.clone()).map_err(|e| fail(&e))
+    }
+}
+
+/// Per-worker reusable buffers for the sweep loop. One instance lives
+/// in thread-local storage per worker; `tests/alloc_budget.rs` drives
+/// [`extract_targets`] against an explicit instance to pin the
+/// per-point reduction at zero steady-state allocations.
+pub struct SweepScratch {
+    /// Trace buffer refilled by `generate_into` each point.
+    pub trace: Vec<Request>,
+    /// Reservoir sort buffer for `percentile_with`.
+    pub percentile: Vec<f64>,
+    /// The metrics registry the target vector flattens out of.
+    pub registry: Registry,
+    /// Value buffer for `flatten_values_into`.
+    pub values: Vec<f64>,
+    /// Flattened target names; populated on first extraction.
+    names: Vec<String>,
+}
+
+impl SweepScratch {
+    /// Empty scratch; buffers grow to their high-water marks on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        SweepScratch {
+            trace: Vec::new(),
+            percentile: Vec::new(),
+            registry: Registry::new(),
+            values: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+}
+
+impl Default for SweepScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SweepScratch> = RefCell::new(SweepScratch::new());
+}
+
+/// Reduces a fleet report into `scratch.values` (and, on first use,
+/// `scratch.names`) through the metrics registry: gauges for peak
+/// exit-air temperature, DTM engagement rate, and the reservoir p95;
+/// the response-time distribution re-bucketed into the `response_ms`
+/// log histogram. After the scratch registry has seen one report and
+/// the buffers have grown to their high-water marks, this performs
+/// **zero** heap allocations — the property `tests/alloc_budget.rs`
+/// pins.
+pub fn reduce_targets(report: &FleetReport, scratch: &mut SweepScratch) {
+    let reg = &mut scratch.registry;
+    reg.reset_histograms();
+    reg.gauge_set("peak_air_c", report.max_air.get());
+    reg.gauge_set("dtm_engaged", engagement_rate(report));
+    reg.gauge_set(
+        "p95_ms",
+        report
+            .stats
+            .percentile_with(&mut scratch.percentile, 95.0)
+            .to_millis(),
+    );
+    for &ms in report.stats.samples_ms() {
+        reg.observe("response_ms", ms, LogHistogram::response_ms);
+    }
+    reg.flatten_values_into(&TARGET_QUANTILES, &mut scratch.values);
+    if scratch.names.is_empty() {
+        scratch.names = reg
+            .flatten(&TARGET_QUANTILES)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+    }
+}
+
+/// [`reduce_targets`] plus materializing the named target vector the
+/// [`TrainingSample`] carries (the one place the per-point loop clones
+/// the output names).
+pub fn extract_targets(report: &FleetReport, scratch: &mut SweepScratch) -> Vec<(String, f64)> {
+    reduce_targets(report, scratch);
+    scratch
+        .names
+        .iter()
+        .cloned()
+        .zip(scratch.values.iter().copied())
+        .collect()
+}
+
+/// Fraction of fleet drive-time spent under active DTM actuation
+/// (speed-scaled or admission-gated), 0 when the fleet served no time.
+pub fn engagement_rate(report: &FleetReport) -> f64 {
+    let total = report.total_time.get() * report.enclosures as f64;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let actuated: f64 = report
+        .per_enclosure
+        .iter()
+        .map(|e| e.time_scaled.get() + e.time_gated.get())
+        .sum();
+    actuated / total
+}
+
+/// The sweepable workload presets, keyed by slug (the display names in
+/// `workloads::presets` carry spaces and punctuation).
+pub const PRESET_SLUGS: [&str; 5] = ["openmail", "oltp", "search_engine", "tpcc", "tpch"];
+
+/// Looks up a workload preset by slug.
+pub fn preset_by_name(name: &str) -> Option<WorkloadPreset> {
+    match name {
+        "openmail" => Some(workloads::openmail()),
+        "oltp" => Some(workloads::oltp()),
+        "search_engine" => Some(workloads::search_engine()),
+        "tpcc" => Some(workloads::tpcc()),
+        "tpch" => Some(workloads::tpch()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            preset: "oltp".into(),
+            rows: 1,
+            requests: 120,
+            seed: 7,
+            rates: vec![200.0, 400.0],
+            per_rack: vec![4.0, 8.0],
+            racks_per_row: vec![2.0],
+            inlets_c: vec![28.0],
+            dtm: vec![0.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn grid_is_the_row_major_cartesian_product() {
+        let spec = tiny_spec();
+        let grid = spec.grid();
+        // 2 rates x 2 per_rack x 1 racks x 1 inlet x 2 dtm levels.
+        assert_eq!(grid.len(), 8);
+        assert_eq!(grid[0], vec![200.0, 4.0, 2.0, 28.0, 0.0]);
+        assert_eq!(grid[1], vec![200.0, 4.0, 2.0, 28.0, 1.0]);
+        assert_eq!(grid[7], vec![400.0, 8.0, 2.0, 28.0, 1.0]);
+    }
+
+    #[test]
+    fn holdout_sits_between_the_first_nodes_at_each_dtm_level() {
+        let spec = tiny_spec();
+        let holdout = spec.holdout();
+        assert_eq!(holdout.len(), 2);
+        assert_eq!(holdout[0], vec![300.0, 6.0, 2.0, 28.0, 0.0]);
+        assert_eq!(holdout[1][4], 1.0);
+    }
+
+    #[test]
+    fn evaluate_produces_the_flattened_target_vector() {
+        let spec = tiny_spec();
+        let sample = spec.evaluate(&[200.0, 4.0, 2.0, 28.0, 0.0]).unwrap();
+        let names: Vec<&str> = sample.outputs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "dtm_engaged",
+                "p95_ms",
+                "peak_air_c",
+                "response_ms_mean",
+                "response_ms_p50",
+                "response_ms_p95"
+            ]
+        );
+        let peak = sample.outputs[2].1;
+        assert!(peak > 28.0, "exit air must exceed the inlet, got {peak}");
+        assert_eq!(sample.outputs[0].1, 0.0, "no DTM at level 0");
+    }
+
+    #[test]
+    fn malformed_coordinates_are_rejected() {
+        let spec = tiny_spec();
+        assert!(spec.evaluate(&[200.0, 4.5, 2.0, 28.0, 0.0]).is_err());
+        assert!(spec.evaluate(&[200.0, 4.0, 2.0, 28.0, 0.5]).is_err());
+        assert!(spec.evaluate(&[200.0, 4.0]).is_err());
+        let mut bad = tiny_spec();
+        bad.preset = "no_such_preset".into();
+        assert!(bad.evaluate(&[200.0, 4.0, 2.0, 28.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let spec = tiny_spec();
+        let points = spec.grid();
+        let serial = spec.run(&points, 1).unwrap();
+        let threaded = spec.run(&points, 8).unwrap();
+        assert_eq!(serial, threaded);
+        assert_eq!(serial.len(), points.len());
+    }
+
+    #[test]
+    fn dtm_level_engages_under_load() {
+        let spec = tiny_spec();
+        // Hot inlet so the envelope binds and speed scaling actuates.
+        let on = spec.evaluate(&[400.0, 8.0, 2.0, 44.0, 1.0]).unwrap();
+        let off = spec.evaluate(&[400.0, 8.0, 2.0, 44.0, 0.0]).unwrap();
+        assert_eq!(off.outputs[0].1, 0.0);
+        assert!(
+            on.outputs[0].1 > 0.0,
+            "speed scaling should engage at a 44C inlet: {:?}",
+            on.outputs
+        );
+    }
+}
+

@@ -61,6 +61,17 @@ impl LogHistogram {
         Self::new(5.0, 1.6, 12)
     }
 
+    /// Empties the histogram in place, keeping its bucket layout (and
+    /// allocation) — sweep loops re-bucket one distribution per
+    /// configuration into the same histogram.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
     /// Records one value. Non-finite values land in the overflow bucket.
     pub fn record(&mut self, value: f64) {
         self.count += 1;
@@ -130,12 +141,27 @@ impl LogHistogram {
         if self.count == 0 {
             return 0.0;
         }
-        for (edge, frac) in self.cdf() {
-            if frac >= q {
+        // Walk the counts directly rather than materializing `cdf()`:
+        // quantile queries sit on the sweep loop's allocation-free path.
+        let total = self.count as f64;
+        let mut acc = 0u64;
+        for (i, &n) in self.counts[..self.counts.len() - 1].iter().enumerate() {
+            acc += n;
+            if acc as f64 / total >= q {
+                let edge = self.first_edge * self.growth.powi(i as i32);
                 return edge.min(self.max.max(self.min));
             }
         }
         self.max
+    }
+
+    /// [`Self::quantile`] at each of `qs`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `qs` is outside `[0, 1]`.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
     }
 }
 
@@ -167,9 +193,13 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets a gauge.
+    /// Sets a gauge. Re-setting an existing gauge does not allocate.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        if let Some(slot) = self.gauges.get_mut(name) {
+            *slot = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Reads a gauge.
@@ -178,11 +208,24 @@ impl Registry {
     }
 
     /// Records into a histogram, creating it with `make` on first use.
+    /// Recording into an existing histogram does not allocate.
     pub fn observe(&mut self, name: &str, value: f64, make: impl FnOnce() -> LogHistogram) {
-        self.histograms
-            .entry(name.to_string())
-            .or_insert_with(make)
-            .record(value);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = make();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Resets every histogram in place (layouts kept); counters and
+    /// gauges are left to be overwritten by their next writes. The
+    /// registry-reuse half of the sweep loop's zero-allocation path.
+    pub fn reset_histograms(&mut self) {
+        for h in self.histograms.values_mut() {
+            h.reset();
+        }
     }
 
     /// Reads a histogram.
@@ -193,6 +236,56 @@ impl Registry {
     /// Pretty JSON for `results/` export.
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Flattens the registry into a deterministic `(name, value)`
+    /// target vector — the shape a surrogate fit consumes. Counters and
+    /// gauges export under their own names; each histogram contributes
+    /// its mean (`<name>_mean`) and the requested quantiles
+    /// (`<name>_p<q*100>`). Names come out in `BTreeMap` order, so equal
+    /// registries flatten to equal vectors regardless of insertion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `quantiles` is outside `[0, 1]`.
+    pub fn flatten(&self, quantiles: &[f64]) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(
+            self.counters.len() + self.gauges.len() + self.histograms.len() * (1 + quantiles.len()),
+        );
+        for (name, &v) in &self.counters {
+            out.push((name.clone(), v as f64));
+        }
+        for (name, &v) in &self.gauges {
+            out.push((name.clone(), v));
+        }
+        for (name, h) in &self.histograms {
+            out.push((format!("{name}_mean"), h.mean()));
+            for &q in quantiles {
+                out.push((format!("{name}_p{}", q * 100.0), h.quantile(q)));
+            }
+        }
+        out
+    }
+
+    /// The values of [`Self::flatten`] without the names, appended to a
+    /// caller-owned buffer. The names are a function of the registry's
+    /// key set alone, so a sweep fetches them once via `flatten` and
+    /// then extracts every point's target vector allocation-free.
+    pub fn flatten_values_into(&self, quantiles: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for &v in self.counters.values() {
+            out.push(v as f64);
+        }
+        for &v in self.gauges.values() {
+            out.push(v);
+        }
+        for h in self.histograms.values() {
+            out.push(h.mean());
+            for &q in quantiles {
+                out.push(h.quantile(q));
+            }
+        }
     }
 }
 
@@ -320,6 +413,65 @@ mod tests {
         let json = r.to_json_pretty();
         assert!(json.contains("\"counters\""));
         assert!(json.contains("\"response_ms\""));
+    }
+
+    #[test]
+    fn flatten_exports_a_deterministic_target_vector() {
+        let mut r = Registry::new();
+        r.observe("response_ms", 12.0, LogHistogram::response_ms);
+        r.observe("response_ms", 80.0, LogHistogram::response_ms);
+        r.gauge_set("peak_air_c", 44.5);
+        r.count("engaged", 3);
+        let flat = r.flatten(&[0.5, 0.95]);
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["engaged", "peak_air_c", "response_ms_mean", "response_ms_p50", "response_ms_p95"]
+        );
+        assert_eq!(flat[0].1, 3.0);
+        assert_eq!(flat[1].1, 44.5);
+        // Rebuilding the same registry in a different insertion order
+        // flattens identically.
+        let mut again = Registry::new();
+        again.count("engaged", 3);
+        again.gauge_set("peak_air_c", 44.5);
+        again.observe("response_ms", 12.0, LogHistogram::response_ms);
+        again.observe("response_ms", 80.0, LogHistogram::response_ms);
+        assert_eq!(again.flatten(&[0.5, 0.95]), flat);
+    }
+
+    #[test]
+    fn flatten_values_into_matches_flatten_and_reuses_the_buffer() {
+        let mut r = Registry::new();
+        r.observe("response_ms", 12.0, LogHistogram::response_ms);
+        r.gauge_set("peak_air_c", 44.5);
+        r.count("engaged", 3);
+        let flat = r.flatten(&[0.5, 0.95]);
+        let mut values = Vec::new();
+        r.flatten_values_into(&[0.5, 0.95], &mut values);
+        assert_eq!(values, flat.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+        // A second extraction reuses (and first clears) the buffer.
+        r.gauge_set("peak_air_c", 40.0);
+        r.flatten_values_into(&[0.5, 0.95], &mut values);
+        assert_eq!(values.len(), flat.len());
+        assert_eq!(values[1], 40.0);
+    }
+
+    #[test]
+    fn reset_keeps_layout_and_empties_counts() {
+        let mut h = LogHistogram::response_ms();
+        h.record(12.0);
+        h.record(300.0);
+        let fresh = LogHistogram::response_ms();
+        h.reset();
+        assert_eq!(h, fresh);
+        h.record(12.0);
+        assert_eq!(h.count(), 1);
+
+        let mut r = Registry::new();
+        r.observe("response_ms", 50.0, LogHistogram::response_ms);
+        r.reset_histograms();
+        assert_eq!(r.histogram("response_ms").unwrap().count(), 0);
     }
 
     #[test]

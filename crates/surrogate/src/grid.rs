@@ -1,0 +1,400 @@
+//! Dense-grid surrogates queried by multilinear interpolation.
+//!
+//! The training sweep evaluates the full simulator on a Cartesian grid
+//! of knob values; the surrogate stores those outputs as per-output
+//! tensors and answers arbitrary points by interpolating the 2^d
+//! surrounding grid corners. Two properties fall out of that choice and
+//! the planner leans on both:
+//!
+//! - **Determinism**: the model is exactly its training data plus a
+//!   closed-form query — fitting the same sweep twice yields
+//!   byte-identical serialized models.
+//! - **Monotonicity transfer**: along any single axis, multilinear
+//!   interpolation is monotone wherever the grid node values are, so if
+//!   the simulator's peak temperature rises with arrival rate, so does
+//!   the surrogate's prediction.
+
+use crate::SurrogateError;
+use serde::Serialize;
+
+/// One sweep knob: a name and its strictly increasing grid values.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Axis {
+    /// Knob name, e.g. `"rate"` or `"per_rack"`.
+    pub name: String,
+    /// Grid node coordinates, strictly increasing.
+    pub values: Vec<f64>,
+}
+
+impl Axis {
+    /// A validated axis.
+    ///
+    /// # Errors
+    ///
+    /// Empty or non-strictly-increasing (or non-finite) `values`.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Result<Self, SurrogateError> {
+        let name = name.into();
+        if values.is_empty() {
+            return Err(SurrogateError::Fit(format!("axis {name:?} has no values")));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(SurrogateError::Fit(format!(
+                "axis {name:?} has a non-finite value"
+            )));
+        }
+        for pair in values.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(SurrogateError::Fit(format!(
+                    "axis {name:?} values must be strictly increasing, got {} then {}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        Ok(Axis { name, values })
+    }
+
+    /// Bracketing node indices and interpolation fraction for `x`,
+    /// clamped to the grid: queries outside the swept range hold the
+    /// edge value rather than extrapolating a trend the simulator never
+    /// confirmed.
+    fn locate(&self, x: f64) -> (usize, usize, f64) {
+        let v = &self.values;
+        if x <= v[0] {
+            return (0, 0, 0.0);
+        }
+        let last = v.len() - 1;
+        if x >= v[last] {
+            return (last, last, 0.0);
+        }
+        // First node strictly above x; x < v[last] guarantees one.
+        let hi = v.partition_point(|&n| n <= x);
+        let lo = hi - 1;
+        (lo, hi, (x - v[lo]) / (v[hi] - v[lo]))
+    }
+}
+
+/// One simulated sweep point: knob coordinates and the named outputs
+/// the simulator produced there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSample {
+    /// Knob values, one per axis in axis order.
+    pub coords: Vec<f64>,
+    /// Named simulator outputs at this point.
+    pub outputs: Vec<(String, f64)>,
+}
+
+impl TrainingSample {
+    /// A sweep point.
+    pub fn new(coords: Vec<f64>, outputs: Vec<(String, f64)>) -> Self {
+        TrainingSample { coords, outputs }
+    }
+}
+
+/// A fitted grid surrogate: per-output value tensors over the axes'
+/// Cartesian grid, plus each output's training scale (max absolute
+/// value) used as the denominator of relative errors.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GridSurrogate {
+    /// The sweep axes, in coordinate order.
+    pub axes: Vec<Axis>,
+    /// Output names, in the order every training sample listed them.
+    pub outputs: Vec<String>,
+    /// Row-major value tensor per output (last axis fastest).
+    pub values: Vec<Vec<f64>>,
+    /// Max |value| seen in training per output, floored at 1.0 so
+    /// relative errors stay meaningful for near-zero outputs.
+    pub scales: Vec<f64>,
+}
+
+impl GridSurrogate {
+    /// Fit a surrogate: place every training sample at its exact grid
+    /// cell and require the grid to be covered exactly once.
+    ///
+    /// # Errors
+    ///
+    /// No axes or no samples; a sample whose coordinate count or output
+    /// names disagree with the first sample; a coordinate that is not
+    /// exactly a grid node; a cell covered twice or never.
+    pub fn fit(axes: Vec<Axis>, samples: &[TrainingSample]) -> Result<Self, SurrogateError> {
+        if axes.is_empty() {
+            return Err(SurrogateError::Fit("no axes".into()));
+        }
+        if axes.len() > 16 {
+            return Err(SurrogateError::Fit(format!(
+                "{} axes; interpolation visits 2^d corners, refusing d > 16",
+                axes.len()
+            )));
+        }
+        let cells: usize = axes.iter().map(|a| a.values.len()).product();
+        let first = samples
+            .first()
+            .ok_or_else(|| SurrogateError::Fit("no training samples".into()))?;
+        if first.outputs.is_empty() {
+            return Err(SurrogateError::Fit("samples carry no outputs".into()));
+        }
+        let outputs: Vec<String> = first.outputs.iter().map(|(n, _)| n.clone()).collect();
+        let mut values = vec![vec![f64::NAN; cells]; outputs.len()];
+        let mut seen = vec![false; cells];
+        for sample in samples {
+            let cell = cell_index(&axes, &sample.coords)?;
+            if std::mem::replace(&mut seen[cell], true) {
+                return Err(SurrogateError::Fit(format!(
+                    "grid cell at {:?} covered twice",
+                    sample.coords
+                )));
+            }
+            if sample.outputs.len() != outputs.len()
+                || sample
+                    .outputs
+                    .iter()
+                    .zip(&outputs)
+                    .any(|((name, _), expect)| name != expect)
+            {
+                return Err(SurrogateError::Fit(format!(
+                    "sample at {:?} lists outputs {:?}, expected {outputs:?}",
+                    sample.coords,
+                    sample.outputs.iter().map(|(n, _)| n).collect::<Vec<_>>()
+                )));
+            }
+            for (k, (_, value)) in sample.outputs.iter().enumerate() {
+                if !value.is_finite() {
+                    return Err(SurrogateError::Fit(format!(
+                        "non-finite output {:?} at {:?}",
+                        outputs[k], sample.coords
+                    )));
+                }
+                values[k][cell] = *value;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|covered| !covered) {
+            return Err(SurrogateError::Fit(format!(
+                "sweep covers {}/{cells} grid cells; first missing cell index {missing}",
+                samples.len()
+            )));
+        }
+        let scales = values
+            .iter()
+            .map(|tensor| tensor.iter().fold(1.0_f64, |acc, v| acc.max(v.abs())))
+            .collect();
+        Ok(GridSurrogate {
+            axes,
+            outputs,
+            values,
+            scales,
+        })
+    }
+
+    /// Position of `name` in [`Self::outputs`], if fitted.
+    pub fn output_index(&self, name: &str) -> Option<usize> {
+        self.outputs.iter().position(|n| n == name)
+    }
+
+    /// Predict one output at `coords` by clamped multilinear
+    /// interpolation over the 2^d surrounding grid corners.
+    ///
+    /// # Errors
+    ///
+    /// Wrong coordinate count, a non-finite coordinate, or an output
+    /// index the fit does not have.
+    pub fn predict_one(&self, output: usize, coords: &[f64]) -> Result<f64, SurrogateError> {
+        if output >= self.outputs.len() {
+            return Err(SurrogateError::Predict(format!(
+                "output index {output} out of range ({} fitted)",
+                self.outputs.len()
+            )));
+        }
+        if coords.len() != self.axes.len() {
+            return Err(SurrogateError::Predict(format!(
+                "{} coordinates for {} axes",
+                coords.len(),
+                self.axes.len()
+            )));
+        }
+        if let Some(bad) = coords.iter().find(|c| !c.is_finite()) {
+            return Err(SurrogateError::Predict(format!(
+                "non-finite coordinate {bad}"
+            )));
+        }
+        let d = self.axes.len();
+        let mut locs = [(0usize, 0usize, 0.0f64); 16];
+        for (slot, (axis, &x)) in locs.iter_mut().zip(self.axes.iter().zip(coords)) {
+            *slot = axis.locate(x);
+        }
+        // Row-major strides, last axis fastest.
+        let mut strides = [0usize; 16];
+        let mut stride = 1;
+        for i in (0..d).rev() {
+            strides[i] = stride;
+            stride *= self.axes[i].values.len();
+        }
+        let tensor = &self.values[output];
+        let mut acc = 0.0;
+        for corner in 0u32..(1 << d) {
+            let mut weight = 1.0;
+            let mut index = 0;
+            for (i, &(lo, hi, t)) in locs[..d].iter().enumerate() {
+                let high = corner >> i & 1 == 1;
+                weight *= if high { t } else { 1.0 - t };
+                index += strides[i] * if high { hi } else { lo };
+            }
+            if weight != 0.0 {
+                acc += weight * tensor[index];
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Predict every output at `coords`, paired with its name.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::predict_one`].
+    pub fn predict(&self, coords: &[f64]) -> Result<Vec<(String, f64)>, SurrogateError> {
+        (0..self.outputs.len())
+            .map(|k| {
+                self.predict_one(k, coords)
+                    .map(|v| (self.outputs[k].clone(), v))
+            })
+            .collect()
+    }
+
+    /// The stored training scale of output `k` (relative-error
+    /// denominator).
+    pub fn scale(&self, k: usize) -> f64 {
+        self.scales[k]
+    }
+}
+
+/// Row-major cell index of exact grid coordinates.
+fn cell_index(axes: &[Axis], coords: &[f64]) -> Result<usize, SurrogateError> {
+    if coords.len() != axes.len() {
+        return Err(SurrogateError::Fit(format!(
+            "sample has {} coordinates for {} axes",
+            coords.len(),
+            axes.len()
+        )));
+    }
+    let mut index = 0;
+    for (axis, &x) in axes.iter().zip(coords) {
+        let node = axis
+            .values
+            .iter()
+            .position(|&v| v == x)
+            .ok_or_else(|| {
+                SurrogateError::Fit(format!(
+                    "coordinate {x} is not a node of axis {:?} (training samples must \
+                     sit exactly on the grid)",
+                    axis.name
+                ))
+            })?;
+        index = index * axis.values.len() + node;
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d() -> GridSurrogate {
+        let axes = vec![
+            Axis::new("rate", vec![100.0, 200.0]).unwrap(),
+            Axis::new("per_rack", vec![10.0, 20.0, 30.0]).unwrap(),
+        ];
+        let mut samples = Vec::new();
+        for &r in &[100.0, 200.0] {
+            for &p in &[10.0, 20.0, 30.0] {
+                samples.push(TrainingSample::new(
+                    vec![r, p],
+                    vec![
+                        ("peak_air_c".into(), 20.0 + r / 100.0 + p / 10.0),
+                        ("engaged".into(), 0.0),
+                    ],
+                ));
+            }
+        }
+        GridSurrogate::fit(axes, &samples).unwrap()
+    }
+
+    #[test]
+    fn nodes_reproduce_exactly_and_midpoints_interpolate() {
+        let model = grid_2d();
+        let at_node = model.predict(&[200.0, 30.0]).unwrap();
+        assert_eq!(at_node[0], ("peak_air_c".to_string(), 25.0));
+        let mid = model.predict_one(0, &[150.0, 15.0]).unwrap();
+        assert!((mid - (20.0 + 1.5 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_outside_the_grid_clamp_to_the_edge() {
+        let model = grid_2d();
+        let low = model.predict_one(0, &[0.0, 0.0]).unwrap();
+        let corner = model.predict_one(0, &[100.0, 10.0]).unwrap();
+        assert_eq!(low, corner);
+        let high = model.predict_one(0, &[1e9, 1e9]).unwrap();
+        assert_eq!(high, model.predict_one(0, &[200.0, 30.0]).unwrap());
+    }
+
+    #[test]
+    fn missing_and_duplicate_cells_are_rejected() {
+        let axes = vec![Axis::new("rate", vec![1.0, 2.0]).unwrap()];
+        let one = TrainingSample::new(vec![1.0], vec![("out".into(), 5.0)]);
+        let err = GridSurrogate::fit(axes.clone(), std::slice::from_ref(&one)).unwrap_err();
+        assert!(matches!(err, SurrogateError::Fit(_)));
+        let err = GridSurrogate::fit(axes, &[one.clone(), one]).unwrap_err();
+        assert!(matches!(err, SurrogateError::Fit(_)));
+    }
+
+    #[test]
+    fn off_grid_training_coordinates_are_rejected() {
+        let axes = vec![Axis::new("rate", vec![1.0, 2.0]).unwrap()];
+        let sample = TrainingSample::new(vec![1.5], vec![("out".into(), 5.0)]);
+        assert!(GridSurrogate::fit(axes, &[sample]).is_err());
+    }
+
+    #[test]
+    fn axis_rejects_unsorted_values() {
+        assert!(Axis::new("rate", vec![2.0, 1.0]).is_err());
+        assert!(Axis::new("rate", vec![1.0, 1.0]).is_err());
+        assert!(Axis::new("rate", vec![]).is_err());
+    }
+
+    #[test]
+    fn scales_floor_at_one() {
+        let model = grid_2d();
+        let engaged = model.output_index("engaged").unwrap();
+        assert_eq!(model.scale(engaged), 1.0);
+        assert!(model.scale(0) > 1.0);
+    }
+
+    #[test]
+    fn fit_is_independent_of_sample_order() {
+        let axes = vec![Axis::new("rate", vec![1.0, 2.0]).unwrap()];
+        let a = TrainingSample::new(vec![1.0], vec![("out".into(), 5.0)]);
+        let b = TrainingSample::new(vec![2.0], vec![("out".into(), 7.0)]);
+        let forward = GridSurrogate::fit(axes.clone(), &[a.clone(), b.clone()]).unwrap();
+        let reverse = GridSurrogate::fit(axes, &[b, a]).unwrap();
+        assert_eq!(forward, reverse);
+        assert_eq!(
+            serde_json::to_string(&forward).unwrap(),
+            serde_json::to_string(&reverse).unwrap()
+        );
+    }
+
+    #[test]
+    fn interpolation_is_monotone_when_node_values_are() {
+        let axes = vec![Axis::new("rate", vec![0.0, 1.0, 2.0]).unwrap()];
+        let samples: Vec<TrainingSample> = [0.0, 1.0, 2.0]
+            .iter()
+            .map(|&r| TrainingSample::new(vec![r], vec![("out".into(), r * r)]))
+            .collect();
+        let model = GridSurrogate::fit(axes, &samples).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=40 {
+            let x = i as f64 * 0.05;
+            let y = model.predict_one(0, &[x]).unwrap();
+            assert!(y >= prev, "non-monotone at {x}: {y} < {prev}");
+            prev = y;
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Surrogate-accelerated capacity planning (`disksurrogate`).
+//!
+//! The paper's roadmap argument turns every design question into a
+//! search under a thermal envelope, and the honest way to evaluate one
+//! candidate configuration is a full event simulation — milliseconds to
+//! minutes per point depending on hall size. This crate makes that
+//! search cheap without giving up the simulator's authority, in two
+//! stages:
+//!
+//! 1. **Screen.** A compact deterministic surrogate — a dense grid of
+//!    simulator outputs over the sweep axes, queried by multilinear
+//!    interpolation ([`GridSurrogate`]) — predicts peak exit-air
+//!    temperature, DTM engagement, and response-time quantiles for
+//!    thousands of candidates at sub-microsecond cost each.
+//! 2. **Verify.** Only the candidates the screen puts on the
+//!    feasibility boundary ([`screen`], [`frontier`]) are re-run
+//!    through the full fleet simulation, which has the final word.
+//!
+//! Between the stages sits the error gate: held-out sweep points that
+//! never entered the fit are predicted and compared against their
+//! simulated truth ([`cross_validate`]), and a plan whose surrogate
+//! misses by more than the stated tolerance fails loudly
+//! ([`CrossValidation::gate`]) instead of shipping optimistic numbers.
+//!
+//! The fit is a pure function of its inputs: fitting the same sweep
+//! twice yields byte-identical serialized models, which the lab's
+//! determinism suite pins.
+//!
+//! # Examples
+//!
+//! ```
+//! use disksurrogate::{Axis, GridSurrogate, TrainingSample};
+//!
+//! // A 1-D "simulator": peak air rises linearly with load.
+//! let axis = Axis::new("rate", vec![100.0, 200.0, 300.0])?;
+//! let samples: Vec<TrainingSample> = [100.0, 200.0, 300.0]
+//!     .iter()
+//!     .map(|&r| TrainingSample::new(vec![r], vec![("peak_air_c".into(), 30.0 + r / 10.0)]))
+//!     .collect();
+//! let model = GridSurrogate::fit(vec![axis], &samples)?;
+//! let at_250 = model.predict(&[250.0])?;
+//! assert!((at_250[0].1 - 55.0).abs() < 1e-12);
+//! # Ok::<(), disksurrogate::SurrogateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod planner;
+
+pub use grid::{Axis, GridSurrogate, TrainingSample};
+pub use planner::{cross_validate, frontier, screen, Constraint, CrossValidation, Screened};
+
+/// Why a surrogate could not be fitted, queried, or trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurrogateError {
+    /// The training sweep does not form the declared grid.
+    Fit(String),
+    /// A prediction was asked of a point the model cannot answer.
+    Predict(String),
+    /// Cross-validation error exceeded the stated tolerance — the
+    /// surrogate's screening answers cannot be trusted and the plan
+    /// must not be used.
+    Validation {
+        /// The worst-predicted output.
+        output: String,
+        /// Its relative error on the held-out points.
+        rel_err: f64,
+        /// The tolerance the fit was required to meet.
+        tolerance: f64,
+    },
+}
+
+impl std::fmt::Display for SurrogateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fit(msg) => write!(f, "surrogate fit: {msg}"),
+            Self::Predict(msg) => write!(f, "surrogate predict: {msg}"),
+            Self::Validation {
+                output,
+                rel_err,
+                tolerance,
+            } => write!(
+                f,
+                "surrogate failed cross-validation: output {output:?} misses held-out \
+                 sweep points by {rel_err:.4} relative error (tolerance {tolerance})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SurrogateError {}

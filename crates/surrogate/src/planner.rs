@@ -1,0 +1,424 @@
+//! The two-stage search itself: screen a dense candidate set against
+//! envelope constraints with the surrogate, pick the feasibility
+//! frontier for full-sim verification, and gate the whole plan on
+//! held-out cross-validation error.
+
+use crate::grid::{GridSurrogate, TrainingSample};
+use crate::SurrogateError;
+use serde::Serialize;
+
+/// An upper bound an acceptable configuration must satisfy, e.g.
+/// "peak_air_c ≤ 45.0" or "p95_ms ≤ 18.0".
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Constraint {
+    /// The surrogate output the bound applies to.
+    pub output: String,
+    /// The inclusive upper bound.
+    pub max: f64,
+}
+
+/// One screened candidate: its knob coordinates, the surrogate's
+/// predictions, and whether every constraint passed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Screened {
+    /// Knob values, one per model axis.
+    pub coords: Vec<f64>,
+    /// Predicted outputs, in model output order.
+    pub predictions: Vec<(String, f64)>,
+    /// All constraints satisfied at the predictions.
+    pub feasible: bool,
+}
+
+/// Stage 1: predict every candidate and mark feasibility.
+///
+/// Candidates are evaluated in order; output order matches input order,
+/// so the screen is deterministic for a deterministic candidate list.
+///
+/// # Errors
+///
+/// A constraint naming an output the model was not fitted on, or a
+/// candidate with the wrong coordinate count.
+pub fn screen(
+    model: &GridSurrogate,
+    candidates: &[Vec<f64>],
+    constraints: &[Constraint],
+) -> Result<Vec<Screened>, SurrogateError> {
+    let bound_indices: Vec<(usize, f64)> = constraints
+        .iter()
+        .map(|c| {
+            model
+                .output_index(&c.output)
+                .map(|k| (k, c.max))
+                .ok_or_else(|| {
+                    SurrogateError::Predict(format!(
+                        "constraint on unknown output {:?} (fitted: {:?})",
+                        c.output, model.outputs
+                    ))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    candidates
+        .iter()
+        .map(|coords| {
+            let predictions = model.predict(coords)?;
+            let feasible = bound_indices
+                .iter()
+                .all(|&(k, max)| predictions[k].1 <= max);
+            Ok(Screened {
+                coords: coords.clone(),
+                predictions,
+                feasible,
+            })
+        })
+        .collect()
+}
+
+/// Stage-2 candidate selection: for each combination of the non-objective
+/// knobs, the feasible candidate with the largest objective-axis value —
+/// the capacity answer the screen proposes — plus the first infeasible
+/// candidate just above it, so the full sim confirms both sides of the
+/// boundary. Returns indices into `screened`, in input order.
+pub fn frontier(screened: &[Screened], objective_axis: usize) -> Vec<usize> {
+    // Group by the other coordinates, bit-exact; candidate lists are
+    // generated, not computed, so equal knobs are equal bits.
+    let key = |coords: &[f64]| -> Vec<u64> {
+        coords
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != objective_axis)
+            .map(|(_, v)| v.to_bits())
+            .collect()
+    };
+    let mut groups: Vec<(Vec<u64>, Option<usize>, Option<usize>)> = Vec::new();
+    for (i, cand) in screened.iter().enumerate() {
+        let k = key(&cand.coords);
+        let slot = match groups.iter().position(|(gk, _, _)| *gk == k) {
+            Some(p) => &mut groups[p],
+            None => {
+                groups.push((k, None, None));
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        let objective = cand.coords[objective_axis];
+        if cand.feasible {
+            let better = slot
+                .1
+                .is_none_or(|best| objective > screened[best].coords[objective_axis]);
+            if better {
+                slot.1 = Some(i);
+            }
+        } else {
+            let tighter = slot
+                .2
+                .is_none_or(|best| objective < screened[best].coords[objective_axis]);
+            if tighter {
+                slot.2 = Some(i);
+            }
+        }
+    }
+    let mut picks: Vec<usize> = Vec::new();
+    for (_, best_feasible, first_infeasible) in groups {
+        if let Some(i) = best_feasible {
+            picks.push(i);
+        }
+        match (best_feasible, first_infeasible) {
+            // Keep the infeasible witness only when it is the next step
+            // past the feasible pick (or nothing was feasible at all).
+            (Some(f), Some(i))
+                if screened[i].coords[objective_axis] > screened[f].coords[objective_axis] =>
+            {
+                picks.push(i);
+            }
+            (None, Some(i)) => picks.push(i),
+            _ => {}
+        }
+    }
+    picks.sort_unstable();
+    picks.dedup();
+    picks
+}
+
+/// The held-out error report committed alongside every capacity plan.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CrossValidation {
+    /// Held-out points compared.
+    pub points: usize,
+    /// Worst relative error over all points and outputs.
+    pub max_rel_err: f64,
+    /// The output that produced [`Self::max_rel_err`].
+    pub worst_output: String,
+    /// Max relative error per output, in model output order.
+    pub per_output: Vec<(String, f64)>,
+}
+
+/// Predict every held-out point and report the worst relative error,
+/// per output and overall. Errors are |predicted − simulated| divided
+/// by the output's training scale (max |value| seen in the fit, floored
+/// at 1), so outputs of different magnitudes gate on the same footing.
+///
+/// # Errors
+///
+/// No held-out points, or a point whose coordinate count or output
+/// names disagree with the model.
+pub fn cross_validate(
+    model: &GridSurrogate,
+    holdout: &[TrainingSample],
+) -> Result<CrossValidation, SurrogateError> {
+    if holdout.is_empty() {
+        return Err(SurrogateError::Predict(
+            "cross-validation needs at least one held-out point".into(),
+        ));
+    }
+    let mut per_output: Vec<(String, f64)> = model
+        .outputs
+        .iter()
+        .map(|name| (name.clone(), 0.0))
+        .collect();
+    for point in holdout {
+        if point.outputs.len() != model.outputs.len()
+            || point
+                .outputs
+                .iter()
+                .zip(&model.outputs)
+                .any(|((name, _), expect)| name != expect)
+        {
+            return Err(SurrogateError::Predict(format!(
+                "held-out point at {:?} lists outputs {:?}, model has {:?}",
+                point.coords,
+                point.outputs.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                model.outputs
+            )));
+        }
+        for (k, (_, truth)) in point.outputs.iter().enumerate() {
+            let predicted = model.predict_one(k, &point.coords)?;
+            let rel = (predicted - truth).abs() / model.scale(k);
+            if rel > per_output[k].1 {
+                per_output[k].1 = rel;
+            }
+        }
+    }
+    let (worst_output, max_rel_err) = per_output
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("model has at least one output");
+    Ok(CrossValidation {
+        points: holdout.len(),
+        max_rel_err,
+        worst_output,
+        per_output,
+    })
+}
+
+impl CrossValidation {
+    /// Fail loudly if the surrogate missed the held-out points by more
+    /// than `tolerance` relative error — the plan's screening answers
+    /// are not trustworthy and must not be committed.
+    ///
+    /// # Errors
+    ///
+    /// [`SurrogateError::Validation`] naming the worst output.
+    pub fn gate(&self, tolerance: f64) -> Result<(), SurrogateError> {
+        if self.max_rel_err > tolerance {
+            return Err(SurrogateError::Validation {
+                output: self.worst_output.clone(),
+                rel_err: self.max_rel_err,
+                tolerance,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Self::gate`] restricted to the named outputs — the ones a
+    /// screening decision actually reads. Outputs with threshold
+    /// nonlinearities the grid cannot capture (a DTM engagement knee,
+    /// say) still have their errors *reported*, but only the outputs
+    /// feeding constraints gate the plan.
+    ///
+    /// # Errors
+    ///
+    /// [`SurrogateError::Validation`] naming the worst gated output, or
+    /// [`SurrogateError::Predict`] for a name the validation never
+    /// measured.
+    pub fn gate_outputs(&self, names: &[&str], tolerance: f64) -> Result<(), SurrogateError> {
+        let mut worst: Option<(&str, f64)> = None;
+        for name in names {
+            let (_, err) = self
+                .per_output
+                .iter()
+                .find(|(n, _)| n == name)
+                .ok_or_else(|| {
+                    SurrogateError::Predict(format!(
+                        "gate on unmeasured output {name:?} (validated: {:?})",
+                        self.per_output.iter().map(|(n, _)| n).collect::<Vec<_>>()
+                    ))
+                })?;
+            if worst.is_none_or(|(_, w)| *err > w) {
+                worst = Some((name, *err));
+            }
+        }
+        if let Some((output, rel_err)) = worst {
+            if rel_err > tolerance {
+                return Err(SurrogateError::Validation {
+                    output: output.to_string(),
+                    rel_err,
+                    tolerance,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Axis;
+
+    /// Linear "simulator": peak = 20 + rate/100 + per_rack/10.
+    fn model() -> GridSurrogate {
+        let axes = vec![
+            Axis::new("rate", vec![100.0, 200.0]).unwrap(),
+            Axis::new("per_rack", vec![10.0, 20.0, 30.0]).unwrap(),
+        ];
+        let mut samples = Vec::new();
+        for &r in &[100.0, 200.0] {
+            for &p in &[10.0, 20.0, 30.0] {
+                samples.push(TrainingSample::new(
+                    vec![r, p],
+                    vec![("peak_air_c".into(), 20.0 + r / 100.0 + p / 10.0)],
+                ));
+            }
+        }
+        GridSurrogate::fit(axes, &samples).unwrap()
+    }
+
+    fn envelope(max: f64) -> Vec<Constraint> {
+        vec![Constraint {
+            output: "peak_air_c".into(),
+            max,
+        }]
+    }
+
+    #[test]
+    fn screen_marks_feasibility_against_every_constraint() {
+        let model = model();
+        // peak at (200, 30) = 25.0; at (100, 10) = 22.0.
+        let screened = screen(
+            &model,
+            &[vec![100.0, 10.0], vec![200.0, 30.0]],
+            &envelope(24.0),
+        )
+        .unwrap();
+        assert!(screened[0].feasible);
+        assert!(!screened[1].feasible);
+    }
+
+    #[test]
+    fn screen_rejects_unknown_constraint_outputs() {
+        let err = screen(&model(), &[vec![100.0, 10.0]], &envelope(24.0).iter()
+            .map(|c| Constraint { output: "p95_ms".into(), max: c.max })
+            .collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(matches!(err, SurrogateError::Predict(_)));
+    }
+
+    #[test]
+    fn frontier_picks_the_densest_feasible_rack_and_its_witness() {
+        let model = model();
+        // Sweep per_rack at fixed rate 100: peaks 22.0, 23.0, 24.0.
+        let candidates: Vec<Vec<f64>> = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|&p| vec![100.0, p])
+            .collect();
+        let screened = screen(&model, &candidates, &envelope(23.5)).unwrap();
+        let picks = frontier(&screened, 1);
+        // per_rack = 20 is the densest feasible; 30 is the witness above.
+        assert_eq!(picks, vec![1, 2]);
+    }
+
+    #[test]
+    fn frontier_keeps_only_the_witness_when_nothing_is_feasible() {
+        let model = model();
+        let candidates: Vec<Vec<f64>> = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|&p| vec![100.0, p])
+            .collect();
+        let screened = screen(&model, &candidates, &envelope(10.0)).unwrap();
+        assert_eq!(frontier(&screened, 1), vec![0]);
+    }
+
+    #[test]
+    fn frontier_groups_by_the_other_knobs() {
+        let model = model();
+        let mut candidates = Vec::new();
+        for &r in &[100.0, 200.0] {
+            for &p in &[10.0, 20.0, 30.0] {
+                candidates.push(vec![r, p]);
+            }
+        }
+        // Envelope 24.0: at rate 100 feasible up to per_rack 30 (24.0);
+        // at rate 200 feasible up to per_rack 20 (24.0), witness 30.
+        let screened = screen(&model, &candidates, &envelope(24.0)).unwrap();
+        let picks = frontier(&screened, 1);
+        assert_eq!(picks, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn cross_validation_is_zero_for_a_linear_truth_and_gates_cleanly() {
+        let model = model();
+        let holdout = vec![TrainingSample::new(
+            vec![150.0, 15.0],
+            vec![("peak_air_c".into(), 20.0 + 1.5 + 1.5)],
+        )];
+        let cv = cross_validate(&model, &holdout).unwrap();
+        assert!(cv.max_rel_err < 1e-12);
+        assert_eq!(cv.worst_output, "peak_air_c");
+        cv.gate(0.05).unwrap();
+    }
+
+    #[test]
+    fn the_gate_fails_loudly_past_tolerance() {
+        let model = model();
+        let holdout = vec![TrainingSample::new(
+            vec![150.0, 15.0],
+            vec![("peak_air_c".into(), 40.0)], // truth far from prediction
+        )];
+        let cv = cross_validate(&model, &holdout).unwrap();
+        let err = cv.gate(0.05).unwrap_err();
+        match err {
+            SurrogateError::Validation { output, rel_err, tolerance } => {
+                assert_eq!(output, "peak_air_c");
+                assert!(rel_err > tolerance);
+            }
+            other => panic!("expected Validation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_outputs_ignores_errors_outside_the_named_set() {
+        let cv = CrossValidation {
+            points: 2,
+            max_rel_err: 0.4,
+            worst_output: "dtm_engaged".into(),
+            per_output: vec![
+                ("dtm_engaged".into(), 0.4),
+                ("peak_air_c".into(), 0.01),
+            ],
+        };
+        assert!(cv.gate(0.05).is_err());
+        cv.gate_outputs(&["peak_air_c"], 0.05).unwrap();
+        assert!(cv.gate_outputs(&["dtm_engaged"], 0.05).is_err());
+        assert!(cv.gate_outputs(&["p95_ms"], 0.05).is_err());
+    }
+
+    #[test]
+    fn mismatched_holdout_outputs_are_rejected() {
+        let model = model();
+        let holdout = vec![TrainingSample::new(
+            vec![150.0, 15.0],
+            vec![("p95_ms".into(), 1.0)],
+        )];
+        assert!(cross_validate(&model, &holdout).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Temporary profiling harness for the checkpoint restore path.
+
+use disktwin::{encode, Twin, TwinConfig};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn profile_restore_breakdown() {
+    let mut twin = Twin::new(TwinConfig::preset(workloads::oltp(), 4)).unwrap();
+    for _ in 0..2 {
+        twin.advance_epoch().unwrap();
+    }
+    let state = twin.capture_state();
+    let encoded = encode(&state).unwrap();
+    println!("encoded bytes: {}", encoded.len());
+
+    let reps = 30u32;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let s = disktwin::decode(&encoded).unwrap();
+        std::hint::black_box(&s);
+    }
+    let decode_s = start.elapsed().as_secs_f64();
+    println!(
+        "decode only: {:.2} ms/op ({:.1}/s)",
+        decode_s * 1e3 / f64::from(reps),
+        f64::from(reps) / decode_s
+    );
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let t = Twin::restore_state(state.clone()).unwrap();
+        std::hint::black_box(t.epoch());
+    }
+    let restore_s = start.elapsed().as_secs_f64();
+    println!(
+        "restore_state only (incl clone): {:.2} ms/op ({:.1}/s)",
+        restore_s * 1e3 / f64::from(reps),
+        f64::from(reps) / restore_s
+    );
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let s = state.clone();
+        std::hint::black_box(&s);
+    }
+    let clone_s = start.elapsed().as_secs_f64();
+    println!("state clone only: {:.3} ms/op", clone_s * 1e3 / f64::from(reps));
+
+    // JSON parse vs typed deserialize: parse to Value first.
+    let body_start = encoded.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let body = std::str::from_utf8(&encoded[body_start..encoded.len() - 1]).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let v: serde_json::Value = serde_json::from_str(body).unwrap();
+        std::hint::black_box(&v);
+    }
+    let value_s = start.elapsed().as_secs_f64();
+    println!("json -> Value: {:.2} ms/op", value_s * 1e3 / f64::from(reps));
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let s: disktwin::TwinState = serde_json::from_str(body).unwrap();
+        std::hint::black_box(&s);
+    }
+    let typed_s = start.elapsed().as_secs_f64();
+    println!("json -> TwinState: {:.2} ms/op", typed_s * 1e3 / f64::from(reps));
+}

@@ -81,8 +81,19 @@ impl TraceGenerator {
 
     /// Generates `n` requests deterministically from `seed`.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Request> {
+        let mut out = Vec::with_capacity(n);
+        self.generate_into(n, seed, &mut out);
+        out
+    }
+
+    /// Like [`Self::generate`], but clears and fills a caller-owned
+    /// buffer — sweep loops evaluating many configurations reuse one
+    /// trace allocation instead of building a fresh `Vec` per point.
+    pub fn generate_into(&self, n: usize, seed: u64, out: &mut Vec<Request>) {
         let mut stream = self.stream(seed);
-        (0..n).map(|_| stream.next_request()).collect()
+        out.clear();
+        out.reserve(n);
+        out.extend((0..n).map(|_| stream.next_request()));
     }
 
     /// Opens an incremental request stream seeded from `seed`. The

@@ -9,6 +9,9 @@
 //! thermally-coupled `WindowedDrive` past the calendar ring's wrap
 //! (512 buckets x 5 ms = 2.56 s of simulated time), then assert that
 //! a long run of further windows performs **zero** heap allocations.
+//! A third subject pins the surrogate training sweep's per-point
+//! target reduction (`disklab::sweep::reduce_targets`) to the same
+//! budget once its scratch buffers are warm.
 //!
 //! Everything lives in one `#[test]` function: the counter is global,
 //! and the test harness runs sibling tests on other threads, which
@@ -184,5 +187,44 @@ fn steady_state_windows_allocate_nothing() {
     assert!(
         drive.in_flight() < u64::MAX,
         "keep the drive alive past the measurement"
+    );
+
+    // --- Subject 3: the capacity sweep's per-point target reduction. ---
+    // The surrogate training sweep reduces every fleet report to its
+    // target vector through `SweepScratch`: histogram reset + re-bucket,
+    // reservoir percentile into a reused sort buffer, values into a
+    // reused `Vec<f64>`. After one warm-up reduction has grown the
+    // buffers and seeded the registry keys, reducing another report
+    // must not touch the heap. (The fleet simulation producing the
+    // report, and the one names-clone materializing a `TrainingSample`,
+    // allocate by design and stay outside the measured region.)
+    let spec = disklab::sweep::SweepSpec {
+        preset: "oltp".into(),
+        rows: 1,
+        requests: 200,
+        seed: 7,
+        rates: vec![200.0],
+        per_rack: vec![4.0],
+        racks_per_row: vec![2.0],
+        inlets_c: vec![28.0],
+        dtm: vec![0.0],
+    };
+    let mut scratch = disklab::sweep::SweepScratch::new();
+    let report = spec
+        .simulate(&[200.0, 4.0, 2.0, 28.0, 0.0], &mut scratch)
+        .expect("sweep point simulates");
+    disklab::sweep::reduce_targets(&report, &mut scratch);
+    let before = allocations();
+    for _ in 0..64 {
+        disklab::sweep::reduce_targets(&report, &mut scratch);
+    }
+    let sweep_allocs = allocations() - before;
+    assert_eq!(
+        sweep_allocs, 0,
+        "sweep target reduction allocated {sweep_allocs} times in steady state"
+    );
+    assert!(
+        scratch.values.iter().all(|v| v.is_finite()),
+        "reduced targets stay finite"
     );
 }

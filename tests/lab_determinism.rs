@@ -115,6 +115,35 @@ fn parallel_map_sweeps_match_serial_bitwise() {
 }
 
 #[test]
+fn capacity_plan_is_byte_identical_at_any_parallelism() {
+    use disklab::experiments::capacity_plan::CapacityPlan;
+    use disklab::Experiment;
+
+    // The two-stage planner sweeps, cross-validates, and verifies
+    // through the work-stealing pool; its committed artifacts must not
+    // depend on how many workers the pool ran.
+    let mut serial = CapacityPlan::at_scale(Scale::Quick);
+    serial.threads = 1;
+    let mut wide = CapacityPlan::at_scale(Scale::Quick);
+    wide.threads = 8;
+
+    let one = serial.run().unwrap();
+    let eight = wide.run().unwrap();
+    assert_eq!(one.text, eight.text, "plan report varies with threads");
+    assert_eq!(
+        one.json.len(),
+        eight.json.len(),
+        "plan output count varies with threads"
+    );
+    for ((name1, payload1), (name8, payload8)) in one.json.iter().zip(&eight.json) {
+        assert_eq!(name1, name8);
+        let bytes1 = serde_json::to_string(payload1).unwrap();
+        let bytes8 = serde_json::to_string(payload8).unwrap();
+        assert_eq!(bytes1, bytes8, "{name1} differs between 1 and 8 workers");
+    }
+}
+
+#[test]
 fn fleet_shard_count_does_not_change_results() {
     use diskfleet::{Fleet, FleetConfig, FleetDtmPolicy, RoutingPolicy};
     use disksim::{DiskSpec, Request, RequestKind};

@@ -1,0 +1,178 @@
+//! Property tests for the capacity-planning surrogate against the
+//! full simulator.
+//!
+//! The screening stage is only trustworthy if the surrogate preserves
+//! the simulator's shape between grid nodes. Multilinear interpolation
+//! is exactly piecewise-linear along each axis, so wherever the
+//! simulated node values are monotone in arrival rate the surrogate's
+//! predictions must be monotone too — for *any* pair of off-grid
+//! rates, which is what the sampled-pair property below checks. The
+//! simulator runs once (six sims) to fit the model; proptest then
+//! hammers the fitted model with random rate pairs.
+//!
+//! A second property pins fit determinism: fitting the same sweep
+//! twice — separately simulated — must produce byte-identical
+//! serialized models, because the planner's committed artifacts are
+//! diffed byte-for-byte across runs and thread counts.
+
+use disklab::sweep::SweepSpec;
+use disksurrogate::GridSurrogate;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Rate-axis nodes for the property sweep; everything else is held at
+/// a single node so rate is the only moving knob per DTM level.
+const RATES: [f64; 3] = [150.0, 300.0, 450.0];
+
+fn sweep() -> SweepSpec {
+    SweepSpec {
+        preset: "oltp".into(),
+        rows: 1,
+        requests: 150,
+        seed: 7,
+        rates: RATES.to_vec(),
+        per_rack: vec![4.0],
+        racks_per_row: vec![2.0],
+        inlets_c: vec![28.0],
+        dtm: vec![0.0, 1.0],
+    }
+}
+
+/// Direction of a simulated output along the rate axis at one DTM
+/// level, judged from the grid-node truth.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    NonDecreasing,
+    NonIncreasing,
+    /// The simulator itself is not monotone here — the property is
+    /// vacuous for this output and it stays out of the check.
+    Mixed,
+}
+
+fn direction(values: &[f64]) -> Direction {
+    let up = values.windows(2).all(|w| w[0] <= w[1]);
+    let down = values.windows(2).all(|w| w[0] >= w[1]);
+    match (up, down) {
+        (true, _) => Direction::NonDecreasing,
+        (_, true) => Direction::NonIncreasing,
+        _ => Direction::Mixed,
+    }
+}
+
+/// The fitted model plus, per DTM level, each output's direction along
+/// the rate axis. Simulated once; every proptest case reuses it.
+struct Fitted {
+    model: GridSurrogate,
+    outputs: Vec<String>,
+    directions: [Vec<Direction>; 2],
+}
+
+fn fitted() -> &'static Fitted {
+    static FITTED: OnceLock<Fitted> = OnceLock::new();
+    FITTED.get_or_init(|| {
+        let spec = sweep();
+        let grid = spec.grid();
+        let train = spec.run(&grid, 2).expect("property sweep simulates");
+        let model =
+            GridSurrogate::fit(spec.axes().unwrap(), &train).expect("property sweep fits");
+        let outputs: Vec<String> =
+            train[0].outputs.iter().map(|(n, _)| n.clone()).collect();
+        // Grid order is row-major with dtm fastest, so sample i covers
+        // (rate RATES[i / 2], dtm i % 2).
+        let directions = [0usize, 1].map(|dtm| {
+            outputs
+                .iter()
+                .enumerate()
+                .map(|(k, _)| {
+                    let nodes: Vec<f64> = (0..RATES.len())
+                        .map(|r| train[2 * r + dtm].outputs[k].1)
+                        .collect();
+                    direction(&nodes)
+                })
+                .collect()
+        });
+        Fitted {
+            model,
+            outputs,
+            directions,
+        }
+    })
+}
+
+#[test]
+fn simulator_is_monotone_in_rate_for_some_screening_output() {
+    // If every output came back Mixed the pair property below would be
+    // vacuously true; the sweep is sized so the load-driven outputs
+    // (thermals, tail latency) move one way as rate grows.
+    let fitted = fitted();
+    let checked = fitted.directions[0]
+        .iter()
+        .chain(&fitted.directions[1])
+        .filter(|d| **d != Direction::Mixed)
+        .count();
+    assert!(
+        checked > 0,
+        "no output is monotone in rate at the grid nodes; the \
+         monotonicity property has nothing to check"
+    );
+}
+
+/// One sampled-pair check: wherever the simulated node values are
+/// monotone in arrival rate, the surrogate's off-grid predictions must
+/// preserve that order. Returns the offending output on violation.
+fn check_pair_preserves_order(a: f64, b: f64, dtm: usize) -> Result<(), String> {
+    let fitted = fitted();
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let at = |rate: f64| vec![rate, 4.0, 2.0, 28.0, dtm as f64];
+    for (k, name) in fitted.outputs.iter().enumerate() {
+        let dir = fitted.directions[dtm][k];
+        if dir == Direction::Mixed {
+            continue;
+        }
+        let p_lo = fitted.model.predict_one(k, &at(lo)).unwrap();
+        let p_hi = fitted.model.predict_one(k, &at(hi)).unwrap();
+        // Piecewise-linear interpolation through monotone nodes is
+        // monotone exactly; the epsilon only absorbs float noise.
+        let eps = 1e-9 * fitted.model.scale(k);
+        let ordered = match dir {
+            Direction::NonDecreasing => p_lo <= p_hi + eps,
+            Direction::NonIncreasing => p_lo + eps >= p_hi,
+            Direction::Mixed => unreachable!(),
+        };
+        if !ordered {
+            return Err(format!(
+                "{name} (dtm {dtm}): pred({lo}) = {p_lo} vs pred({hi}) = {p_hi} \
+                 breaks the simulator's order"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictions_preserve_the_simulators_rate_monotonicity(
+        a in RATES[0]..RATES[RATES.len() - 1],
+        b in RATES[0]..RATES[RATES.len() - 1],
+        dtm in 0usize..2,
+    ) {
+        prop_assert_eq!(check_pair_preserves_order(a, b, dtm), Ok(()));
+    }
+}
+
+#[test]
+fn fitting_the_same_sweep_twice_is_byte_identical() {
+    let spec = sweep();
+    let grid = spec.grid();
+    // Two independent sweeps at different thread counts, two fits: the
+    // serialized models must not differ in a single byte.
+    let first = spec.run(&grid, 1).expect("first sweep");
+    let second = spec.run(&grid, 4).expect("second sweep");
+    let model1 = GridSurrogate::fit(spec.axes().unwrap(), &first).expect("first fit");
+    let model2 = GridSurrogate::fit(spec.axes().unwrap(), &second).expect("second fit");
+    let bytes1 = serde_json::to_string(&model1).expect("model serializes");
+    let bytes2 = serde_json::to_string(&model2).expect("model serializes");
+    assert_eq!(bytes1, bytes2, "same sweep, same fit, different bytes");
+}

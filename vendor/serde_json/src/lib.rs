@@ -107,6 +107,22 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
     *pos += 1;
     let mut out = String::new();
     loop {
+        // Bulk-copy the run up to the next quote or escape. The run is
+        // delimited by ASCII bytes, so it sits on character boundaries
+        // and only the run itself needs UTF-8 validation — not the whole
+        // remaining input per character, which made parsing quadratic.
+        let start = *pos;
+        while let Some(&c) = b.get(*pos) {
+            if c == b'"' || c == b'\\' {
+                break;
+            }
+            *pos += 1;
+        }
+        if *pos > start {
+            let run = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| Error::at("invalid UTF-8", start))?;
+            out.push_str(run);
+        }
         match b.get(*pos) {
             None => return Err(Error::at("unterminated string", *pos)),
             Some(b'"') => {
@@ -141,14 +157,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 encoded char.
-                let rest = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| Error::at("invalid UTF-8", *pos))?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
+            _ => unreachable!("run scan stops only at a quote or escape"),
         }
     }
 }
